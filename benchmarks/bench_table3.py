@@ -1,0 +1,146 @@
+"""Table 3: scaled TAM vs measured SQL Server performance.
+
+The paper's bottom line: for a 66 deg² target field,
+
+=========  =====  ========  =====
+cluster    nodes  time (s)  ratio
+=========  =====  ========  =====
+TAM        1      825,000
+SQL        1      18,635    44
+TAM        5      165,000
+SQL        3      8,988     18
+=========  =====  ========  =====
+
+We regenerate the analogue: measure the file-based TAM implementation
+on a slice of the workload, extrapolate linearly in fields (the paper's
+own stated scaling) to the full target, normalize with Table 2's
+science factor for the configuration gap, then measure the SQL pipeline
+(1 node and a 3-node cluster) on the full target.
+
+Shape contract: SQL beats normalized TAM per node and as a cluster; the
+per-node factor is large (paper: 44x — we assert >3x, since our
+"Tcl-C" stand-in shares its inner vector math with the pipeline and is
+therefore a *conservative* baseline).
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import pytest
+
+import dataclasses
+
+from repro.bench.reporting import ShapeCheck, format_table, print_report
+from repro.cluster.executor import run_partitioned
+from repro.core.pipeline import run_maxbcg
+from repro.engine.stats import TaskTimer
+from repro.grid.resources import ClusterSpec, Node
+from repro.grid.scheduler import CondorScheduler
+from repro.grid.simulation import jobs_from_tam_run
+from repro.grid.transfer import TransferModel
+from repro.skyserver.regions import RegionBox
+from repro.tam.runner import run_tam
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_tam_vs_sql(benchmark, workload, sky, sql_kcorr, tam_kcorr):
+    # ---------------------------------------------------------- TAM
+    # measure a slice (contained in the target), extrapolate by fields
+    ra0, dec0 = workload.target.center
+    slice_region = RegionBox(ra0 - 0.5, ra0 + 0.5, dec0 - 0.5, dec0 + 0.5)
+    with TaskTimer("tam-slice") as timer:
+        tam_run = run_tam(sky.catalog, slice_region, tam_kcorr, workload.tam,
+                          tempfile.mkdtemp(prefix="table3_"))
+    fields_total = workload.target.flat_area() / 0.25
+    fields_measured = len(tam_run.fields)
+    tam_1node = timer.stats.elapsed_s * fields_total / fields_measured
+
+    # normalize the configuration gap: the SQL runs do z-step
+    # (tam/sql) x finer grids and (sql/tam)^2 x larger buffer areas; the
+    # paper prices the equivalent-science TAM run at ~25x (Table 2).
+    science_factor = (
+        (workload.tam.z_step / workload.sql.z_step)
+        * (workload.sql.buffer_deg / workload.tam.buffer_deg) ** 2
+    )
+    tam_1node_normalized = tam_1node * science_factor
+
+    # 5-node TAM: tile the measured per-field jobs out to the full field
+    # count, apply the science factor to their compute demand, and
+    # schedule on the TAM topology.  Like the paper's Table 3, CPU
+    # speeds are normalized to the SQL-class reference ("we normalize
+    # for the fact that the TAM CPU is about 4 times slower"), so the
+    # ratios below are pure software factors.
+    measured_jobs = jobs_from_tam_run(tam_run, 2600.0, 2600.0)
+    full_jobs = []
+    for k in range(int(round(fields_total))):
+        base = measured_jobs[k % len(measured_jobs)]
+        full_jobs.append(dataclasses.replace(
+            base, job_id=k, cpu_seconds=base.cpu_seconds * science_factor
+        ))
+    normalized_beowulf = ClusterSpec(
+        "TAM-normalized",
+        tuple(Node(f"tam{k}", cpu_mhz=2600.0, n_cpus=2, ram_mb=1024.0)
+              for k in range(5)),
+    )
+    schedule = CondorScheduler(
+        normalized_beowulf, TransferModel(), reference_cpu_mhz=2600.0
+    ).run(full_jobs)
+    tam_5node = schedule.makespan_s
+
+    # ---------------------------------------------------------- SQL
+    sql_result = {}
+
+    def run_sql():
+        result = run_maxbcg(sky.catalog, workload.target, sql_kcorr,
+                            workload.sql, compute_members=False)
+        sql_result["r"] = result
+        return result
+
+    benchmark.pedantic(run_sql, rounds=1, iterations=1)
+    sql_1node = sql_result["r"].total_stats.elapsed_s
+
+    par = run_partitioned(sky.catalog, workload.target, sql_kcorr,
+                          workload.sql, n_servers=3, compute_members=False)
+    sql_3node = par.elapsed_s
+
+    ratio_1node = tam_1node_normalized / sql_1node
+    ratio_cluster = tam_5node / sql_3node
+
+    rows = [
+        ["TAM (as-run config)", 1, round(tam_1node, 2), ""],
+        ["TAM (SQL-grade science)", 1, round(tam_1node_normalized, 2), ""],
+        ["SQL", 1, round(sql_1node, 2), f"{ratio_1node:.1f}"],
+        ["TAM (SQL-grade science)", 5, round(tam_5node, 2), ""],
+        ["SQL", 3, round(sql_3node, 2), f"{ratio_cluster:.1f}"],
+    ]
+    checks = [
+        ShapeCheck(
+            "SQL faster per node (normalized)",
+            "44x", f"{ratio_1node:.1f}x", ratio_1node > 3.0,
+        ),
+        ShapeCheck(
+            "3-node SQL beats 5-node TAM",
+            "18x", f"{ratio_cluster:.1f}x", ratio_cluster > 2.0,
+        ),
+        ShapeCheck(
+            "as-run TAM already loses per node",
+            "~4x (825000/4 vs 18635*... )",
+            f"{tam_1node / sql_1node:.1f}x",
+            tam_1node > sql_1node,
+        ),
+    ]
+    print_report(
+        f"Table 3 — scaled TAM vs measured SQL ({workload.name} scale, "
+        f"{workload.target.flat_area():.0f} deg^2 target)",
+        [format_table(
+            "wall-clock comparison",
+            ["system", "nodes", "time (s)", "ratio vs SQL"],
+            rows,
+        ),
+         f"TAM slice measured: {fields_measured} fields, "
+         f"{timer.stats.elapsed_s:.2f} s; extrapolated to "
+         f"{fields_total:.0f} fields; science factor x{science_factor:.0f}"],
+        checks,
+    )
+    assert all(c.holds for c in checks)

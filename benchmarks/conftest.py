@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+Scale is selected with ``REPRO_BENCH_SCALE=small|medium|paper`` (default
+small, seconds per bench).  Each benchmark regenerates one table or
+figure of the paper: it prints a paper-vs-measured report and asserts
+the *shape* claims (who wins, direction of every ratio), never absolute
+2004 numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.timing import warmup
+from repro.bench.workloads import active_workload, kcorr_for, sky_for
+
+
+@pytest.fixture(scope="session")
+def workload():
+    return active_workload()
+
+
+@pytest.fixture(scope="session")
+def sky(workload):
+    return sky_for(workload)
+
+
+@pytest.fixture(scope="session")
+def sql_kcorr(workload):
+    return kcorr_for(workload.sql)
+
+
+@pytest.fixture(scope="session")
+def tam_kcorr(workload):
+    return kcorr_for(workload.tam)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _warm(workload):
+    """One tiny pipeline run before any measurement (first-touch costs)."""
+    warmup(workload)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Section 2.4: MaxBCG on a cluster of database servers.
+
+Partitions the sky into declination stripes with duplicated buffer
+skirts (Figure 6), runs each partition on its own simulated server,
+verifies the paper's invariant — the union of partition answers is
+*identical* to the one-node answer — and prints a Table 1-style report.
+
+Run:  python examples/partitioned_cluster.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    RegionBox,
+    SkyConfig,
+    build_kcorrection_table,
+    fast_config,
+    make_sky,
+    run_maxbcg,
+    run_partitioned,
+)
+from repro.cluster.verify import assert_union_equals_sequential
+
+N_SERVERS = 3
+
+
+def main() -> None:
+    config = fast_config()
+    kcorr = build_kcorrection_table(config)
+    target = RegionBox(179.0, 183.0, -1.0, 3.0)
+    sky = make_sky(
+        target.expand(1.0), config, kcorr,
+        SkyConfig(field_density=800.0, cluster_density=10.0, seed=3),
+    )
+    print(f"{sky.n_galaxies:,} galaxies over "
+          f"{sky.region.flat_area():.0f} deg^2; target "
+          f"{target.flat_area():.0f} deg^2\n")
+
+    # warm-up so the first measured run does not pay first-touch costs
+    run_maxbcg(sky.catalog, RegionBox(180.9, 181.1, 0.9, 1.1), kcorr, config,
+               compute_members=False)
+
+    sequential = run_maxbcg(sky.catalog, target, kcorr, config,
+                            compute_members=False)
+    partitioned = run_partitioned(sky.catalog, target, kcorr, config,
+                                  n_servers=N_SERVERS, compute_members=False)
+
+    # the paper's invariant, checked before any performance claim
+    assert_union_equals_sequential(
+        partitioned.candidates, partitioned.clusters,
+        sequential.candidates, sequential.clusters,
+    )
+    print("invariant OK: union(partitions) == sequential answer\n")
+
+    print("      task            elapsed(s)  cpu(s)   I/O     galaxies")
+    seq = sequential.total_stats
+    print("No partitioning")
+    for name in ("spZone", "fBCGCandidate", "fIsCluster"):
+        s = sequential.stats[name]
+        print(f"      {name:15s} {s.elapsed_s:9.3f} {s.cpu_s:7.3f} "
+              f"{s.io.total:7,d}")
+    print(f"      {'total':15s} {seq.elapsed_s:9.3f} {seq.cpu_s:7.3f} "
+          f"{seq.io.total:7,d} {sequential.n_galaxies:10,d}")
+
+    print(f"{N_SERVERS}-node partitioning")
+    for run in partitioned.runs:
+        total = run.total_stats
+        print(f"  P{run.server + 1}  {'total':15s} {total.elapsed_s:9.3f} "
+              f"{total.cpu_s:7.3f} {total.io_ops:7,d} {run.n_galaxies:10,d}")
+    print(f"      {'cluster total':15s} {partitioned.elapsed_s:9.3f} "
+          f"{partitioned.cpu_s:7.3f} {partitioned.io_ops:7,d} "
+          f"{partitioned.total_galaxies:10,d}")
+
+    ratio_elapsed = partitioned.elapsed_s / seq.elapsed_s
+    ratio_cpu = partitioned.cpu_s / seq.cpu_s
+    ratio_io = partitioned.io_ops / seq.io.total
+    print(f"\nratio 1node/{N_SERVERS}node   elapsed {100 * ratio_elapsed:.0f}%"
+          f"   cpu {100 * ratio_cpu:.0f}%   io {100 * ratio_io:.0f}%")
+    print("(paper's Table 1: 48% / 127% / 126% — a ~2x speedup bought with")
+    print(" ~25% duplicated work from the buffer skirts)")
+    print(f"\nduplicated sky area: {partitioned.layout.duplicated_area():.0f} "
+          f"deg^2 (duplication factor "
+          f"{partitioned.layout.duplication_factor():.2f})")
+
+
+if __name__ == "__main__":
+    main()

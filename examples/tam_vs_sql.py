@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""The paper's core comparison: file-based TAM vs the database pipeline.
+
+Runs the same MaxBCG search twice over one region:
+
+* **TAM**: tile into 0.25 deg² fields, write Target/Buffer flat files,
+  brute-force each field in RAM (Section 2.2) — with the TAM science
+  compromise (0.25 deg buffer, z-step 0.01);
+* **SQL**: the set-oriented pipeline on the relational engine with zone
+  indexing (Section 2.3) — full 0.5 deg buffer, fine z grid.
+
+Prints side-by-side timings, the file traffic only the baseline pays,
+and the science difference the TAM compromise causes.
+
+Run:  python examples/tam_vs_sql.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro import (
+    RegionBox,
+    SkyConfig,
+    build_kcorrection_table,
+    make_sky,
+    run_maxbcg,
+    run_tam,
+    sql_config,
+    tam_config,
+)
+from repro.engine.stats import TaskTimer
+
+
+def main() -> None:
+    sql_cfg = sql_config().with_(z_step=0.005)   # coarsened for demo speed
+    tam_cfg = tam_config()                       # the paper's TAM settings
+    kcorr_sql = build_kcorrection_table(sql_cfg)
+    kcorr_tam = build_kcorrection_table(tam_cfg)
+
+    target = RegionBox(180.0, 182.0, 0.0, 2.0)
+    sky = make_sky(
+        target.expand(1.0), sql_cfg, kcorr_sql,
+        SkyConfig(field_density=900.0, cluster_density=12.0, seed=11),
+    )
+    print(f"region: {target.flat_area():.0f} deg^2 target, "
+          f"{sky.n_galaxies:,} galaxies\n")
+
+    # ------------------------------------------------------------ TAM
+    with TaskTimer("tam") as timer:
+        tam = run_tam(sky.catalog, target, kcorr_tam, tam_cfg,
+                      tempfile.mkdtemp(prefix="tam_"))
+    tam_elapsed = timer.stats.elapsed_s
+    print("TAM (file-based, Tcl-C style):")
+    print(f"  fields processed : {len(tam.fields)}")
+    print(f"  files written    : {tam.file_stats.files_written}")
+    print(f"  files read       : {tam.file_stats.files_read}")
+    print(f"  bytes moved      : "
+          f"{tam.file_stats.bytes_read + tam.file_stats.bytes_written:,}")
+    print(f"  elapsed          : {tam_elapsed:.2f} s "
+          f"({tam.mean_field_s * 1000:.0f} ms/field)")
+    print(f"  clusters found   : {len(tam.clusters)}")
+
+    # ------------------------------------------------------------ SQL
+    sql = run_maxbcg(sky.catalog, target, kcorr_sql, sql_cfg,
+                     compute_members=False)
+    print("\nSQL (set-oriented, zone-indexed):")
+    for name, stats in sql.stats.items():
+        print(f"  {name:16s}: {stats.elapsed_s:6.2f} s, "
+              f"{stats.io.total:,} I/O ops")
+    print(f"  elapsed          : {sql.total_stats.elapsed_s:.2f} s")
+    print(f"  clusters found   : {len(sql.clusters)}")
+
+    # ------------------------------------------------------------ verdict
+    speedup = tam_elapsed / sql.total_stats.elapsed_s
+    print(f"\nspeedup (SQL over TAM): {speedup:.1f}x")
+    print("note: the TAM run also used its compromised science settings")
+    print(f"  (buffer {tam_cfg.buffer_deg} deg vs {sql_cfg.buffer_deg} deg; "
+          f"z-step {tam_cfg.z_step} vs {sql_cfg.z_step}),")
+    print("  so cluster counts differ — Table 2 of the paper prices that")
+    print("  gap at a further ~25x of TAM compute.")
+
+
+if __name__ == "__main__":
+    main()

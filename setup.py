@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package installs in offline environments where pip cannot bootstrap a
+PEP 517 build backend (no network, no `wheel`).
+"""
+
+from setuptools import setup
+
+setup()

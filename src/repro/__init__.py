@@ -1,0 +1,72 @@
+"""repro — reproduction of *When Database Systems Meet the Grid* (CIDR 2005).
+
+The package implements both sides of the paper's comparison over a
+synthetic SDSS-like sky:
+
+* the **SQL implementation** of MaxBCG — a set-oriented pipeline on a
+  small column-store relational engine with zone spatial indexing
+  (:mod:`repro.core`, :mod:`repro.engine`, :mod:`repro.spatial`),
+  single-node or partitioned across a simulated SQL Server cluster
+  (:mod:`repro.cluster`);
+* the **file-based Grid baseline** — per-field flat files brute-forced
+  by a Tcl/Astrotools-style kernel (:mod:`repro.tam`) scheduled on a
+  Condor-like grid with explicit transfer costs (:mod:`repro.grid`);
+* the **CasJobs batch query system** and its federated, code-to-the-data
+  MaxBCG deployment (:mod:`repro.casjobs`).
+
+Quick start::
+
+    from repro import (
+        MaxBCGConfig, build_kcorrection_table, make_sky, run_maxbcg,
+        RegionBox, SkyConfig,
+    )
+
+    config = MaxBCGConfig(z_step=0.005)
+    kcorr = build_kcorrection_table(config)
+    target = RegionBox(180.0, 182.0, 0.0, 2.0)
+    sky = make_sky(target.expand(1.0), config, kcorr, SkyConfig())
+    result = run_maxbcg(sky.catalog, target, kcorr, config)
+    print(len(result.clusters), "galaxy clusters")
+"""
+
+from repro.core.config import MaxBCGConfig, fast_config, sql_config, tam_config
+from repro.core.kcorrection import KCorrectionTable, build_kcorrection_table
+from repro.core.pipeline import MaxBCGPipeline, MaxBCGResult, run_maxbcg
+from repro.core.results import CandidateCatalog, ClusterCatalog, MemberTable
+from repro.cluster.executor import SqlServerCluster, run_partitioned
+from repro.engine.database import Database
+from repro.errors import ReproError
+from repro.skyserver.catalog import GalaxyCatalog
+from repro.skyserver.generator import SkyConfig, SkySimulator, SyntheticSky, make_sky
+from repro.skyserver.regions import RegionBox
+from repro.tam.runner import TamRunner, run_tam
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CandidateCatalog",
+    "ClusterCatalog",
+    "Database",
+    "GalaxyCatalog",
+    "KCorrectionTable",
+    "MaxBCGConfig",
+    "MaxBCGPipeline",
+    "MaxBCGResult",
+    "MemberTable",
+    "RegionBox",
+    "ReproError",
+    "SkyConfig",
+    "SkySimulator",
+    "SqlServerCluster",
+    "SyntheticSky",
+    "TamRunner",
+    "__version__",
+    "build_kcorrection_table",
+    "fast_config",
+    "make_sky",
+    "run_maxbcg",
+    "run_partitioned",
+    "run_tam",
+    "sql_config",
+    "tam_config",
+]

@@ -1,0 +1,23 @@
+"""Benchmark harness utilities: workloads, timing, reporting."""
+
+from repro.bench.reporting import ShapeCheck, format_table, print_report
+from repro.bench.timing import warmup
+from repro.bench.workloads import (
+    WORKLOADS,
+    Workload,
+    active_workload,
+    kcorr_for,
+    sky_for,
+)
+
+__all__ = [
+    "ShapeCheck",
+    "WORKLOADS",
+    "Workload",
+    "active_workload",
+    "format_table",
+    "kcorr_for",
+    "print_report",
+    "sky_for",
+    "warmup",
+]

@@ -1,0 +1,65 @@
+"""Paper-vs-measured reporting for the benchmark harness.
+
+Each table/figure benchmark prints its rows through these helpers so
+the output reads like the paper's tables next to our measurements.
+Absolute numbers are not expected to match 2004 hardware; the *shape*
+column comparisons (who wins, by what factor) are the contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def format_table(title: str, headers: list[str], rows: list[list]) -> str:
+    """Fixed-width text table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative claim being reproduced, with its verdict."""
+
+    claim: str
+    paper: str
+    measured: str
+    holds: bool
+
+    def line(self) -> str:
+        mark = "OK " if self.holds else "FAIL"
+        return f"[{mark}] {self.claim}: paper={self.paper} measured={self.measured}"
+
+
+def print_report(title: str, tables: list[str], checks: list[ShapeCheck]) -> None:
+    """Emit one benchmark's full report to stdout."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}")
+    for table in tables:
+        print(f"\n{table}")
+    if checks:
+        print("\nShape checks (paper vs measured):")
+        for check in checks:
+            print("  " + check.line())

@@ -1,0 +1,23 @@
+"""Timing helpers shared by the benchmark harness."""
+
+from __future__ import annotations
+
+from repro.bench.workloads import Workload, kcorr_for, sky_for
+from repro.core.pipeline import MaxBCGPipeline
+from repro.skyserver.regions import RegionBox
+
+
+def warmup(workload: Workload) -> None:
+    """Run one tiny pipeline so first-touch costs (allocator, BLAS
+    thread pools, import side effects) do not pollute the first
+    measured run — the simulated cluster's servers would otherwise look
+    faster than the sequential run for the wrong reason."""
+    sky = sky_for(workload)
+    center = workload.target.center
+    tiny = RegionBox(
+        center[0] - 0.25, center[0] + 0.25, center[1] - 0.25, center[1] + 0.25
+    )
+    pipeline = MaxBCGPipeline(
+        kcorr_for(workload.sql), workload.sql, compute_members=False
+    )
+    pipeline.run(sky.catalog, tiny)

@@ -1,0 +1,133 @@
+"""Standard workloads for the benchmark suite.
+
+Every table/figure benchmark draws its data from here so the whole
+suite shares one deterministic sky per scale.  Three scales:
+
+* ``small``  — seconds-long; used by default so ``pytest benchmarks/``
+  finishes quickly;
+* ``medium`` — a few minutes; closer densities, better statistics;
+* ``paper``  — the paper's geometry (66 deg² target at ~14k gal/deg²);
+  hours in pure Python — run it deliberately, not by default.
+
+Select with ``REPRO_BENCH_SCALE=small|medium|paper`` in the environment.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core.config import MaxBCGConfig, sql_config, tam_config
+from repro.core.kcorrection import KCorrectionTable, build_kcorrection_table
+from repro.errors import ConfigError
+from repro.skyserver.generator import SkyConfig, SkySimulator, SyntheticSky
+from repro.skyserver.regions import RegionBox
+
+#: Environment variable that selects the scale.
+SCALE_ENV = "REPRO_BENCH_SCALE"
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark scenario: regions, sky density, configs."""
+
+    name: str
+    target: RegionBox
+    field_density: float
+    cluster_density: float
+    sql: MaxBCGConfig
+    tam: MaxBCGConfig
+    seed: int = 2005  # CIDR 2005
+
+    @property
+    def import_region(self) -> RegionBox:
+        """P = T + 2 x the *largest* buffer either config needs."""
+        margin = 2.0 * max(self.sql.buffer_deg, self.tam.buffer_deg)
+        return self.target.expand(margin)
+
+    def sky_config(self) -> SkyConfig:
+        return SkyConfig(
+            field_density=self.field_density,
+            cluster_density=self.cluster_density,
+            seed=self.seed,
+        )
+
+
+def _scaled_sql_config(z_step: float) -> MaxBCGConfig:
+    return sql_config().with_(z_step=z_step)
+
+
+def _scaled_tam_config(z_step: float) -> MaxBCGConfig:
+    return tam_config().with_(z_step=z_step)
+
+
+WORKLOADS: dict[str, Workload] = {
+    # ~25k galaxies; every bench in seconds.
+    "small": Workload(
+        name="small",
+        target=RegionBox(180.0, 183.0, 0.0, 3.0),
+        field_density=700.0,
+        cluster_density=10.0,
+        sql=_scaled_sql_config(0.005),
+        tam=_scaled_tam_config(0.01),
+    ),
+    # ~250k galaxies; minutes.
+    "medium": Workload(
+        name="medium",
+        target=RegionBox(178.0, 184.0, -1.0, 4.0),
+        field_density=4_000.0,
+        cluster_density=14.0,
+        sql=_scaled_sql_config(0.002),
+        tam=_scaled_tam_config(0.01),
+    ),
+    # the paper's 66 deg^2 at survey density; run deliberately.
+    "paper": Workload(
+        name="paper",
+        target=RegionBox(173.0, 184.0, -2.0, 4.0),
+        field_density=14_000.0,
+        cluster_density=18.0,
+        sql=_scaled_sql_config(0.001),
+        tam=_scaled_tam_config(0.01),
+    ),
+}
+
+
+def active_scale() -> str:
+    scale = os.environ.get(SCALE_ENV, "small").lower()
+    if scale not in WORKLOADS:
+        raise ConfigError(
+            f"{SCALE_ENV}={scale!r}; expected one of {sorted(WORKLOADS)}"
+        )
+    return scale
+
+
+def active_workload() -> Workload:
+    """The workload selected by the environment (default: small)."""
+    return WORKLOADS[active_scale()]
+
+
+@lru_cache(maxsize=4)
+def _kcorr_cached(z_min: float, z_max: float, z_step: float) -> KCorrectionTable:
+    return build_kcorrection_table(
+        MaxBCGConfig(z_min=z_min, z_max=z_max, z_step=z_step)
+    )
+
+
+def kcorr_for(config: MaxBCGConfig) -> KCorrectionTable:
+    """Cached k-correction table for a config's grid."""
+    return _kcorr_cached(config.z_min, config.z_max, config.z_step)
+
+
+@lru_cache(maxsize=4)
+def _sky_cached(name: str) -> SyntheticSky:
+    workload = WORKLOADS[name]
+    simulator = SkySimulator(
+        kcorr_for(workload.sql), workload.sql, workload.sky_config()
+    )
+    return simulator.generate(workload.import_region)
+
+
+def sky_for(workload: Workload) -> SyntheticSky:
+    """The (cached) synthetic sky of a workload."""
+    return _sky_cached(workload.name)

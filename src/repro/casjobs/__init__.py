@@ -1,0 +1,18 @@
+"""CasJobs: batch queries, MyDB, groups, and the federated data grid."""
+
+from repro.casjobs.federation import DataGridFederation, FederatedRunReport
+from repro.casjobs.mydb import MyDB
+from repro.casjobs.queue import BatchJob, JobQueue, JobStatus, QueueClass
+from repro.casjobs.server import CasJobsService, Group
+
+__all__ = [
+    "BatchJob",
+    "CasJobsService",
+    "DataGridFederation",
+    "FederatedRunReport",
+    "Group",
+    "JobQueue",
+    "JobStatus",
+    "MyDB",
+    "QueueClass",
+]

@@ -1,0 +1,183 @@
+"""Federated CasJobs: the gridified MaxBCG of Section 4.
+
+The paper's plan: "when the user submits the MaxBCG application, upon
+authentication and authorization, the SQL code (about 500 lines) is
+deployed on the available Data-Grid nodes hosting the CAS database
+system.  Each node will analyze a piece of the sky in parallel and
+store the results locally or, depending on the policy, transfer the
+final results back to the origin."
+
+:class:`DataGridFederation` implements exactly that flow over multiple
+:class:`~repro.casjobs.server.CasJobsService` sites (the paper names
+Fermilab, JHU and IUCAA Pune): each site hosts a declination stripe of
+the catalog with the duplicated skirt of Figure 6, the *code* — a
+:class:`~repro.core.config.MaxBCGConfig`, our 500 lines — travels to
+the sites, runs locally, and only the (tiny) result catalogs move.  The
+returned report prices the alternative, shipping the galaxies instead,
+through the grid transfer model, making "move the query to the data"
+quantitative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.casjobs.server import CasJobsService
+from repro.cluster.partitioning import Partition, make_partitions
+from repro.core.config import MaxBCGConfig
+from repro.core.kcorrection import KCorrectionTable
+from repro.core.pipeline import MaxBCGPipeline, MaxBCGResult
+from repro.core.results import CandidateCatalog, MemberTable
+from repro.engine.database import Database
+from repro.errors import CasJobsError
+from repro.grid.transfer import TransferModel, wan_model
+from repro.skyserver.catalog import GalaxyCatalog
+from repro.skyserver.regions import RegionBox
+from repro.tam.fields import ROW_BYTES
+
+#: Bytes per result row (Candidates/Clusters rows are ~48 bytes).
+RESULT_ROW_BYTES = 48
+
+
+@dataclass
+class Site:
+    """One federation member: a CasJobs service plus its sky stripe."""
+
+    service: CasJobsService
+    partition: Partition
+    catalog: GalaxyCatalog
+
+
+@dataclass
+class FederatedRunReport:
+    """Outcome of a federated MaxBCG submission."""
+
+    candidates: CandidateCatalog
+    clusters: CandidateCatalog
+    members: MemberTable
+    per_site_elapsed_s: dict[str, float]
+    code_bytes_moved: float
+    result_bytes_moved: float
+    data_bytes_avoided: float
+    data_files_avoided: int
+    transfer: TransferModel
+
+    @property
+    def elapsed_s(self) -> float:
+        """Federation wall-clock: sites run concurrently."""
+        return max(self.per_site_elapsed_s.values())
+
+    @property
+    def code_to_data_seconds(self) -> float:
+        """Transfer time actually paid (code out + results back)."""
+        return self.transfer.seconds(
+            self.code_bytes_moved + self.result_bytes_moved,
+            n_files=2 * len(self.per_site_elapsed_s),
+        )
+
+    @property
+    def data_to_code_seconds(self) -> float:
+        """Transfer time the file-based pattern would have paid.
+
+        Priced the way the paper describes the status quo — per-field
+        Target/Buffer files fetched from the archive ("hundreds of
+        thousands of files"), not one bulk stream.
+        """
+        return self.transfer.seconds(
+            self.data_bytes_avoided, n_files=max(1, self.data_files_avoided)
+        )
+
+
+class DataGridFederation:
+    """Autonomous, geographically distributed CasJobs sites."""
+
+    def __init__(
+        self,
+        kcorr: KCorrectionTable,
+        config: MaxBCGConfig,
+        transfer: TransferModel | None = None,
+    ):
+        self.kcorr = kcorr
+        self.config = config
+        self.transfer = transfer or wan_model()
+        self._sites: list[Site] = []
+
+    # ------------------------------------------------------------------
+    def deploy_sites(
+        self,
+        site_names: list[str],
+        catalog: GalaxyCatalog,
+        target: RegionBox,
+    ) -> list[Site]:
+        """Stand up one site per name, each hosting its stripe of the sky."""
+        if not site_names:
+            raise CasJobsError("federation needs at least one site")
+        layout = make_partitions(target, self.config.buffer_deg, len(site_names))
+        self._sites = []
+        for name, partition in zip(site_names, layout.partitions):
+            service = CasJobsService(name)
+            local = catalog.select_region(partition.imported)
+            database = Database(f"cas_{name}")
+            database.create_table("galaxy_src", local.as_columns(),
+                                  primary_key="objid")
+            service.add_context("cas", database)
+            self._sites.append(Site(service, partition, local))
+        return self._sites
+
+    @property
+    def sites(self) -> list[Site]:
+        return self._sites
+
+    # ------------------------------------------------------------------
+    def submit_maxbcg(self, username: str = "astronomer") -> FederatedRunReport:
+        """Run MaxBCG at every site; gather only the result catalogs."""
+        if not self._sites:
+            raise CasJobsError("deploy_sites() first")
+
+        candidates = CandidateCatalog.empty()
+        clusters = CandidateCatalog.empty()
+        members = MemberTable.empty()
+        per_site: dict[str, float] = {}
+        result_bytes = 0.0
+        data_bytes = 0.0
+        data_files = 0
+
+        for site in self._sites:
+            pipeline = MaxBCGPipeline(
+                self.kcorr,
+                self.config,
+                database=Database(f"work_{site.service.site_name}"),
+            )
+            result: MaxBCGResult = pipeline.run(
+                site.catalog, site.partition.target, site.partition.buffer
+            )
+            candidates = candidates.concat(result.candidates)
+            clusters = clusters.concat(result.clusters)
+            members = members.concat(result.members)
+            per_site[site.service.site_name] = result.total_stats.elapsed_s
+            result_bytes += RESULT_ROW_BYTES * (
+                len(result.candidates) + len(result.clusters)
+            )
+            data_bytes += ROW_BYTES * len(site.catalog)
+            # the file-based alternative: one Target + one Buffer file
+            # per 0.25 deg^2 field of this site's stripe
+            n_fields = max(
+                1, int(round(site.partition.target.flat_area() / 0.25))
+            )
+            data_files += 2 * n_fields
+
+        # "about 500 lines" of SQL ship to each site.
+        code_bytes = 500 * 60.0 * len(self._sites)
+        return FederatedRunReport(
+            candidates=candidates.dedup_by_objid().sort_by_objid(),
+            clusters=clusters.dedup_by_objid().sort_by_objid(),
+            members=members,
+            per_site_elapsed_s=per_site,
+            code_bytes_moved=code_bytes,
+            result_bytes_moved=result_bytes,
+            data_bytes_avoided=data_bytes,
+            data_files_avoided=data_files,
+            transfer=self.transfer,
+        )

@@ -1,0 +1,171 @@
+"""The CasJobs batch queue: long-running queries with job lifecycle.
+
+CasJobs "lets users submit long-running SQL queries" — the defining
+feature versus the 60-second web portal.  :class:`JobQueue` provides
+the lifecycle: submitted → executing → finished/failed, with timestamps,
+per-user listing, cancellation of queued jobs, and a drain loop that a
+service worker (or a test) pumps.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import CasJobsError
+
+
+class JobStatus(enum.Enum):
+    SUBMITTED = "submitted"
+    EXECUTING = "executing"
+    FINISHED = "finished"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (JobStatus.FINISHED, JobStatus.FAILED, JobStatus.CANCELLED)
+
+
+class QueueClass(enum.Enum):
+    """CasJobs queue classes: interactive-grade vs long-running.
+
+    The real service routes sub-minute queries through a "quick" queue
+    with a hard time budget and everything else through the long queue —
+    "CasJobs ... lets users submit long-running SQL queries" precisely
+    because the web portal's quick path cannot.
+    """
+
+    QUICK = "quick"
+    LONG = "long"
+
+    @property
+    def budget_seconds(self) -> float:
+        return 60.0 if self is QueueClass.QUICK else 8.0 * 3600.0
+
+
+@dataclass
+class BatchJob:
+    """One queued query."""
+
+    job_id: int
+    owner: str
+    query: str
+    target: str  # context database, e.g. "dr1" or "mydb"
+    output_table: str | None = None
+    queue_class: QueueClass = QueueClass.LONG
+    status: JobStatus = JobStatus.SUBMITTED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    error: str | None = None
+    result: object | None = None
+
+    @property
+    def queue_seconds(self) -> float | None:
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def run_seconds(self) -> float | None:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+class JobQueue:
+    """FIFO batch queue with per-user views."""
+
+    def __init__(self):
+        self._jobs: dict[int, BatchJob] = {}
+        self._pending: list[int] = []
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def submit(self, owner: str, query: str, target: str,
+               output_table: str | None = None,
+               queue_class: QueueClass = QueueClass.LONG) -> BatchJob:
+        job = BatchJob(
+            job_id=next(self._ids),
+            owner=owner,
+            query=query,
+            target=target,
+            output_table=output_table,
+            queue_class=queue_class,
+        )
+        self._jobs[job.job_id] = job
+        self._pending.append(job.job_id)
+        return job
+
+    def get(self, job_id: int) -> BatchJob:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise CasJobsError(f"unknown job {job_id}") from None
+
+    def jobs_of(self, owner: str) -> list[BatchJob]:
+        return [j for j in self._jobs.values() if j.owner == owner]
+
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def cancel(self, job_id: int) -> BatchJob:
+        """Cancel a job that has not started executing."""
+        job = self.get(job_id)
+        if job.status is not JobStatus.SUBMITTED:
+            raise CasJobsError(
+                f"job {job_id} is {job.status.value}; only queued jobs cancel"
+            )
+        job.status = JobStatus.CANCELLED
+        job.finished_at = time.time()
+        self._pending.remove(job_id)
+        return job
+
+    # ------------------------------------------------------------------
+    def run_next(self, executor: Callable[[BatchJob], object]) -> BatchJob | None:
+        """Execute the oldest queued job; returns it, or None if idle.
+
+        ``executor`` receives the job and returns its result; exceptions
+        mark the job FAILED with the message preserved.
+        """
+        while self._pending:
+            job_id = self._pending.pop(0)
+            job = self._jobs[job_id]
+            if job.status is not JobStatus.SUBMITTED:
+                continue
+            job.status = JobStatus.EXECUTING
+            job.started_at = time.time()
+            try:
+                job.result = executor(job)
+                job.status = JobStatus.FINISHED
+            except Exception as exc:  # noqa: BLE001 - job isolation boundary
+                job.status = JobStatus.FAILED
+                job.error = f"{type(exc).__name__}: {exc}"
+            job.finished_at = time.time()
+            if (
+                job.status is JobStatus.FINISHED
+                and job.run_seconds is not None
+                and job.run_seconds > job.queue_class.budget_seconds
+            ):
+                # the quick queue kills over-budget queries; the result
+                # is discarded and the user told to resubmit as LONG
+                job.status = JobStatus.FAILED
+                job.result = None
+                job.error = (
+                    f"exceeded the {job.queue_class.value} queue budget "
+                    f"({job.queue_class.budget_seconds:.0f}s); resubmit "
+                    "to the long queue"
+                )
+            return job
+        return None
+
+    def drain(self, executor: Callable[[BatchJob], object]) -> int:
+        """Run every queued job; returns how many were executed."""
+        executed = 0
+        while self.run_next(executor) is not None:
+            executed += 1
+        return executed

@@ -1,0 +1,161 @@
+"""The CasJobs service: users, contexts, batch queries, groups, sharing.
+
+Puts the pieces together the way skyserver's CasJobs does: a site hosts
+one or more shared *context* databases (the CAS catalogs), every
+registered user gets a MyDB, queries are submitted to the batch queue
+against a context and can spool their output into MyDB, and users can
+form groups to share MyDB tables with each other — "CasJobs provides a
+collaborative environment where users can form groups and share data
+with others."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.casjobs.mydb import MyDB
+from repro.casjobs.queue import BatchJob, JobQueue, JobStatus, QueueClass
+from repro.engine.database import Database
+from repro.engine.sql.executor import QueryResult
+from repro.errors import CasJobsError
+
+
+@dataclass
+class Group:
+    """A sharing group: members can read tables published to the group."""
+
+    name: str
+    members: set[str] = field(default_factory=set)
+    # (owner, table) pairs published into the group
+    shared: set[tuple[str, str]] = field(default_factory=set)
+
+
+class CasJobsService:
+    """One CasJobs site."""
+
+    def __init__(self, site_name: str):
+        self.site_name = site_name
+        self._contexts: dict[str, Database] = {}
+        self._users: dict[str, MyDB] = {}
+        self._groups: dict[str, Group] = {}
+        self.queue = JobQueue()
+
+    # ------------------------------------------------------------------
+    # administration
+    # ------------------------------------------------------------------
+    def add_context(self, name: str, database: Database) -> None:
+        """Host a shared catalog database under a context name."""
+        if name.lower() in self._contexts:
+            raise CasJobsError(f"context '{name}' already exists")
+        self._contexts[name.lower()] = database
+
+    def context(self, name: str) -> Database:
+        try:
+            return self._contexts[name.lower()]
+        except KeyError:
+            raise CasJobsError(
+                f"site '{self.site_name}' has no context '{name}'"
+            ) from None
+
+    def register_user(self, username: str) -> MyDB:
+        if username in self._users:
+            raise CasJobsError(f"user '{username}' already registered")
+        mydb = MyDB(username)
+        self._users[username] = mydb
+        return mydb
+
+    def mydb(self, username: str) -> MyDB:
+        try:
+            return self._users[username]
+        except KeyError:
+            raise CasJobsError(f"unknown user '{username}'") from None
+
+    # ------------------------------------------------------------------
+    # query submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        username: str,
+        query: str,
+        context: str = "mydb",
+        output_table: str | None = None,
+        queue_class: QueueClass = QueueClass.LONG,
+    ) -> BatchJob:
+        """Queue a query for a user against a context ('mydb' or a catalog)."""
+        self.mydb(username)  # authn/z: must be registered
+        if context.lower() != "mydb":
+            self.context(context)  # must exist
+        return self.queue.submit(username, query, context.lower(),
+                                 output_table, queue_class)
+
+    def process_queue(self) -> int:
+        """Worker loop: execute everything queued (tests call this)."""
+        return self.queue.drain(self._execute)
+
+    def _execute(self, job: BatchJob) -> QueryResult:
+        database = (
+            self.mydb(job.owner).database
+            if job.target == "mydb"
+            else self.context(job.target)
+        )
+        result = database.sql(job.query)
+        if job.output_table is not None:
+            self.mydb(job.owner).store_result(job.output_table, result)
+        return result
+
+    def fetch(self, username: str, job_id: int) -> QueryResult:
+        """Fetch a finished job's result (owner-only)."""
+        job = self.queue.get(job_id)
+        if job.owner != username:
+            raise CasJobsError("jobs are private to their owner")
+        if job.status is not JobStatus.FINISHED:
+            raise CasJobsError(
+                f"job {job_id} is {job.status.value}"
+                + (f": {job.error}" if job.error else "")
+            )
+        assert isinstance(job.result, QueryResult)
+        return job.result
+
+    # ------------------------------------------------------------------
+    # groups and sharing
+    # ------------------------------------------------------------------
+    def create_group(self, name: str, creator: str) -> Group:
+        self.mydb(creator)
+        if name in self._groups:
+            raise CasJobsError(f"group '{name}' already exists")
+        group = Group(name=name, members={creator})
+        self._groups[name] = group
+        return group
+
+    def join_group(self, name: str, username: str) -> None:
+        self.mydb(username)
+        self._group(name).members.add(username)
+
+    def _group(self, name: str) -> Group:
+        try:
+            return self._groups[name]
+        except KeyError:
+            raise CasJobsError(f"unknown group '{name}'") from None
+
+    def share_table(self, owner: str, table: str, group_name: str) -> None:
+        """Publish a MyDB table to a group."""
+        group = self._group(group_name)
+        if owner not in group.members:
+            raise CasJobsError(f"'{owner}' is not a member of '{group_name}'")
+        self.mydb(owner).database.table(table)  # must exist
+        group.shared.add((owner, table.lower()))
+
+    def read_shared(
+        self, reader: str, group_name: str, owner: str, table: str
+    ) -> dict[str, np.ndarray]:
+        """Read a table another member shared with the group."""
+        group = self._group(group_name)
+        if reader not in group.members:
+            raise CasJobsError(f"'{reader}' is not a member of '{group_name}'")
+        if (owner, table.lower()) not in group.shared:
+            raise CasJobsError(
+                f"'{owner}.{table}' is not shared with '{group_name}'"
+            )
+        return self.mydb(owner).download(table)

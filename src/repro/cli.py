@@ -1,0 +1,258 @@
+"""Command-line interface: ``repro <subcommand>``.
+
+Gives the reproduction a front door a downstream user can drive without
+writing Python:
+
+* ``repro run``        — generate a synthetic sky and run MaxBCG;
+* ``repro partition``  — the Section 2.4 cluster run + union invariant;
+* ``repro compare``    — the headline TAM-vs-SQL comparison;
+* ``repro sql``        — execute a SQL script against a demo database
+  with the MaxBCG application installed;
+* ``repro analyze``    — EXPLAIN ANALYZE a SELECT on that database;
+* ``repro workloads``  — list the benchmark workloads.
+
+Every subcommand prints a compact text report; exit code 0 on success,
+1 when an invariant or shape check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.core.config import MaxBCGConfig
+from repro.core.kcorrection import build_kcorrection_table
+from repro.core.pipeline import run_maxbcg
+from repro.skyserver.generator import SkyConfig, SkySimulator
+from repro.skyserver.regions import RegionBox
+
+
+def _region(text: str) -> RegionBox:
+    """Parse 'ra_min,ra_max,dec_min,dec_max'."""
+    try:
+        ra_min, ra_max, dec_min, dec_max = (float(v) for v in text.split(","))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected ra_min,ra_max,dec_min,dec_max — got '{text}'"
+        ) from exc
+    return RegionBox(ra_min, ra_max, dec_min, dec_max)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'When Database Systems Meet the Grid' "
+        "(CIDR 2005): MaxBCG on a relational engine vs a file-based grid.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--target", type=_region,
+                       default=RegionBox(180.0, 182.0, 0.0, 2.0),
+                       help="target box: ra_min,ra_max,dec_min,dec_max")
+        p.add_argument("--density", type=float, default=700.0,
+                       help="field galaxies per deg^2")
+        p.add_argument("--clusters", type=float, default=10.0,
+                       help="injected clusters per deg^2")
+        p.add_argument("--seed", type=int, default=2005)
+        p.add_argument("--z-step", type=float, default=0.005,
+                       help="k-correction grid step (paper SQL: 0.001)")
+
+    run_p = sub.add_parser("run", help="single-node MaxBCG over a synthetic sky")
+    add_common(run_p)
+    run_p.add_argument("--method", choices=("vectorized", "cursor"),
+                       default="vectorized")
+    run_p.add_argument("--members", action="store_true",
+                       help="also retrieve cluster members")
+
+    part_p = sub.add_parser("partition",
+                            help="partitioned cluster run (Section 2.4)")
+    add_common(part_p)
+    part_p.add_argument("--servers", type=int, default=3)
+    part_p.add_argument("--parallel", action="store_true",
+                        help="execute servers on concurrent threads and "
+                        "report measured wall-clock")
+
+    cmp_p = sub.add_parser("compare", help="TAM (file-based) vs SQL pipeline")
+    add_common(cmp_p)
+
+    sql_p = sub.add_parser("sql", help="run SQL against a demo database")
+    add_common(sql_p)
+    group = sql_p.add_mutually_exclusive_group(required=True)
+    group.add_argument("-e", "--execute", help="one SQL statement")
+    group.add_argument("--script", help="path to a ;-separated SQL script")
+
+    analyze_p = sub.add_parser(
+        "analyze", help="EXPLAIN ANALYZE a SELECT against the demo database"
+    )
+    add_common(analyze_p)
+    analyze_p.add_argument("-e", "--execute", required=True,
+                           help="SELECT statement to analyze")
+
+    sub.add_parser("workloads", help="list the benchmark workloads")
+    return parser
+
+
+def _make_sky(args):
+    config = MaxBCGConfig(z_step=args.z_step)
+    kcorr = build_kcorrection_table(config)
+    simulator = SkySimulator(
+        kcorr, config,
+        SkyConfig(field_density=args.density, cluster_density=args.clusters,
+                  seed=args.seed),
+    )
+    sky = simulator.generate(args.target.expand(2 * config.buffer_deg))
+    return config, kcorr, sky
+
+
+def _print_stats(stats) -> None:
+    print(f"{'task':22s}{'elapsed(s)':>11s}{'cpu(s)':>9s}{'I/O':>9s}{'rows':>9s}")
+    for name, s in stats.items():
+        print(f"{name:22s}{s.elapsed_s:11.3f}{s.cpu_s:9.3f}"
+              f"{s.io.total:9,d}{s.rows:9,d}")
+
+
+def cmd_run(args) -> int:
+    config, kcorr, sky = _make_sky(args)
+    print(f"sky: {sky.n_galaxies:,} galaxies, {sky.n_clusters} injected "
+          f"clusters; target {args.target.flat_area():.1f} deg^2")
+    result = run_maxbcg(sky.catalog, args.target, kcorr, config,
+                        method=args.method, compute_members=args.members)
+    print(f"candidates: {len(result.candidates):,}  "
+          f"clusters: {len(result.clusters):,}"
+          + (f"  member links: {len(result.members):,}" if args.members else ""))
+    _print_stats(result.stats)
+    return 0
+
+
+def cmd_partition(args) -> int:
+    from repro.cluster.executor import run_partitioned
+    from repro.cluster.verify import assert_union_equals_sequential
+    from repro.errors import PartitionError
+
+    config, kcorr, sky = _make_sky(args)
+    sequential = run_maxbcg(sky.catalog, args.target, kcorr, config,
+                            compute_members=False)
+    partitioned = run_partitioned(sky.catalog, args.target, kcorr, config,
+                                  n_servers=args.servers,
+                                  compute_members=False,
+                                  parallel=args.parallel)
+    try:
+        assert_union_equals_sequential(
+            partitioned.candidates, partitioned.clusters,
+            sequential.candidates, sequential.clusters,
+        )
+    except PartitionError as exc:
+        print(f"INVARIANT VIOLATED: {exc}")
+        return 1
+    print("invariant OK: union(partitions) == sequential")
+    seq_total = sequential.total_stats
+    print(f"sequential : {seq_total.elapsed_s:8.3f} s  cpu {seq_total.cpu_s:7.3f}"
+          f"  io {seq_total.io.total:,}")
+    print(f"{args.servers}-server   : {partitioned.elapsed_s:8.3f} s  "
+          f"cpu {partitioned.cpu_s:7.3f}  io {partitioned.io_ops:,}")
+    print(f"speedup {seq_total.elapsed_s / partitioned.elapsed_s:.2f}x  "
+          f"cpu ratio {100 * partitioned.cpu_s / seq_total.cpu_s:.0f}%  "
+          f"io ratio {100 * partitioned.io_ops / seq_total.io.total:.0f}%")
+    if partitioned.wall_s is not None:
+        print(f"measured wall-clock (threads): {partitioned.wall_s:.3f} s "
+              f"({seq_total.elapsed_s / partitioned.wall_s:.2f}x real speedup)")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.engine.stats import TaskTimer
+    from repro.tam.runner import run_tam
+
+    config, kcorr, sky = _make_sky(args)
+    with TaskTimer("tam") as timer:
+        tam = run_tam(sky.catalog, args.target, kcorr, config,
+                      tempfile.mkdtemp(prefix="repro_cli_"))
+    sql = run_maxbcg(sky.catalog, args.target, kcorr, config,
+                     compute_members=False)
+    print(f"TAM (file-based): {timer.stats.elapsed_s:8.3f} s  "
+          f"({len(tam.fields)} fields, "
+          f"{tam.file_stats.files_written} files written)")
+    print(f"SQL (set-based) : {sql.total_stats.elapsed_s:8.3f} s")
+    speedup = timer.stats.elapsed_s / sql.total_stats.elapsed_s
+    print(f"speedup: {speedup:.1f}x (same configuration on both sides)")
+    return 0 if speedup > 1.0 else 1
+
+
+def cmd_sql(args) -> int:
+    from repro.core.procedures import install_maxbcg
+    from repro.engine.database import Database
+
+    config, kcorr, sky = _make_sky(args)
+    db = Database("cli")
+    db.create_table("galaxy_source", sky.catalog.as_columns(),
+                    primary_key="objid")
+    install_maxbcg(db, kcorr, config)
+    text = args.execute
+    if args.script:
+        with open(args.script) as handle:
+            text = handle.read()
+    for result in db.run_script(text):
+        if result.row_count:
+            names = result.column_names
+            print("  ".join(names))
+            for row in result.rows()[:50]:
+                print("  ".join(str(row[n]) for n in names))
+            if result.row_count > 50:
+                print(f"... ({result.row_count:,} rows total)")
+        elif result.rows_affected:
+            print(f"({result.rows_affected:,} rows affected)")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.core.procedures import install_maxbcg
+    from repro.engine.database import Database
+    from repro.engine.instrument import explain_analyze
+
+    config, kcorr, sky = _make_sky(args)
+    db = Database("cli")
+    db.create_table("galaxy_source", sky.catalog.as_columns(),
+                    primary_key="objid")
+    app = install_maxbcg(db, kcorr, config)
+    box = args.target.expand(2 * config.buffer_deg)
+    db.sql(f"EXEC spImportGalaxy {box.ra_min}, {box.ra_max}, "
+           f"{box.dec_min}, {box.dec_max}")
+    db.sql("EXEC spZone")
+    report = explain_analyze(db, args.execute)
+    print(report.render())
+    return 0
+
+
+def cmd_workloads(_args) -> int:
+    from repro.bench.workloads import WORKLOADS
+
+    print(f"{'name':8s}{'target deg^2':>13s}{'density':>9s}{'z-step':>8s}")
+    for workload in WORKLOADS.values():
+        print(f"{workload.name:8s}{workload.target.flat_area():13.1f}"
+              f"{workload.field_density:9.0f}{workload.sql.z_step:8.3f}")
+    print("\nselect with REPRO_BENCH_SCALE=<name> for "
+          "`pytest benchmarks/ --benchmark-only`")
+    return 0
+
+
+COMMANDS = {
+    "run": cmd_run,
+    "partition": cmd_partition,
+    "compare": cmd_compare,
+    "sql": cmd_sql,
+    "analyze": cmd_analyze,
+    "workloads": cmd_workloads,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

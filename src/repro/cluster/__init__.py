@@ -1,0 +1,29 @@
+"""SQL Server cluster: zone-range partitioning + parallel execution."""
+
+from repro.cluster.executor import (
+    ClusterRunResult,
+    PartitionRun,
+    SqlServerCluster,
+    run_partitioned,
+)
+from repro.cluster.partitioning import (
+    Partition,
+    PartitionLayout,
+    make_partitions,
+)
+from repro.cluster.verify import (
+    assert_union_equals_sequential,
+    compare_catalogs,
+)
+
+__all__ = [
+    "ClusterRunResult",
+    "Partition",
+    "PartitionLayout",
+    "PartitionRun",
+    "SqlServerCluster",
+    "assert_union_equals_sequential",
+    "compare_catalogs",
+    "make_partitions",
+    "run_partitioned",
+]

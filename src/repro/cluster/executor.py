@@ -1,0 +1,189 @@
+"""Parallel MaxBCG on a cluster of database servers (Section 2.4).
+
+Each partition runs the full single-node pipeline against its own
+:class:`~repro.engine.database.Database` instance ("when running in
+parallel, the data distribution is arranged so each server is
+completely independent from the others").  Partitions are executed one
+after another in this process — what matters for Table 1 is the paper's
+own aggregation rule:
+
+* cluster **elapsed** time = the *maximum* over servers (they run
+  concurrently; the slowest one gates the answer — exactly how the
+  paper's "Partitioning Total" row equals P2's 8,988 s);
+* cluster **CPU** and **I/O** = the *sums* over servers (total work,
+  which exceeds the one-node run by the duplicated skirts — the
+  paper's 127% / 126% ratios).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.partitioning import PartitionLayout, make_partitions
+from repro.core.config import MaxBCGConfig
+from repro.core.kcorrection import KCorrectionTable
+from repro.core.pipeline import MaxBCGPipeline, MaxBCGResult
+from repro.core.results import CandidateCatalog, ClusterCatalog, MemberTable
+from repro.engine.database import Database
+from repro.engine.stats import TaskStats, sum_stats
+from repro.skyserver.catalog import GalaxyCatalog
+
+#: Task names aggregated into Table 1 totals.
+TABLE1_TASKS = ("spZone", "fBCGCandidate", "fIsCluster")
+
+
+@dataclass
+class PartitionRun:
+    """One server's result plus its workload size."""
+
+    server: int
+    result: MaxBCGResult
+    n_galaxies: int  # galaxies imported on this server (skirt included)
+
+    @property
+    def total_stats(self) -> TaskStats:
+        return self.result.total_stats
+
+
+@dataclass
+class ClusterRunResult:
+    """A full partitioned run: per-server results and merged catalogs."""
+
+    layout: PartitionLayout
+    runs: list[PartitionRun]
+    candidates: CandidateCatalog
+    clusters: ClusterCatalog
+    members: MemberTable
+    wall_s: float | None = None  # measured wall-clock when run in parallel
+
+    @property
+    def elapsed_s(self) -> float:
+        """Cluster wall-clock: the slowest server (the paper's rule)."""
+        return max(r.total_stats.elapsed_s for r in self.runs)
+
+    @property
+    def cpu_s(self) -> float:
+        """Total CPU burned across servers."""
+        return sum(r.total_stats.cpu_s for r in self.runs)
+
+    @property
+    def io_ops(self) -> int:
+        """Total I/O operations across servers."""
+        return sum(r.total_stats.io_ops for r in self.runs)
+
+    @property
+    def total_galaxies(self) -> int:
+        """Sum of per-server imports — exceeds the unique count by the
+        duplicated skirts (Table 1's 2,348,050 vs 1,574,656)."""
+        return sum(r.n_galaxies for r in self.runs)
+
+    def task_stats(self, server: int) -> dict[str, TaskStats]:
+        return self.runs[server].result.stats
+
+
+class SqlServerCluster:
+    """A simulated cluster of independent database servers."""
+
+    def __init__(
+        self,
+        kcorr: KCorrectionTable,
+        config: MaxBCGConfig,
+        n_servers: int = 3,
+        method: str = "vectorized",
+        compute_members: bool = True,
+        parallel: bool = False,
+    ):
+        self.kcorr = kcorr
+        self.config = config
+        self.n_servers = n_servers
+        self.method = method
+        self.compute_members = compute_members
+        #: when True, partitions execute on concurrent threads — every
+        #: server owns its private Database and read-only inputs, so
+        #: this is *correct*, but on GIL-bound CPython it is typically
+        #: NOT faster (the counting kernels' fancy indexing holds the
+        #: GIL; measured ~0.7x at medium scale).  The default sequential
+        #: mode with elapsed = max over servers models the paper's
+        #: physically separate machines; the flag exists for free-threaded
+        #: builds and for callers who want the measured number anyway.
+        self.parallel = parallel
+
+    def _run_partition(self, catalog: GalaxyCatalog, partition) -> PartitionRun:
+        local_catalog = catalog.select_region(partition.imported)
+        database = Database(f"server{partition.server}")
+        pipeline = MaxBCGPipeline(
+            self.kcorr,
+            self.config,
+            method=self.method,
+            database=database,
+            compute_members=self.compute_members,
+        )
+        result = pipeline.run(local_catalog, partition.target, partition.buffer)
+        return PartitionRun(
+            server=partition.server,
+            result=result,
+            n_galaxies=len(local_catalog),
+        )
+
+    def run(self, catalog: GalaxyCatalog, target) -> ClusterRunResult:
+        """Distribute, run every partition, merge the answers."""
+        import time
+
+        layout = make_partitions(target, self.config.buffer_deg, self.n_servers)
+        wall: float | None = None
+        if self.parallel:
+            from concurrent.futures import ThreadPoolExecutor
+
+            started = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=self.n_servers) as pool:
+                runs = list(pool.map(
+                    lambda p: self._run_partition(catalog, p),
+                    layout.partitions,
+                ))
+            wall = time.perf_counter() - started
+        else:
+            runs = [
+                self._run_partition(catalog, partition)
+                for partition in layout.partitions
+            ]
+
+        candidates = CandidateCatalog.empty()
+        clusters = CandidateCatalog.empty()
+        members = MemberTable.empty()
+        for run in runs:
+            candidates = candidates.concat(run.result.candidates)
+            clusters = clusters.concat(run.result.clusters)
+            members = members.concat(run.result.members)
+
+        return ClusterRunResult(
+            layout=layout,
+            runs=runs,
+            candidates=candidates.dedup_by_objid().sort_by_objid(),
+            clusters=clusters.dedup_by_objid().sort_by_objid(),
+            members=members,
+            wall_s=wall,
+        )
+
+
+def run_partitioned(
+    catalog: GalaxyCatalog,
+    target,
+    kcorr: KCorrectionTable,
+    config: MaxBCGConfig,
+    n_servers: int = 3,
+    compute_members: bool = True,
+    parallel: bool = False,
+) -> ClusterRunResult:
+    """Convenience wrapper: build a cluster and run one target region.
+
+    ``parallel=True`` executes the servers on concurrent threads and
+    records the measured ``wall_s``.  Note that per-task *CPU* seconds
+    are then inflated (``process_time`` spans all threads), so the
+    Table 1 accounting benches keep the default sequential mode, where
+    elapsed = max over servers models the concurrency instead.
+    """
+    cluster = SqlServerCluster(
+        kcorr, config, n_servers, compute_members=compute_members,
+        parallel=parallel,
+    )
+    return cluster.run(catalog, target)

@@ -1,0 +1,78 @@
+"""The partitioning invariant: union(partitions) == sequential answer.
+
+"The union of the answers from the three partitions is identical to the
+BCG candidates and clusters returned by the sequential (one node)
+implementation."  This module checks that claim exactly — same objids,
+same redshifts, same neighbor counts, same likelihood values — and is
+used both by the test suite and by the Table 1 benchmark before it
+reports any timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.results import CandidateCatalog
+from repro.errors import PartitionError
+
+
+@dataclass(frozen=True)
+class CatalogComparison:
+    """Outcome of comparing two candidate/cluster catalogs."""
+
+    equal: bool
+    only_left: int
+    only_right: int
+    value_mismatches: int
+
+    def __bool__(self) -> bool:
+        return self.equal
+
+
+def compare_catalogs(
+    left: CandidateCatalog,
+    right: CandidateCatalog,
+    rtol: float = 1e-9,
+    atol: float = 1e-9,
+) -> CatalogComparison:
+    """Row-for-row comparison keyed by objid."""
+    left = left.dedup_by_objid().sort_by_objid()
+    right = right.dedup_by_objid().sort_by_objid()
+    left_ids = set(left.objid.tolist())
+    right_ids = set(right.objid.tolist())
+    only_left = len(left_ids - right_ids)
+    only_right = len(right_ids - left_ids)
+
+    value_mismatches = 0
+    if only_left == 0 and only_right == 0 and len(left) == len(right):
+        for column in ("z", "i", "chi2"):
+            close = np.isclose(
+                getattr(left, column), getattr(right, column),
+                rtol=rtol, atol=atol,
+            )
+            value_mismatches += int((~close).sum())
+        value_mismatches += int((left.ngal != right.ngal).sum())
+    equal = only_left == 0 and only_right == 0 and value_mismatches == 0
+    return CatalogComparison(equal, only_left, only_right, value_mismatches)
+
+
+def assert_union_equals_sequential(
+    partitioned_candidates: CandidateCatalog,
+    partitioned_clusters: CandidateCatalog,
+    sequential_candidates: CandidateCatalog,
+    sequential_clusters: CandidateCatalog,
+) -> None:
+    """Raise :class:`PartitionError` unless both unions match exactly."""
+    for name, merged, sequential in (
+        ("candidates", partitioned_candidates, sequential_candidates),
+        ("clusters", partitioned_clusters, sequential_clusters),
+    ):
+        comparison = compare_catalogs(merged, sequential)
+        if not comparison:
+            raise PartitionError(
+                f"partition union differs from sequential {name}: "
+                f"{comparison.only_left} extra, {comparison.only_right} missing, "
+                f"{comparison.value_mismatches} value mismatches"
+            )

@@ -1,0 +1,46 @@
+"""MaxBCG: the paper's algorithm (Section 2.1 and the SQL appendix)."""
+
+from repro.core.config import (
+    MaxBCGConfig,
+    fast_config,
+    sql_config,
+    tam_config,
+)
+from repro.core.kcorrection import KCorrectionTable, build_kcorrection_table
+from repro.core.candidates import (
+    evaluate_galaxy,
+    find_candidates_cursor,
+    find_candidates_vectorized,
+)
+from repro.core.clusters import is_cluster_center, make_clusters
+from repro.core.members import cluster_members, make_cluster_members
+from repro.core.pipeline import MaxBCGPipeline, MaxBCGResult, run_maxbcg
+from repro.core.procedures import MaxBCGSqlApplication, install_maxbcg
+from repro.core.results import CandidateCatalog, ClusterCatalog, MemberTable
+from repro.core.scoring import MatchReport, match_clusters
+
+__all__ = [
+    "CandidateCatalog",
+    "ClusterCatalog",
+    "KCorrectionTable",
+    "MaxBCGConfig",
+    "MaxBCGPipeline",
+    "MaxBCGSqlApplication",
+    "MaxBCGResult",
+    "MemberTable",
+    "build_kcorrection_table",
+    "cluster_members",
+    "evaluate_galaxy",
+    "fast_config",
+    "find_candidates_cursor",
+    "find_candidates_vectorized",
+    "install_maxbcg",
+    "is_cluster_center",
+    "make_cluster_members",
+    "make_clusters",
+    "match_clusters",
+    "MatchReport",
+    "run_maxbcg",
+    "sql_config",
+    "tam_config",
+]

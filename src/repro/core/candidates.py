@@ -1,0 +1,336 @@
+"""The main task: ``fBCGCandidate`` / ``spMakeCandidates``.
+
+Two implementations produce identical candidate catalogs:
+
+* :func:`find_candidates_cursor` — a faithful port of the paper's SQL:
+  a cursor over galaxies, each calling the per-object ``fBCGCandidate``
+  body (chi² profile → windows → neighbor search → per-redshift counts
+  → weighted max).  This is the shape the paper says "uses SQL cursors
+  which are very slow ... there was no easy way to avoid them".
+* :func:`find_candidates_vectorized` — the set-oriented rewrite: one
+  chunked chi² filter over the whole region, one batched zone join for
+  all surviving candidates' friend lists, then the per-candidate count
+  kernel.  Same answers, different evaluation strategy — the ablation
+  benchmark measures the gap.
+
+Both evaluate galaxies in the *buffer* region B (candidates are needed
+slightly outside the target so ``fIsCluster`` competitions near the
+edge are fair — Figure 4) while searching neighbors in the full
+imported catalog P.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import MaxBCGConfig
+from repro.core.kcorrection import KCorrectionTable
+from repro.core.likelihood import (
+    chisq_profile,
+    filter_catalog,
+    windows_for,
+)
+from repro.core.neighbors import (
+    best_weighted_redshift,
+    count_friends_per_redshift,
+)
+from repro.core.results import CandidateCatalog
+from repro.errors import CatalogError
+from repro.skyserver.catalog import GalaxyCatalog
+from repro.spatial.zonejoin import zone_join
+from repro.spatial.zones import ZoneIndex
+
+
+def _candidate_row(
+    catalog: GalaxyCatalog, row: int, zid: int, ngal: int, weighted: float,
+    kcorr: KCorrectionTable,
+) -> dict:
+    return {
+        "objid": int(catalog.objid[row]),
+        "ra": float(catalog.ra[row]),
+        "dec": float(catalog.dec[row]),
+        "z": float(kcorr.z[zid]),
+        "i": float(catalog.i[row]),
+        "ngal": ngal + 1,  # the SQL's "ngal+1 AS ngal" (count + the BCG)
+        "chi2": weighted,
+    }
+
+
+def _check_eval_rows(catalog: GalaxyCatalog, eval_rows: np.ndarray) -> np.ndarray:
+    eval_rows = np.asarray(eval_rows, dtype=np.int64)
+    if eval_rows.size and (
+        eval_rows.min() < 0 or eval_rows.max() >= len(catalog)
+    ):
+        raise CatalogError("eval_rows out of catalog range")
+    return eval_rows
+
+
+# ----------------------------------------------------------------------
+# cursor-style (the SQL port)
+# ----------------------------------------------------------------------
+def evaluate_galaxy(
+    catalog: GalaxyCatalog,
+    row: int,
+    index,
+    kcorr: KCorrectionTable,
+    config: MaxBCGConfig,
+) -> dict | None:
+    """``fBCGCandidate`` for one galaxy; None when it is not a candidate.
+
+    ``index`` is any cone-search index over the full catalog (zone, HTM
+    or brute force) — the strategy ablation swaps it.
+    """
+    chisq = chisq_profile(
+        float(catalog.i[row]),
+        float(catalog.gr[row]),
+        float(catalog.ri[row]),
+        float(catalog.sigmagr[row]),
+        float(catalog.sigmari[row]),
+        kcorr,
+        config,
+    )
+    passing = np.flatnonzero(chisq < config.chi2_threshold)
+    if passing.size == 0:
+        return None
+
+    windows = windows_for(float(catalog.i[row]), passing, kcorr, config)
+    hits, distances = index.query(
+        float(catalog.ra[row]), float(catalog.dec[row]), windows.radius
+    )
+    not_self = hits != row
+    hits, distances = hits[not_self], distances[not_self]
+
+    friend_i = catalog.i[hits]
+    friend_gr = catalog.gr[hits]
+    friend_ri = catalog.ri[hits]
+    in_window = (
+        (friend_i >= windows.i_min)
+        & (friend_i <= windows.i_max)
+        & (friend_gr >= windows.gr_min)
+        & (friend_gr <= windows.gr_max)
+        & (friend_ri >= windows.ri_min)
+        & (friend_ri <= windows.ri_max)
+    )
+    counts = count_friends_per_redshift(
+        distances[in_window],
+        friend_i[in_window],
+        friend_gr[in_window],
+        friend_ri[in_window],
+        float(catalog.i[row]),
+        passing,
+        kcorr,
+        config,
+    )
+    best = best_weighted_redshift(counts, chisq[passing], passing)
+    if best is None:
+        return None
+    zid, ngal, weighted = best
+    return _candidate_row(catalog, row, zid, ngal, weighted, kcorr)
+
+
+def find_candidates_cursor(
+    catalog: GalaxyCatalog,
+    eval_rows: np.ndarray,
+    index,
+    kcorr: KCorrectionTable,
+    config: MaxBCGConfig,
+) -> CandidateCatalog:
+    """``spMakeCandidates``: cursor over ``eval_rows``, one call each."""
+    eval_rows = _check_eval_rows(catalog, eval_rows)
+    rows = []
+    for row in eval_rows:
+        result = evaluate_galaxy(catalog, int(row), index, kcorr, config)
+        if result is not None:
+            rows.append(result)
+    return CandidateCatalog.from_rows(rows)
+
+
+# ----------------------------------------------------------------------
+# set-oriented (the fast path)
+# ----------------------------------------------------------------------
+def find_candidates_vectorized(
+    catalog: GalaxyCatalog,
+    eval_rows: np.ndarray,
+    index: ZoneIndex,
+    kcorr: KCorrectionTable,
+    config: MaxBCGConfig,
+) -> CandidateCatalog:
+    """Set-oriented candidates: identical output to the cursor version.
+
+    Stage 1 — chunked chi² filter of all evaluated galaxies (early
+    filtering: ~97% never reach a neighbor search).
+    Stage 2 — one batched zone join retrieves every surviving galaxy's
+    friends through its coarse windows.
+    Stage 3 — the per-redshift count kernel and weighted max per
+    candidate.
+    """
+    eval_rows = _check_eval_rows(catalog, eval_rows)
+    if eval_rows.size == 0:
+        return CandidateCatalog.empty()
+
+    filtered = filter_catalog(
+        catalog.i[eval_rows],
+        catalog.gr[eval_rows],
+        catalog.ri[eval_rows],
+        catalog.sigmagr[eval_rows],
+        catalog.sigmari[eval_rows],
+        kcorr,
+        config,
+    )
+    if filtered.n_passed == 0:
+        return CandidateCatalog.empty()
+
+    cand_rows = eval_rows[filtered.passed_rows]  # catalog positions
+    pass_matrix = filtered.pass_matrix
+    chisq = filtered.chisq
+
+    # Vectorized window computation over the pass matrix.
+    neg_inf = -np.inf
+    pos_inf = np.inf
+    radius = np.where(pass_matrix, kcorr.radius[None, :], neg_inf).max(axis=1)
+    i_max = np.where(pass_matrix, kcorr.ilim[None, :], neg_inf).max(axis=1)
+    pad_gr = config.color_window_sigmas * config.gr_pop_sigma
+    pad_ri = config.color_window_sigmas * config.ri_pop_sigma
+    gr_min = np.where(pass_matrix, kcorr.gr[None, :], pos_inf).min(axis=1) - pad_gr
+    gr_max = np.where(pass_matrix, kcorr.gr[None, :], neg_inf).max(axis=1) + pad_gr
+    ri_min = np.where(pass_matrix, kcorr.ri[None, :], pos_inf).min(axis=1) - pad_ri
+    ri_max = np.where(pass_matrix, kcorr.ri[None, :], neg_inf).max(axis=1) + pad_ri
+    i_min = catalog.i[cand_rows]
+
+    pairs = zone_join(
+        index, catalog.ra[cand_rows], catalog.dec[cand_rows], radius
+    )
+
+    # Window-filter all pairs at once (and drop self matches).
+    q = pairs.query_index
+    friend_rows = pairs.catalog_index
+    keep = friend_rows != cand_rows[q]
+    fi = catalog.i[friend_rows]
+    fgr = catalog.gr[friend_rows]
+    fri = catalog.ri[friend_rows]
+    keep &= (
+        (fi >= i_min[q]) & (fi <= i_max[q])
+        & (fgr >= gr_min[q]) & (fgr <= gr_max[q])
+        & (fri >= ri_min[q]) & (fri <= ri_max[q])
+    )
+    q = q[keep]
+    friend_dist = pairs.distance_deg[keep]
+    fi, fgr, fri = fi[keep], fgr[keep], fri[keep]
+
+    n_cand = cand_rows.size
+    if _kcorr_monotone(kcorr):
+        best = _best_by_interval_counts(
+            q, friend_dist, fi, fgr, fri, n_cand, pass_matrix, chisq,
+            kcorr, config,
+        )
+    else:  # pragma: no cover - exercised only with exotic custom tables
+        best = _best_by_matrix_counts(
+            q, friend_dist, fi, fgr, fri, i_min, n_cand, pass_matrix, chisq,
+            kcorr, config,
+        )
+
+    rows = []
+    for c, zid, ngal, weighted in best:
+        rows.append(
+            _candidate_row(catalog, int(cand_rows[c]), zid, ngal, weighted, kcorr)
+        )
+    return CandidateCatalog.from_rows(rows)
+
+
+def _kcorr_monotone(kcorr: KCorrectionTable) -> bool:
+    """The fast counting kernel needs the standard monotone shapes."""
+    return bool(
+        np.all(np.diff(kcorr.radius) < 0)
+        and np.all(np.diff(kcorr.ilim) >= 0)
+        and np.all(np.diff(kcorr.gr) > 0)
+        and np.all(np.diff(kcorr.ri) > 0)
+    )
+
+
+def _best_by_matrix_counts(
+    q, friend_dist, fi, fgr, fri, i_min, n_cand, pass_matrix, chisq,
+    kcorr, config,
+):
+    """Reference stage 3: the per-candidate condition-matrix kernel."""
+    order = np.argsort(q, kind="stable")
+    q = q[order]
+    friend_dist = friend_dist[order]
+    fi, fgr, fri = fi[order], fgr[order], fri[order]
+    starts = np.searchsorted(q, np.arange(n_cand), side="left")
+    stops = np.searchsorted(q, np.arange(n_cand), side="right")
+    results = []
+    for c in range(n_cand):
+        passing = np.flatnonzero(pass_matrix[c])
+        sl = slice(starts[c], stops[c])
+        counts = count_friends_per_redshift(
+            friend_dist[sl], fi[sl], fgr[sl], fri[sl],
+            float(i_min[c]), passing, kcorr, config,
+        )
+        best = best_weighted_redshift(counts, chisq[c, passing], passing)
+        if best is not None:
+            results.append((c, *best))
+    return results
+
+
+def _best_by_interval_counts(
+    q, friend_dist, fi, fgr, fri, n_cand, pass_matrix, chisq, kcorr, config,
+):
+    """Fast stage 3: per-pair z-intervals + difference-array counting.
+
+    Every per-redshift window is monotone in z (the 1 Mpc radius
+    shrinks, ``ilim`` deepens, the ridge colors redden), so the set of
+    redshifts where a friend satisfies all four windows is one
+    contiguous ``[lo, hi)`` interval computed with searchsorted — no
+    (friends × redshifts) condition matrix at all.  Counts per redshift
+    are then difference-array sums per candidate.  Boundary semantics
+    match :func:`~repro.core.neighbors.count_friends_per_redshift`
+    exactly: strict ``<`` on distance, inclusive color and magnitude
+    windows (the cursor/vectorized parity tests pin this).
+    """
+    n_z = len(kcorr)
+    # distance < radius(z): radius strictly decreasing => z in [0, k)
+    ascending_radius = kcorr.radius[::-1]
+    k_dist = n_z - np.searchsorted(ascending_radius, friend_dist, side="right")
+    # i <= ilim(z): ilim non-decreasing => z in [m, n_z)
+    m_ilim = np.searchsorted(kcorr.ilim, fi, side="left")
+    # |gr - gr(z)| <= sigma: gr strictly increasing => one interval
+    a_gr = np.searchsorted(kcorr.gr, fgr - config.gr_pop_sigma, side="left")
+    b_gr = np.searchsorted(kcorr.gr, fgr + config.gr_pop_sigma, side="right")
+    a_ri = np.searchsorted(kcorr.ri, fri - config.ri_pop_sigma, side="left")
+    b_ri = np.searchsorted(kcorr.ri, fri + config.ri_pop_sigma, side="right")
+
+    lo = np.maximum.reduce([m_ilim, a_gr, a_ri])
+    hi = np.minimum.reduce([k_dist, b_gr, b_ri])
+    valid = hi > lo
+    q, lo, hi = q[valid], lo[valid], hi[valid]
+
+    results = []
+    chunk = max(1, 4_000_000 // (n_z + 1))
+    order = np.argsort(q, kind="stable")
+    q, lo, hi = q[order], lo[order], hi[order]
+    for start in range(0, n_cand, chunk):
+        stop = min(start + chunk, n_cand)
+        pair_lo = np.searchsorted(q, start, side="left")
+        pair_hi = np.searchsorted(q, stop, side="left")
+        local_q = q[pair_lo:pair_hi] - start
+        diff = np.zeros(((stop - start), n_z + 1), dtype=np.int64)
+        flat_lo = local_q * (n_z + 1) + lo[pair_lo:pair_hi]
+        flat_hi = local_q * (n_z + 1) + hi[pair_lo:pair_hi]
+        np.add.at(diff.reshape(-1), flat_lo, 1)
+        np.add.at(diff.reshape(-1), flat_hi, -1)
+        counts = np.cumsum(diff[:, :-1], axis=1)
+
+        weighted = np.where(
+            pass_matrix[start:stop] & (counts > 0),
+            np.log(counts + 1.0) - chisq[start:stop],
+            -np.inf,
+        )
+        best_zid = np.argmax(weighted, axis=1)
+        best_value = weighted[np.arange(stop - start), best_zid]
+        for local in np.flatnonzero(np.isfinite(best_value)):
+            zid = int(best_zid[local])
+            results.append((
+                start + int(local), zid, int(counts[local, zid]),
+                float(best_value[local]),
+            ))
+    return results

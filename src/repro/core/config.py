@@ -1,0 +1,126 @@
+"""Configuration for the MaxBCG algorithm.
+
+Two canonical configurations appear in the paper (Table 2):
+
+* :func:`tam_config` — the TAM/Chimera compromise: 0.25 deg buffer and a
+  coarse k-correction grid with z-steps of 0.01 (100 redshifts), forced
+  by the 1 GB nodes of the Terabyte Analysis Machine.
+* :func:`sql_config` — the SQL implementation: 0.5 deg buffer and z-steps
+  of 0.001 (a 1000-row Kcorr table).
+
+All the magic numbers of the paper's SQL appendix live here with their
+provenance: the chi² acceptance threshold (< 7), the BCG magnitude
+population dispersion (0.57), the color population sigmas (0.05, 0.06),
+the 30-arcsec zone height, the ±0.05 redshift window of ``fIsCluster``
+and the R200 law ``0.17 * ngal^0.51``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+#: Zone height used by the SDSS Zone table: 30 arcsec, in degrees.
+DEFAULT_ZONE_HEIGHT_DEG = 30.0 / 3600.0
+
+
+@dataclass(frozen=True)
+class MaxBCGConfig:
+    """Tunable parameters of the MaxBCG pipeline.
+
+    Attributes
+    ----------
+    z_min, z_max, z_step:
+        Redshift grid of the k-correction table.  The paper's SQL table
+        has 1000 rows; TAM used 100 rows with ``z_step = 0.01``.
+    buffer_deg:
+        Neighborhood search radius guaranteed around every target object
+        (0.5 deg for SQL, 0.25 deg for TAM).
+    chi2_threshold:
+        Unweighted likelihood cut of the Filter step (``< 7``).
+    i_pop_sigma:
+        Population dispersion of BCG i magnitudes (``0.57``).
+    gr_pop_sigma, ri_pop_sigma:
+        Intrinsic red-sequence color scatter (``0.05``, ``0.06``).
+    color_window_sigmas:
+        Half-width of the friend color window in units of the population
+        sigma (the ``±2 * popSigma`` of the window computation).
+    z_match_window:
+        Redshift window within which candidates compete in ``fIsCluster``
+        (``±0.05``).
+    r200_coeff, r200_exponent:
+        ``fBCGr200``: R200 in Mpc is ``coeff * ngal^exponent``
+        (``0.17 * ngal^0.51``).
+    zone_height_deg:
+        Height of the declination zones used for neighbor searches.
+    member_mag_epsilon:
+        Bright-side slack when collecting cluster members
+        (``i BETWEEN @imag - 0.001 AND @ilim``).
+    """
+
+    z_min: float = 0.05
+    z_max: float = 0.349
+    z_step: float = 0.001
+    buffer_deg: float = 0.5
+    chi2_threshold: float = 7.0
+    i_pop_sigma: float = 0.57
+    gr_pop_sigma: float = 0.05
+    ri_pop_sigma: float = 0.06
+    color_window_sigmas: float = 2.0
+    z_match_window: float = 0.05
+    r200_coeff: float = 0.17
+    r200_exponent: float = 0.51
+    zone_height_deg: float = DEFAULT_ZONE_HEIGHT_DEG
+    member_mag_epsilon: float = 0.001
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.z_min < self.z_max):
+            raise ConfigError(
+                f"need 0 < z_min < z_max, got ({self.z_min}, {self.z_max})"
+            )
+        if self.z_step <= 0:
+            raise ConfigError(f"z_step must be positive, got {self.z_step}")
+        if self.z_step > (self.z_max - self.z_min):
+            raise ConfigError("z_step larger than the whole redshift range")
+        if self.buffer_deg <= 0:
+            raise ConfigError(f"buffer_deg must be positive, got {self.buffer_deg}")
+        if self.chi2_threshold <= 0:
+            raise ConfigError("chi2_threshold must be positive")
+        for name in ("i_pop_sigma", "gr_pop_sigma", "ri_pop_sigma"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.zone_height_deg <= 0:
+            raise ConfigError("zone_height_deg must be positive")
+        if self.z_match_window <= 0:
+            raise ConfigError("z_match_window must be positive")
+
+    @property
+    def n_redshifts(self) -> int:
+        """Number of rows in the k-correction table for this grid."""
+        return int(round((self.z_max - self.z_min) / self.z_step)) + 1
+
+    def with_(self, **changes) -> "MaxBCGConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def r200_mpc(self, ngal: float) -> float:
+        """``fBCGr200``: radius (Mpc) enclosing 200× the mean density."""
+        if ngal < 0:
+            raise ConfigError(f"ngal must be non-negative, got {ngal}")
+        return self.r200_coeff * ngal**self.r200_exponent
+
+
+def sql_config() -> MaxBCGConfig:
+    """The SQL-implementation configuration (0.5 deg buffer, z-step 0.001)."""
+    return MaxBCGConfig()
+
+
+def tam_config() -> MaxBCGConfig:
+    """The TAM configuration (0.25 deg buffer, z-step 0.01, 100 redshifts)."""
+    return MaxBCGConfig(z_step=0.01, z_max=0.349, buffer_deg=0.25)
+
+
+def fast_config() -> MaxBCGConfig:
+    """A coarse grid (z-step 0.005) for fast unit tests and examples."""
+    return MaxBCGConfig(z_step=0.005)

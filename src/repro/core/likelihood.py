@@ -1,0 +1,176 @@
+"""The Filter step: unweighted BCG chi² likelihood against Kcorr.
+
+For a galaxy ``g`` and Kcorr row ``k`` the paper's statistic is::
+
+    chisq = (g.i  - k.i )² / 0.57²
+          + (g.gr - k.gr)² / (g.sigmagr² + 0.05²)
+          + (g.ri - k.ri)² / (g.sigmari² + 0.06²)
+
+A galaxy survives the Filter when ``chisq < 7`` at *any* redshift —
+"if, at any redshift, a galaxy has even a remote chance of being the
+right color and brightness to be a BCG, it is passed to the next
+stage."  This is the early-filtering JOIN the paper credits with much
+of the SQL speedup: it drops ~97% of galaxies before any neighbor
+search happens.
+
+Two evaluation shapes are provided:
+
+* :func:`chisq_profile` — one galaxy against all redshifts (the
+  cursor-style ``fBCGCandidate`` body);
+* :func:`filter_catalog` — all galaxies against all redshifts in
+  chunked vectorized passes (the set-oriented pipeline's stage 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import MaxBCGConfig
+from repro.core.kcorrection import KCorrectionTable
+
+
+def chisq_profile(
+    i_mag: float,
+    gr: float,
+    ri: float,
+    sigmagr: float,
+    sigmari: float,
+    kcorr: KCorrectionTable,
+    config: MaxBCGConfig,
+) -> np.ndarray:
+    """Chi² of one galaxy at every Kcorr redshift (vector over zid)."""
+    mag_term = (i_mag - kcorr.i) ** 2 / config.i_pop_sigma**2
+    gr_term = (gr - kcorr.gr) ** 2 / (sigmagr**2 + config.gr_pop_sigma**2)
+    ri_term = (ri - kcorr.ri) ** 2 / (sigmari**2 + config.ri_pop_sigma**2)
+    return mag_term + gr_term + ri_term
+
+
+@dataclass(frozen=True)
+class SearchWindows:
+    """Per-candidate friend-search windows (the SQL's @rad/@imin/... block).
+
+    Derived from the Kcorr rows where the candidate passed the filter:
+    the search radius is the *largest* 1 Mpc radius among passing
+    redshifts, the magnitude window runs from the candidate's own i to
+    the deepest passing ``ilim``, and the color windows span the passing
+    ridge colors padded by ``2 × popSigma``.
+    """
+
+    radius: float
+    i_min: float
+    i_max: float
+    gr_min: float
+    gr_max: float
+    ri_min: float
+    ri_max: float
+
+
+def windows_for(
+    i_mag: float,
+    passing_zids: np.ndarray,
+    kcorr: KCorrectionTable,
+    config: MaxBCGConfig,
+) -> SearchWindows:
+    """Friend-search windows for one filtered galaxy."""
+    pad_gr = config.color_window_sigmas * config.gr_pop_sigma
+    pad_ri = config.color_window_sigmas * config.ri_pop_sigma
+    return SearchWindows(
+        radius=float(kcorr.radius[passing_zids].max()),
+        i_min=float(i_mag),
+        i_max=float(kcorr.ilim[passing_zids].max()),
+        gr_min=float(kcorr.gr[passing_zids].min() - pad_gr),
+        gr_max=float(kcorr.gr[passing_zids].max() + pad_gr),
+        ri_min=float(kcorr.ri[passing_zids].min() - pad_ri),
+        ri_max=float(kcorr.ri[passing_zids].max() + pad_ri),
+    )
+
+
+@dataclass
+class FilterResult:
+    """Vectorized Filter output for a batch of galaxies.
+
+    ``passed`` marks galaxies with chi² < threshold at some redshift.
+    ``chisq`` is the full (n_galaxies × n_redshifts) matrix for the
+    passed galaxies only (dense but small: ~3% of rows), with the row
+    order of ``passed_rows``.
+    """
+
+    passed: np.ndarray          # bool, length n_galaxies
+    passed_rows: np.ndarray     # int positions of passed galaxies
+    chisq: np.ndarray           # (n_passed, n_z) float
+    pass_matrix: np.ndarray     # (n_passed, n_z) bool, chisq < threshold
+
+    @property
+    def n_passed(self) -> int:
+        return int(self.passed_rows.size)
+
+
+def filter_catalog(
+    i_mag: np.ndarray,
+    gr: np.ndarray,
+    ri: np.ndarray,
+    sigmagr: np.ndarray,
+    sigmari: np.ndarray,
+    kcorr: KCorrectionTable,
+    config: MaxBCGConfig,
+    chunk_rows: int = 16_384,
+) -> FilterResult:
+    """Set-oriented Filter: all galaxies × all redshifts, chunked.
+
+    The full chi² matrix of a survey region would be huge (the paper
+    notes 1.2M galaxies × 1000 Kcorr rows "would require at least
+    80 GB"); chunking keeps the working set bounded while retaining
+    vectorized math — the same resolution the paper describes, applied
+    in-engine.
+    """
+    n = i_mag.size
+    threshold = config.chi2_threshold
+    passed = np.zeros(n, dtype=bool)
+    kept_chisq: list[np.ndarray] = []
+    kept_rows: list[np.ndarray] = []
+
+    gr_denominator = None  # computed per chunk
+    for start in range(0, n, chunk_rows):
+        stop = min(start + chunk_rows, n)
+        sl = slice(start, stop)
+        mag_term = (
+            (i_mag[sl, None] - kcorr.i[None, :]) ** 2 / config.i_pop_sigma**2
+        )
+        gr_term = (gr[sl, None] - kcorr.gr[None, :]) ** 2 / (
+            sigmagr[sl, None] ** 2 + config.gr_pop_sigma**2
+        )
+        ri_term = (ri[sl, None] - kcorr.ri[None, :]) ** 2 / (
+            sigmari[sl, None] ** 2 + config.ri_pop_sigma**2
+        )
+        chisq = mag_term + gr_term + ri_term
+        chunk_pass = (chisq < threshold).any(axis=1)
+        passed[sl] = chunk_pass
+        if chunk_pass.any():
+            rows = np.flatnonzero(chunk_pass)
+            kept_rows.append(rows + start)
+            kept_chisq.append(chisq[rows])
+
+    if kept_rows:
+        passed_rows = np.concatenate(kept_rows)
+        chisq_matrix = np.concatenate(kept_chisq, axis=0)
+    else:
+        passed_rows = np.empty(0, dtype=np.int64)
+        chisq_matrix = np.empty((0, len(kcorr)), dtype=np.float64)
+
+    return FilterResult(
+        passed=passed,
+        passed_rows=passed_rows,
+        chisq=chisq_matrix,
+        pass_matrix=chisq_matrix < threshold,
+    )
+
+
+def weighted_likelihood(chisq: np.ndarray, ngal: np.ndarray) -> np.ndarray:
+    """The weighted statistic ``log(ngal + 1) - chisq`` per redshift.
+
+    ``ngal`` counts friends only (the +1 is the paper's own-galaxy
+    convention, applied here exactly as in the SQL).
+    """
+    return np.log(ngal + 1.0) - chisq

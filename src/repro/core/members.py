@@ -1,0 +1,93 @@
+"""Cluster membership: ``fBCGr200`` / ``fGetClusterGalaxiesMetric``.
+
+The last pipeline step collects the galaxies belonging to each detected
+cluster: everything within ``radius(z) × r200(ngal)`` degrees of the
+BCG whose magnitude lies in ``[BCG_i - ε, ilim(z)]`` and whose colors
+sit within one population sigma of the redshift's ridge colors.  The
+BCG itself is inserted first with distance 0, exactly as the SQL does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import MaxBCGConfig
+from repro.core.kcorrection import KCorrectionTable
+from repro.core.results import ClusterCatalog, MemberTable
+from repro.skyserver.catalog import GalaxyCatalog
+from repro.spatial.zones import ZoneIndex
+
+
+def cluster_members(
+    catalog: GalaxyCatalog,
+    index: ZoneIndex,
+    cluster_objid: int,
+    ra: float,
+    dec: float,
+    z: float,
+    i_mag: float,
+    ngal: float,
+    kcorr: KCorrectionTable,
+    config: MaxBCGConfig,
+) -> MemberTable:
+    """``fGetClusterGalaxiesMetric`` for one cluster."""
+    zid = kcorr.nearest_zid(z)
+    radius = float(kcorr.radius[zid]) * config.r200_mpc(float(ngal))
+    ilim = float(kcorr.ilim[zid])
+    gr_center = float(kcorr.gr[zid])
+    ri_center = float(kcorr.ri[zid])
+
+    hits, distances = index.query(ra, dec, radius)
+    friend_i = catalog.i[hits]
+    friend_gr = catalog.gr[hits]
+    friend_ri = catalog.ri[hits]
+    keep = (
+        (catalog.objid[hits] != cluster_objid)
+        & (distances < radius)
+        & (friend_i >= i_mag - config.member_mag_epsilon)
+        & (friend_i <= ilim)
+        & (np.abs(friend_gr - gr_center) <= config.gr_pop_sigma)
+        & (np.abs(friend_ri - ri_center) <= config.ri_pop_sigma)
+    )
+    member_ids = catalog.objid[hits[keep]]
+    member_dist = distances[keep]
+    return MemberTable(
+        cluster_objid=np.concatenate(
+            [[cluster_objid], np.full(member_ids.size, cluster_objid)]
+        ),
+        galaxy_objid=np.concatenate([[cluster_objid], member_ids]),
+        distance=np.concatenate([[0.0], member_dist]),
+    )
+
+
+def make_cluster_members(
+    catalog: GalaxyCatalog,
+    clusters: ClusterCatalog,
+    index: ZoneIndex,
+    kcorr: KCorrectionTable,
+    config: MaxBCGConfig,
+) -> MemberTable:
+    """``spMakeGalaxiesMetric``: membership links for every cluster."""
+    result = MemberTable.empty()
+    for position in range(len(clusters)):
+        result = result.concat(
+            cluster_members(
+                catalog,
+                index,
+                int(clusters.objid[position]),
+                float(clusters.ra[position]),
+                float(clusters.dec[position]),
+                float(clusters.z[position]),
+                float(clusters.i[position]),
+                float(clusters.ngal[position]),
+                kcorr,
+                config,
+            )
+        )
+    return result
+
+
+def cluster_richness(members: MemberTable) -> dict[int, int]:
+    """Member count per cluster (center included), for reports."""
+    unique, counts = np.unique(members.cluster_objid, return_counts=True)
+    return {int(objid): int(count) for objid, count in zip(unique, counts)}

@@ -1,0 +1,134 @@
+"""Result catalogs of the MaxBCG pipeline.
+
+Mirrors the paper's output tables: ``Candidates`` (BCG candidates with
+their best redshift, neighbor count and weighted likelihood),
+``Clusters`` (the candidates that survived ``fIsCluster``), and
+``ClusterGalaxiesMetric`` (cluster membership links).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CatalogError
+
+CANDIDATE_COLUMNS = ("objid", "ra", "dec", "z", "i", "ngal", "chi2")
+
+
+@dataclass
+class CandidateCatalog:
+    """The ``Candidates`` table: one row per plausible BCG.
+
+    ``ngal`` follows the paper's convention: neighbor count **plus one**
+    (the candidate itself), i.e. the SQL's ``ngal+1 AS ngal``.  ``chi2``
+    is the *weighted* likelihood ``max(log(ngal+1) - chisq)`` — larger
+    is more cluster-like (the name chi2 is the paper's, kept verbatim).
+    """
+
+    objid: np.ndarray
+    ra: np.ndarray
+    dec: np.ndarray
+    z: np.ndarray
+    i: np.ndarray
+    ngal: np.ndarray
+    chi2: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.objid = np.asarray(self.objid, dtype=np.int64)
+        self.ngal = np.asarray(self.ngal, dtype=np.int64)
+        for name in ("ra", "dec", "z", "i", "chi2"):
+            setattr(self, name, np.asarray(getattr(self, name), dtype=np.float64))
+        n = self.objid.size
+        for name in CANDIDATE_COLUMNS[1:]:
+            if getattr(self, name).size != n:
+                raise CatalogError(f"candidate column '{name}' length mismatch")
+
+    def __len__(self) -> int:
+        return int(self.objid.size)
+
+    @classmethod
+    def empty(cls) -> "CandidateCatalog":
+        return cls(*[np.empty(0)] * len(CANDIDATE_COLUMNS))
+
+    @classmethod
+    def from_rows(cls, rows: list[dict]) -> "CandidateCatalog":
+        if not rows:
+            return cls.empty()
+        return cls(
+            *[np.asarray([r[c] for r in rows]) for c in CANDIDATE_COLUMNS]
+        )
+
+    def as_columns(self) -> dict[str, np.ndarray]:
+        return {c: getattr(self, c) for c in CANDIDATE_COLUMNS}
+
+    def take(self, selector) -> "CandidateCatalog":
+        return CandidateCatalog(
+            *[getattr(self, c)[selector] for c in CANDIDATE_COLUMNS]
+        )
+
+    def sort_by_objid(self) -> "CandidateCatalog":
+        return self.take(np.argsort(self.objid, kind="stable"))
+
+    def concat(self, other: "CandidateCatalog") -> "CandidateCatalog":
+        return CandidateCatalog(
+            *[np.concatenate([getattr(self, c), getattr(other, c)])
+              for c in CANDIDATE_COLUMNS]
+        )
+
+    def dedup_by_objid(self) -> "CandidateCatalog":
+        """Keep one row per objid (used when partition outputs overlap)."""
+        _, first = np.unique(self.objid, return_index=True)
+        return self.take(np.sort(first))
+
+    def row(self, index: int) -> dict:
+        return {c: getattr(self, c)[index].item() for c in CANDIDATE_COLUMNS}
+
+
+#: The Clusters table has exactly the Candidates shape; give it its own
+#: name for readable signatures.
+ClusterCatalog = CandidateCatalog
+
+
+@dataclass
+class MemberTable:
+    """``ClusterGalaxiesMetric``: (cluster BCG, member galaxy, distance)."""
+
+    cluster_objid: np.ndarray
+    galaxy_objid: np.ndarray
+    distance: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.cluster_objid = np.asarray(self.cluster_objid, dtype=np.int64)
+        self.galaxy_objid = np.asarray(self.galaxy_objid, dtype=np.int64)
+        self.distance = np.asarray(self.distance, dtype=np.float64)
+        if not (
+            self.cluster_objid.size == self.galaxy_objid.size == self.distance.size
+        ):
+            raise CatalogError("member table column length mismatch")
+
+    def __len__(self) -> int:
+        return int(self.cluster_objid.size)
+
+    @classmethod
+    def empty(cls) -> "MemberTable":
+        return cls(np.empty(0), np.empty(0), np.empty(0))
+
+    def members_of(self, cluster_objid: int) -> np.ndarray:
+        """Galaxy objids belonging to one cluster (center included)."""
+        return self.galaxy_objid[self.cluster_objid == cluster_objid]
+
+    def as_columns(self) -> dict[str, np.ndarray]:
+        return {
+            "clusterobjid": self.cluster_objid,
+            "galaxyobjid": self.galaxy_objid,
+            "distance": self.distance,
+        }
+
+    def concat(self, other: "MemberTable") -> "MemberTable":
+        return MemberTable(
+            np.concatenate([self.cluster_objid, other.cluster_objid]),
+            np.concatenate([self.galaxy_objid, other.galaxy_objid]),
+            np.concatenate([self.distance, other.distance]),
+        )

@@ -1,0 +1,267 @@
+"""The Database: named tables, indexes, one buffer pool, SQL entry point.
+
+This is the reproduction's "SQL Server instance".  A
+:class:`Database` owns a buffer pool (default sized to the paper's 2 GB
+nodes), a catalog of tables, optional clustered/hash indexes, and a
+``sql()`` method that parses, plans and executes statements.  All I/O
+accounting funnels through ``db.pool.counters`` so a
+:class:`~repro.engine.stats.TaskTimer` wrapped around any workload
+yields the (elapsed, cpu, io) triples of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.engine.index import ClusteredIndex, HashIndex
+from repro.engine.pages import BufferPool, DEFAULT_POOL_PAGES
+from repro.engine.schema import Column, TableSchema
+from repro.engine.sql.executor import Executor, QueryResult
+from repro.engine.sql.parser import parse, parse_script
+from repro.engine.stats import IOCounters
+from repro.engine.table import Table
+from repro.engine.types import ColumnType, infer_type
+from repro.errors import EngineError, TableNotFoundError
+
+
+@dataclass(frozen=True)
+class TableFunction:
+    """A registered table-valued function.
+
+    ``fn(*scalar_args)`` must return a column batch
+    (``dict[str, np.ndarray]``) whose keys match ``columns``.
+    """
+
+    name: str
+    columns: tuple[str, ...]
+    fn: Callable
+
+
+class Database:
+    """A single-node database instance."""
+
+    def __init__(self, name: str = "db", pool_pages: int = DEFAULT_POOL_PAGES):
+        self.name = name
+        self.pool = BufferPool(pool_pages)
+        self._tables: dict[str, Table] = {}
+        self._clustered: dict[str, ClusteredIndex] = {}
+        self._hash: dict[tuple[str, str], HashIndex] = {}
+        self._views: dict[str, object] = {}  # name -> SelectStatement
+        self._table_functions: dict[str, TableFunction] = {}
+        self._procedures: dict[str, Callable] = {}
+        self._executor = Executor(self)
+
+    # ------------------------------------------------------------------
+    # catalog
+    # ------------------------------------------------------------------
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise TableNotFoundError(
+                f"no table '{name}' in database '{self.name}'"
+            ) from None
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def create_table_from_schema(self, schema: TableSchema) -> Table:
+        key = schema.name.lower()
+        if key in self._tables or key in self._views:
+            raise EngineError(f"table '{schema.name}' already exists")
+        table = Table(schema, self.pool)
+        self._tables[key] = table
+        return table
+
+    def create_table(
+        self,
+        name: str,
+        columns: dict[str, np.ndarray],
+        primary_key: str | None = None,
+    ) -> Table:
+        """Create a table from column arrays, inferring types."""
+        schema = TableSchema(
+            name=name,
+            columns=tuple(
+                Column(col, infer_type(arr)) for col, arr in columns.items()
+            ),
+            primary_key=primary_key,
+        )
+        table = self.create_table_from_schema(schema)
+        if next(iter(columns.values()), np.empty(0)).__len__():
+            table.insert(columns)
+        return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return
+            raise TableNotFoundError(f"no table '{name}' to drop")
+        self._tables[key].file.invalidate()
+        del self._tables[key]
+        self._clustered.pop(key, None)
+        for hash_key in [k for k in self._hash if k[0] == key]:
+            del self._hash[hash_key]
+
+    # ------------------------------------------------------------------
+    # views, table functions, procedures
+    # ------------------------------------------------------------------
+    def create_view(self, name: str, select_statement) -> None:
+        """Register a view over a SELECT (the paper's ``Zone`` view)."""
+        key = name.lower()
+        if key in self._tables or key in self._views:
+            raise EngineError(f"name '{name}' already exists")
+        # validate eagerly: the view must plan against the current catalog
+        from repro.engine.sql.planner import Planner
+
+        Planner(self).plan_select(select_statement)
+        self._views[key] = select_statement
+
+    def has_view(self, name: str) -> bool:
+        return name.lower() in self._views
+
+    def view(self, name: str):
+        try:
+            return self._views[name.lower()]
+        except KeyError:
+            raise TableNotFoundError(f"no view '{name}'") from None
+
+    def drop_view(self, name: str, if_exists: bool = False) -> None:
+        if name.lower() not in self._views:
+            if if_exists:
+                return
+            raise TableNotFoundError(f"no view '{name}' to drop")
+        del self._views[name.lower()]
+
+    def view_names(self) -> list[str]:
+        return sorted(self._views)
+
+    def create_table_function(
+        self, name: str, columns: tuple[str, ...], fn: Callable
+    ) -> TableFunction:
+        """Register a table-valued function callable from SQL FROM clauses."""
+        key = name.lower()
+        if key in self._table_functions:
+            raise EngineError(f"table function '{name}' already exists")
+        tvf = TableFunction(name=key, columns=tuple(c.lower() for c in columns),
+                            fn=fn)
+        self._table_functions[key] = tvf
+        return tvf
+
+    def table_function(self, name: str) -> TableFunction:
+        try:
+            return self._table_functions[name.lower()]
+        except KeyError:
+            raise TableNotFoundError(
+                f"no table-valued function '{name}'"
+            ) from None
+
+    def create_procedure(self, name: str, fn: Callable) -> None:
+        """Register a stored procedure: ``fn(db, *args)``.
+
+        Invoked from SQL with ``EXEC name arg, arg`` — the deployment
+        unit of the paper's MaxBCG ("the SQL code ... is deployed on the
+        available Data-Grid nodes").
+        """
+        key = name.lower()
+        if key in self._procedures:
+            raise EngineError(f"procedure '{name}' already exists")
+        self._procedures[key] = fn
+
+    def call_procedure(self, name: str, *args):
+        try:
+            procedure = self._procedures[name.lower()]
+        except KeyError:
+            raise TableNotFoundError(f"no procedure '{name}'") from None
+        return procedure(self, *args)
+
+    def procedure_names(self) -> list[str]:
+        return sorted(self._procedures)
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
+    def create_clustered_index(self, table_name: str, *keys: str) -> ClusteredIndex:
+        """Build (or rebuild) the table's clustered index — ``spZone``'s job."""
+        table = self.table(table_name)
+        index = ClusteredIndex(table, tuple(keys))
+        index.build()
+        self._clustered[table_name.lower()] = index
+        # physical order changed: row-position-based hash indexes are stale
+        for hash_key in [k for k in self._hash if k[0] == table_name.lower()]:
+            self._hash[hash_key].invalidate()
+        return index
+
+    def clustered_index(self, table_name: str) -> ClusteredIndex | None:
+        return self._clustered.get(table_name.lower())
+
+    def create_hash_index(self, table_name: str, key: str) -> HashIndex:
+        table = self.table(table_name)
+        index = HashIndex(table, key)
+        index.build()
+        self._hash[(table_name.lower(), key.lower())] = index
+        return index
+
+    def hash_index(self, table_name: str, key: str) -> HashIndex | None:
+        return self._hash.get((table_name.lower(), key.lower()))
+
+    def invalidate_indexes(self, table_name: str) -> None:
+        """Mark indexes stale after DML; clustered order survives appends
+        only logically — we rebuild lazily by dropping it."""
+        self._clustered.pop(table_name.lower(), None)
+        for hash_key in [k for k in self._hash if k[0] == table_name.lower()]:
+            self._hash[hash_key].invalidate()
+
+    # ------------------------------------------------------------------
+    # SQL entry points
+    # ------------------------------------------------------------------
+    def sql(self, text: str) -> QueryResult:
+        """Parse and execute one SQL statement."""
+        return self._executor.execute(parse(text))
+
+    def run_script(self, text: str) -> list[QueryResult]:
+        """Execute a ';'-separated script, returning per-statement results."""
+        return [self._executor.execute(stmt) for stmt in parse_script(text)]
+
+    def explain_analyze(self, text: str):
+        """Execute a SELECT with per-operator instrumentation.
+
+        Returns an :class:`~repro.engine.instrument.AnalyzeReport` whose
+        ``render()`` shows rows/time/I/O per plan node.
+        """
+        from repro.engine.instrument import explain_analyze
+
+        return explain_analyze(self, text)
+
+    def explain(self, text: str) -> str:
+        """Plan a SELECT and return the operator tree as text."""
+        from repro.engine.sql.ast import SelectStatement
+        from repro.engine.sql.planner import Planner
+
+        stmt = parse(text)
+        if not isinstance(stmt, SelectStatement):
+            raise EngineError("EXPLAIN supports SELECT statements only")
+        return Planner(self).plan_select(stmt).explain()
+
+    # ------------------------------------------------------------------
+    @property
+    def io_counters(self) -> IOCounters:
+        return self.pool.counters
+
+    def stats_summary(self) -> dict[str, int]:
+        """Totals for reports: tables, rows, pages, I/O counters."""
+        return {
+            "tables": len(self._tables),
+            "rows": sum(t.row_count for t in self._tables.values()),
+            "pages": sum(t.page_count for t in self._tables.values()),
+            "logical_reads": self.pool.counters.logical_reads,
+            "physical_reads": self.pool.counters.physical_reads,
+            "writes": self.pool.counters.writes,
+        }

@@ -1,0 +1,311 @@
+"""Typed expression trees evaluated over column batches.
+
+Expressions are built either programmatically or by the SQL parser, and
+evaluate vectorized over a *batch* — a ``dict[str, np.ndarray]`` whose
+keys may be qualified (``"g.i"``) or bare (``"i"``).  Name resolution
+follows SQL: a qualified reference must match exactly; a bare reference
+must resolve to exactly one column across the visible relations.
+
+The scalar function registry covers what the paper's SQL uses (POWER,
+SQRT, LOG, ABS, FLOOR, SIN, COS, RADIANS, PI, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ColumnNotFoundError, SqlPlanError
+
+Batch = dict[str, np.ndarray]
+
+
+def batch_length(batch: Batch) -> int:
+    for arr in batch.values():
+        return int(np.asarray(arr).shape[0])
+    return 0
+
+
+def resolve_column(batch: Batch, name: str, qualifier: str | None) -> np.ndarray:
+    """SQL name resolution against a batch's (possibly qualified) keys."""
+    if qualifier is not None:
+        key = f"{qualifier.lower()}.{name.lower()}"
+        if key in batch:
+            return batch[key]
+        raise ColumnNotFoundError(f"unknown column '{qualifier}.{name}'")
+    lowered = name.lower()
+    if lowered in batch:
+        return batch[lowered]
+    matches = [k for k in batch if k.rsplit(".", 1)[-1] == lowered]
+    if len(matches) == 1:
+        return batch[matches[0]]
+    if not matches:
+        raise ColumnNotFoundError(f"unknown column '{name}'")
+    raise SqlPlanError(f"ambiguous column '{name}' (candidates: {sorted(matches)})")
+
+
+class Expr:
+    """Base expression node."""
+
+    def eval(self, batch: Batch) -> np.ndarray:
+        raise NotImplementedError
+
+    def column_refs(self) -> list["ColumnRef"]:
+        """All column references in this subtree (planner analysis)."""
+        refs: list[ColumnRef] = []
+        self._collect_refs(refs)
+        return refs
+
+    def _collect_refs(self, out: list["ColumnRef"]) -> None:
+        for child in self.children():
+            child._collect_refs(out)
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object
+
+    def eval(self, batch: Batch) -> np.ndarray:
+        n = batch_length(batch)
+        return np.full(n, self.value)
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+    qualifier: str | None = None
+
+    def eval(self, batch: Batch) -> np.ndarray:
+        return resolve_column(batch, self.name, self.qualifier)
+
+    def _collect_refs(self, out: list["ColumnRef"]) -> None:
+        out.append(self)
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+_ARITH: dict[str, Callable] = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+    "%": np.mod,
+}
+_COMPARE: dict[str, Callable] = {
+    "=": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def eval(self, batch: Batch) -> np.ndarray:
+        op = self.op.upper() if self.op.isalpha() else self.op
+        if op == "AND":
+            left = np.asarray(self.left.eval(batch), dtype=bool)
+            # No short-circuit across a batch, but skip the right side
+            # when nothing survives — the vectorized analogue.
+            if not left.any():
+                return left
+            return left & np.asarray(self.right.eval(batch), dtype=bool)
+        if op == "OR":
+            left = np.asarray(self.left.eval(batch), dtype=bool)
+            if left.all():
+                return left
+            return left | np.asarray(self.right.eval(batch), dtype=bool)
+        lhs = self.left.eval(batch)
+        rhs = self.right.eval(batch)
+        if op in _ARITH:
+            if op == "/":
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    return np.divide(
+                        np.asarray(lhs, dtype=np.float64),
+                        np.asarray(rhs, dtype=np.float64),
+                    )
+            return _ARITH[op](lhs, rhs)
+        if op in _COMPARE:
+            return _COMPARE[op](lhs, rhs)
+        raise SqlPlanError(f"unknown binary operator '{self.op}'")
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # "-" or "NOT"
+    operand: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def eval(self, batch: Batch) -> np.ndarray:
+        value = self.operand.eval(batch)
+        if self.op == "-":
+            return np.negative(value)
+        if self.op.upper() == "NOT":
+            return ~np.asarray(value, dtype=bool)
+        raise SqlPlanError(f"unknown unary operator '{self.op}'")
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})"
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """SQL BETWEEN: inclusive on both ends."""
+
+    value: Expr
+    low: Expr
+    high: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.value, self.low, self.high)
+
+    def eval(self, batch: Batch) -> np.ndarray:
+        v = self.value.eval(batch)
+        return (v >= self.low.eval(batch)) & (v <= self.high.eval(batch))
+
+    def __str__(self) -> str:
+        return f"({self.value} BETWEEN {self.low} AND {self.high})"
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    value: Expr
+    options: tuple[Expr, ...]
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.value, *self.options)
+
+    def eval(self, batch: Batch) -> np.ndarray:
+        v = self.value.eval(batch)
+        result = np.zeros(np.asarray(v).shape, dtype=bool)
+        for option in self.options:
+            result |= v == option.eval(batch)
+        return result
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    """Searched CASE: WHEN cond THEN value ... [ELSE value] END."""
+
+    whens: tuple[tuple[Expr, Expr], ...]
+    default: Expr | None = None
+
+    def children(self) -> tuple[Expr, ...]:
+        out: list[Expr] = []
+        for cond, value in self.whens:
+            out.extend((cond, value))
+        if self.default is not None:
+            out.append(self.default)
+        return tuple(out)
+
+    def eval(self, batch: Batch) -> np.ndarray:
+        n = batch_length(batch)
+        result = (
+            np.asarray(self.default.eval(batch))
+            if self.default is not None
+            else np.full(n, np.nan)
+        )
+        result = np.array(np.broadcast_to(result, (n,)), copy=True)
+        decided = np.zeros(n, dtype=bool)
+        for cond, value in self.whens:
+            hit = np.asarray(cond.eval(batch), dtype=bool) & ~decided
+            if hit.any():
+                vals = np.broadcast_to(np.asarray(value.eval(batch)), (n,))
+                result[hit] = vals[hit]
+                decided |= hit
+        return result
+
+
+def _fn_pi(n: int) -> np.ndarray:
+    return np.full(n, np.pi)
+
+
+#: Scalar function registry: name -> (arity, vectorized callable).
+#: Arity ``-1`` means variadic.
+SCALAR_FUNCTIONS: dict[str, tuple[int, Callable]] = {
+    "power": (2, lambda a, b: np.power(np.asarray(a, dtype=np.float64), b)),
+    "sqrt": (1, lambda a: np.sqrt(np.asarray(a, dtype=np.float64))),
+    "abs": (1, np.abs),
+    "floor": (1, lambda a: np.floor(np.asarray(a, dtype=np.float64))),
+    "ceiling": (1, lambda a: np.ceil(np.asarray(a, dtype=np.float64))),
+    "log": (1, lambda a: np.log(np.asarray(a, dtype=np.float64))),
+    "log10": (1, lambda a: np.log10(np.asarray(a, dtype=np.float64))),
+    "exp": (1, lambda a: np.exp(np.asarray(a, dtype=np.float64))),
+    "sin": (1, lambda a: np.sin(np.asarray(a, dtype=np.float64))),
+    "cos": (1, lambda a: np.cos(np.asarray(a, dtype=np.float64))),
+    "tan": (1, lambda a: np.tan(np.asarray(a, dtype=np.float64))),
+    "radians": (1, lambda a: np.deg2rad(np.asarray(a, dtype=np.float64))),
+    "degrees": (1, lambda a: np.rad2deg(np.asarray(a, dtype=np.float64))),
+    "sign": (1, np.sign),
+    "round": (2, lambda a, d: np.round(np.asarray(a, dtype=np.float64),
+                                       int(np.asarray(d).flat[0]))),
+    "cast": (1, lambda a: a),  # type widths are uniform here
+    "isnull": (1, lambda a: np.isnan(np.asarray(a, dtype=np.float64))),
+}
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    name: str
+    args: tuple[Expr, ...] = ()
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def eval(self, batch: Batch) -> np.ndarray:
+        lowered = self.name.lower()
+        if lowered == "pi":
+            return _fn_pi(batch_length(batch))
+        entry = SCALAR_FUNCTIONS.get(lowered)
+        if entry is None:
+            raise SqlPlanError(f"unknown function '{self.name}'")
+        arity, fn = entry
+        if arity >= 0 and len(self.args) != arity:
+            raise SqlPlanError(
+                f"function '{self.name}' expects {arity} args, got {len(self.args)}"
+            )
+        return fn(*[a.eval(batch) for a in self.args])
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+# ----------------------------------------------------------------------
+# convenience constructors, so engine-internal code reads naturally
+# ----------------------------------------------------------------------
+def col(name: str, qualifier: str | None = None) -> ColumnRef:
+    return ColumnRef(name, qualifier)
+
+
+def lit(value) -> Literal:
+    return Literal(value)
+
+
+def and_(*parts: Expr) -> Expr:
+    result = parts[0]
+    for part in parts[1:]:
+        result = BinaryOp("AND", result, part)
+    return result

@@ -1,0 +1,185 @@
+"""Join operators: hash, nested-loop, and cross joins.
+
+The paper's Filter step is a ``CROSS JOIN`` of each galaxy with the
+1000-row Kcorr table followed by a chi² predicate, and its Section 2.6
+credits "the redshift index as the JOIN attribute" for speed — i.e. an
+equi-join on ``zid`` executed as a hash join.  The planner picks
+:class:`HashJoin` whenever an equality conjunct connects the two sides,
+and falls back to :class:`NestedLoopJoin` otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.expressions import Batch, Expr, batch_length
+from repro.engine.operators import PlanNode, take
+from repro.errors import SqlPlanError
+
+
+def merge_batches(left: Batch, left_rows, right: Batch, right_rows) -> Batch:
+    """Combine row selections from two batches into one joined batch."""
+    out: Batch = {}
+    for key, arr in left.items():
+        out[key] = np.asarray(arr)[left_rows]
+    for key, arr in right.items():
+        if key in out:
+            raise SqlPlanError(f"join would duplicate output column '{key}'")
+        out[key] = np.asarray(arr)[right_rows]
+    return out
+
+
+@dataclass
+class HashJoin(PlanNode):
+    """Equi-join: build a hash table on the right, probe from left.
+
+    ``outer=True`` gives LEFT OUTER semantics: unmatched left rows are
+    kept, with the right side's columns padded with NULL (NaN; integer
+    right columns are widened to float for the padding).  The residual
+    predicate, when present, participates in the match decision — a
+    left row whose equi-matches all fail the residual is still emitted
+    once with NULL right columns, per SQL's ON-clause semantics.
+    """
+
+    left: PlanNode
+    right: PlanNode
+    left_key: Expr
+    right_key: Expr
+    residual: Expr | None = None  # extra non-equi conjuncts from ON
+    outer: bool = False
+
+    def execute(self) -> Batch:
+        lbatch = self.left.execute()
+        rbatch = self.right.execute()
+        lkeys = np.asarray(self.left_key.eval(lbatch))
+        rkeys = np.asarray(self.right_key.eval(rbatch))
+
+        buckets: dict = {}
+        for row, key in enumerate(rkeys.tolist()):
+            buckets.setdefault(key, []).append(row)
+
+        left_rows: list[int] = []
+        right_rows: list[int] = []
+        for row, key in enumerate(lkeys.tolist()):
+            matches = buckets.get(key)
+            if matches:
+                left_rows.extend([row] * len(matches))
+                right_rows.extend(matches)
+
+        joined = merge_batches(
+            lbatch, np.asarray(left_rows, dtype=np.int64),
+            rbatch, np.asarray(right_rows, dtype=np.int64),
+        )
+        if self.residual is not None and batch_length(joined):
+            mask = np.asarray(self.residual.eval(joined), dtype=bool)
+            joined = take(joined, mask)
+            left_rows = np.asarray(left_rows, dtype=np.int64)[mask].tolist()
+
+        if not self.outer:
+            return joined
+
+        matched = np.zeros(batch_length(lbatch), dtype=bool)
+        if left_rows:
+            matched[np.asarray(left_rows, dtype=np.int64)] = True
+        missing = np.flatnonzero(~matched)
+        if missing.size == 0:
+            return joined
+        pad: Batch = {}
+        for key, arr in lbatch.items():
+            pad[key] = np.asarray(arr)[missing]
+        n_pad = missing.size
+        for key, arr in rbatch.items():
+            arr = np.asarray(arr)
+            if arr.dtype.kind in ("i", "u", "b", "f"):
+                pad[key] = np.full(n_pad, np.nan)
+            else:
+                pad[key] = np.full(n_pad, None, dtype=object)
+        out: Batch = {}
+        for key in joined:
+            left_part = np.asarray(joined[key])
+            right_part = np.asarray(pad[key])
+            if left_part.dtype != right_part.dtype and right_part.dtype.kind == "f":
+                left_part = left_part.astype(np.float64)
+            out[key] = np.concatenate([left_part, right_part])
+        return out
+
+    def _describe(self) -> str:
+        txt = "HashJoin(" + ("LEFT, " if self.outer else "")
+        txt += f"{self.left_key} = {self.right_key}"
+        if self.residual is not None:
+            txt += f", residual {self.residual}"
+        return txt + ")"
+
+    def _children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+
+@dataclass
+class NestedLoopJoin(PlanNode):
+    """Inner join on an arbitrary predicate.
+
+    Evaluated block-wise: for each left row block, the right side is
+    broadcast and the predicate filters pairs.  Quadratic, as nested
+    loops are — the planner only uses it when no equi-key exists.
+    """
+
+    left: PlanNode
+    right: PlanNode
+    predicate: Expr | None
+    block_rows: int = 1024
+
+    def execute(self) -> Batch:
+        lbatch = self.left.execute()
+        rbatch = self.right.execute()
+        n_left = batch_length(lbatch)
+        n_right = batch_length(rbatch)
+        if n_left == 0 or n_right == 0:
+            return merge_batches(
+                lbatch, np.empty(0, np.int64), rbatch, np.empty(0, np.int64)
+            )
+
+        left_parts: list[np.ndarray] = []
+        right_parts: list[np.ndarray] = []
+        r_index = np.arange(n_right, dtype=np.int64)
+        for start in range(0, n_left, self.block_rows):
+            stop = min(start + self.block_rows, n_left)
+            block = stop - start
+            l_rows = np.repeat(np.arange(start, stop, dtype=np.int64), n_right)
+            r_rows = np.tile(r_index, block)
+            if self.predicate is None:
+                left_parts.append(l_rows)
+                right_parts.append(r_rows)
+                continue
+            pair_batch = merge_batches(lbatch, l_rows, rbatch, r_rows)
+            mask = np.asarray(self.predicate.eval(pair_batch), dtype=bool)
+            left_parts.append(l_rows[mask])
+            right_parts.append(r_rows[mask])
+
+        left_rows = np.concatenate(left_parts)
+        right_rows = np.concatenate(right_parts)
+        return merge_batches(lbatch, left_rows, rbatch, right_rows)
+
+    def _describe(self) -> str:
+        return f"NestedLoopJoin({self.predicate})"
+
+    def _children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+
+@dataclass
+class CrossJoin(PlanNode):
+    """Cartesian product — the paper's ``Galaxy CROSS JOIN Kcorr`` shape."""
+
+    left: PlanNode
+    right: PlanNode
+
+    def execute(self) -> Batch:
+        return NestedLoopJoin(self.left, self.right, None).execute()
+
+    def _describe(self) -> str:
+        return "CrossJoin"
+
+    def _children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)

@@ -1,0 +1,140 @@
+"""Paged storage and the buffer pool: where the I/O numbers come from.
+
+Table 1 of the paper reports an "I/O" column per task, taken from SQL
+Server's execution statistics (buffer-pool page requests).  To produce
+comparable observables we model storage the way a 2000s-era DBMS does:
+
+* every table's rows live in fixed-size **pages** (8 KiB, the SQL Server
+  page size); ``rows_per_page = floor(page_bytes / row_byte_width)``,
+  so the paper's 44-byte galaxy rows pack ~186 to a page;
+* all page access goes through a shared **buffer pool** with LRU
+  replacement; a request is a *logical read*; a miss is a *physical
+  read*; page dirtying is a *write*.
+
+The payload arrays themselves stay in numpy (this is a simulation of
+the *accounting*, not of byte layouts — the paper's claims concern
+which plan touches how many pages, not page checksums).  Operators call
+:meth:`PagedFile.read_range` / :meth:`read_page` as they scan or seek,
+and the pool turns those calls into the counters that
+:class:`~repro.engine.stats.TaskTimer` snapshots.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.engine.stats import IOCounters
+from repro.errors import EngineError
+
+#: SQL Server's page size.
+PAGE_BYTES = 8192
+
+#: Default buffer-pool capacity: 2 GB of 8 KiB pages — the paper's nodes
+#: ("each one a dual 2.6 GHz Xeon with 2 GB of RAM").
+DEFAULT_POOL_PAGES = (2 * 1024**3) // PAGE_BYTES
+
+
+@dataclass(frozen=True)
+class PageId:
+    """Globally unique page address: (file id, page number)."""
+
+    file_id: int
+    page_no: int
+
+
+class BufferPool:
+    """LRU page cache with logical/physical read and write accounting."""
+
+    def __init__(self, capacity_pages: int = DEFAULT_POOL_PAGES):
+        if capacity_pages <= 0:
+            raise EngineError("buffer pool capacity must be positive")
+        self.capacity_pages = capacity_pages
+        self.counters = IOCounters()
+        self._resident: OrderedDict[PageId, None] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def access(self, page: PageId) -> bool:
+        """Request a page. Returns True on a hit, False on a miss (fault)."""
+        self.counters.logical_reads += 1
+        if page in self._resident:
+            self._resident.move_to_end(page)
+            return True
+        self.counters.physical_reads += 1
+        self._resident[page] = None
+        if len(self._resident) > self.capacity_pages:
+            self._resident.popitem(last=False)
+        return False
+
+    def write(self, page: PageId) -> None:
+        """Dirty a page (insert/update/delete paths)."""
+        self.counters.writes += 1
+        self._resident[page] = None
+        self._resident.move_to_end(page)
+        if len(self._resident) > self.capacity_pages:
+            self._resident.popitem(last=False)
+
+    def evict_file(self, file_id: int) -> None:
+        """Drop a file's pages (table truncate/drop)."""
+        stale = [p for p in self._resident if p.file_id == file_id]
+        for p in stale:
+            del self._resident[p]
+
+
+class PagedFile:
+    """The page-level view of one table's storage.
+
+    Row ``r`` lives on page ``r // rows_per_page``.  Scans and seeks
+    translate row ranges into page accesses against the shared pool.
+    """
+
+    _next_file_id = 0
+
+    def __init__(self, pool: BufferPool, row_byte_width: int):
+        if row_byte_width <= 0:
+            raise EngineError("row width must be positive")
+        self.pool = pool
+        self.rows_per_page = max(1, PAGE_BYTES // row_byte_width)
+        self.file_id = PagedFile._next_file_id
+        PagedFile._next_file_id += 1
+
+    def page_of_row(self, row: int) -> int:
+        return row // self.rows_per_page
+
+    def page_count(self, n_rows: int) -> int:
+        if n_rows <= 0:
+            return 0
+        return (n_rows - 1) // self.rows_per_page + 1
+
+    def read_page(self, page_no: int) -> None:
+        self.pool.access(PageId(self.file_id, page_no))
+
+    def read_range(self, row_start: int, row_stop: int) -> int:
+        """Touch every page overlapping rows [row_start, row_stop).
+
+        Returns the number of pages touched (all counted as logical
+        reads; misses additionally count as physical reads).
+        """
+        if row_stop <= row_start:
+            return 0
+        first = self.page_of_row(row_start)
+        last = self.page_of_row(row_stop - 1)
+        for page_no in range(first, last + 1):
+            self.read_page(page_no)
+        return last - first + 1
+
+    def write_range(self, row_start: int, row_stop: int) -> int:
+        """Dirty every page overlapping rows [row_start, row_stop)."""
+        if row_stop <= row_start:
+            return 0
+        first = self.page_of_row(row_start)
+        last = self.page_of_row(row_stop - 1)
+        for page_no in range(first, last + 1):
+            self.pool.write(PageId(self.file_id, page_no))
+        return last - first + 1
+
+    def invalidate(self) -> None:
+        """Remove this file's pages from the pool (truncate semantics)."""
+        self.pool.evict_file(self.file_id)

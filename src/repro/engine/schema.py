@@ -1,0 +1,84 @@
+"""Table schemas: named, typed column lists with an optional primary key."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.types import ColumnType
+from repro.errors import SchemaError
+
+_IDENT_OK = set("abcdefghijklmnopqrstuvwxyz0123456789_")
+
+
+def _check_identifier(name: str, kind: str) -> None:
+    if not name:
+        raise SchemaError(f"{kind} name must be non-empty")
+    lowered = name.lower()
+    if not set(lowered) <= _IDENT_OK or lowered[0].isdigit():
+        raise SchemaError(f"invalid {kind} name '{name}'")
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: a name and a storage type."""
+
+    name: str
+    type: ColumnType
+
+    def __post_init__(self) -> None:
+        _check_identifier(self.name, "column")
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Ordered columns of a table plus an optional primary-key column.
+
+    The engine keeps a hash index on the primary key (the paper's tables
+    all declare one), which also enforces uniqueness on insert.
+    """
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: str | None = None
+
+    def __post_init__(self) -> None:
+        _check_identifier(self.name, "table")
+        if not self.columns:
+            raise SchemaError(f"table '{self.name}' must have at least one column")
+        names = [c.name.lower() for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"table '{self.name}' has duplicate column names")
+        if self.primary_key is not None and self.primary_key.lower() not in names:
+            raise SchemaError(
+                f"primary key '{self.primary_key}' is not a column of "
+                f"'{self.name}'"
+            )
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def column(self, name: str) -> Column:
+        lowered = name.lower()
+        for c in self.columns:
+            if c.name.lower() == lowered:
+                return c
+        raise SchemaError(f"table '{self.name}' has no column '{name}'")
+
+    def has_column(self, name: str) -> bool:
+        lowered = name.lower()
+        return any(c.name.lower() == lowered for c in self.columns)
+
+    @property
+    def row_byte_width(self) -> int:
+        """Bytes per row, used to size pages (cf. the paper's 44-byte rows)."""
+        return sum(c.type.byte_width for c in self.columns)
+
+
+def schema(name: str, spec: dict[str, ColumnType], primary_key: str | None = None) -> TableSchema:
+    """Convenience constructor: ``schema("galaxy", {"objid": INT64, ...})``."""
+    return TableSchema(
+        name=name,
+        columns=tuple(Column(n, t) for n, t in spec.items()),
+        primary_key=primary_key,
+    )

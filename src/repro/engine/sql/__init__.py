@@ -1,0 +1,17 @@
+"""SQL front end: lexer, parser, planner, executor, scalar functions."""
+
+from repro.engine.sql.executor import Executor, QueryResult
+from repro.engine.sql.functions import register_function
+from repro.engine.sql.parser import parse, parse_script
+from repro.engine.sql.printer import expr_to_sql, select_to_sql, statement_to_sql
+
+__all__ = [
+    "Executor",
+    "QueryResult",
+    "expr_to_sql",
+    "parse",
+    "parse_script",
+    "register_function",
+    "select_to_sql",
+    "statement_to_sql",
+]

@@ -1,0 +1,182 @@
+"""Abstract syntax tree for the SQL subset.
+
+Statement nodes are thin dataclasses; expressions reuse the engine's
+:mod:`repro.engine.expressions` nodes directly, so no second expression
+representation exists — the parser builds evaluatable trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.expressions import Expr
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A relation in FROM/JOIN with its binding alias.
+
+    ``table`` names either a base table, a view, or — when
+    ``function_args`` is not None — a table-valued function invocation
+    (the paper's ``FROM fGetNearbyObjEqZd(@ra, @dec, @r) n`` shape).
+    When ``subquery`` is set this is a derived table
+    (``FROM (SELECT ...) alias``) and ``table`` is empty.
+    """
+
+    table: str
+    alias: str
+    function_args: tuple[Expr, ...] | None = None
+    subquery: "SelectStatement | None" = None
+
+    @property
+    def is_function(self) -> bool:
+        return self.function_args is not None
+
+    @property
+    def is_subquery(self) -> bool:
+        return self.subquery is not None
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """One JOIN step: kind is 'inner', 'left' or 'cross'.
+
+    Cross joins have no ON condition; left joins keep unmatched left
+    rows with NULL (NaN) right columns.
+    """
+
+    kind: str
+    table: TableRef
+    condition: Expr | None
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One output column: expression plus optional alias.
+
+    ``star`` marks ``*`` or ``alias.*`` items (expr is None for those).
+    """
+
+    expr: Expr | None
+    alias: str | None
+    star: bool = False
+    star_qualifier: str | None = None
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """Marker for an aggregate in a select item (COUNT/SUM/MIN/MAX/AVG)."""
+
+    func: str
+    argument: Expr | None  # None encodes COUNT(*)
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    ascending: bool
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    items: tuple[SelectItem, ...]
+    source: TableRef | None
+    joins: tuple[JoinClause, ...] = ()
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = ()
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    offset: int | None = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class UnionStatement:
+    """``SELECT ... UNION ALL SELECT ...`` (bag semantics only)."""
+
+    selects: tuple[SelectStatement, ...]
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str
+    primary_key: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTableStatement:
+    table: str
+    columns: tuple[ColumnDef, ...]
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class InsertStatement:
+    table: str
+    columns: tuple[str, ...] | None  # None = schema order
+    rows: tuple[tuple[Expr, ...], ...] = ()
+    select: SelectStatement | None = None
+
+
+@dataclass(frozen=True)
+class UpdateStatement:
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Expr | None
+
+
+@dataclass(frozen=True)
+class DeleteStatement:
+    table: str
+    where: Expr | None
+
+
+@dataclass(frozen=True)
+class TruncateStatement:
+    table: str
+
+
+@dataclass(frozen=True)
+class DropTableStatement:
+    table: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class CreateViewStatement:
+    """``CREATE VIEW name AS SELECT ...`` — the paper's Zone view."""
+
+    name: str
+    select: "SelectStatement"
+
+
+@dataclass(frozen=True)
+class DropViewStatement:
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class ExecStatement:
+    """``EXEC procname arg, arg, ...`` — the paper's spMakeCandidates
+    invocations.  Arguments must be constant expressions."""
+
+    procedure: str
+    arguments: tuple[Expr, ...] = ()
+
+
+Statement = (
+    SelectStatement
+    | CreateTableStatement
+    | InsertStatement
+    | UpdateStatement
+    | DeleteStatement
+    | TruncateStatement
+    | DropTableStatement
+    | CreateViewStatement
+    | DropViewStatement
+    | ExecStatement
+    | UnionStatement
+)

@@ -1,0 +1,253 @@
+"""Statement execution: DDL, DML and queries against a Database."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.expressions import Batch, batch_length
+from repro.engine.sql.ast import (
+    CreateTableStatement,
+    CreateViewStatement,
+    DeleteStatement,
+    DropTableStatement,
+    DropViewStatement,
+    ExecStatement,
+    InsertStatement,
+    SelectStatement,
+    Statement,
+    TruncateStatement,
+    UnionStatement,
+    UpdateStatement,
+)
+from repro.engine.sql.planner import Planner
+from repro.engine.types import sql_type
+from repro.engine.schema import Column, TableSchema
+from repro.errors import SqlPlanError
+
+#: Dummy one-row batch used to evaluate constant expressions.
+_SCALAR_BATCH: Batch = {"__scalar": np.zeros(1)}
+
+
+@dataclass
+class QueryResult:
+    """Result of one statement.
+
+    ``columns`` is the output batch for SELECTs (empty for DDL/DML);
+    ``rows_affected`` counts DML effects; ``plan`` is the EXPLAIN text
+    for SELECTs.
+    """
+
+    columns: Batch = field(default_factory=dict)
+    rows_affected: int = 0
+    plan: str = ""
+
+    @property
+    def row_count(self) -> int:
+        return batch_length(self.columns)
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self.columns)
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self.columns[name.lower()]
+        except KeyError:
+            raise SqlPlanError(
+                f"result has no column '{name}' (have {self.column_names})"
+            ) from None
+
+    def rows(self) -> list[dict]:
+        """Materialize as a list of row dicts (tests and small results)."""
+        names = self.column_names
+        arrays = [np.asarray(self.columns[n]) for n in names]
+        return [
+            {name: arr[i].item() if hasattr(arr[i], "item") else arr[i]
+             for name, arr in zip(names, arrays)}
+            for i in range(self.row_count)
+        ]
+
+    def scalar(self):
+        """The single value of a 1x1 result."""
+        if self.row_count != 1 or len(self.columns) != 1:
+            raise SqlPlanError(
+                f"scalar() needs a 1x1 result, got {self.row_count} rows x "
+                f"{len(self.columns)} columns"
+            )
+        return next(iter(self.columns.values()))[0].item()
+
+
+class Executor:
+    """Executes parsed statements against a database."""
+
+    def __init__(self, database):
+        self.database = database
+        self.planner = Planner(database)
+
+    def execute(self, stmt: Statement) -> QueryResult:
+        if isinstance(stmt, SelectStatement):
+            return self._select(stmt)
+        if isinstance(stmt, CreateTableStatement):
+            return self._create_table(stmt)
+        if isinstance(stmt, InsertStatement):
+            return self._insert(stmt)
+        if isinstance(stmt, UpdateStatement):
+            return self._update(stmt)
+        if isinstance(stmt, DeleteStatement):
+            return self._delete(stmt)
+        if isinstance(stmt, TruncateStatement):
+            self.database.table(stmt.table).truncate()
+            self.database.invalidate_indexes(stmt.table)
+            return QueryResult()
+        if isinstance(stmt, DropTableStatement):
+            self.database.drop_table(stmt.table, if_exists=stmt.if_exists)
+            return QueryResult()
+        if isinstance(stmt, CreateViewStatement):
+            self.database.create_view(stmt.name, stmt.select)
+            return QueryResult()
+        if isinstance(stmt, DropViewStatement):
+            self.database.drop_view(stmt.name, if_exists=stmt.if_exists)
+            return QueryResult()
+        if isinstance(stmt, ExecStatement):
+            return self._exec(stmt)
+        if isinstance(stmt, UnionStatement):
+            return self._union(stmt)
+        raise SqlPlanError(f"unsupported statement {type(stmt).__name__}")
+
+    def _union(self, stmt: UnionStatement) -> QueryResult:
+        """UNION ALL: concatenate branch results, aligned by position."""
+        parts = [self._select(select) for select in stmt.selects]
+        first_names = parts[0].column_names
+        for part in parts[1:]:
+            if len(part.column_names) != len(first_names):
+                raise SqlPlanError(
+                    "UNION ALL branches must have the same column count"
+                )
+        columns: Batch = {}
+        for position, name in enumerate(first_names):
+            columns[name] = np.concatenate([
+                np.asarray(part.columns[part.column_names[position]])
+                for part in parts
+            ])
+        return QueryResult(columns=columns)
+
+    def _exec(self, stmt: ExecStatement) -> QueryResult:
+        values = []
+        for arg in stmt.arguments:
+            value = np.asarray(arg.eval(_SCALAR_BATCH)).reshape(-1)[0]
+            values.append(value.item() if hasattr(value, "item") else value)
+        result = self.database.call_procedure(stmt.procedure, *values)
+        if isinstance(result, QueryResult):
+            return result
+        if isinstance(result, dict):
+            return QueryResult(columns={k.lower(): np.asarray(v)
+                                        for k, v in result.items()})
+        if isinstance(result, int):
+            return QueryResult(rows_affected=result)
+        return QueryResult()
+
+    # ------------------------------------------------------------------
+    def _select(self, stmt: SelectStatement) -> QueryResult:
+        if stmt.source is None:
+            # constant SELECT: evaluate items over a one-row batch
+            out: Batch = {}
+            for pos, item in enumerate(stmt.items):
+                if item.expr is None:
+                    raise SqlPlanError("SELECT * requires a FROM clause")
+                name = item.alias or f"col{pos}"
+                value = np.asarray(item.expr.eval(_SCALAR_BATCH))
+                out[name.lower()] = np.broadcast_to(value, (1,)).copy()
+            return QueryResult(columns=out)
+        plan = self.planner.plan_select(stmt)
+        batch = plan.execute()
+        return QueryResult(columns=batch, plan=plan.explain())
+
+    def _create_table(self, stmt: CreateTableStatement) -> QueryResult:
+        if stmt.if_not_exists and self.database.has_table(stmt.table):
+            return QueryResult()
+        primary = [c.name for c in stmt.columns if c.primary_key]
+        if len(primary) > 1:
+            raise SqlPlanError("multiple PRIMARY KEY columns are not supported")
+        schema = TableSchema(
+            name=stmt.table,
+            columns=tuple(Column(c.name, sql_type(c.type_name)) for c in stmt.columns),
+            primary_key=primary[0] if primary else None,
+        )
+        self.database.create_table_from_schema(schema)
+        return QueryResult()
+
+    def _insert(self, stmt: InsertStatement) -> QueryResult:
+        table = self.database.table(stmt.table)
+        target_columns = (
+            [c.lower() for c in stmt.columns]
+            if stmt.columns is not None
+            else [c.lower() for c in table.schema.column_names]
+        )
+        if stmt.select is not None:
+            result = self._select(stmt.select)
+            names = result.column_names
+            if len(names) != len(target_columns):
+                raise SqlPlanError(
+                    f"INSERT..SELECT column count mismatch: "
+                    f"{len(target_columns)} vs {len(names)}"
+                )
+            data = {
+                target: np.asarray(result.columns[source])
+                for target, source in zip(target_columns, names)
+            }
+        else:
+            width = len(target_columns)
+            columns: list[list] = [[] for _ in range(width)]
+            for row in stmt.rows:
+                if len(row) != width:
+                    raise SqlPlanError(
+                        f"INSERT row has {len(row)} values, expected {width}"
+                    )
+                for slot, expr in enumerate(row):
+                    value = np.asarray(expr.eval(_SCALAR_BATCH))
+                    columns[slot].append(value.reshape(-1)[0])
+            data = {
+                name: np.asarray(values)
+                for name, values in zip(target_columns, columns)
+            }
+        if set(data) != {c.lower() for c in table.schema.column_names}:
+            raise SqlPlanError(
+                "INSERT must supply every column (engine has no defaults); "
+                f"missing {sorted({c.lower() for c in table.schema.column_names} - set(data))}"
+            )
+        inserted = table.insert(data)
+        self.database.invalidate_indexes(stmt.table)
+        return QueryResult(rows_affected=inserted)
+
+    def _matching_rows(self, table, where) -> np.ndarray:
+        batch = {k: v for k, v in table.scan().items()}
+        if where is None:
+            return np.arange(table.row_count, dtype=np.int64)
+        mask = np.asarray(where.eval(batch), dtype=bool)
+        return np.flatnonzero(mask)
+
+    def _update(self, stmt: UpdateStatement) -> QueryResult:
+        table = self.database.table(stmt.table)
+        rows = self._matching_rows(table, stmt.where)
+        if rows.size == 0:
+            return QueryResult(rows_affected=0)
+        batch = table.columns_dict()
+        row_batch = {k: v[rows] for k, v in batch.items()}
+        values = {
+            column: np.broadcast_to(
+                np.asarray(expr.eval(row_batch)), (rows.size,)
+            ).copy()
+            for column, expr in stmt.assignments
+        }
+        affected = table.update_rows(rows, values)
+        self.database.invalidate_indexes(stmt.table)
+        return QueryResult(rows_affected=affected)
+
+    def _delete(self, stmt: DeleteStatement) -> QueryResult:
+        table = self.database.table(stmt.table)
+        rows = self._matching_rows(table, stmt.where)
+        affected = table.delete_rows(rows)
+        self.database.invalidate_indexes(stmt.table)
+        return QueryResult(rows_affected=affected)

@@ -1,0 +1,162 @@
+"""SQL tokenizer.
+
+Produces a flat token stream for the parser: keywords (case-insensitive),
+identifiers, numeric and string literals, operators and punctuation.
+Comments (``-- ...`` line comments and ``/* ... */`` blocks, both used in
+the paper's listing) are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import SqlSyntaxError
+
+KEYWORDS = {
+    "select", "distinct", "from", "where", "group", "by", "having",
+    "order", "asc", "desc", "limit", "as", "join", "inner", "cross",
+    "on", "and", "or", "not", "between", "in", "is", "null", "like",
+    "case", "when", "then", "else", "end", "create", "table", "primary",
+    "key", "insert", "into", "values", "update", "set", "delete",
+    "truncate", "drop", "view", "exists", "if", "union", "all", "true",
+    "false", "exec", "execute", "top", "offset", "left", "outer",
+}
+
+
+class TokenType(Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.type.value}:{self.value}"
+
+
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "+", "-", "*", "/", "%")
+_PUNCT = "(),.;"
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyz_@#")
+_IDENT_BODY = _IDENT_START | set("0123456789$")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL text; raises :class:`SqlSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        # whitespace
+        if ch.isspace():
+            i += 1
+            continue
+        # line comment
+        if text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        # block comment
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise SqlSyntaxError("unterminated block comment", i)
+            i = end + 2
+            continue
+        # string literal (single quotes; '' escapes a quote)
+        if ch == "'":
+            j = i + 1
+            parts: list[str] = []
+            while True:
+                if j >= n:
+                    raise SqlSyntaxError("unterminated string literal", i)
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(text[j])
+                j += 1
+            tokens.append(Token(TokenType.STRING, "".join(parts), i))
+            i = j + 1
+            continue
+        # number
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = text[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    # exponent must be followed by digits or sign+digits
+                    k = j + 1
+                    if k < n and text[k] in "+-":
+                        k += 1
+                    if k < n and text[k].isdigit():
+                        seen_exp = True
+                        j = k
+                    else:
+                        break
+                else:
+                    break
+            tokens.append(Token(TokenType.NUMBER, text[i:j], i))
+            i = j
+            continue
+        # identifier / keyword (allow leading @ for SQL-variable flavor,
+        # and bracket-quoted [name] identifiers)
+        if ch == "[":
+            end = text.find("]", i)
+            if end < 0:
+                raise SqlSyntaxError("unterminated [identifier]", i)
+            tokens.append(Token(TokenType.IDENT, text[i + 1:end].lower(), i))
+            i = end + 1
+            continue
+        if ch.lower() in _IDENT_START:
+            j = i
+            while j < n and text[j].lower() in _IDENT_BODY:
+                j += 1
+            word = text[i:j].lower()
+            if word in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, word, i))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, i))
+            i = j
+            continue
+        # operators
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                value = "!=" if op == "<>" else op
+                tokens.append(Token(TokenType.OPERATOR, value, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, i))
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

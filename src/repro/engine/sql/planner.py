@@ -1,0 +1,562 @@
+"""Logical planning: SELECT ASTs to executable operator trees.
+
+A deliberately small optimizer with the two moves the paper credits for
+the SQL win (Section 2.6):
+
+* **early filtering** — WHERE conjuncts that mention a single relation
+  are pushed below the joins onto that relation's scan;
+* **index-aware access paths** — a pushed range predicate on a table's
+  clustered-index leading key becomes an
+  :class:`~repro.engine.operators.IndexRangeScan` instead of a full scan,
+  and equi-join conjuncts select a hash join over a nested loop.
+
+Aggregation rewrites aggregate calls found in the select list / HAVING
+into references to columns computed by one
+:class:`~repro.engine.aggregate.Aggregate` node.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.engine.aggregate import Aggregate, AggregateSpec
+from repro.engine.expressions import (
+    Between,
+    BinaryOp,
+    Case,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    Literal,
+    UnaryOp,
+)
+from repro.engine.join import CrossJoin, HashJoin, NestedLoopJoin
+from repro.engine.operators import (
+    Distinct,
+    Filter,
+    IndexRangeScan,
+    Limit,
+    PlanNode,
+    Project,
+    ProjectPassthrough,
+    SeqScan,
+    Sort,
+    SubqueryScan,
+    TableFunctionScan,
+)
+from repro.engine.sql.ast import SelectItem, SelectStatement, TableRef
+from repro.engine.sql.parser import AGGREGATE_FUNCS
+from repro.errors import SqlPlanError
+
+
+# ----------------------------------------------------------------------
+# expression utilities
+# ----------------------------------------------------------------------
+def split_conjuncts(expr: Expr | None) -> list[Expr]:
+    """Flatten a predicate into its AND-ed conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op.upper() == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def and_all(conjuncts: list[Expr]) -> Expr | None:
+    if not conjuncts:
+        return None
+    result = conjuncts[0]
+    for part in conjuncts[1:]:
+        result = BinaryOp("AND", result, part)
+    return result
+
+
+def rewrite(expr: Expr, mapping: dict[Expr, Expr]) -> Expr:
+    """Structurally replace subtrees (used to slot in aggregate outputs).
+
+    Matching is by node equality (the nodes are frozen dataclasses, so
+    identical shapes compare equal).
+    """
+    if expr in mapping:
+        return mapping[expr]
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(expr.op, rewrite(expr.left, mapping), rewrite(expr.right, mapping))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, rewrite(expr.operand, mapping))
+    if isinstance(expr, Between):
+        return Between(
+            rewrite(expr.value, mapping),
+            rewrite(expr.low, mapping),
+            rewrite(expr.high, mapping),
+        )
+    if isinstance(expr, InList):
+        return InList(
+            rewrite(expr.value, mapping),
+            tuple(rewrite(o, mapping) for o in expr.options),
+        )
+    if isinstance(expr, FuncCall):
+        return FuncCall(expr.name, tuple(rewrite(a, mapping) for a in expr.args))
+    if isinstance(expr, Case):
+        return Case(
+            tuple(
+                (rewrite(c, mapping), rewrite(v, mapping)) for c, v in expr.whens
+            ),
+            None if expr.default is None else rewrite(expr.default, mapping),
+        )
+    return expr
+
+
+def find_aggregates(expr: Expr) -> list[FuncCall]:
+    """All aggregate FuncCall nodes in a tree (no nesting allowed)."""
+    found: list[FuncCall] = []
+
+    def visit(node: Expr, inside_aggregate: bool) -> None:
+        if isinstance(node, FuncCall) and node.name.lower() in AGGREGATE_FUNCS:
+            if inside_aggregate:
+                raise SqlPlanError("nested aggregate functions are not allowed")
+            found.append(node)
+            for child in node.children():
+                visit(child, True)
+            return
+        for child in node.children():
+            visit(child, inside_aggregate)
+
+    visit(expr, False)
+    return found
+
+
+# ----------------------------------------------------------------------
+# planning context
+# ----------------------------------------------------------------------
+@dataclass
+class _Relation:
+    """One FROM/JOIN entry during planning."""
+
+    ref: TableRef
+    scan: PlanNode
+    columns: set[str]  # lowercased column names of the underlying table
+
+
+class Planner:
+    """Plans SELECT statements against a database's catalog.
+
+    The database is duck-typed: it must provide ``table(name)`` returning
+    an engine :class:`~repro.engine.table.Table` and
+    ``clustered_index(name)`` returning a built
+    :class:`~repro.engine.index.ClusteredIndex` or None.
+    """
+
+    def __init__(self, database):
+        self.database = database
+
+    # ------------------------------------------------------------------
+    def plan_select(self, stmt: SelectStatement) -> PlanNode:
+        relations = self._bind_relations(stmt)
+        where_parts = split_conjuncts(stmt.where)
+
+        # Aliases bound as the nullable side of a LEFT JOIN: their WHERE
+        # conjuncts must apply *after* NULL padding, so no pushdown.
+        nullable = {
+            join.table.alias.lower()
+            for join in stmt.joins
+            if join.kind == "left"
+        }
+
+        # Early filtering: push single-relation conjuncts onto their scan.
+        remaining: list[Expr] = []
+        pushed: dict[str, list[Expr]] = {rel.ref.alias.lower(): [] for rel in relations}
+        for conjunct in where_parts:
+            owner = self._single_relation(conjunct, relations)
+            if (
+                owner is not None
+                and owner not in nullable
+                and not find_aggregates(conjunct)
+            ):
+                pushed[owner].append(conjunct)
+            else:
+                remaining.append(conjunct)
+
+        for rel in relations:
+            rel.scan = self._access_path(rel, pushed[rel.ref.alias.lower()])
+
+        plan = self._join_relations(stmt, relations, remaining)
+
+        plan, outputs, order_keys = self._aggregate_and_project(stmt, plan)
+
+        if order_keys:
+            # ORDER BY may reference select aliases *or* source columns,
+            # so sort over the union of projected outputs and the input
+            # batch, then strip back down to the select list.
+            plan = ProjectPassthrough(plan, outputs)
+            plan = Sort(plan, order_keys)
+            plan = Project(plan, [(name, ColumnRef(name)) for name, _ in outputs])
+        else:
+            plan = Project(plan, outputs)
+        if stmt.distinct:
+            plan = Distinct(plan)
+        if stmt.limit is not None:
+            plan = Limit(plan, stmt.limit, stmt.offset or 0)
+        return plan
+
+    # ------------------------------------------------------------------
+    def _bind_relations(self, stmt: SelectStatement) -> list[_Relation]:
+        if stmt.source is None:
+            raise SqlPlanError("SELECT without FROM needs constant items only")
+        refs = [stmt.source] + [j.table for j in stmt.joins]
+        aliases = [r.alias.lower() for r in refs]
+        if len(set(aliases)) != len(aliases):
+            raise SqlPlanError(f"duplicate table alias in FROM: {aliases}")
+        relations = []
+        for ref in refs:
+            relations.append(self._bind_one(ref))
+        return relations
+
+    def _bind_one(self, ref: TableRef) -> _Relation:
+        if ref.is_subquery:
+            assert ref.subquery is not None
+            subplan = self.plan_select(ref.subquery)
+            return _Relation(
+                ref=ref,
+                scan=SubqueryScan(subplan, ref.alias),
+                columns={
+                    name.lower()
+                    for name in self.select_output_names(ref.subquery)
+                },
+            )
+        if ref.is_function:
+            tvf = self.database.table_function(ref.table)
+            return _Relation(
+                ref=ref,
+                scan=TableFunctionScan(
+                    tvf.fn, ref.function_args or (), ref.alias, tvf.name
+                ),
+                columns={c.lower() for c in tvf.columns},
+            )
+        if self.database.has_view(ref.table):
+            view_stmt = self.database.view(ref.table)
+            subplan = self.plan_select(view_stmt)
+            return _Relation(
+                ref=ref,
+                scan=SubqueryScan(subplan, ref.alias),
+                columns={
+                    name.lower()
+                    for name in self.select_output_names(view_stmt)
+                },
+            )
+        table = self.database.table(ref.table)
+        return _Relation(
+            ref=ref,
+            scan=SeqScan(table, ref.alias),
+            columns={c.lower() for c in table.schema.column_names},
+        )
+
+    def select_output_names(self, stmt: SelectStatement) -> list[str]:
+        """Output column names of a SELECT, without executing it."""
+        names: list[str] = []
+        for pos, item in enumerate(stmt.items):
+            if item.star:
+                refs = [stmt.source] + [j.table for j in stmt.joins]
+                if item.star_qualifier is not None:
+                    refs = [
+                        r for r in refs
+                        if r is not None
+                        and r.alias.lower() == item.star_qualifier.lower()
+                    ]
+                for ref in refs:
+                    if ref is None:
+                        continue
+                    names.extend(
+                        c.lower() for c in self._relation_columns(ref)
+                    )
+                continue
+            names.append(self._output_name(item, pos))
+        # apply the same dedup-suffix rule as _expand_items
+        seen: dict[str, int] = {}
+        deduped = []
+        for name in names:
+            if name in seen:
+                seen[name] += 1
+                name = f"{name}_{seen[name]}"
+            else:
+                seen[name] = 0
+            deduped.append(name)
+        return deduped
+
+    def _relation_columns(self, ref: TableRef) -> list[str]:
+        if ref.is_subquery:
+            assert ref.subquery is not None
+            return self.select_output_names(ref.subquery)
+        if ref.is_function:
+            return list(self.database.table_function(ref.table).columns)
+        if self.database.has_view(ref.table):
+            return self.select_output_names(self.database.view(ref.table))
+        return list(self.database.table(ref.table).schema.column_names)
+
+    def _single_relation(
+        self, conjunct: Expr, relations: list[_Relation]
+    ) -> str | None:
+        """Alias of the only relation a conjunct touches, or None."""
+        owners: set[str] = set()
+        for ref in conjunct.column_refs():
+            alias = self._resolve_alias(ref, relations)
+            if alias is None:
+                return None
+            owners.add(alias)
+        if len(owners) == 1:
+            return owners.pop()
+        return None
+
+    @staticmethod
+    def _resolve_alias(ref: ColumnRef, relations: list[_Relation]) -> str | None:
+        if ref.qualifier is not None:
+            lowered = ref.qualifier.lower()
+            for rel in relations:
+                if rel.ref.alias.lower() == lowered:
+                    return lowered
+            return None
+        matches = [
+            rel.ref.alias.lower()
+            for rel in relations
+            if ref.name.lower() in rel.columns
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        return None
+
+    # ------------------------------------------------------------------
+    def _access_path(self, rel: _Relation, conjuncts: list[Expr]) -> PlanNode:
+        """Choose index range scan vs filtered seq scan for one relation."""
+        index = self.database.clustered_index(rel.ref.table)
+        scan: PlanNode = rel.scan
+        if index is not None and conjuncts:
+            leading = index.leading_key
+            for pos, conjunct in enumerate(conjuncts):
+                bounds = _range_bounds(conjunct, leading)
+                if bounds is not None:
+                    lo, hi = bounds
+                    scan = IndexRangeScan(index, lo, hi, rel.ref.alias)
+                    conjuncts = conjuncts[:pos] + conjuncts[pos + 1:]
+                    break
+        predicate = and_all(conjuncts)
+        if predicate is not None:
+            scan = Filter(scan, predicate)
+        return scan
+
+    # ------------------------------------------------------------------
+    def _join_relations(
+        self,
+        stmt: SelectStatement,
+        relations: list[_Relation],
+        remaining: list[Expr],
+    ) -> PlanNode:
+        plan = relations[0].scan
+        bound = {relations[0].ref.alias.lower()}
+        for join, rel in zip(stmt.joins, relations[1:]):
+            bound.add(rel.ref.alias.lower())
+            if join.kind == "cross":
+                plan = CrossJoin(plan, rel.scan)
+                continue
+            conjuncts = split_conjuncts(join.condition)
+            equi = None
+            residuals: list[Expr] = []
+            for conjunct in conjuncts:
+                if equi is None:
+                    pair = _equi_pair(conjunct, bound - {rel.ref.alias.lower()},
+                                      rel, relations)
+                    if pair is not None:
+                        equi = pair
+                        continue
+                residuals.append(conjunct)
+            if equi is not None:
+                left_key, right_key = equi
+                plan = HashJoin(plan, rel.scan, left_key, right_key,
+                                and_all(residuals), outer=(join.kind == "left"))
+            elif join.kind == "left":
+                raise SqlPlanError(
+                    "LEFT JOIN requires an equality condition on the ON clause"
+                )
+            else:
+                plan = NestedLoopJoin(plan, rel.scan, and_all(residuals))
+        predicate = and_all(remaining)
+        if predicate is not None:
+            plan = Filter(plan, predicate)
+        return plan
+
+    # ------------------------------------------------------------------
+    def _aggregate_and_project(
+        self, stmt: SelectStatement, plan: PlanNode
+    ) -> tuple[PlanNode, list[tuple[str, Expr]], list[tuple[Expr, bool]]]:
+        """Plan aggregation; returns (plan, projections, order keys).
+
+        The projections are *not* yet applied — the caller decides
+        whether a passthrough sort must happen in between.
+        """
+        # Collect aggregates across select items, HAVING and ORDER BY.
+        item_exprs = [item.expr for item in stmt.items if item.expr is not None]
+        aggregates: list[FuncCall] = []
+        for expr in item_exprs:
+            aggregates.extend(find_aggregates(expr))
+        if stmt.having is not None:
+            aggregates.extend(find_aggregates(stmt.having))
+        for order in stmt.order_by:
+            aggregates.extend(find_aggregates(order.expr))
+
+        needs_aggregation = bool(aggregates) or bool(stmt.group_by)
+        if not needs_aggregation:
+            if stmt.having is not None:
+                raise SqlPlanError("HAVING requires GROUP BY or aggregates")
+            outputs = self._expand_items(stmt, plan)
+            order_keys = [(o.expr, o.ascending) for o in stmt.order_by]
+            return plan, outputs, order_keys
+
+        if any(item.star for item in stmt.items):
+            raise SqlPlanError("SELECT * cannot be combined with aggregation")
+
+        # Deduplicate structurally identical aggregate calls.
+        unique: list[FuncCall] = []
+        for call in aggregates:
+            if call not in unique:
+                unique.append(call)
+        mapping: dict[Expr, Expr] = {}
+        specs: list[AggregateSpec] = []
+        for pos, call in enumerate(unique):
+            name = f"__agg{pos}"
+            argument = call.args[0] if call.args else None
+            specs.append(AggregateSpec(call.name.lower(), argument, name))
+            mapping[call] = ColumnRef(name)
+
+        group_names: list[tuple[str, Expr]] = []
+        for pos, key in enumerate(stmt.group_by):
+            name = f"__key{pos}"
+            group_names.append((name, key))
+            mapping[key] = ColumnRef(name)
+
+        plan = Aggregate(plan, group_names, specs)
+
+        if stmt.having is not None:
+            plan = Filter(plan, rewrite(stmt.having, mapping))
+
+        outputs: list[tuple[str, Expr]] = []
+        for pos, item in enumerate(stmt.items):
+            assert item.expr is not None
+            expr = rewrite(item.expr, mapping)
+            outputs.append((self._output_name(item, pos), expr))
+        order_keys = [
+            (rewrite(o.expr, mapping), o.ascending) for o in stmt.order_by
+        ]
+        return plan, outputs, order_keys
+
+    def _expand_items(
+        self, stmt: SelectStatement, plan: PlanNode
+    ) -> list[tuple[str, Expr]]:
+        outputs: list[tuple[str, Expr]] = []
+        relations = [stmt.source] + [j.table for j in stmt.joins]
+        for pos, item in enumerate(stmt.items):
+            if item.star:
+                refs = relations
+                if item.star_qualifier is not None:
+                    refs = [
+                        r for r in relations
+                        if r is not None and r.alias.lower() == item.star_qualifier.lower()
+                    ]
+                    if not refs:
+                        raise SqlPlanError(
+                            f"unknown alias '{item.star_qualifier}' in select *"
+                        )
+                for ref in refs:
+                    assert ref is not None
+                    for column in self._relation_columns(ref):
+                        outputs.append(
+                            (column.lower(), ColumnRef(column, ref.alias))
+                        )
+                continue
+            assert item.expr is not None
+            outputs.append((self._output_name(item, pos), item.expr))
+        # de-duplicate output names (joined tables may share column names)
+        seen: dict[str, int] = {}
+        deduped: list[tuple[str, Expr]] = []
+        for name, expr in outputs:
+            if name in seen:
+                seen[name] += 1
+                name = f"{name}_{seen[name]}"
+            else:
+                seen[name] = 0
+            deduped.append((name, expr))
+        return deduped
+
+    @staticmethod
+    def _output_name(item: SelectItem, position: int) -> str:
+        if item.alias:
+            return item.alias.lower()
+        if isinstance(item.expr, ColumnRef):
+            return item.expr.name.lower()
+        return f"col{position}"
+
+
+# ----------------------------------------------------------------------
+# pattern helpers
+# ----------------------------------------------------------------------
+def _literal_value(expr: Expr):
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, UnaryOp) and expr.op == "-" and isinstance(expr.operand, Literal):
+        return -expr.operand.value  # type: ignore[operator]
+    return None
+
+
+def _range_bounds(conjunct: Expr, key: str) -> tuple[object, object] | None:
+    """Match ``key BETWEEN lit AND lit`` (or = lit) for index range scans."""
+    if (
+        isinstance(conjunct, Between)
+        and isinstance(conjunct.value, ColumnRef)
+        and conjunct.value.name.lower() == key.lower()
+    ):
+        lo = _literal_value(conjunct.low)
+        hi = _literal_value(conjunct.high)
+        if lo is not None and hi is not None:
+            return lo, hi
+    if (
+        isinstance(conjunct, BinaryOp)
+        and conjunct.op == "="
+        and isinstance(conjunct.left, ColumnRef)
+        and conjunct.left.name.lower() == key.lower()
+    ):
+        value = _literal_value(conjunct.right)
+        if value is not None:
+            return value, value
+    return None
+
+
+def _equi_pair(
+    conjunct: Expr,
+    left_aliases: set[str],
+    right_rel: _Relation,
+    relations: list[_Relation],
+) -> tuple[Expr, Expr] | None:
+    """Match ``left_expr = right_expr`` split across the join boundary."""
+    if not (isinstance(conjunct, BinaryOp) and conjunct.op == "="):
+        return None
+
+    def side_of(expr: Expr) -> str | None:
+        aliases: set[str] = set()
+        for ref in expr.column_refs():
+            alias = Planner._resolve_alias(ref, relations)
+            if alias is None:
+                return None
+            aliases.add(alias)
+        if not aliases:
+            return None
+        if aliases <= left_aliases:
+            return "left"
+        if aliases == {right_rel.ref.alias.lower()}:
+            return "right"
+        return None
+
+    left_side = side_of(conjunct.left)
+    right_side = side_of(conjunct.right)
+    if left_side == "left" and right_side == "right":
+        return conjunct.left, conjunct.right
+    if left_side == "right" and right_side == "left":
+        return conjunct.right, conjunct.left
+    return None

@@ -1,0 +1,157 @@
+"""SQL text rendering: turn ASTs and expression trees back into SQL.
+
+Used for debugging (EXPLAIN-style output of rewritten predicates), for
+logging the statements CasJobs executes, and — most importantly — as a
+*consistency oracle*: the property test parses the printed text back
+and requires structural equality, which pins the parser and printer to
+one grammar.
+"""
+
+from __future__ import annotations
+
+from repro.engine.expressions import (
+    Between,
+    BinaryOp,
+    Case,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    Literal,
+    UnaryOp,
+)
+from repro.engine.sql.ast import (
+    JoinClause,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+    UnionStatement,
+)
+from repro.errors import SqlPlanError
+
+
+def literal_to_sql(value) -> str:
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def expr_to_sql(expr: Expr) -> str:
+    """Render an expression tree as (fully parenthesized) SQL."""
+    if isinstance(expr, Literal):
+        return literal_to_sql(expr.value)
+    if isinstance(expr, ColumnRef):
+        if expr.qualifier:
+            return f"{expr.qualifier}.{expr.name}"
+        return expr.name
+    if isinstance(expr, BinaryOp):
+        op = expr.op.upper() if expr.op.isalpha() else expr.op
+        return f"({expr_to_sql(expr.left)} {op} {expr_to_sql(expr.right)})"
+    if isinstance(expr, UnaryOp):
+        if expr.op.upper() == "NOT":
+            return f"(NOT {expr_to_sql(expr.operand)})"
+        return f"(- {expr_to_sql(expr.operand)})"
+    if isinstance(expr, Between):
+        return (
+            f"({expr_to_sql(expr.value)} BETWEEN {expr_to_sql(expr.low)} "
+            f"AND {expr_to_sql(expr.high)})"
+        )
+    if isinstance(expr, InList):
+        options = ", ".join(expr_to_sql(o) for o in expr.options)
+        return f"({expr_to_sql(expr.value)} IN ({options}))"
+    if isinstance(expr, Case):
+        parts = ["CASE"]
+        for condition, value in expr.whens:
+            parts.append(f"WHEN {expr_to_sql(condition)} "
+                         f"THEN {expr_to_sql(value)}")
+        if expr.default is not None:
+            parts.append(f"ELSE {expr_to_sql(expr.default)}")
+        parts.append("END")
+        return " ".join(parts)
+    if isinstance(expr, FuncCall):
+        if expr.name.lower() == "count" and not expr.args:
+            return "COUNT(*)"
+        if expr.name.lower() == "count_distinct":
+            return f"COUNT(DISTINCT {expr_to_sql(expr.args[0])})"
+        args = ", ".join(expr_to_sql(a) for a in expr.args)
+        return f"{expr.name.upper()}({args})"
+    raise SqlPlanError(f"cannot render {type(expr).__name__} as SQL")
+
+
+def _table_ref_to_sql(ref: TableRef) -> str:
+    if ref.is_subquery:
+        assert ref.subquery is not None
+        return f"({select_to_sql(ref.subquery)}) {ref.alias}"
+    if ref.is_function:
+        args = ", ".join(expr_to_sql(a) for a in (ref.function_args or ()))
+        return f"{ref.table}({args}) {ref.alias}"
+    if ref.alias != ref.table:
+        return f"{ref.table} {ref.alias}"
+    return ref.table
+
+
+def _item_to_sql(item: SelectItem) -> str:
+    if item.star:
+        return f"{item.star_qualifier}.*" if item.star_qualifier else "*"
+    assert item.expr is not None
+    text = expr_to_sql(item.expr)
+    if item.alias:
+        text += f" AS {item.alias}"
+    return text
+
+
+def _join_to_sql(join: JoinClause) -> str:
+    if join.kind == "cross":
+        return f"CROSS JOIN {_table_ref_to_sql(join.table)}"
+    assert join.condition is not None
+    keyword = "LEFT JOIN" if join.kind == "left" else "JOIN"
+    return (f"{keyword} {_table_ref_to_sql(join.table)} "
+            f"ON {expr_to_sql(join.condition)}")
+
+
+def select_to_sql(stmt: SelectStatement) -> str:
+    """Render a SELECT statement (one line, normalized spacing)."""
+    parts = ["SELECT"]
+    if stmt.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_item_to_sql(item) for item in stmt.items))
+    if stmt.source is not None:
+        parts.append("FROM")
+        parts.append(_table_ref_to_sql(stmt.source))
+        for join in stmt.joins:
+            parts.append(_join_to_sql(join))
+    if stmt.where is not None:
+        parts.append(f"WHERE {expr_to_sql(stmt.where)}")
+    if stmt.group_by:
+        parts.append(
+            "GROUP BY " + ", ".join(expr_to_sql(e) for e in stmt.group_by)
+        )
+    if stmt.having is not None:
+        parts.append(f"HAVING {expr_to_sql(stmt.having)}")
+    if stmt.order_by:
+        keys = ", ".join(
+            expr_to_sql(o.expr) + ("" if o.ascending else " DESC")
+            for o in stmt.order_by
+        )
+        parts.append(f"ORDER BY {keys}")
+    if stmt.limit is not None:
+        parts.append(f"LIMIT {stmt.limit}")
+        if stmt.offset is not None:
+            parts.append(f"OFFSET {stmt.offset}")
+    return " ".join(parts)
+
+
+def statement_to_sql(stmt) -> str:
+    """Render a SELECT or UNION statement."""
+    if isinstance(stmt, UnionStatement):
+        return " UNION ALL ".join(select_to_sql(s) for s in stmt.selects)
+    if isinstance(stmt, SelectStatement):
+        return select_to_sql(stmt)
+    raise SqlPlanError(
+        f"printing {type(stmt).__name__} is not supported"
+    )

@@ -1,0 +1,115 @@
+"""Execution statistics: the observables of Table 1.
+
+The paper reports, for every MaxBCG task, three numbers taken from SQL
+Server's execution statistics: **elapsed seconds**, **CPU seconds** and
+**I/O operations**.  This module defines the counters our engine
+maintains so the reproduction can report the same three columns:
+
+* :class:`IOCounters` — logical reads (buffer-pool requests), physical
+  reads (pool misses) and writes, incremented by the page layer;
+* :class:`TaskStats` — one task's (elapsed, cpu, io) triple;
+* :class:`TaskTimer` — a context manager that samples wall-clock and
+  process-CPU time around a task and snapshots the I/O counters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOCounters:
+    """Monotonic I/O counters, shared by a database's buffer pool."""
+
+    logical_reads: int = 0
+    physical_reads: int = 0
+    writes: int = 0
+
+    def snapshot(self) -> "IOCounters":
+        return IOCounters(self.logical_reads, self.physical_reads, self.writes)
+
+    def since(self, earlier: "IOCounters") -> "IOCounters":
+        """Counter deltas relative to an earlier snapshot."""
+        return IOCounters(
+            self.logical_reads - earlier.logical_reads,
+            self.physical_reads - earlier.physical_reads,
+            self.writes - earlier.writes,
+        )
+
+    @property
+    def total(self) -> int:
+        """Total I/O operations — the single "I/O" column of Table 1."""
+        return self.logical_reads + self.writes
+
+    def add(self, other: "IOCounters") -> None:
+        self.logical_reads += other.logical_reads
+        self.physical_reads += other.physical_reads
+        self.writes += other.writes
+
+
+@dataclass
+class TaskStats:
+    """Elapsed/CPU/I/O for one named task (one row of Table 1)."""
+
+    name: str
+    elapsed_s: float = 0.0
+    cpu_s: float = 0.0
+    io: IOCounters = field(default_factory=IOCounters)
+    rows: int = 0
+
+    @property
+    def io_ops(self) -> int:
+        return self.io.total
+
+    def merged_with(self, other: "TaskStats", name: str | None = None) -> "TaskStats":
+        """Sum of two task stats (used for 'total' rows)."""
+        merged = TaskStats(
+            name=name or self.name,
+            elapsed_s=self.elapsed_s + other.elapsed_s,
+            cpu_s=self.cpu_s + other.cpu_s,
+            rows=self.rows + other.rows,
+        )
+        merged.io.add(self.io)
+        merged.io.add(other.io)
+        return merged
+
+
+def sum_stats(name: str, parts: list[TaskStats]) -> TaskStats:
+    """Aggregate many task stats into one row."""
+    total = TaskStats(name=name)
+    for part in parts:
+        total.elapsed_s += part.elapsed_s
+        total.cpu_s += part.cpu_s
+        total.rows += part.rows
+        total.io.add(part.io)
+    return total
+
+
+class TaskTimer:
+    """Measure one task: ``with TaskTimer("spZone", counters) as t: ...``.
+
+    On exit, ``t.stats`` holds the elapsed wall-clock seconds, the CPU
+    seconds consumed by this process, and the I/O counter deltas observed
+    on the supplied :class:`IOCounters` during the block.
+    """
+
+    def __init__(self, name: str, counters: IOCounters | None = None):
+        self.stats = TaskStats(name=name)
+        self._counters = counters
+        self._io_before: IOCounters | None = None
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+
+    def __enter__(self) -> "TaskTimer":
+        if self._counters is not None:
+            self._io_before = self._counters.snapshot()
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stats.elapsed_s = time.perf_counter() - self._wall0
+        self.stats.cpu_s = time.process_time() - self._cpu0
+        if self._counters is not None and self._io_before is not None:
+            self.stats.io = self._counters.since(self._io_before)

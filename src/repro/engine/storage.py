@@ -1,0 +1,93 @@
+"""On-disk persistence of tables and databases.
+
+Two consumers need durable tables: the TAM comparison (whose whole point
+is that the baseline round-trips everything through files) and CasJobs
+MyDBs (per-user databases that outlive a session).  Format: one ``.npz``
+per table holding the column arrays, plus a tiny ``.schema`` JSON with
+column types and the primary key.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.database import Database
+from repro.engine.schema import Column, TableSchema
+from repro.engine.table import Table
+from repro.engine.types import ColumnType
+from repro.errors import EngineError
+
+
+def save_table(table: Table, directory: str | Path) -> Path:
+    """Write one table to ``<directory>/<name>.npz`` (+ ``.schema``)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    data_path = directory / f"{table.name.lower()}.npz"
+    columns = table.columns_dict()
+    # STRING columns are object arrays; store them as unicode for npz.
+    storable = {
+        name: (arr.astype(str) if arr.dtype == object else arr)
+        for name, arr in columns.items()
+    }
+    np.savez(data_path, **storable)
+    meta = {
+        "name": table.schema.name,
+        "columns": [
+            {"name": c.name, "type": c.type.value} for c in table.schema.columns
+        ],
+        "primary_key": table.schema.primary_key,
+    }
+    (directory / f"{table.name.lower()}.schema").write_text(json.dumps(meta))
+    return data_path
+
+
+def load_table(database: Database, directory: str | Path, name: str) -> Table:
+    """Load a saved table into a database (creating the table)."""
+    directory = Path(directory)
+    schema_path = directory / f"{name.lower()}.schema"
+    data_path = directory / f"{name.lower()}.npz"
+    if not schema_path.exists() or not data_path.exists():
+        raise EngineError(f"no saved table '{name}' in {directory}")
+    meta = json.loads(schema_path.read_text())
+    schema = TableSchema(
+        name=meta["name"],
+        columns=tuple(
+            Column(c["name"], ColumnType(c["type"])) for c in meta["columns"]
+        ),
+        primary_key=meta["primary_key"],
+    )
+    table = database.create_table_from_schema(schema)
+    with np.load(data_path, allow_pickle=False) as bundle:
+        columns = {}
+        for column in schema.columns:
+            arr = bundle[column.name.lower()]
+            if column.type is ColumnType.STRING:
+                arr = arr.astype(object)
+            columns[column.name.lower()] = arr
+    if next(iter(columns.values())).size:
+        table.insert(columns)
+    return table
+
+
+def save_database(database: Database, directory: str | Path) -> list[Path]:
+    """Persist every table of a database; returns the written paths."""
+    return [
+        save_table(database.table(name), directory)
+        for name in database.table_names()
+    ]
+
+
+def load_database(
+    directory: str | Path, name: str = "restored", pool_pages: int | None = None
+) -> Database:
+    """Restore a database from a directory of saved tables."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise EngineError(f"{directory} is not a directory")
+    database = Database(name) if pool_pages is None else Database(name, pool_pages)
+    for schema_path in sorted(directory.glob("*.schema")):
+        load_table(database, directory, schema_path.stem)
+    return database

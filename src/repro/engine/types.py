@@ -1,0 +1,85 @@
+"""Column types of the relational engine.
+
+Four storage types cover everything the paper's schema needs: SDSS
+``bigint`` object ids (INT64), ``float``/``real`` photometry (FLOAT64 —
+we deliberately keep one float width; SQL Server's real-vs-float split
+only mattered for 2004 disk budgets), booleans from predicates, and
+strings for names/labels in the CasJobs metadata tables.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+
+class ColumnType(Enum):
+    """Storage type of a column."""
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    BOOL = "bool"
+    STRING = "string"
+
+    @property
+    def numpy_dtype(self):
+        if self is ColumnType.STRING:
+            return np.dtype(object)
+        return np.dtype(self.value)
+
+    @property
+    def byte_width(self) -> int:
+        """Bytes per value, for page-size accounting."""
+        if self is ColumnType.STRING:
+            return 32  # modeled average; strings are metadata-only here
+        return int(np.dtype(self.value).itemsize)
+
+    def coerce(self, values) -> np.ndarray:
+        """Convert raw values to this type's canonical array form."""
+        if self is ColumnType.STRING:
+            arr = np.asarray(values, dtype=object)
+            return arr
+        try:
+            return np.asarray(values).astype(self.numpy_dtype, copy=False)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(f"cannot coerce values to {self.value}: {exc}") from exc
+
+
+#: SQL type-name spellings accepted by the parser, mapped to storage types.
+SQL_TYPE_NAMES = {
+    "bigint": ColumnType.INT64,
+    "int": ColumnType.INT64,
+    "integer": ColumnType.INT64,
+    "float": ColumnType.FLOAT64,
+    "real": ColumnType.FLOAT64,
+    "double": ColumnType.FLOAT64,
+    "bool": ColumnType.BOOL,
+    "boolean": ColumnType.BOOL,
+    "varchar": ColumnType.STRING,
+    "text": ColumnType.STRING,
+}
+
+
+def sql_type(name: str) -> ColumnType:
+    """Look up a SQL type name (case-insensitive); raises on unknown names."""
+    try:
+        return SQL_TYPE_NAMES[name.lower()]
+    except KeyError:
+        raise SchemaError(f"unknown SQL type '{name}'") from None
+
+
+def infer_type(values: np.ndarray) -> ColumnType:
+    """Infer a :class:`ColumnType` from a numpy array's dtype."""
+    arr = np.asarray(values)
+    if arr.dtype == np.dtype(object) or arr.dtype.kind in ("U", "S"):
+        return ColumnType.STRING
+    if arr.dtype.kind == "b":
+        return ColumnType.BOOL
+    if arr.dtype.kind in ("i", "u"):
+        return ColumnType.INT64
+    if arr.dtype.kind == "f":
+        return ColumnType.FLOAT64
+    raise SchemaError(f"cannot infer column type from dtype {arr.dtype}")

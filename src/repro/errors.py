@@ -1,0 +1,79 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class.  Subsystems raise the more specific
+subclasses below; the engine additionally distinguishes user errors
+(bad SQL, unknown tables) from internal invariant violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class RegionError(ReproError):
+    """A sky region is malformed (empty, inverted, or out of bounds)."""
+
+
+class CatalogError(ReproError):
+    """A galaxy catalog is missing required columns or is inconsistent."""
+
+
+class EngineError(ReproError):
+    """Base class for relational-engine errors."""
+
+
+class SchemaError(EngineError):
+    """A table schema is invalid, or data does not match its schema."""
+
+
+class TableNotFoundError(EngineError):
+    """A query referenced a table that does not exist in the database."""
+
+
+class ColumnNotFoundError(EngineError):
+    """An expression referenced a column that does not exist."""
+
+
+class SqlError(EngineError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class SqlPlanError(SqlError):
+    """The SQL statement parsed but could not be planned or executed."""
+
+
+class SpatialError(ReproError):
+    """A spatial-index operation failed (bad radius, bad level, ...)."""
+
+
+class GridError(ReproError):
+    """A grid-simulation operation failed (no matching node, bad job)."""
+
+
+class TamError(ReproError):
+    """The file-based TAM pipeline hit a malformed field or file."""
+
+
+class PartitionError(ReproError):
+    """Cluster partitioning produced an invalid or non-covering layout."""
+
+
+class CasJobsError(ReproError):
+    """CasJobs job management error (unknown job, permission denied, ...)."""

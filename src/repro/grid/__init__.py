@@ -1,0 +1,30 @@
+"""Grid substrate: Condor-like scheduling, transfers, virtual data."""
+
+from repro.grid.chimera import Derivation, Transformation, VirtualDataCatalog
+from repro.grid.chimera_maxbcg import build_maxbcg_dag, run_via_chimera
+from repro.grid.jobs import Job, JobState, field_job
+from repro.grid.resources import ClusterSpec, Node, sql_cluster, tam_cluster
+from repro.grid.scheduler import CondorScheduler, ScheduleResult
+from repro.grid.simulation import GridRunReport, simulate_tam_on_grid
+from repro.grid.transfer import TransferModel, wan_model
+
+__all__ = [
+    "ClusterSpec",
+    "CondorScheduler",
+    "Derivation",
+    "GridRunReport",
+    "Job",
+    "JobState",
+    "Node",
+    "ScheduleResult",
+    "Transformation",
+    "TransferModel",
+    "VirtualDataCatalog",
+    "build_maxbcg_dag",
+    "run_via_chimera",
+    "field_job",
+    "simulate_tam_on_grid",
+    "sql_cluster",
+    "tam_cluster",
+    "wan_model",
+]

@@ -1,0 +1,141 @@
+"""Chimera-style virtual data: derivations, provenance, lazy replay.
+
+The paper's baseline ran under "the Chimera Virtual Data System created
+by the Grid Physics Network (GriPhyN) project".  Chimera's idea: files
+are *derived data* — each is described by the transformation and inputs
+that produce it, so any file can be (re)materialized on demand and its
+provenance queried.  :class:`VirtualDataCatalog` implements that model
+over the TAM field pipeline: Target/Buffer files derive from the
+archive, Candidates files derive from (target, buffer), cluster files
+from candidate sets — a DAG the MaxBCG example walks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import GridError
+
+
+@dataclass(frozen=True)
+class Transformation:
+    """A named, versioned executable (Chimera's TR)."""
+
+    name: str
+    version: str = "1.0"
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}:{self.version}"
+
+
+@dataclass
+class Derivation:
+    """A call of a transformation producing logical files (Chimera's DV)."""
+
+    transformation: Transformation
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    parameters: dict = field(default_factory=dict)
+
+
+class VirtualDataCatalog:
+    """Logical-file DAG with provenance queries and lazy materialization."""
+
+    def __init__(self):
+        self._derivations: dict[str, Derivation] = {}  # output -> derivation
+        self._materialized: dict[str, object] = {}
+        self._executors: dict[str, Callable] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register_executor(self, transformation: Transformation, fn: Callable) -> None:
+        """Bind a Python callable to a transformation.
+
+        ``fn(inputs: dict[str, object], parameters: dict) ->
+        dict[str, object]`` mapping output logical names to values.
+        """
+        self._executors[transformation.key] = fn
+
+    def add_derivation(self, derivation: Derivation) -> None:
+        for output in derivation.outputs:
+            if output in self._derivations:
+                raise GridError(f"logical file '{output}' already has a derivation")
+            self._derivations[output] = derivation
+
+    def add_input_file(self, name: str, value: object) -> None:
+        """Register a raw (non-derived) file, e.g. the survey archive."""
+        self._materialized[name] = value
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def provenance(self, name: str) -> list[Derivation]:
+        """The derivation chain that produces a logical file (leaf first)."""
+        chain: list[Derivation] = []
+        seen: set[str] = set()
+
+        def visit(target: str) -> None:
+            derivation = self._derivations.get(target)
+            if derivation is None:
+                return  # raw input
+            key = ",".join(derivation.outputs)
+            if key in seen:
+                return
+            seen.add(key)
+            for upstream in derivation.inputs:
+                visit(upstream)
+            chain.append(derivation)
+
+        if name not in self._derivations and name not in self._materialized:
+            raise GridError(f"unknown logical file '{name}'")
+        visit(name)
+        return chain
+
+    def is_materialized(self, name: str) -> bool:
+        return name in self._materialized
+
+    def get(self, name: str) -> object:
+        if name not in self._materialized:
+            raise GridError(f"logical file '{name}' is not materialized")
+        return self._materialized[name]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def materialize(self, name: str) -> object:
+        """Produce a logical file, recursively materializing inputs.
+
+        Already-materialized files are reused (Chimera's caching), so a
+        second request for any derived product is free — the virtual
+        data selling point.
+        """
+        if name in self._materialized:
+            return self._materialized[name]
+        derivation = self._derivations.get(name)
+        if derivation is None:
+            raise GridError(f"no derivation produces '{name}'")
+        executor = self._executors.get(derivation.transformation.key)
+        if executor is None:
+            raise GridError(
+                f"no executor for transformation "
+                f"'{derivation.transformation.key}'"
+            )
+        inputs = {
+            upstream: self.materialize(upstream) for upstream in derivation.inputs
+        }
+        outputs = executor(inputs, derivation.parameters)
+        missing = [o for o in derivation.outputs if o not in outputs]
+        if missing:
+            raise GridError(
+                f"transformation '{derivation.transformation.key}' did not "
+                f"produce {missing}"
+            )
+        for output in derivation.outputs:
+            self._materialized[output] = outputs[output]
+        return self._materialized[name]
+
+    def materialized_count(self) -> int:
+        return len(self._materialized)

@@ -1,0 +1,72 @@
+"""Grid jobs: units of schedulable work with file dependencies."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import GridError
+
+
+class JobState(enum.Enum):
+    """Condor-style job lifecycle."""
+
+    IDLE = "idle"            # queued, waiting for a slot
+    TRANSFERRING = "transferring"  # input files in flight
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One grid job: compute demand plus input/output file traffic.
+
+    ``cpu_seconds`` is the job's cost on a *reference* CPU; the
+    scheduler scales it by the executing node's speed.  ``input_bytes``
+    are fetched from the archive before the job can start (the DAS
+    pattern), ``output_bytes`` shipped back after.
+    """
+
+    job_id: int
+    name: str
+    cpu_seconds: float
+    input_bytes: float = 0.0
+    output_bytes: float = 0.0
+    input_files: int = 0
+    ram_bytes: float = 0.0
+    state: JobState = JobState.IDLE
+    node: str | None = None
+    start_time: float | None = None
+    end_time: float | None = None
+    attempts: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cpu_seconds < 0 or self.input_bytes < 0 or self.output_bytes < 0:
+            raise GridError(f"job '{self.name}' has negative demands")
+
+    @property
+    def runtime_s(self) -> float | None:
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+
+def field_job(
+    job_id: int,
+    field_name: str,
+    cpu_seconds: float,
+    target_bytes: float,
+    buffer_bytes: float,
+    candidate_bytes: float = 0.0,
+) -> Job:
+    """A MaxBCG field task: two input files, one candidates output."""
+    return Job(
+        job_id=job_id,
+        name=f"maxbcg-{field_name}",
+        cpu_seconds=cpu_seconds,
+        input_bytes=target_bytes + buffer_bytes,
+        output_bytes=candidate_bytes,
+        input_files=2,
+        ram_bytes=target_bytes + buffer_bytes,
+    )

@@ -1,0 +1,102 @@
+"""Grid replay: run a measured TAM workload on simulated 2004 hardware.
+
+Connects the pieces: take the *measured* per-field costs of a real
+:class:`~repro.tam.runner.TamRunner` execution on this machine, convert
+them to reference-CPU job demands, and schedule them on any
+:class:`~repro.grid.resources.ClusterSpec` through the Condor
+simulation.  This is how Table 3's TAM rows are produced: the paper's
+own extrapolation rule (per-field cost × number of fields, linear) plus
+its hardware normalization (Table 2's CPU-speed factor), applied to
+workloads we actually ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GridError
+from repro.grid.jobs import Job, field_job
+from repro.grid.resources import ClusterSpec
+from repro.grid.scheduler import CondorScheduler, ScheduleResult
+from repro.grid.transfer import TransferModel
+from repro.tam.fields import ROW_BYTES
+from repro.tam.runner import TamRunResult
+
+
+@dataclass(frozen=True)
+class GridRunReport:
+    """Simulated grid execution of a TAM workload."""
+
+    schedule: ScheduleResult
+    n_fields: int
+    cluster_name: str
+
+    @property
+    def makespan_s(self) -> float:
+        return self.schedule.makespan_s
+
+    @property
+    def transfer_fraction(self) -> float:
+        total = self.schedule.transfer_s_total + self.schedule.compute_s_total
+        if total <= 0:
+            return 0.0
+        return self.schedule.transfer_s_total / total
+
+
+def jobs_from_tam_run(
+    result: TamRunResult,
+    reference_cpu_mhz: float,
+    host_cpu_mhz: float,
+) -> list[Job]:
+    """Convert measured field timings into reference-CPU grid jobs.
+
+    ``host_cpu_mhz`` is the effective speed of the machine the timings
+    were measured on; demands are rescaled so that a node of
+    ``reference_cpu_mhz`` would reproduce the measured times.
+    """
+    if host_cpu_mhz <= 0:
+        raise GridError("host CPU speed must be positive")
+    scale = host_cpu_mhz / reference_cpu_mhz
+    jobs = []
+    for timing, one_field in zip(result.timings, result.fields):
+        compute = (timing.process_s + timing.coalesce_s) * scale
+        jobs.append(
+            field_job(
+                job_id=timing.field_id,
+                field_name=one_field.name,
+                cpu_seconds=compute,
+                target_bytes=timing.n_target * ROW_BYTES,
+                buffer_bytes=timing.n_buffer * ROW_BYTES,
+                candidate_bytes=timing.n_candidates * ROW_BYTES,
+            )
+        )
+    return jobs
+
+
+def simulate_tam_on_grid(
+    result: TamRunResult,
+    cluster: ClusterSpec,
+    transfer: TransferModel | None = None,
+    reference_cpu_mhz: float = 2600.0,
+    host_cpu_mhz: float = 2600.0,
+    serialize_transfers: bool = True,
+) -> GridRunReport:
+    """Replay a measured TAM run on a simulated cluster.
+
+    ``serialize_transfers=True`` models the single shared archive link
+    (all nodes fetch from the same DAS), which is what throttles
+    file-based grids as clusters grow.
+    """
+    jobs = jobs_from_tam_run(result, reference_cpu_mhz, host_cpu_mhz)
+    scheduler = CondorScheduler(
+        cluster,
+        transfer or TransferModel(),
+        reference_cpu_mhz=reference_cpu_mhz,
+        serialize_transfers=serialize_transfers,
+    )
+    schedule = scheduler.run(jobs)
+    return GridRunReport(
+        schedule=schedule,
+        n_fields=len(result.fields),
+        cluster_name=cluster.name,
+    )

@@ -1,0 +1,53 @@
+"""Synthetic SDSS: cosmology, photometry, regions, sky generation."""
+
+from repro.skyserver.catalog import GALAXY_COLUMNS, GalaxyCatalog
+from repro.skyserver.cosmology import Cosmology, DEFAULT_COSMOLOGY
+from repro.skyserver.generator import (
+    ClusterTruth,
+    SkyConfig,
+    SkySimulator,
+    SyntheticSky,
+    make_sky,
+)
+from repro.skyserver.photometry import sigma_gr, sigma_ri
+from repro.skyserver.regions import (
+    DEMO_IMPORT,
+    DEMO_TARGET,
+    PAPER_BUFFER,
+    PAPER_IMPORT,
+    PAPER_TARGET,
+    RegionBox,
+    buffer_overhead,
+)
+
+__all__ = [
+    "ClusterTruth",
+    "Cosmology",
+    "DataArchiveServer",
+    "DEFAULT_COSMOLOGY",
+    "DEMO_IMPORT",
+    "DEMO_TARGET",
+    "GALAXY_COLUMNS",
+    "GalaxyCatalog",
+    "PAPER_BUFFER",
+    "PAPER_IMPORT",
+    "PAPER_TARGET",
+    "RegionBox",
+    "SkyConfig",
+    "SkySimulator",
+    "SyntheticSky",
+    "buffer_overhead",
+    "make_sky",
+    "sigma_gr",
+    "sigma_ri",
+]
+
+
+def __getattr__(name):
+    # DataArchiveServer pulls in repro.tam (which imports repro.core);
+    # resolve it lazily to keep the core <-> skyserver import DAG acyclic.
+    if name == "DataArchiveServer":
+        from repro.skyserver.das import DataArchiveServer
+
+        return DataArchiveServer
+    raise AttributeError(f"module 'repro.skyserver' has no attribute {name!r}")

@@ -1,0 +1,28 @@
+"""Spatial indexing: zones (the winner), HTM, and brute force."""
+
+from repro.spatial.conesearch import STRATEGIES, BruteForceIndex, build_index
+from repro.spatial.geometry import (
+    chord_distance_deg,
+    great_circle_distance_deg,
+    unit_vectors,
+)
+from repro.spatial.htm import HTMIndex, cone_cover, htm_id
+from repro.spatial.zonejoin import NeighborPairs, neighbor_counts, zone_join
+from repro.spatial.zones import ZoneIndex, zone_id
+
+__all__ = [
+    "BruteForceIndex",
+    "HTMIndex",
+    "NeighborPairs",
+    "STRATEGIES",
+    "ZoneIndex",
+    "build_index",
+    "chord_distance_deg",
+    "cone_cover",
+    "great_circle_distance_deg",
+    "htm_id",
+    "neighbor_counts",
+    "unit_vectors",
+    "zone_id",
+    "zone_join",
+]

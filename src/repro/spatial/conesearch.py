@@ -1,0 +1,85 @@
+"""Unified cone-search API over the three search strategies.
+
+The paper compares spatial access methods for the MaxBCG neighbor
+counts; this module gives them one interface so the pipeline, the tests
+and the ablation benchmark (`bench_ablation_spatial`) can swap
+strategies with a string:
+
+* ``"zone"``  — :class:`~repro.spatial.zones.ZoneIndex` (the winner);
+* ``"htm"``   — :class:`~repro.spatial.htm.HTMIndex` (the C-library
+  approach the paper moved away from);
+* ``"brute"`` — full-scan distance computation (ground truth for tests,
+  and the cost model of the TAM per-field kernel).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import DEFAULT_ZONE_HEIGHT_DEG
+from repro.errors import SpatialError
+from repro.spatial.geometry import (
+    chord_sq,
+    chord_sq_to_deg,
+    radius_to_chord_sq,
+    unit_vectors,
+)
+from repro.spatial.htm import HTMIndex
+from repro.spatial.zones import ZoneIndex
+
+#: Recognized strategy names.
+STRATEGIES = ("zone", "htm", "brute")
+
+
+class BruteForceIndex:
+    """No index at all: every query scans every object.
+
+    This is the cost model of the TAM implementation's in-RAM searches
+    ("each one searches the Buffer file") and the correctness oracle for
+    the indexed strategies.
+    """
+
+    def __init__(self, ra, dec):
+        self.ra = np.asarray(ra, dtype=np.float64)
+        self.dec = np.asarray(dec, dtype=np.float64)
+        if self.ra.shape != self.dec.shape or self.ra.ndim != 1:
+            raise SpatialError("ra and dec must be 1-D arrays of equal length")
+        self.cx, self.cy, self.cz = unit_vectors(self.ra, self.dec)
+
+    def __len__(self) -> int:
+        return int(self.ra.size)
+
+    def query(
+        self, ra: float, dec: float, radius_deg: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """All objects with chord distance strictly below the radius."""
+        if radius_deg < 0:
+            raise SpatialError("radius must be non-negative")
+        qx, qy, qz = unit_vectors(ra, dec)
+        c2 = chord_sq(self.cx, self.cy, self.cz, qx, qy, qz)
+        inside = c2 < radius_to_chord_sq(radius_deg)
+        hits = np.flatnonzero(inside)
+        return hits, chord_sq_to_deg(c2[hits])
+
+
+def build_index(
+    ra,
+    dec,
+    strategy: str = "zone",
+    zone_height_deg: float = DEFAULT_ZONE_HEIGHT_DEG,
+    htm_level: int = 10,
+):
+    """Build a cone-search index with the requested strategy.
+
+    All returned objects expose ``query(ra, dec, radius_deg) ->
+    (source_indices, distances_deg)`` and ``len()``.
+    """
+    if strategy == "zone":
+        return ZoneIndex(ra, dec, zone_height_deg)
+    if strategy == "htm":
+        return HTMIndex(ra, dec, htm_level)
+    if strategy == "brute":
+        return BruteForceIndex(ra, dec)
+    raise SpatialError(
+        f"unknown strategy '{strategy}'; expected one of {STRATEGIES}"
+    )

@@ -1,0 +1,188 @@
+"""Vectorized zone join: batched neighbor retrieval for many queries.
+
+The paper's Section 2.3 credits the zone strategy for the SQL speedup:
+"using relational algebra the algorithm performs the neighborhood
+searches by joining a Zone with itself and discarding those objects
+beyond some radius."  :func:`zone_join` is that relational self-join in
+array form: given a :class:`~repro.spatial.zones.ZoneIndex` over the
+catalog and arrays of query centers/radii, it produces the full
+``(query, neighbor, distance)`` pair list in a handful of vectorized
+passes — one per zone offset — instead of a per-object cursor loop.
+
+Semantics are identical to calling :meth:`ZoneIndex.query` once per
+query point (a property test asserts this); only the evaluation
+strategy differs.  This is the set-oriented kernel of the fast pipeline
+and the engine of the paper's ~40× win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SpatialError
+from repro.spatial.geometry import (
+    cap_ra_halfwidth,
+    chord_sq,
+    chord_sq_to_deg,
+    unit_vectors,
+)
+from repro.spatial.zones import ZoneIndex
+
+
+@dataclass(frozen=True)
+class NeighborPairs:
+    """Result of a batched neighbor search.
+
+    ``query_index[k]`` is a position in the caller's query arrays;
+    ``catalog_index[k]`` is a position in the arrays the
+    :class:`ZoneIndex` was built from; ``distance_deg[k]`` is the
+    chord-degree separation.  Pairs are in no guaranteed order.
+    """
+
+    query_index: np.ndarray
+    catalog_index: np.ndarray
+    distance_deg: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.query_index.size)
+
+    @staticmethod
+    def empty() -> "NeighborPairs":
+        return NeighborPairs(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+
+
+def _expand_ranges(starts: np.ndarray, stops: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Expand row ranges [start, stop) into (owner, row) pair arrays.
+
+    The standard "ragged ranges" trick: owner ``k`` contributes rows
+    ``starts[k] .. stops[k]-1``.
+    """
+    counts = stops - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    owners = np.repeat(np.arange(starts.size, dtype=np.int64), counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    rows = np.repeat(starts, counts) + offsets
+    return owners, rows
+
+
+def zone_join(
+    index: ZoneIndex,
+    query_ra,
+    query_dec,
+    radius_deg,
+    chunk_pairs: int = 4_000_000,
+) -> NeighborPairs:
+    """All (query, catalog) pairs within per-query radii.
+
+    Parameters
+    ----------
+    index:
+        Zone index over the catalog side of the join.
+    query_ra, query_dec:
+        Query centers in degrees (1-D arrays).
+    radius_deg:
+        Scalar or per-query array of search radii in degrees.
+    chunk_pairs:
+        Soft cap on intermediate candidate pairs per zone-offset pass;
+        purely a memory guard, does not change results.
+
+    Notes
+    -----
+    Candidate RA windows use the exact cap half-width (a superset of
+    the per-zone narrowed windows); the squared-chord test then applies
+    the paper's strict ``distance < r`` predicate, so results match
+    :meth:`ZoneIndex.query` row for row.
+    """
+    qra = np.asarray(query_ra, dtype=np.float64)
+    qdec = np.asarray(query_dec, dtype=np.float64)
+    if qra.shape != qdec.shape or qra.ndim != 1:
+        raise SpatialError("query ra and dec must be 1-D arrays of equal length")
+    radii = np.broadcast_to(
+        np.asarray(radius_deg, dtype=np.float64), qra.shape
+    ).copy()
+    if radii.size and radii.min() < 0:
+        raise SpatialError("search radii must be non-negative")
+    if qra.size == 0 or len(index) == 0:
+        return NeighborPairs.empty()
+
+    h = index.zone_height_deg
+    qzone = np.floor((qdec + 90.0) / h).astype(np.int64)
+    zone_lo = np.floor((np.maximum(qdec - radii, -90.0) + 90.0) / h).astype(np.int64)
+    zone_hi = np.floor((np.minimum(qdec + radii, 90.0) + 90.0) / h).astype(np.int64)
+    max_span = int(np.max(np.maximum(qzone - zone_lo, zone_hi - qzone)))
+
+    # Exact cap RA half-width per query (a superset of every zone's
+    # narrowed window; the chord test below restores exactness).
+    x = np.asarray(cap_ra_halfwidth(radii, qdec), dtype=np.float64)
+
+    qx, qy, qz = unit_vectors(qra, qdec)
+    r2 = 4.0 * np.sin(np.deg2rad(radii) / 2.0) ** 2
+    key = index._key  # sorted (zone, ra) composite key
+
+    out_q: list[np.ndarray] = []
+    out_c: list[np.ndarray] = []
+    out_d: list[np.ndarray] = []
+
+    for delta in range(-max_span, max_span + 1):
+        zone = qzone + delta
+        active = (zone >= zone_lo) & (zone <= zone_hi)
+        if not np.any(active):
+            continue
+        act = np.flatnonzero(active)
+        base = zone[act].astype(np.float64) * 512.0
+        lo = base + (qra[act] - x[act])
+        hi = base + (qra[act] + x[act])
+        starts = np.searchsorted(key, lo, side="left")
+        stops = np.searchsorted(key, hi, side="right")
+        # Process in chunks so pathological densities cannot blow memory.
+        pos = 0
+        counts = stops - starts
+        cum = np.cumsum(counts)
+        while pos < act.size:
+            end = int(
+                np.searchsorted(cum, (cum[pos - 1] if pos else 0) + chunk_pairs)
+            ) + 1
+            end = min(max(end, pos + 1), act.size)
+            owners, rows = _expand_ranges(starts[pos:end], stops[pos:end])
+            if rows.size:
+                q_ids = act[pos + owners]
+                c2 = chord_sq(
+                    index.cx[rows], index.cy[rows], index.cz[rows],
+                    qx[q_ids], qy[q_ids], qz[q_ids],
+                )
+                inside = c2 < r2[q_ids]
+                if np.any(inside):
+                    out_q.append(q_ids[inside])
+                    out_c.append(index.source_index[rows[inside]])
+                    out_d.append(chord_sq_to_deg(c2[inside]))
+            pos = end
+
+    if not out_q:
+        return NeighborPairs.empty()
+    return NeighborPairs(
+        np.concatenate(out_q),
+        np.concatenate(out_c),
+        np.concatenate(out_d),
+    )
+
+
+def neighbor_counts(
+    index: ZoneIndex, query_ra, query_dec, radius_deg
+) -> np.ndarray:
+    """Per-query neighbor counts (including self-matches if present)."""
+    pairs = zone_join(index, query_ra, query_dec, radius_deg)
+    n = np.asarray(query_ra).size
+    counts = np.zeros(n, dtype=np.int64)
+    if len(pairs):
+        np.add.at(counts, pairs.query_index, 1)
+    return counts

@@ -1,0 +1,27 @@
+"""The file-based baseline: TAM field files + Astrotools-style kernel."""
+
+from repro.tam.fields import (
+    FIELD_SIZE_DEG,
+    IDEAL_BUFFER_DEG,
+    TAM_BUFFER_DEG,
+    Field,
+    buffer_file_bytes,
+    neighbor_fields,
+    tile_fields,
+)
+from repro.tam.files import FileStore
+from repro.tam.runner import TamRunner, TamRunResult, run_tam
+
+__all__ = [
+    "FIELD_SIZE_DEG",
+    "Field",
+    "FileStore",
+    "IDEAL_BUFFER_DEG",
+    "TAM_BUFFER_DEG",
+    "TamRunResult",
+    "TamRunner",
+    "buffer_file_bytes",
+    "neighbor_fields",
+    "run_tam",
+    "tile_fields",
+]

@@ -1,0 +1,94 @@
+"""The flat-file store: TAM's (and Chimera's) data substrate.
+
+"As is common in astronomical file-based Grid applications, the TAM and
+Chimera implementations use hundreds of thousands of files fetched from
+the SDSS Data Archive Server (DAS) to the computing nodes."
+
+:class:`FileStore` plays the DAS: it materializes per-field Target,
+Buffer and Candidate files on real disk (one ``.npz`` per file, column
+arrays inside) and keeps the inventory statistics — file counts and
+bytes written/read — that the grid-transfer cost model consumes.  Going
+through an actual filesystem, not an in-memory dict, is deliberate: the
+baseline's cost structure *is* its file traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TamError
+from repro.skyserver.catalog import GALAXY_COLUMNS, GalaxyCatalog
+from repro.tam.fields import Field
+
+
+@dataclass
+class FileStoreStats:
+    """Traffic counters for one store."""
+
+    files_written: int = 0
+    files_read: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+
+
+class FileStore:
+    """Per-field flat files rooted at a directory."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = FileStoreStats()
+
+    # ------------------------------------------------------------------
+    def _path(self, field: Field, kind: str) -> Path:
+        if kind not in ("target", "buffer", "candidates"):
+            raise TamError(f"unknown file kind '{kind}'")
+        return self.root / f"{field.name}.{kind}.npz"
+
+    def write_catalog(self, field: Field, kind: str, catalog: GalaxyCatalog) -> Path:
+        """Write a galaxy catalog file for one field."""
+        path = self._path(field, kind)
+        np.savez(path, **catalog.as_columns())
+        self.stats.files_written += 1
+        self.stats.bytes_written += path.stat().st_size
+        return path
+
+    def read_catalog(self, field: Field, kind: str) -> GalaxyCatalog:
+        """Read a galaxy catalog file (counted as a DAS fetch)."""
+        path = self._path(field, kind)
+        if not path.exists():
+            raise TamError(f"missing {kind} file for field {field.field_id}")
+        self.stats.files_read += 1
+        self.stats.bytes_read += path.stat().st_size
+        with np.load(path) as bundle:
+            return GalaxyCatalog.from_columns(
+                {name: bundle[name] for name in GALAXY_COLUMNS}
+            )
+
+    # ------------------------------------------------------------------
+    def write_rows(self, field: Field, kind: str, rows: dict[str, np.ndarray]) -> Path:
+        """Write an arbitrary column bundle (candidate files)."""
+        path = self._path(field, kind)
+        np.savez(path, **rows)
+        self.stats.files_written += 1
+        self.stats.bytes_written += path.stat().st_size
+        return path
+
+    def read_rows(self, field: Field, kind: str) -> dict[str, np.ndarray]:
+        path = self._path(field, kind)
+        if not path.exists():
+            raise TamError(f"missing {kind} file for field {field.field_id}")
+        self.stats.files_read += 1
+        self.stats.bytes_read += path.stat().st_size
+        with np.load(path) as bundle:
+            return {name: bundle[name] for name in bundle.files}
+
+    def has_file(self, field: Field, kind: str) -> bool:
+        return self._path(field, kind).exists()
+
+    def file_count(self) -> int:
+        """Files currently in the store (the DAS inventory size)."""
+        return sum(1 for _ in self.root.glob("*.npz"))

@@ -1,0 +1,180 @@
+"""The TAM driver: stage files, process fields, pick clusters.
+
+Mirrors the end-to-end life of the file-based implementation:
+
+1. **Stage** — cut per-field Target and Buffer files out of the survey
+   catalog and write them to the :class:`~repro.tam.files.FileStore`
+   (the DAS fetch the grid later prices with its transfer model);
+2. **Process** — per field: read the two files back from disk, run the
+   Astrotools kernel, write the field's Candidates file (C);
+3. **Coalesce** — per field: read the field's own candidates plus its
+   neighbors' (the BufferC compilation) and pick cluster centers.
+
+Timing is recorded per field so the grid simulation can replay the run
+on arbitrary cluster hardware, and so Table 3 can extrapolate — the
+paper's own rule: "TAM performance is expected to scale lineally with
+the number of fields."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import MaxBCGConfig
+from repro.core.kcorrection import KCorrectionTable
+from repro.core.results import CandidateCatalog, ClusterCatalog
+from repro.engine.stats import TaskTimer
+from repro.errors import TamError
+from repro.skyserver.catalog import GalaxyCatalog
+from repro.skyserver.regions import RegionBox
+from repro.tam.astrotools import pick_field_clusters, process_field
+from repro.tam.fields import Field, neighbor_fields, tile_fields
+from repro.tam.files import FileStore, FileStoreStats
+
+
+@dataclass
+class FieldTiming:
+    """Wall-clock cost of one field, split by phase."""
+
+    field_id: int
+    stage_s: float = 0.0
+    process_s: float = 0.0
+    coalesce_s: float = 0.0
+    n_target: int = 0
+    n_buffer: int = 0
+    n_candidates: int = 0
+
+    @property
+    def total_s(self) -> float:
+        return self.stage_s + self.process_s + self.coalesce_s
+
+
+@dataclass
+class TamRunResult:
+    """Science output + cost profile of a full TAM run."""
+
+    candidates: CandidateCatalog
+    clusters: ClusterCatalog
+    timings: list[FieldTiming]
+    file_stats: FileStoreStats
+    fields: list[Field]
+
+    @property
+    def elapsed_s(self) -> float:
+        """Total single-CPU wall-clock (the paper's 1000 s/field regime)."""
+        return sum(t.total_s for t in self.timings)
+
+    @property
+    def mean_field_s(self) -> float:
+        if not self.timings:
+            return 0.0
+        return self.elapsed_s / len(self.timings)
+
+    def per_field_seconds(self) -> np.ndarray:
+        return np.asarray([t.total_s for t in self.timings])
+
+
+class TamRunner:
+    """Sequential single-CPU TAM execution over a target region."""
+
+    def __init__(
+        self,
+        kcorr: KCorrectionTable,
+        config: MaxBCGConfig,
+        store: FileStore,
+        field_size: float = 0.5,
+    ):
+        self.kcorr = kcorr
+        self.config = config
+        self.store = store
+        self.field_size = field_size
+
+    # ------------------------------------------------------------------
+    def stage(self, catalog: GalaxyCatalog, target: RegionBox) -> list[Field]:
+        """Cut and write every field's Target and Buffer files."""
+        fields = tile_fields(
+            target, self.field_size, buffer_margin=self.config.buffer_deg
+        )
+        for one_field in fields:
+            self.store.write_catalog(
+                one_field, "target", catalog.select_region(one_field.target)
+            )
+            self.store.write_catalog(
+                one_field, "buffer", catalog.select_region(one_field.buffer)
+            )
+        return fields
+
+    def process_one(self, one_field: Field, timing: FieldTiming) -> CandidateCatalog:
+        """Read a field's files, run the kernel, write its C file."""
+        with TaskTimer(f"field{one_field.field_id}") as timer:
+            target_catalog = self.store.read_catalog(one_field, "target")
+            buffer_catalog = self.store.read_catalog(one_field, "buffer")
+            candidates = process_field(
+                target_catalog, buffer_catalog, self.kcorr, self.config
+            )
+            self.store.write_rows(one_field, "candidates", candidates.as_columns())
+        timing.process_s = timer.stats.elapsed_s
+        timing.n_target = len(target_catalog)
+        timing.n_buffer = len(buffer_catalog)
+        timing.n_candidates = len(candidates)
+        return candidates
+
+    def coalesce_one(self, fields: list[Field], one_field: Field,
+                     timing: FieldTiming) -> ClusterCatalog:
+        """Pick the field's cluster centers using the BufferC compilation."""
+        with TaskTimer(f"coalesce{one_field.field_id}") as timer:
+            own = CandidateCatalog(
+                **self.store.read_rows(one_field, "candidates")
+            )
+            rivals = own
+            for neighbor in neighbor_fields(fields, one_field):
+                neighbor_rows = self.store.read_rows(neighbor, "candidates")
+                rivals = rivals.concat(CandidateCatalog(**neighbor_rows))
+            clusters = pick_field_clusters(
+                own, rivals, one_field.target, self.kcorr, self.config
+            )
+        timing.coalesce_s = timer.stats.elapsed_s
+        return clusters
+
+    # ------------------------------------------------------------------
+    def run(self, catalog: GalaxyCatalog, target: RegionBox) -> TamRunResult:
+        """Full sequential run: stage, process all fields, coalesce all."""
+        with TaskTimer("stage") as stage_timer:
+            fields = self.stage(catalog, target)
+        if not fields:
+            raise TamError("target region produced no fields")
+        stage_each = stage_timer.stats.elapsed_s / len(fields)
+
+        timings = [FieldTiming(f.field_id, stage_s=stage_each) for f in fields]
+        candidates = CandidateCatalog.empty()
+        for one_field, timing in zip(fields, timings):
+            candidates = candidates.concat(self.process_one(one_field, timing))
+
+        clusters = CandidateCatalog.empty()
+        for one_field, timing in zip(fields, timings):
+            clusters = clusters.concat(
+                self.coalesce_one(fields, one_field, timing)
+            )
+
+        return TamRunResult(
+            candidates=candidates.sort_by_objid(),
+            clusters=clusters.sort_by_objid(),
+            timings=timings,
+            file_stats=self.store.stats,
+            fields=fields,
+        )
+
+
+def run_tam(
+    catalog: GalaxyCatalog,
+    target: RegionBox,
+    kcorr: KCorrectionTable,
+    config: MaxBCGConfig,
+    workdir: str | Path,
+) -> TamRunResult:
+    """Convenience wrapper: build a store + runner and execute."""
+    runner = TamRunner(kcorr, config, FileStore(workdir))
+    return runner.run(catalog, target)

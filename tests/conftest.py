@@ -1,0 +1,69 @@
+"""Shared fixtures: one small deterministic sky for the whole suite.
+
+Expensive objects (k-correction tables, synthetic skies, pipeline runs)
+are session-scoped so dozens of test modules can assert against them
+without regenerating anything.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import MaxBCGConfig, fast_config
+from repro.core.kcorrection import build_kcorrection_table
+from repro.core.pipeline import run_maxbcg
+from repro.skyserver.generator import SkyConfig, SkySimulator
+from repro.skyserver.regions import RegionBox
+
+
+@pytest.fixture(scope="session")
+def config() -> MaxBCGConfig:
+    """Coarse-grid configuration used by most tests."""
+    return fast_config()
+
+
+@pytest.fixture(scope="session")
+def kcorr(config):
+    return build_kcorrection_table(config)
+
+
+@pytest.fixture(scope="session")
+def target_region() -> RegionBox:
+    return RegionBox(180.0, 182.0, 0.0, 2.0)
+
+
+@pytest.fixture(scope="session")
+def import_region(target_region) -> RegionBox:
+    return target_region.expand(1.0)
+
+
+@pytest.fixture(scope="session")
+def sky(kcorr, config, import_region):
+    """~15k galaxies, ~100 injected clusters, fixed seed."""
+    simulator = SkySimulator(
+        kcorr,
+        config,
+        SkyConfig(field_density=700.0, cluster_density=9.0, seed=42),
+    )
+    return simulator.generate(import_region)
+
+
+@pytest.fixture(scope="session")
+def pipeline_result(sky, target_region, kcorr, config):
+    """One full single-node pipeline run shared by the result-shape tests."""
+    return run_maxbcg(sky.catalog, target_region, kcorr, config)
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20050101)
+
+
+@pytest.fixture(scope="session")
+def scatter_points(rng):
+    """Generic (ra, dec) point cloud for spatial-index tests."""
+    n = 4000
+    ra = rng.uniform(170.0, 190.0, n)
+    dec = rng.uniform(-6.0, 8.0, n)
+    return ra, dec

@@ -1,0 +1,59 @@
+"""The bench-report formatting helpers."""
+
+import pytest
+
+from repro.bench.reporting import ShapeCheck, format_table, print_report
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            "demo", ["name", "value"],
+            [["alpha", 1], ["b", 123456]],
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1] == "----"
+        assert "name" in lines[2] and "value" in lines[2]
+        assert "123,456" in text  # thousands separators on ints
+
+    def test_float_formats(self):
+        text = format_table("t", ["v"], [[0.123456], [12.34], [12345.6]])
+        assert "0.123" in text
+        assert "12.3" in text
+        assert "12,346" in text
+
+    def test_empty_rows(self):
+        text = format_table("t", ["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_zero(self):
+        assert "0" in format_table("t", ["v"], [[0.0]])
+
+
+class TestShapeCheck:
+    def test_ok_line(self):
+        check = ShapeCheck("claim", "x", "y", True)
+        assert check.line().startswith("[OK ]")
+        assert "paper=x" in check.line()
+
+    def test_fail_line(self):
+        assert ShapeCheck("claim", "x", "y", False).line().startswith("[FAIL]")
+
+
+class TestPrintReport:
+    def test_prints_everything(self, capsys):
+        print_report(
+            "My Bench",
+            [format_table("t", ["a"], [[1]])],
+            [ShapeCheck("c", "p", "m", True)],
+        )
+        out = capsys.readouterr().out
+        assert "My Bench" in out
+        assert "Shape checks" in out
+        assert "[OK ]" in out
+
+    def test_no_checks_section_when_empty(self, capsys):
+        print_report("Bench", [], [])
+        out = capsys.readouterr().out
+        assert "Shape checks" not in out

@@ -1,0 +1,62 @@
+"""Benchmark workload definitions."""
+
+import pytest
+
+from repro.bench.workloads import (
+    SCALE_ENV,
+    WORKLOADS,
+    active_scale,
+    active_workload,
+    kcorr_for,
+    sky_for,
+)
+from repro.errors import ConfigError
+
+
+class TestDefinitions:
+    def test_three_scales(self):
+        assert set(WORKLOADS) == {"small", "medium", "paper"}
+
+    def test_paper_scale_matches_paper(self):
+        paper = WORKLOADS["paper"]
+        assert paper.target.flat_area() == pytest.approx(66.0)
+        assert paper.field_density == 14_000.0
+        assert paper.sql.z_step == 0.001
+        assert paper.tam.z_step == 0.01
+        assert paper.tam.buffer_deg == 0.25
+
+    def test_import_region_covers_both_configs(self):
+        for workload in WORKLOADS.values():
+            need = 2 * max(workload.sql.buffer_deg, workload.tam.buffer_deg)
+            assert workload.import_region.contains_box(
+                workload.target.expand(need)
+            )
+
+
+class TestSelection:
+    def test_default_scale_small(self, monkeypatch):
+        monkeypatch.delenv(SCALE_ENV, raising=False)
+        assert active_scale() == "small"
+        assert active_workload().name == "small"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV, "medium")
+        assert active_workload().name == "medium"
+
+    def test_invalid_scale(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV, "galactic")
+        with pytest.raises(ConfigError):
+            active_scale()
+
+
+class TestCaching:
+    def test_kcorr_cached(self):
+        workload = WORKLOADS["small"]
+        assert kcorr_for(workload.sql) is kcorr_for(workload.sql)
+
+    def test_sky_cached_and_deterministic(self):
+        workload = WORKLOADS["small"]
+        a = sky_for(workload)
+        b = sky_for(workload)
+        assert a is b
+        assert a.n_galaxies > 1000

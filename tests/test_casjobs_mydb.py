@@ -1,0 +1,68 @@
+"""MyDB: personal databases with quotas."""
+
+import numpy as np
+import pytest
+
+from repro.casjobs.mydb import MyDB
+from repro.errors import CasJobsError
+
+
+@pytest.fixture()
+def mydb():
+    return MyDB("alice", quota_rows=100)
+
+
+class TestUploadDownload:
+    def test_roundtrip(self, mydb):
+        mydb.upload("stars", {"objid": np.array([1, 2]), "mag": np.array([1.5, 2.5])})
+        back = mydb.download("stars")
+        assert back["objid"].tolist() == [1, 2]
+
+    def test_quota_enforced(self, mydb):
+        with pytest.raises(CasJobsError):
+            mydb.upload("big", {"x": np.arange(101)})
+
+    def test_quota_cumulative(self, mydb):
+        mydb.upload("a", {"x": np.arange(60)})
+        with pytest.raises(CasJobsError):
+            mydb.upload("b", {"x": np.arange(60)})
+
+    def test_drop_frees_quota(self, mydb):
+        mydb.upload("a", {"x": np.arange(60)})
+        mydb.drop("a")
+        mydb.upload("b", {"x": np.arange(60)})  # fits again
+
+    def test_store_result(self, mydb):
+        mydb.upload("src", {"x": np.arange(10)})
+        result = mydb.database.sql("SELECT x FROM src WHERE x > 5")
+        mydb.store_result("filtered", result)
+        assert mydb.database.table("filtered").row_count == 4
+
+    def test_store_result_replaces(self, mydb):
+        mydb.upload("src", {"x": np.arange(10)})
+        result = mydb.database.sql("SELECT x FROM src")
+        mydb.store_result("out", result)
+        mydb.store_result("out", result)  # no duplicate-table error
+        assert mydb.database.table("out").row_count == 10
+
+
+class TestInfo:
+    def test_info(self, mydb):
+        mydb.upload("t", {"x": np.arange(5)})
+        info = mydb.info()
+        assert info.owner == "alice"
+        assert info.tables == ["t"]
+        assert info.rows_used == 5
+        assert info.quota_rows == 100
+
+    def test_validation(self):
+        with pytest.raises(CasJobsError):
+            MyDB("")
+        with pytest.raises(CasJobsError):
+            MyDB("bob", quota_rows=0)
+
+    def test_sql_ddl_inside_mydb(self, mydb):
+        # "CasJobs allows creating new tables, indexes, and stored procedures"
+        mydb.database.sql("CREATE TABLE notes (objid bigint, score float)")
+        mydb.database.sql("INSERT INTO notes VALUES (1, 0.5)")
+        assert mydb.rows_used() == 1

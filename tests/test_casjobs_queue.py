@@ -1,0 +1,120 @@
+"""The batch job queue."""
+
+import pytest
+
+import time
+
+from repro.casjobs.queue import JobQueue, JobStatus, QueueClass
+from repro.errors import CasJobsError
+
+
+@pytest.fixture()
+def queue():
+    return JobQueue()
+
+
+class TestLifecycle:
+    def test_submit_assigns_ids(self, queue):
+        a = queue.submit("alice", "SELECT 1", "dr1")
+        b = queue.submit("bob", "SELECT 2", "dr1")
+        assert a.job_id != b.job_id
+        assert queue.pending_count() == 2
+
+    def test_fifo_execution(self, queue):
+        queue.submit("alice", "first", "dr1")
+        queue.submit("alice", "second", "dr1")
+        executed = []
+        queue.drain(lambda job: executed.append(job.query))
+        assert executed == ["first", "second"]
+
+    def test_success_records_result_and_times(self, queue):
+        job = queue.submit("alice", "q", "dr1")
+        queue.run_next(lambda j: 42)
+        assert job.status is JobStatus.FINISHED
+        assert job.result == 42
+        assert job.queue_seconds is not None
+        assert job.run_seconds is not None
+
+    def test_failure_isolated(self, queue):
+        queue.submit("alice", "bad", "dr1")
+        good = queue.submit("alice", "good", "dr1")
+
+        def executor(job):
+            if job.query == "bad":
+                raise ValueError("boom")
+            return "ok"
+
+        assert queue.drain(executor) == 2
+        assert queue.get(1).status is JobStatus.FAILED
+        assert "boom" in queue.get(1).error
+        assert good.status is JobStatus.FINISHED
+
+    def test_run_next_idle(self, queue):
+        assert queue.run_next(lambda j: None) is None
+
+
+class TestCancellation:
+    def test_cancel_queued(self, queue):
+        job = queue.submit("alice", "q", "dr1")
+        queue.cancel(job.job_id)
+        assert job.status is JobStatus.CANCELLED
+        assert queue.drain(lambda j: 1) == 0
+
+    def test_cannot_cancel_finished(self, queue):
+        job = queue.submit("alice", "q", "dr1")
+        queue.drain(lambda j: 1)
+        with pytest.raises(CasJobsError):
+            queue.cancel(job.job_id)
+
+
+class TestQueueClasses:
+    def test_default_is_long(self, queue):
+        job = queue.submit("alice", "q", "dr1")
+        assert job.queue_class is QueueClass.LONG
+
+    def test_budgets(self):
+        assert QueueClass.QUICK.budget_seconds == 60.0
+        assert QueueClass.LONG.budget_seconds == 8 * 3600.0
+
+    def test_quick_within_budget_succeeds(self, queue):
+        job = queue.submit("alice", "q", "dr1", queue_class=QueueClass.QUICK)
+        queue.run_next(lambda j: "fast")
+        assert job.status is JobStatus.FINISHED
+
+    def test_quick_over_budget_killed(self, queue, monkeypatch):
+        job = queue.submit("alice", "slow", "dr1",
+                           queue_class=QueueClass.QUICK)
+        # simulate a 2-minute execution without sleeping
+        clock = iter([1000.0, 1120.0])
+        monkeypatch.setattr(time, "time", lambda: next(clock, 1120.0))
+        queue.run_next(lambda j: "too slow")
+        assert job.status is JobStatus.FAILED
+        assert "resubmit" in job.error
+        assert job.result is None
+
+    def test_long_tolerates_same_duration(self, queue, monkeypatch):
+        job = queue.submit("alice", "slow", "dr1",
+                           queue_class=QueueClass.LONG)
+        clock = iter([1000.0, 1120.0])
+        monkeypatch.setattr(time, "time", lambda: next(clock, 1120.0))
+        queue.run_next(lambda j: "ok")
+        assert job.status is JobStatus.FINISHED
+
+
+class TestViews:
+    def test_jobs_of(self, queue):
+        queue.submit("alice", "a", "dr1")
+        queue.submit("bob", "b", "dr1")
+        queue.submit("alice", "c", "dr1")
+        assert len(queue.jobs_of("alice")) == 2
+
+    def test_unknown_job(self, queue):
+        with pytest.raises(CasJobsError):
+            queue.get(99)
+
+    def test_terminal_states(self):
+        assert JobStatus.FINISHED.is_terminal
+        assert JobStatus.FAILED.is_terminal
+        assert JobStatus.CANCELLED.is_terminal
+        assert not JobStatus.SUBMITTED.is_terminal
+        assert not JobStatus.EXECUTING.is_terminal

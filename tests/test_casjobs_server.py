@@ -1,0 +1,113 @@
+"""The CasJobs service: contexts, batch queries, groups."""
+
+import numpy as np
+import pytest
+
+from repro.casjobs.queue import JobStatus
+from repro.casjobs.server import CasJobsService
+from repro.engine.database import Database
+from repro.errors import CasJobsError
+
+
+@pytest.fixture()
+def service():
+    svc = CasJobsService("skyserver")
+    catalog = Database("dr1")
+    catalog.create_table(
+        "galaxy",
+        {"objid": np.arange(10), "i": np.linspace(15.0, 20.0, 10)},
+        primary_key="objid",
+    )
+    svc.add_context("dr1", catalog)
+    svc.register_user("alice")
+    svc.register_user("bob")
+    return svc
+
+
+class TestQueries:
+    def test_submit_and_fetch(self, service):
+        job = service.submit("alice", "SELECT COUNT(*) AS c FROM galaxy", "dr1")
+        service.process_queue()
+        result = service.fetch("alice", job.job_id)
+        assert result.scalar() == 10
+
+    def test_output_into_mydb(self, service):
+        job = service.submit(
+            "alice", "SELECT objid, i FROM galaxy WHERE i < 17", "dr1",
+            output_table="bright",
+        )
+        service.process_queue()
+        assert service.mydb("alice").database.table("bright").row_count == 4
+        assert service.fetch("alice", job.job_id).row_count == 4
+
+    def test_query_against_mydb(self, service):
+        service.mydb("alice").upload("mine", {"x": np.arange(5)})
+        job = service.submit("alice", "SELECT COUNT(*) AS c FROM mine", "mydb")
+        service.process_queue()
+        assert service.fetch("alice", job.job_id).scalar() == 5
+
+    def test_failed_query_recorded(self, service):
+        job = service.submit("alice", "SELECT * FROM nope", "dr1")
+        service.process_queue()
+        assert service.queue.get(job.job_id).status is JobStatus.FAILED
+        with pytest.raises(CasJobsError, match="failed"):
+            service.fetch("alice", job.job_id)
+
+    def test_jobs_are_private(self, service):
+        job = service.submit("alice", "SELECT COUNT(*) AS c FROM galaxy", "dr1")
+        service.process_queue()
+        with pytest.raises(CasJobsError):
+            service.fetch("bob", job.job_id)
+
+    def test_unknown_context(self, service):
+        with pytest.raises(CasJobsError):
+            service.submit("alice", "SELECT 1", "dr9")
+
+    def test_unregistered_user(self, service):
+        with pytest.raises(CasJobsError):
+            service.submit("mallory", "SELECT 1", "dr1")
+
+
+class TestAdministration:
+    def test_duplicate_context(self, service):
+        with pytest.raises(CasJobsError):
+            service.add_context("dr1", Database("again"))
+
+    def test_duplicate_user(self, service):
+        with pytest.raises(CasJobsError):
+            service.register_user("alice")
+
+
+class TestGroups:
+    def test_share_and_read(self, service):
+        service.mydb("alice").upload("clusters", {"objid": np.array([1, 2])})
+        service.create_group("collab", "alice")
+        service.join_group("collab", "bob")
+        service.share_table("alice", "clusters", "collab")
+        shared = service.read_shared("bob", "collab", "alice", "clusters")
+        assert shared["objid"].tolist() == [1, 2]
+
+    def test_non_member_cannot_read(self, service):
+        service.mydb("alice").upload("t", {"x": np.array([1])})
+        service.create_group("collab", "alice")
+        service.share_table("alice", "t", "collab")
+        with pytest.raises(CasJobsError):
+            service.read_shared("bob", "collab", "alice", "t")
+
+    def test_unshared_table_not_readable(self, service):
+        service.mydb("alice").upload("t", {"x": np.array([1])})
+        service.create_group("collab", "alice")
+        service.join_group("collab", "bob")
+        with pytest.raises(CasJobsError):
+            service.read_shared("bob", "collab", "alice", "t")
+
+    def test_non_member_cannot_share(self, service):
+        service.mydb("bob").upload("t", {"x": np.array([1])})
+        service.create_group("collab", "alice")
+        with pytest.raises(CasJobsError):
+            service.share_table("bob", "t", "collab")
+
+    def test_duplicate_group(self, service):
+        service.create_group("g", "alice")
+        with pytest.raises(CasJobsError):
+            service.create_group("g", "bob")

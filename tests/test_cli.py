@@ -1,0 +1,85 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def small_args(*extra):
+    return [
+        "--target", "180.2,181.0,0.2,1.0",
+        "--density", "250", "--clusters", "8", "--seed", "4",
+        "--z-step", "0.01",
+        *extra,
+    ]
+
+
+class TestRun:
+    def test_run_reports(self, capsys):
+        assert main(["run", *small_args()]) == 0
+        out = capsys.readouterr().out
+        assert "candidates:" in out
+        assert "fBCGCandidate" in out
+
+    def test_run_cursor_method(self, capsys):
+        assert main(["run", *small_args(), "--method", "cursor"]) == 0
+
+    def test_run_with_members(self, capsys):
+        assert main(["run", *small_args(), "--members"]) == 0
+        assert "member links:" in capsys.readouterr().out
+
+
+class TestPartition:
+    def test_partition_checks_invariant(self, capsys):
+        assert main(["partition", *small_args(), "--servers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "invariant OK" in out
+        assert "speedup" in out
+
+
+class TestCompare:
+    def test_compare_sql_wins(self, capsys):
+        assert main(["compare", *small_args()]) == 0
+        out = capsys.readouterr().out
+        assert "TAM" in out and "SQL" in out and "speedup" in out
+
+
+class TestSql:
+    def test_execute_statement(self, capsys):
+        code = main([
+            "sql", *small_args(),
+            "-e", "SELECT COUNT(*) AS n FROM galaxy_source",
+        ])
+        assert code == 0
+        assert "n" in capsys.readouterr().out
+
+    def test_script_file(self, tmp_path, capsys):
+        script = tmp_path / "demo.sql"
+        script.write_text(
+            "EXEC spImportGalaxy 179, 182, -1, 2;\n"
+            "EXEC spZone;\n"
+            "SELECT COUNT(*) AS n FROM Galaxy;\n"
+        )
+        assert main(["sql", *small_args(), "--script", str(script)]) == 0
+
+    def test_bad_region_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--target", "not-a-box"])
+
+
+class TestAnalyze:
+    def test_explain_analyze_output(self, capsys):
+        code = main([
+            "analyze", *small_args(),
+            "-e", "SELECT COUNT(*) AS c FROM Galaxy WHERE i < 18",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rows=" in out and "total:" in out
+
+
+class TestWorkloads:
+    def test_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "small" in out and "paper" in out

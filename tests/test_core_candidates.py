@@ -1,0 +1,131 @@
+"""Candidate generation: cursor vs vectorized parity and semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import (
+    evaluate_galaxy,
+    find_candidates_cursor,
+    find_candidates_vectorized,
+)
+from repro.errors import CatalogError
+from repro.skyserver.regions import RegionBox
+from repro.spatial.conesearch import BruteForceIndex
+from repro.spatial.zones import ZoneIndex
+
+
+@pytest.fixture(scope="module")
+def small_setup(sky, config):
+    catalog = sky.catalog
+    index = ZoneIndex(catalog.ra, catalog.dec, config.zone_height_deg)
+    region = RegionBox(180.5, 181.5, 0.5, 1.5)
+    eval_rows = np.flatnonzero(region.contains(catalog.ra, catalog.dec))
+    return catalog, index, eval_rows
+
+
+class TestParity:
+    def test_cursor_equals_vectorized(self, small_setup, kcorr, config):
+        catalog, index, eval_rows = small_setup
+        cursor = find_candidates_cursor(catalog, eval_rows, index, kcorr, config)
+        vectorized = find_candidates_vectorized(
+            catalog, eval_rows, index, kcorr, config
+        )
+        assert len(cursor) == len(vectorized)
+        a = cursor.sort_by_objid()
+        b = vectorized.sort_by_objid()
+        assert np.array_equal(a.objid, b.objid)
+        assert np.allclose(a.z, b.z)
+        assert np.array_equal(a.ngal, b.ngal)
+        assert np.allclose(a.chi2, b.chi2)
+
+    def test_brute_force_index_same_answers(self, small_setup, kcorr, config):
+        catalog, zone_index, eval_rows = small_setup
+        brute = BruteForceIndex(catalog.ra, catalog.dec)
+        subset = eval_rows[:150]
+        a = find_candidates_cursor(catalog, subset, zone_index, kcorr, config)
+        b = find_candidates_cursor(catalog, subset, brute, kcorr, config)
+        assert np.array_equal(
+            a.sort_by_objid().objid, b.sort_by_objid().objid
+        )
+
+
+class TestSemantics:
+    def test_candidates_subset_of_eval_rows(self, small_setup, kcorr, config):
+        catalog, index, eval_rows = small_setup
+        result = find_candidates_vectorized(
+            catalog, eval_rows, index, kcorr, config
+        )
+        eval_ids = set(catalog.objid[eval_rows].tolist())
+        assert set(result.objid.tolist()) <= eval_ids
+
+    def test_ngal_at_least_two(self, small_setup, kcorr, config):
+        # ngal stores neighbors + 1, and >= 1 neighbor is required
+        catalog, index, eval_rows = small_setup
+        result = find_candidates_vectorized(
+            catalog, eval_rows, index, kcorr, config
+        )
+        assert np.all(result.ngal >= 2)
+
+    def test_z_values_on_grid(self, small_setup, kcorr, config):
+        catalog, index, eval_rows = small_setup
+        result = find_candidates_vectorized(
+            catalog, eval_rows, index, kcorr, config
+        )
+        zids = kcorr.nearest_zids(result.z)
+        assert np.allclose(kcorr.z[zids], result.z)
+
+    def test_truth_bcgs_become_candidates(self, sky, kcorr, config):
+        catalog = sky.catalog
+        index = ZoneIndex(catalog.ra, catalog.dec, config.zone_height_deg)
+        inner = sky.region.shrink(0.6)
+        truth = [c for c in sky.clusters if inner.contains(c.ra, c.dec)]
+        rows = np.asarray(
+            [catalog.index_of(c.bcg_objid) for c in truth], dtype=np.int64
+        )
+        result = find_candidates_vectorized(catalog, rows, index, kcorr, config)
+        found = set(result.objid.tolist())
+        recovered = sum(1 for c in truth if c.bcg_objid in found)
+        assert recovered >= 0.9 * len(truth)
+
+    def test_recovered_redshifts_accurate(self, sky, kcorr, config):
+        catalog = sky.catalog
+        index = ZoneIndex(catalog.ra, catalog.dec, config.zone_height_deg)
+        inner = sky.region.shrink(0.6)
+        truth = {c.bcg_objid: c.z for c in sky.clusters
+                 if inner.contains(c.ra, c.dec)}
+        rows = np.asarray(
+            [catalog.index_of(objid) for objid in truth], dtype=np.int64
+        )
+        result = find_candidates_vectorized(catalog, rows, index, kcorr, config)
+        errors = [
+            abs(float(z) - truth[int(objid)])
+            for objid, z in zip(result.objid, result.z)
+        ]
+        assert np.median(errors) < 0.03
+
+    def test_empty_eval_rows(self, small_setup, kcorr, config):
+        catalog, index, _ = small_setup
+        result = find_candidates_vectorized(
+            catalog, np.empty(0, dtype=np.int64), index, kcorr, config
+        )
+        assert len(result) == 0
+
+    def test_eval_rows_out_of_range(self, small_setup, kcorr, config):
+        catalog, index, _ = small_setup
+        with pytest.raises(CatalogError):
+            find_candidates_vectorized(
+                catalog, np.array([len(catalog)]), index, kcorr, config
+            )
+
+    def test_evaluate_galaxy_none_for_hopeless(self, sky, kcorr, config):
+        # find a galaxy that fails the filter and confirm None
+        from repro.core.likelihood import filter_catalog
+
+        catalog = sky.catalog
+        index = ZoneIndex(catalog.ra, catalog.dec, config.zone_height_deg)
+        filtered = filter_catalog(
+            catalog.i[:500], catalog.gr[:500], catalog.ri[:500],
+            catalog.sigmagr[:500], catalog.sigmari[:500], kcorr, config,
+        )
+        failing = int(np.flatnonzero(~filtered.passed)[0])
+        assert evaluate_galaxy(catalog, failing, index, kcorr, config) is None

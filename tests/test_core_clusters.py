@@ -1,0 +1,116 @@
+"""fIsCluster / spMakeClusters."""
+
+import numpy as np
+import pytest
+
+from repro.core.clusters import is_cluster_center, make_clusters
+from repro.core.results import CandidateCatalog
+from repro.skyserver.regions import RegionBox
+from repro.spatial.zones import ZoneIndex
+
+
+def candidates_catalog(rows):
+    return CandidateCatalog.from_rows([
+        {
+            "objid": objid, "ra": ra, "dec": dec, "z": z, "i": 17.0,
+            "ngal": 5, "chi2": chi2,
+        }
+        for objid, ra, dec, z, chi2 in rows
+    ])
+
+
+@pytest.fixture()
+def rivals(kcorr):
+    """Two nearby candidates at the same z, one clearly better; plus a
+    distant third and a same-spot-but-different-z fourth."""
+    z = float(kcorr.z[10])
+    z_far = float(kcorr.z[10]) + 0.12
+    return candidates_catalog([
+        (1, 180.0, 0.0, z, 2.0),     # loser (rival 2 is better)
+        (2, 180.02, 0.0, z, 3.0),    # winner of the pair
+        (3, 185.0, 0.0, z, 1.0),     # isolated -> wins alone
+        (4, 180.0, 0.001, z_far, 9.0),  # near in sky, far in z
+    ])
+
+
+class TestMakeClusters:
+    def test_local_max_wins(self, rivals, kcorr, config):
+        clusters = make_clusters(rivals, kcorr, config)
+        assert set(clusters.objid.tolist()) == {2, 3, 4}
+
+    def test_cursor_method_identical(self, rivals, kcorr, config):
+        a = make_clusters(rivals, kcorr, config, method="vectorized")
+        b = make_clusters(rivals, kcorr, config, method="cursor")
+        assert set(a.objid.tolist()) == set(b.objid.tolist())
+
+    def test_z_window_isolates_redshift_slices(self, rivals, kcorr, config):
+        # candidate 4 shares the sky position of candidate 1 but is
+        # 0.12 in z away (> the 0.05 window), so its huge chi2 does not
+        # suppress candidate 1's slice — candidate 2 does.
+        clusters = make_clusters(rivals, kcorr, config)
+        assert 4 in clusters.objid.tolist()
+
+    def test_target_restricts_tested_candidates(self, rivals, kcorr, config):
+        target = RegionBox(179.0, 181.0, -1.0, 1.0)  # excludes objid 3
+        clusters = make_clusters(rivals, kcorr, config, target)
+        assert set(clusters.objid.tolist()) == {2, 4}
+
+    def test_buffer_rival_still_competes(self, kcorr, config):
+        # the tested candidate loses to a rival *outside* the target —
+        # the reason candidates are computed on B, not T
+        z = float(kcorr.z[10])
+        cands = candidates_catalog([
+            (1, 180.0, 0.0, z, 2.0),    # in target
+            (2, 180.02, 0.0, z, 3.0),   # outside target, stronger
+        ])
+        target = RegionBox(179.95, 180.01, -0.5, 0.5)
+        clusters = make_clusters(cands, kcorr, config, target)
+        assert clusters.objid.size == 0
+
+    def test_empty_candidates(self, kcorr, config):
+        clusters = make_clusters(CandidateCatalog.empty(), kcorr, config)
+        assert len(clusters) == 0
+
+    def test_on_rivals_callback(self, rivals, kcorr, config):
+        seen = []
+        make_clusters(
+            rivals, kcorr, config, on_rivals=lambda rows: seen.append(rows)
+        )
+        total = sum(r.size for r in seen)
+        assert total >= len(rivals)  # every candidate at least sees itself
+
+
+class TestIsClusterCenter:
+    def test_isolated_candidate_is_center(self, kcorr, config):
+        cands = candidates_catalog([(1, 180.0, 0.0, float(kcorr.z[5]), 1.0)])
+        index = ZoneIndex(cands.ra, cands.dec, config.zone_height_deg)
+        assert is_cluster_center(cands, index, 0, kcorr, config)
+
+    def test_loser_is_not_center(self, rivals, kcorr, config):
+        index = ZoneIndex(rivals.ra, rivals.dec, config.zone_height_deg)
+        assert not is_cluster_center(rivals, index, 0, kcorr, config)
+        assert is_cluster_center(rivals, index, 1, kcorr, config)
+
+
+class TestAgainstPipeline:
+    def test_pipeline_clusters_inside_target(self, pipeline_result, target_region):
+        clusters = pipeline_result.clusters
+        assert np.all(target_region.contains(clusters.ra, clusters.dec))
+
+    def test_clusters_subset_of_candidates(self, pipeline_result):
+        cand_ids = set(pipeline_result.candidates.objid.tolist())
+        assert set(pipeline_result.clusters.objid.tolist()) <= cand_ids
+
+    def test_cluster_rows_carry_candidate_values(self, pipeline_result):
+        candidates = pipeline_result.candidates.sort_by_objid()
+        clusters = pipeline_result.clusters.sort_by_objid()
+        lookup = {
+            int(objid): (float(z), int(ngal), float(chi2))
+            for objid, z, ngal, chi2 in zip(
+                candidates.objid, candidates.z, candidates.ngal, candidates.chi2
+            )
+        }
+        for objid, z, ngal, chi2 in zip(
+            clusters.objid, clusters.z, clusters.ngal, clusters.chi2
+        ):
+            assert lookup[int(objid)] == (float(z), int(ngal), float(chi2))

@@ -1,0 +1,87 @@
+"""MaxBCG configuration."""
+
+import pytest
+
+from repro.core.config import (
+    DEFAULT_ZONE_HEIGHT_DEG,
+    MaxBCGConfig,
+    fast_config,
+    sql_config,
+    tam_config,
+)
+from repro.errors import ConfigError
+
+
+class TestCanonicalConfigs:
+    def test_sql_config_matches_paper(self):
+        cfg = sql_config()
+        assert cfg.z_step == 0.001
+        assert cfg.buffer_deg == 0.5
+        assert cfg.n_redshifts == 300  # 0.05..0.349 at 0.001
+
+    def test_tam_config_matches_paper(self):
+        # the paper's TAM grid: z-steps of 0.01 (10x coarser than SQL)
+        # and the RAM-compromised 0.25 deg buffer
+        cfg = tam_config()
+        assert cfg.z_step == 0.01
+        assert cfg.buffer_deg == 0.25
+        assert cfg.n_redshifts == 31
+
+    def test_zone_height_is_30_arcsec(self):
+        assert DEFAULT_ZONE_HEIGHT_DEG == pytest.approx(30.0 / 3600.0)
+
+    def test_paper_magic_numbers(self):
+        cfg = sql_config()
+        assert cfg.chi2_threshold == 7.0
+        assert cfg.i_pop_sigma == 0.57
+        assert cfg.gr_pop_sigma == 0.05
+        assert cfg.ri_pop_sigma == 0.06
+        assert cfg.z_match_window == 0.05
+        assert cfg.r200_coeff == 0.17
+        assert cfg.r200_exponent == 0.51
+
+    def test_fast_config_coarser(self):
+        assert fast_config().n_redshifts < sql_config().n_redshifts
+
+
+class TestValidation:
+    def test_bad_z_range(self):
+        with pytest.raises(ConfigError):
+            MaxBCGConfig(z_min=0.3, z_max=0.2)
+        with pytest.raises(ConfigError):
+            MaxBCGConfig(z_min=0.0)
+
+    def test_bad_z_step(self):
+        with pytest.raises(ConfigError):
+            MaxBCGConfig(z_step=0.0)
+        with pytest.raises(ConfigError):
+            MaxBCGConfig(z_step=1.0)
+
+    def test_bad_buffer(self):
+        with pytest.raises(ConfigError):
+            MaxBCGConfig(buffer_deg=0.0)
+
+    def test_bad_sigmas(self):
+        with pytest.raises(ConfigError):
+            MaxBCGConfig(i_pop_sigma=0.0)
+        with pytest.raises(ConfigError):
+            MaxBCGConfig(gr_pop_sigma=-0.1)
+
+
+class TestBehavior:
+    def test_with_changes(self):
+        cfg = sql_config().with_(buffer_deg=0.25)
+        assert cfg.buffer_deg == 0.25
+        assert cfg.z_step == 0.001  # untouched
+
+    def test_r200_paper_anchor(self):
+        # paper: "the r200 radius is, at ngal=100, 1.78 [Mpc]"
+        assert sql_config().r200_mpc(100) == pytest.approx(1.78, abs=0.03)
+
+    def test_r200_monotone(self):
+        cfg = sql_config()
+        assert cfg.r200_mpc(10) < cfg.r200_mpc(50) < cfg.r200_mpc(200)
+
+    def test_r200_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            sql_config().r200_mpc(-1)

@@ -1,0 +1,117 @@
+"""K-correction table construction and lookups."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MaxBCGConfig, sql_config
+from repro.core.kcorrection import (
+    KCorrectionTable,
+    build_kcorrection_table,
+)
+from repro.errors import ConfigError
+
+
+class TestTableShape:
+    def test_row_count_matches_config(self, kcorr, config):
+        assert len(kcorr) == config.n_redshifts
+
+    def test_paper_config_has_300_rows(self):
+        table = build_kcorrection_table(sql_config())
+        assert len(table) == 300
+
+    def test_grid_regular(self, kcorr, config):
+        steps = np.diff(kcorr.z)
+        assert np.allclose(steps, config.z_step)
+
+    def test_z_step_property(self, kcorr, config):
+        assert kcorr.z_step == pytest.approx(config.z_step)
+
+
+class TestPhysicalShape:
+    def test_bcg_magnitude_increases_with_z(self, kcorr):
+        assert np.all(np.diff(kcorr.i) > 0)
+
+    def test_colors_redden_with_z(self, kcorr):
+        assert np.all(np.diff(kcorr.gr) > 0)
+        assert np.all(np.diff(kcorr.ri) > 0)
+
+    def test_radius_shrinks_with_z(self, kcorr):
+        assert np.all(np.diff(kcorr.radius) < 0)
+
+    def test_ilim_at_least_bcg_magnitude(self, kcorr):
+        assert np.all(kcorr.ilim >= kcorr.i)
+
+    def test_ilim_capped_at_survey_limit(self, kcorr):
+        from repro.core.kcorrection import SURVEY_I_LIMIT
+
+        assert np.all(kcorr.ilim <= SURVEY_I_LIMIT)
+
+    def test_max_radius_fits_in_buffer(self, kcorr, config):
+        # the SQL design guarantees 0.5 deg searches; the largest 1 Mpc
+        # aperture must fit or the buffer geometry breaks
+        assert float(kcorr.radius.max()) < config.buffer_deg
+
+
+class TestLookups:
+    def test_nearest_zid_on_grid(self, kcorr):
+        for zid in (0, len(kcorr) // 2, len(kcorr) - 1):
+            assert kcorr.nearest_zid(float(kcorr.z[zid])) == zid
+
+    def test_nearest_zid_off_grid(self, kcorr, config):
+        z = float(kcorr.z[5]) + 0.4 * config.z_step
+        assert kcorr.nearest_zid(z) == 5
+        z = float(kcorr.z[5]) + 0.6 * config.z_step
+        assert kcorr.nearest_zid(z) == 6
+
+    def test_nearest_zids_vectorized(self, kcorr):
+        zs = kcorr.z[[3, 7, 11]]
+        assert kcorr.nearest_zids(zs).tolist() == [3, 7, 11]
+
+    def test_nearest_zids_matches_scalar(self, kcorr):
+        rng = np.random.default_rng(0)
+        zs = rng.uniform(kcorr.z[0], kcorr.z[-1], 50)
+        vectorized = kcorr.nearest_zids(zs)
+        scalar = [kcorr.nearest_zid(float(z)) for z in zs]
+        assert vectorized.tolist() == scalar
+
+    def test_radius_at(self, kcorr):
+        assert kcorr.radius_at(float(kcorr.z[2])) == pytest.approx(
+            float(kcorr.radius[2])
+        )
+
+    def test_row_dict(self, kcorr):
+        row = kcorr.row(0)
+        assert set(row) == {
+            "zid", "z", "i", "ilim", "ug", "gr", "ri", "iz", "radius"
+        }
+        with pytest.raises(ConfigError):
+            kcorr.row(len(kcorr))
+
+    def test_as_columns_includes_zid(self, kcorr):
+        columns = kcorr.as_columns()
+        assert columns["zid"].tolist() == list(range(len(kcorr)))
+
+
+class TestValidation:
+    def test_mismatched_columns_rejected(self):
+        z = np.linspace(0.05, 0.3, 10)
+        good = {name: np.ones(10) for name in
+                ("i", "ilim", "ug", "gr", "ri", "iz", "radius")}
+        bad = dict(good)
+        bad["radius"] = np.ones(9)
+        with pytest.raises(ConfigError):
+            KCorrectionTable(z=z, **bad)
+
+    def test_non_monotone_grid_rejected(self):
+        z = np.array([0.1, 0.1, 0.2])
+        cols = {name: np.ones(3) for name in
+                ("i", "ilim", "ug", "gr", "ri", "iz", "radius")}
+        with pytest.raises(ConfigError):
+            KCorrectionTable(z=z, **cols)
+
+    def test_config_beyond_cosmology_rejected(self):
+        from repro.skyserver.cosmology import Cosmology
+
+        tight = Cosmology(z_max=0.2)
+        with pytest.raises(ConfigError):
+            build_kcorrection_table(MaxBCGConfig(z_max=0.349), tight)

@@ -1,0 +1,124 @@
+"""Cluster membership retrieval (fGetClusterGalaxiesMetric)."""
+
+import numpy as np
+import pytest
+
+from repro.core.members import (
+    cluster_members,
+    cluster_richness,
+    make_cluster_members,
+)
+from repro.spatial.zones import ZoneIndex
+
+
+@pytest.fixture(scope="module")
+def member_setup(sky, pipeline_result, config):
+    index = ZoneIndex(sky.catalog.ra, sky.catalog.dec, config.zone_height_deg)
+    return sky.catalog, index, pipeline_result.clusters
+
+
+class TestClusterMembers:
+    def test_center_is_first_with_zero_distance(self, member_setup, kcorr, config):
+        catalog, index, clusters = member_setup
+        assert len(clusters) > 0
+        members = cluster_members(
+            catalog, index,
+            int(clusters.objid[0]), float(clusters.ra[0]),
+            float(clusters.dec[0]), float(clusters.z[0]),
+            float(clusters.i[0]), float(clusters.ngal[0]),
+            kcorr, config,
+        )
+        assert members.galaxy_objid[0] == clusters.objid[0]
+        assert members.distance[0] == 0.0
+
+    def test_members_within_r200_aperture(self, member_setup, kcorr, config):
+        catalog, index, clusters = member_setup
+        k = 0
+        zid = kcorr.nearest_zid(float(clusters.z[k]))
+        radius = float(kcorr.radius[zid]) * config.r200_mpc(float(clusters.ngal[k]))
+        members = cluster_members(
+            catalog, index,
+            int(clusters.objid[k]), float(clusters.ra[k]),
+            float(clusters.dec[k]), float(clusters.z[k]),
+            float(clusters.i[k]), float(clusters.ngal[k]),
+            kcorr, config,
+        )
+        assert np.all(members.distance < max(radius, 1e-12))
+
+    def test_members_magnitude_window(self, member_setup, kcorr, config):
+        catalog, index, clusters = member_setup
+        k = 0
+        zid = kcorr.nearest_zid(float(clusters.z[k]))
+        members = cluster_members(
+            catalog, index,
+            int(clusters.objid[k]), float(clusters.ra[k]),
+            float(clusters.dec[k]), float(clusters.z[k]),
+            float(clusters.i[k]), float(clusters.ngal[k]),
+            kcorr, config,
+        )
+        others = members.galaxy_objid[1:]
+        for objid in others.tolist():
+            i_mag = float(catalog.i[catalog.index_of(objid)])
+            assert i_mag >= float(clusters.i[k]) - config.member_mag_epsilon
+            assert i_mag <= float(kcorr.ilim[zid])
+
+    def test_no_duplicate_members_per_cluster(self, member_setup, kcorr, config):
+        catalog, index, clusters = member_setup
+        members = make_cluster_members(catalog, clusters, index, kcorr, config)
+        pairs = list(zip(members.cluster_objid.tolist(),
+                         members.galaxy_objid.tolist()))
+        assert len(pairs) == len(set(pairs))
+
+
+class TestMakeClusterMembers:
+    def test_every_cluster_has_a_row(self, member_setup, kcorr, config):
+        catalog, index, clusters = member_setup
+        members = make_cluster_members(catalog, clusters, index, kcorr, config)
+        assert set(np.unique(members.cluster_objid).tolist()) == set(
+            clusters.objid.tolist()
+        )
+
+    def test_members_of(self, member_setup, kcorr, config):
+        catalog, index, clusters = member_setup
+        members = make_cluster_members(catalog, clusters, index, kcorr, config)
+        first = int(clusters.objid[0])
+        mine = members.members_of(first)
+        assert first in mine.tolist()
+
+    def test_richness_counts(self, member_setup, kcorr, config):
+        catalog, index, clusters = member_setup
+        members = make_cluster_members(catalog, clusters, index, kcorr, config)
+        richness = cluster_richness(members)
+        assert sum(richness.values()) == len(members)
+        assert all(count >= 1 for count in richness.values())
+
+    def test_empty_clusters(self, member_setup, kcorr, config):
+        from repro.core.results import CandidateCatalog
+
+        catalog, index, _ = member_setup
+        members = make_cluster_members(
+            catalog, CandidateCatalog.empty(), index, kcorr, config
+        )
+        assert len(members) == 0
+
+    def test_detected_members_overlap_truth(self, sky, pipeline_result,
+                                            kcorr, config):
+        # clusters centered on (or near) an injected cluster should pick
+        # up a decent share of its true members
+        catalog = sky.catalog
+        index = ZoneIndex(catalog.ra, catalog.dec, config.zone_height_deg)
+        members = make_cluster_members(
+            catalog, pipeline_result.clusters, index, kcorr, config
+        )
+        truth_by_bcg = {c.bcg_objid: set(c.member_objids) for c in sky.clusters}
+        matched = [
+            objid for objid in pipeline_result.clusters.objid.tolist()
+            if objid in truth_by_bcg
+        ]
+        assert matched, "no detected cluster centered exactly on a truth BCG"
+        overlaps = []
+        for objid in matched:
+            detected = set(members.members_of(objid).tolist()) - {objid}
+            truth = truth_by_bcg[objid]
+            overlaps.append(len(detected & truth) / len(truth))
+        assert np.mean(overlaps) > 0.2

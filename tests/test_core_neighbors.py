@@ -1,0 +1,154 @@
+"""Per-redshift neighbor counting and the weighted-max selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.neighbors import (
+    best_weighted_redshift,
+    count_friends_per_redshift,
+)
+
+
+class TestCounting:
+    def test_no_friends(self, kcorr, config):
+        counts = count_friends_per_redshift(
+            np.empty(0), np.empty(0), np.empty(0), np.empty(0),
+            18.0, np.array([3, 4]), kcorr, config,
+        )
+        assert counts.tolist() == [0, 0]
+
+    def test_no_passing_redshifts(self, kcorr, config):
+        counts = count_friends_per_redshift(
+            np.array([0.01]), np.array([18.5]), np.array([1.0]),
+            np.array([0.5]), 18.0, np.empty(0, dtype=np.int64), kcorr, config,
+        )
+        assert counts.size == 0
+
+    def test_perfect_friend_counted(self, kcorr, config):
+        zid = 10
+        counts = count_friends_per_redshift(
+            friend_distance=np.array([float(kcorr.radius[zid]) * 0.5]),
+            friend_i=np.array([float(kcorr.i[zid]) + 0.5]),
+            friend_gr=np.array([float(kcorr.gr[zid])]),
+            friend_ri=np.array([float(kcorr.ri[zid])]),
+            candidate_i=float(kcorr.i[zid]),
+            passing_zids=np.array([zid]),
+            kcorr=kcorr,
+            config=config,
+        )
+        assert counts.tolist() == [1]
+
+    def test_distance_window_strict(self, kcorr, config):
+        zid = 10
+        radius = float(kcorr.radius[zid])
+        base = dict(
+            friend_i=np.array([float(kcorr.i[zid]) + 0.5]),
+            friend_gr=np.array([float(kcorr.gr[zid])]),
+            friend_ri=np.array([float(kcorr.ri[zid])]),
+            candidate_i=float(kcorr.i[zid]),
+            passing_zids=np.array([zid]),
+            kcorr=kcorr,
+            config=config,
+        )
+        inside = count_friends_per_redshift(
+            friend_distance=np.array([radius * 0.999]), **base
+        )
+        outside = count_friends_per_redshift(
+            friend_distance=np.array([radius]), **base
+        )
+        assert inside.tolist() == [1]
+        assert outside.tolist() == [0]  # strict <
+
+    def test_magnitude_window(self, kcorr, config):
+        zid = 10
+        candidate_i = float(kcorr.i[zid])
+        base = dict(
+            friend_distance=np.array([0.001]),
+            friend_gr=np.array([float(kcorr.gr[zid])]),
+            friend_ri=np.array([float(kcorr.ri[zid])]),
+            candidate_i=candidate_i,
+            passing_zids=np.array([zid]),
+            kcorr=kcorr,
+            config=config,
+        )
+        brighter = count_friends_per_redshift(
+            friend_i=np.array([candidate_i - 0.1]), **base
+        )
+        too_faint = count_friends_per_redshift(
+            friend_i=np.array([float(kcorr.ilim[zid]) + 0.1]), **base
+        )
+        assert brighter.tolist() == [0]  # friends must be >= candidate i
+        assert too_faint.tolist() == [0]
+
+    def test_color_window_inclusive_pop_sigma(self, kcorr, config):
+        zid = 10
+        base = dict(
+            friend_distance=np.array([0.001]),
+            friend_i=np.array([float(kcorr.i[zid]) + 0.5]),
+            friend_ri=np.array([float(kcorr.ri[zid])]),
+            candidate_i=float(kcorr.i[zid]),
+            passing_zids=np.array([zid]),
+            kcorr=kcorr,
+            config=config,
+        )
+        at_edge = count_friends_per_redshift(
+            friend_gr=np.array(
+                [float(kcorr.gr[zid]) + 0.999 * config.gr_pop_sigma]
+            ),
+            **base,
+        )
+        beyond = count_friends_per_redshift(
+            friend_gr=np.array([float(kcorr.gr[zid]) + config.gr_pop_sigma * 1.01]),
+            **base,
+        )
+        assert at_edge.tolist() == [1]  # BETWEEN is inclusive
+        assert beyond.tolist() == [0]
+
+    def test_counts_vary_per_redshift(self, kcorr, config):
+        # a friend that qualifies at low z but not high z (radius shrinks)
+        z_lo, z_hi = 2, len(kcorr) - 3
+        distance = float(kcorr.radius[z_lo]) * 0.9  # outside radius at z_hi
+        assert distance > float(kcorr.radius[z_hi])
+        counts = count_friends_per_redshift(
+            friend_distance=np.array([distance]),
+            friend_i=np.array([20.0]),
+            friend_gr=np.array([float(kcorr.gr[z_lo])]),
+            friend_ri=np.array([float(kcorr.ri[z_lo])]),
+            candidate_i=14.0,
+            passing_zids=np.array([z_lo, z_hi]),
+            kcorr=kcorr,
+            config=config,
+        )
+        assert counts[0] >= counts[1]
+
+
+class TestBestWeighted:
+    def test_requires_at_least_one_neighbor(self):
+        result = best_weighted_redshift(
+            np.array([0, 0]), np.array([1.0, 2.0]), np.array([3, 4])
+        )
+        assert result is None
+
+    def test_maximizes_weighted_statistic(self):
+        counts = np.array([1, 10, 2])
+        chisq = np.array([0.5, 3.0, 0.2])
+        zids = np.array([7, 8, 9])
+        zid, ngal, weighted = best_weighted_redshift(counts, chisq, zids)
+        expected = np.log(counts + 1.0) - chisq
+        assert weighted == pytest.approx(float(expected.max()))
+        assert zid == zids[int(np.argmax(expected))]
+        assert ngal == counts[int(np.argmax(expected))]
+
+    def test_zero_count_rows_excluded(self):
+        counts = np.array([0, 1])
+        chisq = np.array([0.0, 5.0])  # row 0 would win if eligible
+        zid, ngal, weighted = best_weighted_redshift(
+            counts, chisq, np.array([1, 2])
+        )
+        assert zid == 2 and ngal == 1
+
+    def test_tie_resolves_to_lowest_redshift(self):
+        counts = np.array([3, 3])
+        chisq = np.array([1.0, 1.0])
+        zid, _, _ = best_weighted_redshift(counts, chisq, np.array([5, 6]))
+        assert zid == 5

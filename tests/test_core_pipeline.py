@@ -1,0 +1,146 @@
+"""The end-to-end single-node pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import MaxBCGPipeline, run_maxbcg
+from repro.engine.database import Database
+from repro.errors import ConfigError, RegionError
+from repro.skyserver.regions import RegionBox
+
+
+class TestRun:
+    def test_task_stats_present(self, pipeline_result):
+        assert set(pipeline_result.stats) == {
+            "spZone", "fBCGCandidate", "fIsCluster", "spMakeGalaxiesMetric"
+        }
+        for stats in pipeline_result.stats.values():
+            assert stats.elapsed_s >= 0.0
+            assert stats.io.total >= 0
+
+    def test_total_excludes_members(self, pipeline_result):
+        total = pipeline_result.total_stats
+        parts = sum(
+            pipeline_result.stats[k].elapsed_s
+            for k in ("spZone", "fBCGCandidate", "fIsCluster")
+        )
+        assert total.elapsed_s == pytest.approx(parts)
+
+    def test_row_counts_recorded(self, pipeline_result):
+        assert pipeline_result.stats["spZone"].rows == pipeline_result.n_galaxies
+        assert pipeline_result.stats["fBCGCandidate"].rows == len(
+            pipeline_result.candidates
+        )
+        assert pipeline_result.stats["fIsCluster"].rows == len(
+            pipeline_result.clusters
+        )
+
+    def test_fractions(self, pipeline_result):
+        assert 0.0 < pipeline_result.candidate_fraction < 0.30
+        assert 0.0 < pipeline_result.cluster_fraction < 0.02
+
+    def test_engine_tables_populated(self, sky, target_region, kcorr, config):
+        db = Database("inspect")
+        pipeline = MaxBCGPipeline(kcorr, config, database=db)
+        result = pipeline.run(sky.catalog, target_region)
+        assert db.table("galaxy").row_count == len(sky.catalog)
+        assert db.table("candidates").row_count == len(result.candidates)
+        assert db.table("clusters").row_count == len(result.clusters)
+        assert db.table("clustergalaxiesmetric").row_count == len(result.members)
+
+    def test_spzone_dominates_io(self, pipeline_result):
+        # Table 1's shape: zoning is the I/O-heavy task, the candidate
+        # search is compute-heavy with low I/O density
+        spzone = pipeline_result.stats["spZone"]
+        candidates = pipeline_result.stats["fBCGCandidate"]
+        assert spzone.io.total > candidates.io.total
+
+    def test_methods_agree(self, sky, kcorr, config):
+        small = RegionBox(180.4, 181.2, 0.4, 1.2)
+        vec = run_maxbcg(sky.catalog, small, kcorr, config,
+                         method="vectorized", compute_members=False)
+        cur = run_maxbcg(sky.catalog, small, kcorr, config,
+                         method="cursor", compute_members=False)
+        assert np.array_equal(
+            vec.candidates.sort_by_objid().objid,
+            cur.candidates.sort_by_objid().objid,
+        )
+        assert np.array_equal(
+            vec.clusters.sort_by_objid().objid,
+            cur.clusters.sort_by_objid().objid,
+        )
+
+    def test_compute_members_false_skips_stage(self, sky, kcorr, config):
+        small = RegionBox(180.4, 181.0, 0.4, 1.0)
+        result = run_maxbcg(sky.catalog, small, kcorr, config,
+                            compute_members=False)
+        assert len(result.members) == 0
+        assert "spMakeGalaxiesMetric" not in result.stats
+
+    def test_deterministic_output(self, sky, target_region, kcorr, config):
+        a = run_maxbcg(sky.catalog, target_region, kcorr, config,
+                       compute_members=False)
+        b = run_maxbcg(sky.catalog, target_region, kcorr, config,
+                       compute_members=False)
+        assert np.array_equal(a.clusters.objid, b.clusters.objid)
+        assert np.allclose(a.clusters.chi2, b.clusters.chi2)
+
+
+class TestScience:
+    def test_positional_completeness(self, sky, pipeline_result, kcorr,
+                                     target_region):
+        # Most injected clusters inside the target are recovered as a
+        # detected center within one aperture and dz <= 0.05 (the center
+        # may sit on a bright member rather than the true BCG).
+        clusters = pipeline_result.clusters
+        truth = [c for c in sky.clusters if target_region.contains(c.ra, c.dec)]
+        assert truth
+        recovered = 0
+        for c in truth:
+            radius = kcorr.radius_at(c.z)
+            d = np.hypot(
+                (clusters.ra - c.ra) * np.cos(np.deg2rad(c.dec)),
+                clusters.dec - c.dec,
+            )
+            if np.any((d < radius) & (np.abs(clusters.z - c.z) <= 0.05)):
+                recovered += 1
+        assert recovered / len(truth) >= 0.75
+
+    def test_purity_near_truth(self, sky, pipeline_result, kcorr):
+        # most detected clusters sit near *some* injected cluster
+        clusters = pipeline_result.clusters
+        truth_ra = np.array([c.ra for c in sky.clusters])
+        truth_dec = np.array([c.dec for c in sky.clusters])
+        truth_z = np.array([c.z for c in sky.clusters])
+        near = 0
+        for k in range(len(clusters)):
+            radius = kcorr.radius_at(float(clusters.z[k]))
+            d = np.hypot(
+                (truth_ra - clusters.ra[k]) * np.cos(np.deg2rad(clusters.dec[k])),
+                truth_dec - clusters.dec[k],
+            )
+            if np.any((d < 2 * radius) & (np.abs(truth_z - clusters.z[k]) <= 0.06)):
+                near += 1
+        assert near / len(clusters) >= 0.6
+
+
+class TestValidation:
+    def test_buffer_must_contain_target(self, sky, kcorr, config):
+        pipeline = MaxBCGPipeline(kcorr, config)
+        with pytest.raises(RegionError):
+            pipeline.run(
+                sky.catalog,
+                RegionBox(180.0, 182.0, 0.0, 2.0),
+                buffer=RegionBox(181.0, 181.5, 0.5, 1.0),
+            )
+
+    def test_empty_catalog_rejected(self, kcorr, config):
+        from repro.skyserver.catalog import GalaxyCatalog
+
+        pipeline = MaxBCGPipeline(kcorr, config)
+        with pytest.raises(RegionError):
+            pipeline.run(GalaxyCatalog.empty(), RegionBox(0, 1, 0, 1))
+
+    def test_unknown_method_rejected(self, kcorr, config):
+        with pytest.raises(ConfigError):
+            MaxBCGPipeline(kcorr, config, method="gpu")

@@ -1,0 +1,162 @@
+"""The stored-procedure MaxBCG: EXEC-driven runs match the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import run_maxbcg
+from repro.core.procedures import install_maxbcg
+from repro.engine.database import Database
+from repro.errors import EngineError, TableNotFoundError
+from repro.skyserver.regions import RegionBox
+
+
+@pytest.fixture(scope="module")
+def app_db(sky, kcorr, config):
+    db = Database("appendix")
+    db.create_table("galaxy_source", sky.catalog.as_columns(),
+                    primary_key="objid")
+    app = install_maxbcg(db, kcorr, config)
+    return db, app
+
+
+@pytest.fixture(scope="module")
+def executed(app_db, import_region, target_region, config):
+    """Run the appendix driver script over the session regions."""
+    db, app = app_db
+    buffer = target_region.expand(config.buffer_deg)
+    db.sql(f"EXEC spImportGalaxy {import_region.ra_min}, "
+           f"{import_region.ra_max}, {import_region.dec_min}, "
+           f"{import_region.dec_max}")
+    db.sql("EXEC spZone")
+    db.sql(f"EXEC spMakeCandidates {buffer.ra_min}, {buffer.ra_max}, "
+           f"{buffer.dec_min}, {buffer.dec_max}")
+    return db, app
+
+
+class TestInstallation:
+    def test_schema_tables_created(self, app_db):
+        db, _ = app_db
+        for name in ("kcorr", "galaxy", "candidates", "clusters",
+                     "clustergalaxiesmetric"):
+            assert db.has_table(name)
+
+    def test_procedures_registered(self, app_db):
+        db, _ = app_db
+        assert db.procedure_names() == [
+            "spimportgalaxy", "spmakecandidates", "spmakeclusters",
+            "spmakegalaxiesmetric", "spzone",
+        ]
+
+    def test_kcorr_loaded(self, app_db, kcorr):
+        db, _ = app_db
+        assert db.sql("SELECT COUNT(*) AS c FROM Kcorr").scalar() == len(kcorr)
+
+    def test_neighbor_search_requires_spzone(self, kcorr, config, sky):
+        db = Database("unzoned")
+        db.create_table("galaxy_source", sky.catalog.as_columns())
+        install_maxbcg(db, kcorr, config)
+        with pytest.raises(EngineError, match="spZone"):
+            db.sql("SELECT * FROM fGetNearbyObjEqZd(180.0, 1.0, 0.2) n")
+
+
+class TestImportAndZone:
+    def test_import_selects_region(self, executed, sky, import_region):
+        db, _ = executed
+        expected = int(import_region.contains(sky.catalog.ra,
+                                              sky.catalog.dec).sum())
+        assert db.sql("SELECT COUNT(*) AS c FROM Galaxy").scalar() == expected
+
+    def test_galaxy_in_zone_order(self, executed, config):
+        db, _ = executed
+        from repro.spatial.zones import zone_id
+
+        dec = db.table("galaxy").column("dec")
+        zones = zone_id(dec, config.zone_height_deg)
+        assert np.all(np.diff(zones) >= 0)
+
+    def test_tvf_from_sql(self, executed, sky):
+        db, _ = executed
+        ra0 = float(sky.catalog.ra[0])
+        dec0 = float(sky.catalog.dec[0])
+        result = db.sql(
+            f"SELECT n.objid, n.distance FROM "
+            f"fGetNearbyObjEqZd({ra0}, {dec0}, 0.1) n ORDER BY n.distance"
+        )
+        assert result.row_count >= 1
+        assert result.column("distance")[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_tvf_join_galaxy(self, executed, sky):
+        db, _ = executed
+        ra0 = float(sky.catalog.ra[10])
+        dec0 = float(sky.catalog.dec[10])
+        result = db.sql(
+            f"SELECT g.i FROM fGetNearbyObjEqZd({ra0}, {dec0}, 0.2) n "
+            "JOIN Galaxy g ON n.objid = g.objid"
+        )
+        assert result.row_count >= 1
+
+
+class TestEquivalenceWithPipeline:
+    def test_candidates_match_pipeline(self, executed, sky, target_region,
+                                       kcorr, config):
+        db, _ = executed
+        pipeline = run_maxbcg(sky.catalog, target_region, kcorr, config,
+                              compute_members=False)
+        sql_candidates = db.sql(
+            "SELECT objid, z, ngal, chi2 FROM Candidates ORDER BY objid"
+        )
+        expected = pipeline.candidates.sort_by_objid()
+        assert np.array_equal(
+            sql_candidates.column("objid"), expected.objid
+        )
+        assert np.allclose(sql_candidates.column("z"), expected.z)
+        assert np.array_equal(
+            sql_candidates.column("ngal").astype(np.int64), expected.ngal
+        )
+        assert np.allclose(sql_candidates.column("chi2"), expected.chi2)
+
+    def test_clusters_match_pipeline(self, executed, sky, target_region,
+                                     kcorr, config):
+        db, _ = executed
+        db.sql("EXEC spMakeClusters")
+        pipeline = run_maxbcg(sky.catalog, target_region, kcorr, config,
+                              compute_members=False)
+        # the procedure tests ALL candidates (like the appendix); the
+        # pipeline tests only target candidates — compare on the target
+        got = db.sql(
+            f"SELECT objid FROM Clusters WHERE ra BETWEEN "
+            f"{target_region.ra_min} AND {target_region.ra_max} AND "
+            f"dec BETWEEN {target_region.dec_min} AND {target_region.dec_max} "
+            "ORDER BY objid"
+        )
+        assert np.array_equal(
+            got.column("objid"),
+            pipeline.clusters.sort_by_objid().objid,
+        )
+
+    def test_members_populated(self, executed):
+        db, _ = executed
+        db.sql("EXEC spMakeClusters")
+        db.sql("EXEC spMakeGalaxiesMetric")
+        n_links = db.sql(
+            "SELECT COUNT(*) AS c FROM ClusterGalaxiesMetric"
+        ).scalar()
+        n_clusters = db.sql("SELECT COUNT(*) AS c FROM Clusters").scalar()
+        assert n_links >= n_clusters  # at least the centers themselves
+
+
+class TestSqlOverResults:
+    def test_analysis_queries(self, executed):
+        db, _ = executed
+        db.sql("EXEC spMakeClusters")
+        result = db.sql(
+            "SELECT FLOOR(z * 20) AS zbin, COUNT(*) AS n, MAX(ngal) AS maxrich "
+            "FROM Clusters GROUP BY FLOOR(z * 20) ORDER BY zbin"
+        )
+        total = db.sql("SELECT COUNT(*) AS c FROM Clusters").scalar()
+        assert int(result.column("n").sum()) == total
+
+    def test_exec_unknown_procedure(self, executed):
+        db, _ = executed
+        with pytest.raises(TableNotFoundError):
+            db.sql("EXEC spNotThere")

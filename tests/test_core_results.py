@@ -1,0 +1,83 @@
+"""Result catalogs."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import CandidateCatalog, MemberTable
+from repro.errors import CatalogError
+
+
+def make(ids, chi2=None):
+    n = len(ids)
+    return CandidateCatalog(
+        objid=np.asarray(ids), ra=np.arange(n, dtype=float),
+        dec=np.zeros(n), z=np.full(n, 0.2), i=np.full(n, 17.5),
+        ngal=np.arange(n) + 2,
+        chi2=np.asarray(chi2) if chi2 is not None else np.ones(n),
+    )
+
+
+class TestCandidateCatalog:
+    def test_from_rows_empty(self):
+        assert len(CandidateCatalog.from_rows([])) == 0
+
+    def test_from_rows(self):
+        catalog = CandidateCatalog.from_rows([
+            {"objid": 5, "ra": 1.0, "dec": 2.0, "z": 0.1, "i": 17.0,
+             "ngal": 3, "chi2": 0.5},
+        ])
+        assert catalog.objid.tolist() == [5]
+        assert catalog.ngal.dtype == np.int64
+
+    def test_length_mismatch(self):
+        with pytest.raises(CatalogError):
+            CandidateCatalog(
+                objid=np.array([1]), ra=np.array([1.0, 2.0]),
+                dec=np.zeros(1), z=np.zeros(1), i=np.zeros(1),
+                ngal=np.zeros(1), chi2=np.zeros(1),
+            )
+
+    def test_take_and_sort(self):
+        catalog = make([3, 1, 2])
+        assert catalog.sort_by_objid().objid.tolist() == [1, 2, 3]
+        assert catalog.take([0]).objid.tolist() == [3]
+
+    def test_concat(self):
+        merged = make([1, 2]).concat(make([3]))
+        assert len(merged) == 3
+
+    def test_dedup(self):
+        catalog = make([1, 2, 3]).take(np.array([0, 1, 0, 2]))
+        assert catalog.dedup_by_objid().objid.tolist() == [1, 2, 3]
+
+    def test_row(self):
+        row = make([7]).row(0)
+        assert row["objid"] == 7 and row["ngal"] == 2
+
+    def test_as_columns_roundtrip(self):
+        catalog = make([1, 2])
+        again = CandidateCatalog(**catalog.as_columns())
+        assert again.objid.tolist() == [1, 2]
+
+
+class TestMemberTable:
+    def test_empty(self):
+        assert len(MemberTable.empty()) == 0
+
+    def test_members_of(self):
+        table = MemberTable(
+            cluster_objid=np.array([1, 1, 2]),
+            galaxy_objid=np.array([1, 10, 2]),
+            distance=np.array([0.0, 0.1, 0.0]),
+        )
+        assert table.members_of(1).tolist() == [1, 10]
+        assert table.members_of(3).size == 0
+
+    def test_concat(self):
+        a = MemberTable(np.array([1]), np.array([1]), np.array([0.0]))
+        b = MemberTable(np.array([2]), np.array([2]), np.array([0.0]))
+        assert len(a.concat(b)) == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(CatalogError):
+            MemberTable(np.array([1]), np.array([1, 2]), np.array([0.0]))

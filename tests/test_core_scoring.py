@@ -1,0 +1,100 @@
+"""Cluster matching and science scoring."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import CandidateCatalog
+from repro.core.scoring import match_clusters
+from repro.skyserver.generator import ClusterTruth
+
+
+def detection(objid, ra, dec, z):
+    return CandidateCatalog(
+        objid=np.asarray(objid), ra=np.asarray(ra, dtype=float),
+        dec=np.asarray(dec, dtype=float), z=np.asarray(z, dtype=float),
+        i=np.full(len(objid), 17.0), ngal=np.full(len(objid), 5),
+        chi2=np.ones(len(objid)),
+    )
+
+
+def truth_at(objid, ra, dec, z):
+    return ClusterTruth(bcg_objid=objid, ra=ra, dec=dec, z=z, richness=10)
+
+
+class TestMatching:
+    def test_exact_bcg_match(self, kcorr, config):
+        truth = [truth_at(1, 180.0, 0.0, float(kcorr.z[10]))]
+        detected = detection([1], [180.0], [0.0], [float(kcorr.z[10])])
+        report = match_clusters(detected, truth, kcorr, config)
+        assert report.completeness == 1.0
+        assert report.purity == 1.0
+        assert report.exact_bcg_fraction == 1.0
+        assert report.median_offset_deg() == pytest.approx(0.0)
+
+    def test_miscentered_match(self, kcorr, config):
+        z = float(kcorr.z[10])
+        radius = kcorr.radius_at(z)
+        truth = [truth_at(1, 180.0, 0.0, z)]
+        # detection on a member: offset half an aperture, different objid
+        detected = detection([99], [180.0 + radius / 2], [0.0], [z])
+        report = match_clusters(detected, truth, kcorr, config)
+        assert report.completeness == 1.0
+        assert report.exact_bcg_fraction == 0.0
+        assert report.matches[0].offset_deg == pytest.approx(radius / 2,
+                                                             rel=1e-3)
+
+    def test_wrong_redshift_not_matched(self, kcorr, config):
+        z = float(kcorr.z[10])
+        truth = [truth_at(1, 180.0, 0.0, z)]
+        detected = detection([1], [180.0], [0.0], [z + 0.2])
+        report = match_clusters(detected, truth, kcorr, config)
+        assert report.completeness == 0.0
+
+    def test_too_far_not_matched(self, kcorr, config):
+        z = float(kcorr.z[10])
+        truth = [truth_at(1, 180.0, 0.0, z)]
+        detected = detection([1], [181.0], [0.0], [z])
+        report = match_clusters(detected, truth, kcorr, config)
+        assert report.completeness == 0.0
+        assert report.purity == 0.0
+
+    def test_closest_detection_wins(self, kcorr, config):
+        z = float(kcorr.z[10])
+        radius = kcorr.radius_at(z)
+        truth = [truth_at(1, 180.0, 0.0, z)]
+        detected = detection(
+            [7, 8], [180.0 + radius * 0.8, 180.0 + radius * 0.1], [0.0, 0.0],
+            [z, z],
+        )
+        report = match_clusters(detected, truth, kcorr, config)
+        assert report.matches[0].detected_objid == 8
+
+    def test_empty_detection_catalog(self, kcorr, config):
+        truth = [truth_at(1, 180.0, 0.0, float(kcorr.z[10]))]
+        report = match_clusters(CandidateCatalog.empty(), truth, kcorr, config)
+        assert report.completeness == 0.0
+        assert report.n_detected == 0
+        assert report.purity == 0.0
+
+    def test_empty_truth(self, kcorr, config):
+        detected = detection([1], [180.0], [0.0], [float(kcorr.z[10])])
+        report = match_clusters(detected, [], kcorr, config)
+        assert report.n_truth == 0
+        assert report.completeness == 0.0
+
+    def test_summary_readable(self, kcorr, config):
+        truth = [truth_at(1, 180.0, 0.0, float(kcorr.z[10]))]
+        detected = detection([1], [180.0], [0.0], [float(kcorr.z[10])])
+        text = match_clusters(detected, truth, kcorr, config).summary()
+        assert "completeness" in text and "purity" in text
+
+
+class TestPipelineScoring:
+    def test_end_to_end_quality(self, sky, pipeline_result, kcorr, config,
+                                target_region):
+        truth = [c for c in sky.clusters
+                 if target_region.contains(c.ra, c.dec)]
+        report = match_clusters(pipeline_result.clusters, truth, kcorr, config)
+        assert report.completeness >= 0.75
+        assert report.purity >= 0.6
+        assert report.median_delta_z() < 0.03

@@ -1,0 +1,114 @@
+"""Grouped and scalar aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.engine.aggregate import Aggregate, AggregateSpec
+from repro.engine.expressions import BinaryOp, col, lit
+from repro.engine.operators import Materialized
+from repro.errors import SqlPlanError
+
+
+def source():
+    return Materialized({
+        "t.zid": np.array([1, 1, 2, 2, 2, 3]),
+        "t.n": np.array([5.0, 7.0, 1.0, 2.0, 3.0, 9.0]),
+    })
+
+
+class TestScalarAggregates:
+    def test_count_star(self):
+        plan = Aggregate(source(), [], [AggregateSpec("count", None, "n")])
+        assert plan.execute()["n"].tolist() == [6]
+
+    def test_sum_min_max_avg(self):
+        plan = Aggregate(source(), [], [
+            AggregateSpec("sum", col("n", "t"), "s"),
+            AggregateSpec("min", col("n", "t"), "lo"),
+            AggregateSpec("max", col("n", "t"), "hi"),
+            AggregateSpec("avg", col("n", "t"), "mean"),
+        ])
+        row = plan.execute()
+        assert row["s"][0] == 27.0
+        assert row["lo"][0] == 1.0
+        assert row["hi"][0] == 9.0
+        assert row["mean"][0] == pytest.approx(4.5)
+
+    def test_empty_input_null_semantics(self):
+        empty = Materialized({"t.n": np.empty(0)})
+        plan = Aggregate(empty, [], [
+            AggregateSpec("count", None, "c"),
+            AggregateSpec("max", col("n", "t"), "m"),
+        ])
+        row = plan.execute()
+        assert row["c"][0] == 0
+        assert np.isnan(row["m"][0])
+
+    def test_aggregate_of_expression(self):
+        plan = Aggregate(source(), [], [
+            AggregateSpec("max", BinaryOp("*", col("n", "t"), lit(2.0)), "m"),
+        ])
+        assert plan.execute()["m"][0] == 18.0
+
+
+class TestGroupedAggregates:
+    def test_count_per_group(self):
+        plan = Aggregate(
+            source(), [("zid", col("zid", "t"))],
+            [AggregateSpec("count", None, "c")],
+        )
+        batch = plan.execute()
+        got = dict(zip(batch["zid"].tolist(), batch["c"].tolist()))
+        assert got == {1: 2, 2: 3, 3: 1}
+
+    def test_multiple_aggregates_per_group(self):
+        plan = Aggregate(
+            source(), [("zid", col("zid", "t"))],
+            [
+                AggregateSpec("sum", col("n", "t"), "s"),
+                AggregateSpec("max", col("n", "t"), "m"),
+            ],
+        )
+        batch = plan.execute()
+        by_zone = dict(zip(batch["zid"].tolist(),
+                           zip(batch["s"].tolist(), batch["m"].tolist())))
+        assert by_zone[2] == (6.0, 3.0)
+
+    def test_group_by_two_keys(self):
+        src = Materialized({
+            "t.a": np.array([1, 1, 2]),
+            "t.b": np.array([1, 1, 1]),
+            "t.n": np.array([1.0, 2.0, 3.0]),
+        })
+        plan = Aggregate(
+            src, [("a", col("a", "t")), ("b", col("b", "t"))],
+            [AggregateSpec("count", None, "c")],
+        )
+        batch = plan.execute()
+        assert sorted(batch["c"].tolist()) == [1, 2]
+
+    def test_empty_grouped_input(self):
+        empty = Materialized({"t.zid": np.empty(0, np.int64), "t.n": np.empty(0)})
+        plan = Aggregate(
+            empty, [("zid", col("zid", "t"))],
+            [AggregateSpec("count", None, "c")],
+        )
+        batch = plan.execute()
+        assert batch["c"].size == 0
+
+    def test_count_dtype_integer(self):
+        plan = Aggregate(
+            source(), [("zid", col("zid", "t"))],
+            [AggregateSpec("count", None, "c")],
+        )
+        assert plan.execute()["c"].dtype == np.int64
+
+
+class TestAggregateSpecValidation:
+    def test_unknown_function(self):
+        with pytest.raises(SqlPlanError):
+            AggregateSpec("median", col("n"), "m")
+
+    def test_star_only_for_count(self):
+        with pytest.raises(SqlPlanError):
+            AggregateSpec("sum", None, "s")

@@ -1,0 +1,167 @@
+"""Expression trees: evaluation, name resolution, functions."""
+
+import numpy as np
+import pytest
+
+from repro.engine.expressions import (
+    Between,
+    BinaryOp,
+    Case,
+    ColumnRef,
+    FuncCall,
+    InList,
+    Literal,
+    UnaryOp,
+    and_,
+    col,
+    lit,
+)
+from repro.errors import ColumnNotFoundError, SqlPlanError
+
+
+@pytest.fixture()
+def batch():
+    return {
+        "g.i": np.array([17.0, 18.0, 19.0]),
+        "g.gr": np.array([0.8, 1.0, 1.2]),
+        "k.z": np.array([0.1, 0.2, 0.3]),
+    }
+
+
+class TestResolution:
+    def test_qualified(self, batch):
+        assert np.allclose(col("i", "g").eval(batch), [17, 18, 19])
+
+    def test_bare_unique(self, batch):
+        assert np.allclose(col("z").eval(batch), [0.1, 0.2, 0.3])
+
+    def test_unknown(self, batch):
+        with pytest.raises(ColumnNotFoundError):
+            col("nope").eval(batch)
+
+    def test_unknown_qualifier(self, batch):
+        with pytest.raises(ColumnNotFoundError):
+            col("i", "x").eval(batch)
+
+    def test_ambiguous(self):
+        batch = {"a.x": np.zeros(2), "b.x": np.zeros(2)}
+        with pytest.raises(SqlPlanError):
+            col("x").eval(batch)
+
+
+class TestOperators:
+    def test_arithmetic(self, batch):
+        expr = BinaryOp("+", col("i", "g"), lit(1.0))
+        assert np.allclose(expr.eval(batch), [18, 19, 20])
+        expr = BinaryOp("*", col("i", "g"), lit(2))
+        assert np.allclose(expr.eval(batch), [34, 36, 38])
+
+    def test_division_by_zero_gives_inf(self, batch):
+        expr = BinaryOp("/", lit(1.0), lit(0.0))
+        out = expr.eval(batch)
+        assert np.all(np.isinf(out))
+
+    def test_modulo(self, batch):
+        expr = BinaryOp("%", col("i", "g"), lit(5.0))
+        assert np.allclose(expr.eval(batch), [2.0, 3.0, 4.0])
+
+    def test_comparisons(self, batch):
+        expr = BinaryOp(">", col("i", "g"), lit(17.5))
+        assert expr.eval(batch).tolist() == [False, True, True]
+
+    def test_and_or(self, batch):
+        gt = BinaryOp(">", col("i", "g"), lit(17.5))
+        lt = BinaryOp("<", col("i", "g"), lit(18.5))
+        assert BinaryOp("AND", gt, lt).eval(batch).tolist() == [False, True, False]
+        assert BinaryOp("OR", gt, lt).eval(batch).tolist() == [True, True, True]
+
+    def test_and_short_circuits_on_all_false(self, batch):
+        # the right side would raise if evaluated
+        never = BinaryOp(">", col("i", "g"), lit(100.0))
+        boom = col("missing")
+        assert BinaryOp("AND", never, boom).eval(batch).tolist() == [False] * 3
+
+    def test_not_and_negate(self, batch):
+        expr = UnaryOp("NOT", BinaryOp(">", col("i", "g"), lit(17.5)))
+        assert expr.eval(batch).tolist() == [True, False, False]
+        assert np.allclose(UnaryOp("-", lit(3)).eval(batch), -3)
+
+    def test_unknown_op(self, batch):
+        with pytest.raises(SqlPlanError):
+            BinaryOp("**", lit(1), lit(2)).eval(batch)
+
+
+class TestCompound:
+    def test_between_inclusive(self, batch):
+        expr = Between(col("i", "g"), lit(17.0), lit(18.0))
+        assert expr.eval(batch).tolist() == [True, True, False]
+
+    def test_in_list(self, batch):
+        expr = InList(col("i", "g"), (lit(17.0), lit(19.0)))
+        assert expr.eval(batch).tolist() == [True, False, True]
+
+    def test_case(self, batch):
+        expr = Case(
+            whens=((BinaryOp(">", col("i", "g"), lit(18.5)), lit(1.0)),),
+            default=lit(0.0),
+        )
+        assert expr.eval(batch).tolist() == [0.0, 0.0, 1.0]
+
+    def test_case_first_match_wins(self, batch):
+        expr = Case(
+            whens=(
+                (BinaryOp(">", col("i", "g"), lit(16.0)), lit(1.0)),
+                (BinaryOp(">", col("i", "g"), lit(18.0)), lit(2.0)),
+            ),
+            default=lit(0.0),
+        )
+        assert expr.eval(batch).tolist() == [1.0, 1.0, 1.0]
+
+    def test_case_without_default_gives_nan(self, batch):
+        expr = Case(whens=((BinaryOp(">", col("i", "g"), lit(18.5)), lit(1.0)),))
+        out = expr.eval(batch)
+        assert np.isnan(out[0]) and out[2] == 1.0
+
+
+class TestFunctions:
+    def test_power_sqrt_log(self, batch):
+        assert np.allclose(
+            FuncCall("power", (lit(2.0), lit(10))).eval(batch), 1024.0
+        )
+        assert np.allclose(FuncCall("sqrt", (lit(9.0),)).eval(batch), 3.0)
+        assert np.allclose(FuncCall("log", (lit(np.e),)).eval(batch), 1.0)
+
+    def test_trig_and_pi(self, batch):
+        assert np.allclose(FuncCall("pi", ()).eval(batch), np.pi)
+        assert np.allclose(
+            FuncCall("sin", (FuncCall("radians", (lit(90.0),)),)).eval(batch), 1.0
+        )
+
+    def test_floor(self, batch):
+        assert np.allclose(FuncCall("floor", (lit(2.7),)).eval(batch), 2.0)
+
+    def test_unknown_function(self, batch):
+        with pytest.raises(SqlPlanError):
+            FuncCall("frobnicate", ()).eval(batch)
+
+    def test_wrong_arity(self, batch):
+        with pytest.raises(SqlPlanError):
+            FuncCall("sqrt", (lit(1), lit(2))).eval(batch)
+
+
+class TestTreeUtilities:
+    def test_column_refs_collects_all(self):
+        expr = and_(
+            Between(col("ra"), lit(0), lit(1)),
+            BinaryOp("=", col("z", "k"), col("z", "c")),
+        )
+        refs = expr.column_refs()
+        names = {(r.qualifier, r.name) for r in refs}
+        assert names == {(None, "ra"), ("k", "z"), ("c", "z")}
+
+    def test_literal_broadcast(self, batch):
+        assert lit(5).eval(batch).shape == (3,)
+
+    def test_frozen_equality(self):
+        assert col("a") == ColumnRef("a")
+        assert lit(1) == Literal(1)

@@ -1,0 +1,101 @@
+"""EXPLAIN ANALYZE: instrumented plan execution."""
+
+import numpy as np
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.instrument import explain_analyze, instrument_plan
+from repro.errors import EngineError
+
+
+@pytest.fixture()
+def db() -> Database:
+    d = Database("ea")
+    rng = np.random.default_rng(3)
+    n = 5000
+    d.create_table(
+        "g",
+        {"objid": np.arange(n), "zoneid": rng.integers(0, 100, n),
+         "v": rng.uniform(0, 1, n)},
+        primary_key="objid",
+    )
+    return d
+
+
+class TestExplainAnalyze:
+    def test_rows_recorded_per_node(self, db):
+        report = explain_analyze(db, "SELECT objid FROM g WHERE v > 0.5")
+        scan = report.node("SeqScan")
+        filtered = report.node("Filter")
+        assert scan.rows == 5000
+        assert filtered.rows < scan.rows
+        assert report.row_count == filtered.rows
+
+    def test_same_answer_as_plain_execution(self, db):
+        text = "SELECT zoneid, COUNT(*) AS c FROM g GROUP BY zoneid"
+        report = explain_analyze(db, text)
+        plain = db.sql(text)
+        assert report.row_count == plain.row_count
+        assert sorted(report.result["c"].tolist()) == sorted(
+            plain.column("c").tolist()
+        )
+
+    def test_io_attributed_to_scan(self, db):
+        report = explain_analyze(db, "SELECT objid FROM g")
+        scan = report.node("SeqScan")
+        assert scan.io_total >= db.table("g").page_count
+
+    def test_render_shows_tree(self, db):
+        report = explain_analyze(
+            db, "SELECT objid FROM g WHERE v > 0.9 ORDER BY objid LIMIT 3"
+        )
+        text = report.render()
+        assert "Limit" in text and "Sort" in text and "rows=" in text
+        assert text.splitlines()[-1].startswith("total:")
+
+    def test_join_nodes_instrumented(self, db):
+        db.create_table("k", {"zoneid": np.arange(100),
+                              "w": np.linspace(0, 1, 100)})
+        report = explain_analyze(
+            db,
+            "SELECT g.objid FROM g JOIN k ON g.zoneid = k.zoneid "
+            "WHERE k.w > 0.5",
+        )
+        join = report.node("HashJoin")
+        assert join.rows > 0
+
+    def test_timings_nested(self, db):
+        report = explain_analyze(db, "SELECT objid FROM g WHERE v > 0.5")
+        outer = report.nodes[0]
+        inner = report.nodes[-1]
+        assert outer.inclusive_s >= inner.inclusive_s
+
+    def test_rejects_non_select(self, db):
+        with pytest.raises(EngineError):
+            explain_analyze(db, "DELETE FROM g")
+
+    def test_missing_node_lookup(self, db):
+        report = explain_analyze(db, "SELECT objid FROM g")
+        with pytest.raises(EngineError):
+            report.node("CrossJoin")
+
+
+class TestDatabaseConvenience:
+    def test_explain_analyze_method(self, db):
+        report = db.explain_analyze("SELECT objid FROM g WHERE v > 0.5")
+        assert report.row_count > 0
+        assert "SeqScan" in report.render()
+
+
+class TestInstrumentPlan:
+    def test_wrapping_preserves_results(self, db):
+        from repro.engine.sql.parser import parse
+        from repro.engine.sql.planner import Planner
+
+        stmt = parse("SELECT objid FROM g WHERE v BETWEEN 0.2 AND 0.4")
+        plan = Planner(db).plan_select(stmt)
+        expected = plan.execute()
+        wrapped, records = instrument_plan(plan)
+        got = wrapped.execute()
+        assert np.array_equal(got["objid"], expected["objid"])
+        assert all(r.calls == 1 for r in records)

@@ -1,0 +1,107 @@
+"""Join operators."""
+
+import numpy as np
+import pytest
+
+from repro.engine.expressions import BinaryOp, col, lit
+from repro.engine.join import CrossJoin, HashJoin, NestedLoopJoin, merge_batches
+from repro.engine.operators import Materialized
+from repro.errors import SqlPlanError
+
+
+def left_side():
+    return Materialized({"l.id": np.array([1, 2, 3]), "l.v": np.array([10.0, 20.0, 30.0])})
+
+
+def right_side():
+    return Materialized({"r.id": np.array([2, 3, 3, 4]), "r.w": np.array([200.0, 300.0, 301.0, 400.0])})
+
+
+class TestHashJoin:
+    def test_inner_matches(self):
+        plan = HashJoin(left_side(), right_side(), col("id", "l"), col("id", "r"))
+        batch = plan.execute()
+        pairs = sorted(zip(batch["l.id"].tolist(), batch["r.w"].tolist()))
+        assert pairs == [(2, 200.0), (3, 300.0), (3, 301.0)]
+
+    def test_no_matches(self):
+        plan = HashJoin(
+            left_side(), right_side(), col("id", "l"),
+            BinaryOp("+", col("id", "r"), lit(100)),
+        )
+        assert plan.execute()["l.id"].size == 0
+
+    def test_residual_applied(self):
+        plan = HashJoin(
+            left_side(), right_side(), col("id", "l"), col("id", "r"),
+            residual=BinaryOp(">", col("w", "r"), lit(300.0)),
+        )
+        batch = plan.execute()
+        assert batch["r.w"].tolist() == [301.0]
+
+    def test_duplicate_output_column_rejected(self):
+        left = Materialized({"x.id": np.array([1])})
+        right = Materialized({"x.id": np.array([1])})
+        with pytest.raises(SqlPlanError):
+            HashJoin(left, right, col("id", "x"), col("id", "x")).execute()
+
+
+class TestNestedLoopJoin:
+    def test_matches_hash_join(self):
+        nl = NestedLoopJoin(
+            left_side(), right_side(),
+            BinaryOp("=", col("id", "l"), col("id", "r")),
+        ).execute()
+        hj = HashJoin(
+            left_side(), right_side(), col("id", "l"), col("id", "r")
+        ).execute()
+        assert sorted(zip(nl["l.id"].tolist(), nl["r.w"].tolist())) == sorted(
+            zip(hj["l.id"].tolist(), hj["r.w"].tolist())
+        )
+
+    def test_inequality_join(self):
+        plan = NestedLoopJoin(
+            left_side(), right_side(),
+            BinaryOp("<", col("id", "l"), col("id", "r")),
+        )
+        batch = plan.execute()
+        # l=1 beats {2,3,3,4}; l=2 beats {3,3,4}; l=3 beats {4}
+        assert len(batch["l.id"]) == 4 + 3 + 1
+
+    def test_blockwise_consistency(self):
+        big_left = Materialized({"l.id": np.arange(100)})
+        small = NestedLoopJoin(
+            big_left, right_side(),
+            BinaryOp("=", col("id", "l"), col("id", "r")),
+            block_rows=7,
+        ).execute()
+        assert sorted(small["l.id"].tolist()) == [2, 3, 3, 4]
+
+    def test_empty_side(self):
+        empty = Materialized({"l.id": np.empty(0, dtype=np.int64)})
+        batch = NestedLoopJoin(empty, right_side(), None).execute()
+        assert batch["l.id"].size == 0 and batch["r.id"].size == 0
+
+
+class TestCrossJoin:
+    def test_cardinality(self):
+        batch = CrossJoin(left_side(), right_side()).execute()
+        assert batch["l.id"].size == 3 * 4
+
+    def test_paper_shape_galaxy_cross_kcorr(self):
+        # the Filter step's CROSS JOIN with a chi^2 cut
+        galaxies = Materialized({"g.i": np.array([17.0, 25.0])})
+        kcorr = Materialized({"k.i": np.array([17.1, 18.0, 19.0])})
+        joined = CrossJoin(galaxies, kcorr).execute()
+        chisq = (joined["g.i"] - joined["k.i"]) ** 2 / 0.57**2
+        # bright galaxy passes at k.i = 17.1 and 18.0; the faint one never
+        assert int((chisq < 7).sum()) == 2
+
+
+class TestMergeBatches:
+    def test_merge(self):
+        left = {"a": np.array([1, 2])}
+        right = {"b": np.array([10, 20])}
+        merged = merge_batches(left, np.array([0, 0, 1]), right, np.array([1, 0, 1]))
+        assert merged["a"].tolist() == [1, 1, 2]
+        assert merged["b"].tolist() == [20, 10, 20]

@@ -1,0 +1,111 @@
+"""Physical operators: scans, filter, project, sort, limit, distinct."""
+
+import numpy as np
+import pytest
+
+from repro.engine.expressions import BinaryOp, col, lit
+from repro.engine.index import ClusteredIndex
+from repro.engine.operators import (
+    Distinct,
+    Filter,
+    IndexRangeScan,
+    Limit,
+    Materialized,
+    Project,
+    SeqScan,
+    Sort,
+)
+from repro.engine.pages import BufferPool
+from repro.engine.schema import schema
+from repro.engine.table import Table
+from repro.engine.types import ColumnType
+from repro.errors import SqlPlanError
+
+
+@pytest.fixture()
+def table() -> Table:
+    s = schema("t", {"a": ColumnType.INT64, "b": ColumnType.FLOAT64})
+    t = Table(s, BufferPool(100))
+    t.insert({"a": [3, 1, 2, 1], "b": [30.0, 10.0, 20.0, 11.0]})
+    return t
+
+
+class TestScans:
+    def test_seqscan_qualifies_names(self, table):
+        batch = SeqScan(table, "x").execute()
+        assert set(batch) == {"x.a", "x.b"}
+
+    def test_index_range_scan(self, table):
+        index = ClusteredIndex(table, ("a",))
+        index.build()
+        batch = IndexRangeScan(index, 1, 2, "t").execute()
+        assert sorted(batch["t.a"].tolist()) == [1, 1, 2]
+
+
+class TestFilterProject:
+    def test_filter(self, table):
+        plan = Filter(SeqScan(table, "t"), BinaryOp(">", col("a"), lit(1)))
+        batch = plan.execute()
+        assert sorted(batch["t.a"].tolist()) == [2, 3]
+
+    def test_filter_empty_input(self, table):
+        table.truncate()
+        plan = Filter(SeqScan(table, "t"), BinaryOp(">", col("a"), lit(1)))
+        assert plan.execute()["t.a"].size == 0
+
+    def test_project_computes(self, table):
+        plan = Project(
+            SeqScan(table, "t"),
+            [("double_b", BinaryOp("*", col("b"), lit(2.0)))],
+        )
+        batch = plan.execute()
+        assert sorted(batch["double_b"].tolist()) == [20.0, 22.0, 40.0, 60.0]
+
+    def test_project_broadcasts_constants(self, table):
+        batch = Project(SeqScan(table, "t"), [("one", lit(1))]).execute()
+        assert batch["one"].shape == (4,)
+
+
+class TestSortLimitDistinct:
+    def test_sort_asc(self, table):
+        plan = Sort(SeqScan(table, "t"), [(col("a"), True)])
+        assert plan.execute()["t.a"].tolist() == [1, 1, 2, 3]
+
+    def test_sort_desc(self, table):
+        plan = Sort(SeqScan(table, "t"), [(col("a"), False)])
+        assert plan.execute()["t.a"].tolist() == [3, 2, 1, 1]
+
+    def test_sort_two_keys(self, table):
+        plan = Sort(
+            SeqScan(table, "t"), [(col("a"), True), (col("b"), False)]
+        )
+        batch = plan.execute()
+        assert batch["t.a"].tolist() == [1, 1, 2, 3]
+        assert batch["t.b"].tolist() == [11.0, 10.0, 20.0, 30.0]
+
+    def test_limit(self, table):
+        plan = Limit(Sort(SeqScan(table, "t"), [(col("a"), True)]), 2)
+        assert plan.execute()["t.a"].tolist() == [1, 1]
+
+    def test_limit_negative(self, table):
+        with pytest.raises(SqlPlanError):
+            Limit(SeqScan(table, "t"), -1).execute()
+
+    def test_distinct(self, table):
+        plan = Distinct(Project(SeqScan(table, "t"), [("a", col("a"))]))
+        assert sorted(plan.execute()["a"].tolist()) == [1, 2, 3]
+
+    def test_materialized(self):
+        batch = {"x": np.array([1, 2])}
+        assert Materialized(batch).execute() is batch
+
+
+class TestExplain:
+    def test_explain_tree(self, table):
+        plan = Limit(Filter(SeqScan(table, "t"), BinaryOp(">", col("a"), lit(0))), 5)
+        text = plan.explain()
+        assert "Limit(5)" in text
+        assert "Filter" in text
+        assert "SeqScan(t AS t)" in text
+        # indentation encodes depth
+        assert text.splitlines()[2].startswith("    ")

@@ -1,0 +1,115 @@
+"""Paged storage and buffer-pool accounting."""
+
+import pytest
+
+from repro.engine.pages import PAGE_BYTES, BufferPool, PagedFile, PageId
+from repro.errors import EngineError
+
+
+class TestBufferPool:
+    def test_miss_then_hit(self):
+        pool = BufferPool(capacity_pages=10)
+        page = PageId(0, 0)
+        assert pool.access(page) is False  # cold: physical read
+        assert pool.access(page) is True  # warm: hit
+        assert pool.counters.logical_reads == 2
+        assert pool.counters.physical_reads == 1
+
+    def test_lru_eviction(self):
+        pool = BufferPool(capacity_pages=2)
+        a, b, c = PageId(0, 0), PageId(0, 1), PageId(0, 2)
+        pool.access(a)
+        pool.access(b)
+        pool.access(c)  # evicts a
+        assert pool.access(a) is False  # a was evicted
+        assert pool.counters.physical_reads == 4
+
+    def test_access_refreshes_lru(self):
+        pool = BufferPool(capacity_pages=2)
+        a, b, c = PageId(0, 0), PageId(0, 1), PageId(0, 2)
+        pool.access(a)
+        pool.access(b)
+        pool.access(a)  # a is now most recent
+        pool.access(c)  # evicts b, not a
+        assert pool.access(a) is True
+
+    def test_write_counts(self):
+        pool = BufferPool(10)
+        pool.write(PageId(0, 0))
+        assert pool.counters.writes == 1
+        assert pool.access(PageId(0, 0)) is True  # write made it resident
+
+    def test_evict_file(self):
+        pool = BufferPool(10)
+        pool.access(PageId(1, 0))
+        pool.access(PageId(2, 0))
+        pool.evict_file(1)
+        assert pool.access(PageId(1, 0)) is False
+        assert pool.access(PageId(2, 0)) is True
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(EngineError):
+            BufferPool(0)
+
+
+class TestPagedFile:
+    def test_rows_per_page_from_row_width(self):
+        pool = BufferPool(100)
+        f = PagedFile(pool, row_byte_width=44)  # the paper's galaxy rows
+        assert f.rows_per_page == PAGE_BYTES // 44  # 186
+
+    def test_unique_file_ids(self):
+        pool = BufferPool(100)
+        a, b = PagedFile(pool, 8), PagedFile(pool, 8)
+        assert a.file_id != b.file_id
+
+    def test_page_count(self):
+        pool = BufferPool(100)
+        f = PagedFile(pool, 8192)  # 1 row per page
+        assert f.page_count(0) == 0
+        assert f.page_count(1) == 1
+        assert f.page_count(5) == 5
+
+    def test_read_range_touches_each_page_once(self):
+        pool = BufferPool(100)
+        f = PagedFile(pool, 8192 // 4)  # 4 rows/page
+        pages = f.read_range(0, 10)  # rows 0..9 -> pages 0,1,2
+        assert pages == 3
+        assert pool.counters.logical_reads == 3
+
+    def test_read_range_empty(self):
+        pool = BufferPool(100)
+        f = PagedFile(pool, 8)
+        assert f.read_range(5, 5) == 0
+        assert pool.counters.logical_reads == 0
+
+    def test_write_range(self):
+        pool = BufferPool(100)
+        f = PagedFile(pool, 8192)
+        assert f.write_range(0, 3) == 3
+        assert pool.counters.writes == 3
+
+    def test_invalidate(self):
+        pool = BufferPool(100)
+        f = PagedFile(pool, 8192)
+        f.read_range(0, 2)
+        f.invalidate()
+        assert pool.access(PageId(f.file_id, 0)) is False
+
+    def test_bad_row_width(self):
+        with pytest.raises(EngineError):
+            PagedFile(BufferPool(1), 0)
+
+
+class TestIOCounters:
+    def test_snapshot_and_since(self):
+        pool = BufferPool(10)
+        pool.access(PageId(0, 0))
+        before = pool.counters.snapshot()
+        pool.access(PageId(0, 0))
+        pool.write(PageId(0, 1))
+        delta = pool.counters.since(before)
+        assert delta.logical_reads == 1
+        assert delta.physical_reads == 0
+        assert delta.writes == 1
+        assert delta.total == 2

@@ -1,0 +1,62 @@
+"""Table schemas."""
+
+import pytest
+
+from repro.engine.schema import Column, TableSchema, schema
+from repro.engine.types import ColumnType
+from repro.errors import SchemaError
+
+
+def galaxy_schema() -> TableSchema:
+    return schema(
+        "galaxy",
+        {
+            "objid": ColumnType.INT64,
+            "ra": ColumnType.FLOAT64,
+            "dec": ColumnType.FLOAT64,
+            "i": ColumnType.FLOAT64,
+        },
+        primary_key="objid",
+    )
+
+
+class TestTableSchema:
+    def test_column_names(self):
+        assert galaxy_schema().column_names == ("objid", "ra", "dec", "i")
+
+    def test_column_lookup_case_insensitive(self):
+        assert galaxy_schema().column("RA").type is ColumnType.FLOAT64
+
+    def test_missing_column(self):
+        with pytest.raises(SchemaError):
+            galaxy_schema().column("z")
+
+    def test_has_column(self):
+        s = galaxy_schema()
+        assert s.has_column("objid") and not s.has_column("zz")
+
+    def test_row_byte_width(self):
+        assert galaxy_schema().row_byte_width == 32
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                (Column("a", ColumnType.INT64), Column("A", ColumnType.INT64)),
+            )
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", ())
+
+    def test_bad_primary_key(self):
+        with pytest.raises(SchemaError):
+            schema("t", {"a": ColumnType.INT64}, primary_key="b")
+
+    def test_bad_identifier(self):
+        with pytest.raises(SchemaError):
+            schema("bad name", {"a": ColumnType.INT64})
+        with pytest.raises(SchemaError):
+            schema("t", {"1col": ColumnType.INT64})
+        with pytest.raises(SchemaError):
+            schema("", {"a": ColumnType.INT64})

@@ -1,0 +1,139 @@
+"""Dialect additions: TOP, ORDER BY ordinal, LIMIT OFFSET, LEFT JOIN."""
+
+import numpy as np
+import pytest
+
+from repro.engine.database import Database
+from repro.errors import SqlPlanError, SqlSyntaxError
+
+
+@pytest.fixture()
+def db() -> Database:
+    d = Database("dialect")
+    d.sql("CREATE TABLE g (objid bigint PRIMARY KEY, zid int, i float)")
+    d.sql(
+        "INSERT INTO g VALUES (1, 10, 17.0), (2, 20, 18.0), (3, 30, 19.0), "
+        "(4, 99, 20.0)"
+    )
+    d.sql("CREATE TABLE k (zid int PRIMARY KEY, radius float)")
+    d.sql("INSERT INTO k VALUES (10, 0.3), (20, 0.2)")
+    return d
+
+
+class TestTop:
+    def test_top_n(self, db):
+        rows = db.sql("SELECT TOP 2 objid FROM g ORDER BY i DESC").rows()
+        assert [r["objid"] for r in rows] == [4, 3]
+
+    def test_top_equals_limit(self, db):
+        top = db.sql("SELECT TOP 3 objid FROM g ORDER BY objid").rows()
+        limit = db.sql("SELECT objid FROM g ORDER BY objid LIMIT 3").rows()
+        assert top == limit
+
+    def test_top_with_limit_rejected(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.sql("SELECT TOP 2 objid FROM g LIMIT 3")
+
+    def test_top_requires_number(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.sql("SELECT TOP x objid FROM g")
+
+
+class TestOrderByOrdinal:
+    def test_ordinal_names_item(self, db):
+        rows = db.sql("SELECT objid, i FROM g ORDER BY 2 DESC").rows()
+        assert [r["objid"] for r in rows] == [4, 3, 2, 1]
+
+    def test_ordinal_out_of_range(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.sql("SELECT objid FROM g ORDER BY 3")
+
+    def test_literal_float_is_not_ordinal(self, db):
+        # ORDER BY 1.5 is a constant sort key (legal, no-op ordering)
+        result = db.sql("SELECT objid FROM g ORDER BY 1.5")
+        assert result.row_count == 4
+
+
+class TestLimitOffset:
+    def test_offset_pagination(self, db):
+        page1 = db.sql("SELECT objid FROM g ORDER BY objid LIMIT 2").rows()
+        page2 = db.sql(
+            "SELECT objid FROM g ORDER BY objid LIMIT 2 OFFSET 2"
+        ).rows()
+        assert [r["objid"] for r in page1] == [1, 2]
+        assert [r["objid"] for r in page2] == [3, 4]
+
+    def test_offset_beyond_end(self, db):
+        assert db.sql("SELECT objid FROM g LIMIT 5 OFFSET 10").row_count == 0
+
+
+class TestLeftJoin:
+    def test_unmatched_rows_kept_with_nan(self, db):
+        result = db.sql(
+            "SELECT g.objid, k.radius FROM g LEFT JOIN k ON g.zid = k.zid "
+            "ORDER BY g.objid"
+        )
+        radii = result.column("radius")
+        assert result.row_count == 4
+        assert radii[0] == 0.3 and radii[1] == 0.2
+        assert np.isnan(radii[2]) and np.isnan(radii[3])
+
+    def test_left_outer_keyword(self, db):
+        result = db.sql(
+            "SELECT g.objid FROM g LEFT OUTER JOIN k ON g.zid = k.zid"
+        )
+        assert result.row_count == 4
+
+    def test_inner_join_still_drops(self, db):
+        result = db.sql(
+            "SELECT g.objid FROM g JOIN k ON g.zid = k.zid"
+        )
+        assert result.row_count == 2
+
+    def test_where_on_right_applies_after_padding(self, db):
+        # IS NULL over the padded column finds the unmatched rows —
+        # the predicate must NOT be pushed below the left join
+        result = db.sql(
+            "SELECT g.objid FROM g LEFT JOIN k ON g.zid = k.zid "
+            "WHERE k.radius IS NULL ORDER BY g.objid"
+        )
+        assert result.column("objid").tolist() == [3, 4]
+
+    def test_where_filter_on_right_value(self, db):
+        result = db.sql(
+            "SELECT g.objid FROM g LEFT JOIN k ON g.zid = k.zid "
+            "WHERE k.radius > 0.25"
+        )
+        assert result.column("objid").tolist() == [1]
+
+    def test_residual_on_condition_keeps_left_row(self, db):
+        # ON-clause residual: row 1 matches zid but fails radius > 0.25
+        # in the ON clause -> still emitted, with NULL right side
+        result = db.sql(
+            "SELECT g.objid, k.radius FROM g LEFT JOIN k "
+            "ON g.zid = k.zid AND k.radius > 0.25 ORDER BY g.objid"
+        )
+        assert result.row_count == 4
+        radii = result.column("radius")
+        assert radii[0] == 0.3
+        assert np.isnan(radii[1])  # zid 20 matched but failed the residual
+
+    def test_left_join_requires_equality(self, db):
+        with pytest.raises(SqlPlanError):
+            db.sql("SELECT g.objid FROM g LEFT JOIN k ON g.zid < k.zid")
+
+    def test_aggregate_over_left_join(self, db):
+        # counting matches per left row: the classic LEFT JOIN idiom.
+        # COUNT(col) skips NULLs, so unmatched rows count zero.
+        result = db.sql(
+            "SELECT g.objid, COUNT(k.radius) AS n FROM g "
+            "LEFT JOIN k ON g.zid = k.zid GROUP BY g.objid ORDER BY g.objid"
+        )
+        assert result.column("n").tolist() == [1, 1, 0, 0]
+
+    def test_count_star_vs_count_column(self, db):
+        row = db.sql(
+            "SELECT COUNT(*) AS stars, COUNT(k.radius) AS vals FROM g "
+            "LEFT JOIN k ON g.zid = k.zid"
+        ).rows()[0]
+        assert row == {"stars": 4, "vals": 2}

@@ -1,0 +1,179 @@
+"""End-to-end SQL execution against a Database."""
+
+import numpy as np
+import pytest
+
+from repro.engine.database import Database
+from repro.errors import (
+    SqlPlanError,
+    SqlSyntaxError,
+    TableNotFoundError,
+)
+
+
+@pytest.fixture()
+def db() -> Database:
+    d = Database("test")
+    d.sql("CREATE TABLE g (objid bigint PRIMARY KEY, ra float, i real)")
+    d.sql(
+        "INSERT INTO g VALUES (1, 180.0, 17.0), (2, 181.0, 18.0), "
+        "(3, 182.0, 19.0), (4, 183.0, 20.0)"
+    )
+    return d
+
+
+class TestSelect:
+    def test_projection_and_filter(self, db):
+        rows = db.sql("SELECT objid FROM g WHERE i > 18.5").rows()
+        assert [r["objid"] for r in rows] == [3, 4]
+
+    def test_expression_output(self, db):
+        rows = db.sql("SELECT objid, i * 2 AS ii FROM g WHERE objid = 1").rows()
+        assert rows == [{"objid": 1, "ii": 34.0}]
+
+    def test_order_by_desc_limit(self, db):
+        rows = db.sql("SELECT objid FROM g ORDER BY i DESC LIMIT 2").rows()
+        assert [r["objid"] for r in rows] == [4, 3]
+
+    def test_between(self, db):
+        assert db.sql(
+            "SELECT COUNT(*) AS c FROM g WHERE ra BETWEEN 181 AND 182"
+        ).scalar() == 2
+
+    def test_aggregate_scalar(self, db):
+        assert db.sql("SELECT AVG(i) AS m FROM g").scalar() == pytest.approx(18.5)
+
+    def test_group_by_having(self, db):
+        db.sql("CREATE TABLE obs (objid bigint, mag float)")
+        db.sql(
+            "INSERT INTO obs VALUES (1, 1.0), (1, 2.0), (2, 5.0), (3, 1.0)"
+        )
+        rows = db.sql(
+            "SELECT objid, COUNT(*) AS c, MAX(mag) AS m FROM obs "
+            "GROUP BY objid HAVING COUNT(*) > 1"
+        ).rows()
+        assert rows == [{"objid": 1, "c": 2, "m": 2.0}]
+
+    def test_aggregate_inside_expression(self, db):
+        # the paper's MAX(LOG(ngal+1) - chisq) shape
+        value = db.sql("SELECT MAX(LOG(i) - 1.0) AS v FROM g").scalar()
+        assert value == pytest.approx(np.log(20.0) - 1.0)
+
+    def test_join(self, db):
+        db.sql("CREATE TABLE k (objid bigint, z float)")
+        db.sql("INSERT INTO k VALUES (1, 0.1), (3, 0.3)")
+        rows = db.sql(
+            "SELECT g.objid, k.z FROM g JOIN k ON g.objid = k.objid "
+            "ORDER BY g.objid"
+        ).rows()
+        assert rows == [{"objid": 1, "z": 0.1}, {"objid": 3, "z": 0.3}]
+
+    def test_cross_join_count(self, db):
+        db.sql("CREATE TABLE two (x int)")
+        db.sql("INSERT INTO two VALUES (1), (2)")
+        assert db.sql(
+            "SELECT COUNT(*) AS c FROM g CROSS JOIN two"
+        ).scalar() == 8
+
+    def test_select_star_join_dedups_names(self, db):
+        db.sql("CREATE TABLE k (objid bigint, z float)")
+        db.sql("INSERT INTO k VALUES (1, 0.1)")
+        result = db.sql("SELECT * FROM g JOIN k ON g.objid = k.objid")
+        assert "objid" in result.column_names
+        assert "objid_1" in result.column_names
+
+    def test_distinct(self, db):
+        db.sql("CREATE TABLE d (v int)")
+        db.sql("INSERT INTO d VALUES (1), (1), (2)")
+        assert db.sql("SELECT DISTINCT v FROM d").row_count == 2
+
+    def test_constant_select_without_from(self, db):
+        rows = db.sql("SELECT 1 + 1 AS two").rows()
+        assert rows == [{"two": 2}]
+
+    def test_case_expression(self, db):
+        rows = db.sql(
+            "SELECT CASE WHEN i >= 19 THEN 1 ELSE 0 END AS faint FROM g "
+            "ORDER BY objid"
+        ).rows()
+        assert [r["faint"] for r in rows] == [0, 0, 1, 1]
+
+    def test_unknown_table(self, db):
+        with pytest.raises(TableNotFoundError):
+            db.sql("SELECT * FROM nothere")
+
+    def test_having_without_group_rejected(self, db):
+        with pytest.raises(SqlPlanError):
+            db.sql("SELECT objid FROM g HAVING objid > 1")
+
+    def test_star_with_aggregation_rejected(self, db):
+        with pytest.raises(SqlPlanError):
+            db.sql("SELECT *, COUNT(*) FROM g GROUP BY objid")
+
+
+class TestDml:
+    def test_insert_select(self, db):
+        db.sql("CREATE TABLE bright (objid bigint, i float)")
+        result = db.sql(
+            "INSERT INTO bright SELECT objid, i FROM g WHERE i < 18.5"
+        )
+        assert result.rows_affected == 2
+
+    def test_insert_column_count_mismatch(self, db):
+        with pytest.raises(SqlPlanError):
+            db.sql("INSERT INTO g (objid, ra) VALUES (9, 1.0)")
+
+    def test_update(self, db):
+        result = db.sql("UPDATE g SET i = i + 1 WHERE objid = 1")
+        assert result.rows_affected == 1
+        assert db.sql("SELECT i FROM g WHERE objid = 1").scalar() == 18.0
+
+    def test_update_all_rows(self, db):
+        assert db.sql("UPDATE g SET ra = 0").rows_affected == 4
+
+    def test_delete(self, db):
+        assert db.sql("DELETE FROM g WHERE i >= 19").rows_affected == 2
+        assert db.sql("SELECT COUNT(*) AS c FROM g").scalar() == 2
+
+    def test_truncate(self, db):
+        db.sql("TRUNCATE TABLE g")
+        assert db.sql("SELECT COUNT(*) AS c FROM g").scalar() == 0
+
+    def test_drop(self, db):
+        db.sql("DROP TABLE g")
+        with pytest.raises(TableNotFoundError):
+            db.sql("SELECT * FROM g")
+
+    def test_negative_literals_in_values(self, db):
+        db.sql("CREATE TABLE neg (v float)")
+        db.sql("INSERT INTO neg VALUES (-2.5)")
+        assert db.sql("SELECT v FROM neg").scalar() == -2.5
+
+
+class TestQueryResult:
+    def test_scalar_requires_1x1(self, db):
+        with pytest.raises(SqlPlanError):
+            db.sql("SELECT objid FROM g").scalar()
+
+    def test_column_accessor(self, db):
+        result = db.sql("SELECT objid FROM g ORDER BY objid")
+        assert result.column("objid").tolist() == [1, 2, 3, 4]
+        with pytest.raises(SqlPlanError):
+            result.column("nope")
+
+    def test_plan_recorded(self, db):
+        result = db.sql("SELECT objid FROM g WHERE i > 0")
+        assert "SeqScan" in result.plan
+
+
+class TestSyntaxErrors:
+    def test_syntax_error_propagates(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.sql("SELEKT * FROM g")
+
+    def test_run_script(self, db):
+        results = db.run_script(
+            "CREATE TABLE s (a int); INSERT INTO s VALUES (1), (2); "
+            "SELECT COUNT(*) AS c FROM s"
+        )
+        assert results[-1].scalar() == 2

@@ -1,0 +1,136 @@
+"""Derived tables, UNION ALL, COUNT(DISTINCT) — the analysis-SQL layer
+CasJobs users lean on ("they can correlate data inside MyDB")."""
+
+import numpy as np
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.sql.ast import UnionStatement
+from repro.engine.sql.parser import parse
+from repro.errors import SqlPlanError, SqlSyntaxError
+
+
+@pytest.fixture()
+def db() -> Database:
+    d = Database("ext")
+    d.sql("CREATE TABLE g (objid bigint PRIMARY KEY, z float, kind int)")
+    d.sql(
+        "INSERT INTO g VALUES (1, 0.10, 1), (2, 0.10, 2), (3, 0.20, 1), "
+        "(4, 0.30, 1), (5, 0.30, 2)"
+    )
+    return d
+
+
+class TestDerivedTables:
+    def test_basic(self, db):
+        rows = db.sql(
+            "SELECT x.z FROM (SELECT z FROM g WHERE kind = 1) x ORDER BY x.z"
+        ).rows()
+        assert [r["z"] for r in rows] == [0.1, 0.2, 0.3]
+
+    def test_aggregate_inside(self, db):
+        # count the distinct-z groups: aggregate over an aggregate
+        n = db.sql(
+            "SELECT COUNT(*) AS n FROM "
+            "(SELECT z, COUNT(*) AS c FROM g GROUP BY z) x"
+        ).scalar()
+        assert n == 3
+
+    def test_filter_over_aggregate(self, db):
+        rows = db.sql(
+            "SELECT x.z FROM (SELECT z, COUNT(*) AS c FROM g GROUP BY z) x "
+            "WHERE x.c > 1 ORDER BY x.z"
+        ).rows()
+        assert [r["z"] for r in rows] == [0.1, 0.3]
+
+    def test_join_with_base_table(self, db):
+        rows = db.sql(
+            "SELECT g.objid FROM (SELECT z FROM g WHERE kind = 2) x "
+            "JOIN g ON g.z = x.z ORDER BY g.objid"
+        ).rows()
+        # kind=2 zs are {0.1, 0.3}; matching base rows: 1,2,4,5
+        assert [r["objid"] for r in rows] == [1, 2, 4, 5]
+
+    def test_alias_required(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.sql("SELECT z FROM (SELECT z FROM g)")
+
+    def test_star_from_subquery(self, db):
+        result = db.sql("SELECT * FROM (SELECT objid, z FROM g) x")
+        assert result.column_names == ["objid", "z"]
+        assert result.row_count == 5
+
+
+class TestUnionAll:
+    def test_parse(self):
+        stmt = parse("SELECT a FROM t UNION ALL SELECT a FROM u")
+        assert isinstance(stmt, UnionStatement)
+        assert len(stmt.selects) == 2
+
+    def test_bag_semantics(self, db):
+        result = db.sql(
+            "SELECT z FROM g WHERE kind = 1 "
+            "UNION ALL SELECT z FROM g WHERE z > 0.25"
+        )
+        # duplicates preserved: three kind-1 plus two z>0.25 rows
+        assert result.row_count == 5
+
+    def test_positional_alignment(self, db):
+        result = db.sql(
+            "SELECT objid, z FROM g WHERE objid = 1 "
+            "UNION ALL SELECT objid, z FROM g WHERE objid = 5"
+        )
+        assert result.column("objid").tolist() == [1, 5]
+
+    def test_three_branches(self, db):
+        result = db.sql(
+            "SELECT objid FROM g WHERE objid = 1 "
+            "UNION ALL SELECT objid FROM g WHERE objid = 2 "
+            "UNION ALL SELECT objid FROM g WHERE objid = 3"
+        )
+        assert result.column("objid").tolist() == [1, 2, 3]
+
+    def test_mismatched_width_rejected(self, db):
+        with pytest.raises(SqlPlanError):
+            db.sql("SELECT objid, z FROM g UNION ALL SELECT objid FROM g")
+
+    def test_union_without_all_rejected(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.sql("SELECT objid FROM g UNION SELECT objid FROM g")
+
+    def test_partition_union_idiom(self, db):
+        """The paper's merge: per-partition results UNION ALL'ed."""
+        db.sql("CREATE TABLE p1 (objid bigint, chi2 float)")
+        db.sql("CREATE TABLE p2 (objid bigint, chi2 float)")
+        db.sql("INSERT INTO p1 VALUES (1, 0.5), (2, 0.7)")
+        db.sql("INSERT INTO p2 VALUES (3, 0.9)")
+        merged = db.sql(
+            "SELECT objid, chi2 FROM p1 UNION ALL SELECT objid, chi2 FROM p2"
+        )
+        assert merged.row_count == 3
+
+
+class TestCountDistinct:
+    def test_scalar(self, db):
+        assert db.sql("SELECT COUNT(DISTINCT z) AS c FROM g").scalar() == 3
+
+    def test_grouped(self, db):
+        rows = db.sql(
+            "SELECT kind, COUNT(DISTINCT z) AS c FROM g GROUP BY kind "
+            "ORDER BY kind"
+        ).rows()
+        assert rows == [{"kind": 1, "c": 3}, {"kind": 2, "c": 2}]
+
+    def test_mixed_with_plain_count(self, db):
+        row = db.sql(
+            "SELECT COUNT(*) AS n, COUNT(DISTINCT z) AS d FROM g"
+        ).rows()[0]
+        assert row == {"n": 5, "d": 3}
+
+    def test_distinct_only_for_count(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.sql("SELECT SUM(DISTINCT z) AS s FROM g")
+
+    def test_empty_input(self, db):
+        db.sql("DELETE FROM g")
+        assert db.sql("SELECT COUNT(DISTINCT z) AS c FROM g").scalar() == 0

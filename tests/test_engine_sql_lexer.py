@@ -1,0 +1,87 @@
+"""SQL tokenizer."""
+
+import pytest
+
+from repro.engine.sql.lexer import Token, TokenType, tokenize
+from repro.errors import SqlSyntaxError
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text)[:-1]]  # drop EOF
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        assert kinds("SELECT sElEcT select") == [
+            (TokenType.KEYWORD, "select")] * 3
+
+    def test_identifiers_lowercased(self):
+        assert kinds("Galaxy OBJID") == [
+            (TokenType.IDENT, "galaxy"), (TokenType.IDENT, "objid")]
+
+    def test_numbers(self):
+        toks = kinds("42 3.14 1e3 2.5E-2 .5")
+        assert all(t == TokenType.NUMBER for t, _ in toks)
+        assert [v for _, v in toks] == ["42", "3.14", "1e3", "2.5E-2", ".5"]
+
+    def test_number_then_dot_ident(self):
+        # "1e" is not an exponent when not followed by digits
+        toks = kinds("1easter")
+        assert toks[0] == (TokenType.NUMBER, "1")
+        assert toks[1] == (TokenType.IDENT, "easter")
+
+    def test_strings_with_escapes(self):
+        toks = kinds("'hello' 'it''s'")
+        assert toks == [(TokenType.STRING, "hello"), (TokenType.STRING, "it's")]
+
+    def test_operators(self):
+        toks = kinds("<= >= != <> = < > + - * / %")
+        values = [v for _, v in toks]
+        assert values == ["<=", ">=", "!=", "!=", "=", "<", ">", "+", "-", "*", "/", "%"]
+
+    def test_punctuation(self):
+        toks = kinds("(a, b);")
+        assert [v for _, v in toks] == ["(", "a", ",", "b", ")", ";"]
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("select -- the whole row\n x") == [
+            (TokenType.KEYWORD, "select"), (TokenType.IDENT, "x")]
+
+    def test_block_comment(self):
+        assert kinds("a /* b c */ d") == [
+            (TokenType.IDENT, "a"), (TokenType.IDENT, "d")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("a /* oops")
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError) as info:
+            tokenize("select ^ from t")
+        assert info.value.position == 7
+
+    def test_bracket_identifier(self):
+        assert kinds("[My Table]") == [(TokenType.IDENT, "my table")]
+
+    def test_unterminated_bracket(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("[oops")
+
+
+class TestTokenHelpers:
+    def test_is_keyword(self):
+        token = tokenize("select")[0]
+        assert token.is_keyword("select")
+        assert token.is_keyword("select", "from")
+        assert not token.is_keyword("from")

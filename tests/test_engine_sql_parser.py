@@ -1,0 +1,232 @@
+"""SQL parser: statements and expression precedence."""
+
+import pytest
+
+from repro.engine.expressions import (
+    Between,
+    BinaryOp,
+    Case,
+    ColumnRef,
+    FuncCall,
+    InList,
+    Literal,
+    UnaryOp,
+)
+from repro.engine.sql.ast import (
+    CreateTableStatement,
+    DeleteStatement,
+    DropTableStatement,
+    InsertStatement,
+    SelectStatement,
+    TruncateStatement,
+    UpdateStatement,
+)
+from repro.engine.sql.parser import parse, parse_script
+from repro.errors import SqlSyntaxError
+
+
+class TestSelectParsing:
+    def test_simple(self):
+        stmt = parse("SELECT a, b FROM t")
+        assert isinstance(stmt, SelectStatement)
+        assert len(stmt.items) == 2
+        assert stmt.source.table == "t"
+
+    def test_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert stmt.items[0].star
+
+    def test_qualified_star(self):
+        stmt = parse("SELECT g.* FROM galaxy g")
+        assert stmt.items[0].star
+        assert stmt.items[0].star_qualifier == "g"
+
+    def test_aliases(self):
+        stmt = parse("SELECT a AS x, b y FROM t AS u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.source.alias == "u"
+
+    def test_schema_qualified_table(self):
+        stmt = parse("SELECT a FROM MySkyServerDr1.dbo.Zone")
+        assert stmt.source.table == "zone"
+
+    def test_joins(self):
+        stmt = parse(
+            "SELECT * FROM g JOIN k ON g.zid = k.zid CROSS JOIN j"
+        )
+        assert stmt.joins[0].kind == "inner"
+        assert isinstance(stmt.joins[0].condition, BinaryOp)
+        assert stmt.joins[1].kind == "cross"
+        assert stmt.joins[1].condition is None
+
+    def test_inner_keyword_optional(self):
+        stmt = parse("SELECT * FROM a INNER JOIN b ON a.x = b.x")
+        assert stmt.joins[0].kind == "inner"
+
+    def test_where_group_having_order_limit(self):
+        stmt = parse(
+            "SELECT zid, COUNT(*) AS c FROM t WHERE n > 0 "
+            "GROUP BY zid HAVING COUNT(*) > 1 ORDER BY zid DESC LIMIT 5"
+        )
+        assert stmt.where is not None
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].ascending is False
+        assert stmt.limit == 5
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_count_star(self):
+        stmt = parse("SELECT COUNT(*) FROM t")
+        call = stmt.items[0].expr
+        assert isinstance(call, FuncCall) and call.name == "count" and not call.args
+
+    def test_star_arg_outside_aggregate_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT sqrt(*) FROM t")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t bogus extra")
+
+
+class TestExpressionParsing:
+    def expr(self, text):
+        return parse(f"SELECT {text} FROM t").items[0].expr
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("1 + 2 * 3")
+        assert isinstance(e, BinaryOp) and e.op == "+"
+        assert isinstance(e.right, BinaryOp) and e.right.op == "*"
+
+    def test_precedence_and_over_or(self):
+        e = self.expr("a OR b AND c")
+        assert e.op.upper() == "OR"
+        assert e.right.op.upper() == "AND"
+
+    def test_not_binds_tighter_than_and(self):
+        e = self.expr("NOT a AND b")
+        assert e.op.upper() == "AND"
+        assert isinstance(e.left, UnaryOp)
+
+    def test_parentheses(self):
+        e = self.expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert e.left.op == "+"
+
+    def test_between(self):
+        e = self.expr("ra BETWEEN 172.5 AND 184.5")
+        assert isinstance(e, Between)
+        assert e.low == Literal(172.5)
+
+    def test_not_between(self):
+        e = self.expr("ra NOT BETWEEN 0 AND 1")
+        assert isinstance(e, UnaryOp) and isinstance(e.operand, Between)
+
+    def test_in_list(self):
+        e = self.expr("x IN (1, 2, 3)")
+        assert isinstance(e, InList) and len(e.options) == 3
+
+    def test_is_null(self):
+        e = self.expr("x IS NULL")
+        assert isinstance(e, FuncCall) and e.name == "isnull"
+        e = self.expr("x IS NOT NULL")
+        assert isinstance(e, UnaryOp)
+
+    def test_case(self):
+        e = self.expr("CASE WHEN x > 0 THEN 1 ELSE 0 END")
+        assert isinstance(e, Case)
+        assert e.default == Literal(0)
+
+    def test_case_requires_when(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT CASE ELSE 0 END FROM t")
+
+    def test_unary_minus(self):
+        e = self.expr("-x")
+        assert isinstance(e, UnaryOp) and e.op == "-"
+
+    def test_cast_passthrough(self):
+        e = self.expr("CAST(2.089 * i AS float)")
+        assert isinstance(e, FuncCall) and e.name == "cast"
+
+    def test_function_nesting(self):
+        e = self.expr("POWER(SIN(RADIANS(x / 2)), 2)")
+        assert isinstance(e, FuncCall) and e.name == "power"
+
+    def test_qualified_column(self):
+        e = self.expr("g.ra")
+        assert e == ColumnRef("ra", "g")
+
+    def test_number_literals(self):
+        assert self.expr("42") == Literal(42)
+        assert self.expr("4.5") == Literal(4.5)
+        assert self.expr("1e-9") == Literal(1e-9)
+
+    def test_string_literal(self):
+        assert self.expr("'abc'") == Literal("abc")
+
+    def test_boolean_literals(self):
+        assert self.expr("TRUE") == Literal(True)
+        assert self.expr("FALSE") == Literal(False)
+
+
+class TestDdlDml:
+    def test_create_table(self):
+        stmt = parse(
+            "CREATE TABLE galaxy (objid bigint PRIMARY KEY NOT NULL, "
+            "ra float, name varchar(64))"
+        )
+        assert isinstance(stmt, CreateTableStatement)
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[2].type_name == "varchar"
+
+    def test_create_if_not_exists(self):
+        stmt = parse("CREATE TABLE IF NOT EXISTS t (a int)")
+        assert stmt.if_not_exists
+
+    def test_insert_values(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, 2.5), (3, -4)")
+        assert isinstance(stmt, InsertStatement)
+        assert stmt.columns == ("a", "b")
+        assert len(stmt.rows) == 2
+
+    def test_insert_select(self):
+        stmt = parse("INSERT INTO t SELECT a, b FROM u WHERE a > 0")
+        assert stmt.select is not None
+
+    def test_update(self):
+        stmt = parse("UPDATE t SET a = a + 1, b = 0 WHERE a < 5")
+        assert isinstance(stmt, UpdateStatement)
+        assert len(stmt.assignments) == 2
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, DeleteStatement)
+
+    def test_truncate(self):
+        assert isinstance(parse("TRUNCATE TABLE t"), TruncateStatement)
+
+    def test_drop(self):
+        stmt = parse("DROP TABLE IF EXISTS t")
+        assert isinstance(stmt, DropTableStatement) and stmt.if_exists
+
+
+class TestScripts:
+    def test_parse_script(self):
+        stmts = parse_script(
+            "CREATE TABLE t (a int); INSERT INTO t VALUES (1); "
+            "SELECT a FROM t;"
+        )
+        assert len(stmts) == 3
+
+    def test_script_respects_comments_and_strings(self):
+        stmts = parse_script(
+            "SELECT 'a;b' AS x FROM t; -- trailing; comment\nSELECT a FROM t"
+        )
+        assert len(stmts) == 2
+
+    def test_empty_statements_skipped(self):
+        assert len(parse_script(";;  SELECT a FROM t ;;")) == 1

@@ -1,0 +1,79 @@
+"""On-disk table and database persistence."""
+
+import numpy as np
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.storage import (
+    load_database,
+    load_table,
+    save_database,
+    save_table,
+)
+from repro.errors import EngineError
+
+
+@pytest.fixture()
+def db() -> Database:
+    d = Database("src")
+    d.create_table(
+        "galaxy",
+        {"objid": np.array([1, 2, 3]), "ra": np.array([1.5, 2.5, 3.5])},
+        primary_key="objid",
+    )
+    d.create_table(
+        "labels",
+        {"objid": np.array([1]), "name": np.array(["bcg"], dtype=object)},
+    )
+    return d
+
+
+class TestRoundTrip:
+    def test_table_roundtrip(self, db, tmp_path):
+        save_table(db.table("galaxy"), tmp_path)
+        restored = Database("dst")
+        table = load_table(restored, tmp_path, "galaxy")
+        assert table.row_count == 3
+        assert table.column("ra").tolist() == [1.5, 2.5, 3.5]
+        assert table.schema.primary_key == "objid"
+
+    def test_string_columns_roundtrip(self, db, tmp_path):
+        save_table(db.table("labels"), tmp_path)
+        restored = Database("dst")
+        table = load_table(restored, tmp_path, "labels")
+        assert table.column("name").tolist() == ["bcg"]
+        assert table.column("name").dtype == object
+
+    def test_database_roundtrip(self, db, tmp_path):
+        paths = save_database(db, tmp_path)
+        assert len(paths) == 2
+        restored = load_database(tmp_path, "dst")
+        assert restored.table_names() == ["galaxy", "labels"]
+        assert restored.sql("SELECT COUNT(*) AS c FROM galaxy").scalar() == 3
+
+    def test_pk_enforced_after_load(self, db, tmp_path):
+        save_database(db, tmp_path)
+        restored = load_database(tmp_path)
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            restored.table("galaxy").insert(
+                {"objid": [1], "ra": [0.0]}
+            )
+
+    def test_empty_table_roundtrip(self, tmp_path):
+        d = Database("src")
+        d.create_table("empty", {"a": np.empty(0, dtype=np.int64)})
+        save_table(d.table("empty"), tmp_path)
+        restored = Database("dst")
+        assert load_table(restored, tmp_path, "empty").row_count == 0
+
+
+class TestErrors:
+    def test_missing_table(self, tmp_path):
+        with pytest.raises(EngineError):
+            load_table(Database("d"), tmp_path, "ghost")
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(EngineError):
+            load_database(tmp_path / "nope")

@@ -1,0 +1,128 @@
+"""Column-store tables: mutation, accounting, primary keys."""
+
+import numpy as np
+import pytest
+
+from repro.engine.pages import BufferPool
+from repro.engine.schema import schema
+from repro.engine.table import Table
+from repro.engine.types import ColumnType
+from repro.errors import ColumnNotFoundError, SchemaError
+
+
+@pytest.fixture()
+def table() -> Table:
+    s = schema(
+        "galaxy",
+        {"objid": ColumnType.INT64, "ra": ColumnType.FLOAT64},
+        primary_key="objid",
+    )
+    t = Table(s, BufferPool(1000))
+    t.insert({"objid": [1, 2, 3], "ra": [10.0, 20.0, 30.0]})
+    return t
+
+
+class TestInsert:
+    def test_row_count(self, table):
+        assert table.row_count == 3
+        assert len(table) == 3
+
+    def test_insert_appends(self, table):
+        table.insert({"objid": [4], "ra": [40.0]})
+        assert table.row_count == 4
+        assert table.column("ra")[-1] == 40.0
+
+    def test_missing_column_rejected(self, table):
+        with pytest.raises(SchemaError):
+            table.insert({"objid": [9]})
+
+    def test_ragged_insert_rejected(self, table):
+        with pytest.raises(SchemaError):
+            table.insert({"objid": [4, 5], "ra": [1.0]})
+
+    def test_duplicate_pk_rejected(self, table):
+        with pytest.raises(SchemaError):
+            table.insert({"objid": [1], "ra": [99.0]})
+
+    def test_insert_counts_writes(self):
+        s = schema("t", {"a": ColumnType.INT64})
+        pool = BufferPool(1000)
+        t = Table(s, pool)
+        t.insert({"a": np.arange(5000)})
+        assert pool.counters.writes == t.page_count
+
+
+class TestAccess:
+    def test_scan_touches_all_pages(self, table):
+        pool = table.file.pool
+        before = pool.counters.logical_reads
+        result = table.scan()
+        assert set(result) == {"objid", "ra"}
+        assert pool.counters.logical_reads - before == table.page_count
+
+    def test_column_without_accounting(self, table):
+        before = table.file.pool.counters.logical_reads
+        table.column("ra")
+        assert table.file.pool.counters.logical_reads == before
+
+    def test_unknown_column(self, table):
+        with pytest.raises(ColumnNotFoundError):
+            table.column("nope")
+
+    def test_read_rows_clamps(self, table):
+        rows = table.read_rows(-5, 100)
+        assert rows["objid"].size == 3
+
+    def test_read_row_ids(self, table):
+        rows = table.read_row_ids(np.array([2, 0]))
+        assert rows["objid"].tolist() == [3, 1]
+
+    def test_pk_lookup(self, table):
+        assert table.pk_lookup(2) == 1
+        assert table.pk_lookup(99) is None
+
+    def test_pk_lookup_without_pk(self):
+        t = Table(schema("t", {"a": ColumnType.INT64}), BufferPool(10))
+        with pytest.raises(SchemaError):
+            t.pk_lookup(1)
+
+    def test_touch_rows_accounting(self, table):
+        pool = table.file.pool
+        before = pool.counters.logical_reads
+        table.touch_rows(np.array([0, 1, 2]))
+        assert pool.counters.logical_reads - before == table.page_count
+
+
+class TestMutation:
+    def test_truncate(self, table):
+        table.truncate()
+        assert table.row_count == 0
+        table.insert({"objid": [1], "ra": [5.0]})  # pk index was reset
+        assert table.row_count == 1
+
+    def test_delete_rows(self, table):
+        assert table.delete_rows(np.array([1])) == 1
+        assert table.column("objid").tolist() == [1, 3]
+        assert table.pk_lookup(2) is None
+        assert table.pk_lookup(3) == 1
+
+    def test_delete_nothing(self, table):
+        assert table.delete_rows(np.array([], dtype=np.int64)) == 0
+
+    def test_update_rows(self, table):
+        table.update_rows(np.array([0]), {"ra": np.array([99.0])})
+        assert table.column("ra")[0] == 99.0
+
+    def test_update_pk_rebuilds_index(self, table):
+        table.update_rows(np.array([0]), {"objid": np.array([77])})
+        assert table.pk_lookup(77) == 0
+        assert table.pk_lookup(1) is None
+
+    def test_reorder(self, table):
+        table.reorder(np.array([2, 1, 0]))
+        assert table.column("objid").tolist() == [3, 2, 1]
+        assert table.pk_lookup(3) == 0
+
+    def test_reorder_bad_length(self, table):
+        with pytest.raises(SchemaError):
+            table.reorder(np.array([0, 1]))

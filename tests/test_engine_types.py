@@ -1,0 +1,73 @@
+"""Column types and SQL type-name mapping."""
+
+import numpy as np
+import pytest
+
+from repro.engine.types import ColumnType, infer_type, sql_type
+from repro.errors import SchemaError
+
+
+class TestColumnType:
+    def test_numpy_dtypes(self):
+        assert ColumnType.INT64.numpy_dtype == np.dtype("int64")
+        assert ColumnType.FLOAT64.numpy_dtype == np.dtype("float64")
+        assert ColumnType.BOOL.numpy_dtype == np.dtype("bool")
+        assert ColumnType.STRING.numpy_dtype == np.dtype(object)
+
+    def test_byte_widths(self):
+        assert ColumnType.INT64.byte_width == 8
+        assert ColumnType.FLOAT64.byte_width == 8
+        assert ColumnType.BOOL.byte_width == 1
+        assert ColumnType.STRING.byte_width == 32
+
+    def test_coerce_int(self):
+        arr = ColumnType.INT64.coerce([1, 2, 3])
+        assert arr.dtype == np.int64
+
+    def test_coerce_float_from_ints(self):
+        arr = ColumnType.FLOAT64.coerce([1, 2])
+        assert arr.dtype == np.float64
+
+    def test_coerce_string(self):
+        arr = ColumnType.STRING.coerce(["a", "b"])
+        assert arr.dtype == object
+
+    def test_coerce_failure(self):
+        with pytest.raises(SchemaError):
+            ColumnType.INT64.coerce(["not", "numbers"])
+
+
+class TestSqlTypeNames:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("bigint", ColumnType.INT64),
+            ("INT", ColumnType.INT64),
+            ("float", ColumnType.FLOAT64),
+            ("REAL", ColumnType.FLOAT64),
+            ("varchar", ColumnType.STRING),
+            ("bool", ColumnType.BOOL),
+        ],
+    )
+    def test_known_names(self, name, expected):
+        assert sql_type(name) is expected
+
+    def test_unknown_name(self):
+        with pytest.raises(SchemaError):
+            sql_type("blob")
+
+
+class TestInferType:
+    def test_infer(self):
+        assert infer_type(np.array([1, 2])) is ColumnType.INT64
+        assert infer_type(np.array([1.5])) is ColumnType.FLOAT64
+        assert infer_type(np.array([True])) is ColumnType.BOOL
+        assert infer_type(np.array(["x"], dtype=object)) is ColumnType.STRING
+        assert infer_type(np.array(["x"])) is ColumnType.STRING
+
+    def test_infer_unsigned_as_int(self):
+        assert infer_type(np.array([1], dtype=np.uint32)) is ColumnType.INT64
+
+    def test_infer_complex_rejected(self):
+        with pytest.raises(SchemaError):
+            infer_type(np.array([1j]))

@@ -1,0 +1,172 @@
+"""Views, table-valued functions and stored procedures in the engine."""
+
+import numpy as np
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.sql.ast import (
+    CreateViewStatement,
+    DropViewStatement,
+    ExecStatement,
+)
+from repro.engine.sql.parser import parse
+from repro.errors import EngineError, SqlPlanError, TableNotFoundError
+
+
+@pytest.fixture()
+def db() -> Database:
+    d = Database("vp")
+    d.sql("CREATE TABLE obj (objid bigint PRIMARY KEY, ra float, mode int)")
+    d.sql("INSERT INTO obj VALUES (1, 10.0, 1), (2, 20.0, 2), (3, 30.0, 1)")
+    return d
+
+
+class TestParserAdditions:
+    def test_create_view(self):
+        stmt = parse("CREATE VIEW v AS SELECT a FROM t WHERE a > 0")
+        assert isinstance(stmt, CreateViewStatement)
+        assert stmt.name == "v"
+
+    def test_drop_view(self):
+        stmt = parse("DROP VIEW IF EXISTS v")
+        assert isinstance(stmt, DropViewStatement) and stmt.if_exists
+
+    def test_exec_with_args(self):
+        stmt = parse("EXEC spImportGalaxy 172, 185, -3, 5")
+        assert isinstance(stmt, ExecStatement)
+        assert stmt.procedure == "spimportgalaxy"
+        assert len(stmt.arguments) == 4
+
+    def test_execute_keyword(self):
+        stmt = parse("EXECUTE dbo.spMakeClusters")
+        assert stmt.procedure == "spmakeclusters"
+        assert stmt.arguments == ()
+
+    def test_tvf_in_from(self):
+        stmt = parse("SELECT * FROM fGetNearbyObjEqZd(2.5, 3.0, 0.5) n")
+        assert stmt.source.is_function
+        assert stmt.source.alias == "n"
+        assert len(stmt.source.function_args) == 3
+
+
+class TestViews:
+    def test_view_filters(self, db):
+        db.sql("CREATE VIEW primaries AS SELECT objid, ra FROM obj WHERE mode = 1")
+        rows = db.sql("SELECT objid FROM primaries ORDER BY objid").rows()
+        assert [r["objid"] for r in rows] == [1, 3]
+
+    def test_view_sees_fresh_data(self, db):
+        db.sql("CREATE VIEW primaries AS SELECT objid FROM obj WHERE mode = 1")
+        db.sql("INSERT INTO obj VALUES (4, 40.0, 1)")
+        assert db.sql("SELECT COUNT(*) AS c FROM primaries").scalar() == 3
+
+    def test_view_join_base_table(self, db):
+        db.sql("CREATE VIEW primaries AS SELECT objid FROM obj WHERE mode = 1")
+        rows = db.sql(
+            "SELECT o.ra FROM primaries p JOIN obj o ON p.objid = o.objid "
+            "ORDER BY o.ra"
+        ).rows()
+        assert [r["ra"] for r in rows] == [10.0, 30.0]
+
+    def test_view_name_clash_rejected(self, db):
+        with pytest.raises(EngineError):
+            db.sql("CREATE VIEW obj AS SELECT objid FROM obj")
+        db.sql("CREATE VIEW v AS SELECT objid FROM obj")
+        with pytest.raises(EngineError):
+            db.sql("CREATE TABLE v (a int)")
+
+    def test_view_validated_at_creation(self, db):
+        with pytest.raises(TableNotFoundError):
+            db.sql("CREATE VIEW broken AS SELECT x FROM nothere")
+
+    def test_drop_view(self, db):
+        db.sql("CREATE VIEW v AS SELECT objid FROM obj")
+        db.sql("DROP VIEW v")
+        with pytest.raises(TableNotFoundError):
+            db.sql("SELECT * FROM v")
+        db.sql("DROP VIEW IF EXISTS v")  # no raise
+        with pytest.raises(TableNotFoundError):
+            db.sql("DROP VIEW v")
+
+    def test_view_star_expansion(self, db):
+        db.sql("CREATE VIEW v AS SELECT objid, ra FROM obj WHERE mode = 1")
+        result = db.sql("SELECT * FROM v")
+        assert result.column_names == ["objid", "ra"]
+
+
+class TestTableFunctions:
+    def test_registered_function_from_sql(self, db):
+        db.create_table_function(
+            "series", ("n",),
+            lambda count: {"n": np.arange(int(count))},
+        )
+        rows = db.sql("SELECT n FROM series(4) s WHERE n > 1").rows()
+        assert [r["n"] for r in rows] == [2, 3]
+
+    def test_tvf_join(self, db):
+        db.create_table_function(
+            "ids", ("objid",),
+            lambda: {"objid": np.array([1, 3])},
+        )
+        rows = db.sql(
+            "SELECT o.ra FROM ids() x JOIN obj o ON x.objid = o.objid "
+            "ORDER BY o.ra"
+        ).rows()
+        assert [r["ra"] for r in rows] == [10.0, 30.0]
+
+    def test_unknown_tvf(self, db):
+        with pytest.raises(TableNotFoundError):
+            db.sql("SELECT * FROM nothere(1) x")
+
+    def test_duplicate_registration(self, db):
+        db.create_table_function("f", ("a",), lambda: {"a": np.array([1])})
+        with pytest.raises(EngineError):
+            db.create_table_function("F", ("a",), lambda: {"a": np.array([1])})
+
+
+class TestProcedures:
+    def test_exec_returns_query_result(self, db):
+        db.create_procedure(
+            "spStats",
+            lambda d: d.sql("SELECT COUNT(*) AS c FROM obj"),
+        )
+        assert db.sql("EXEC spStats").scalar() == 3
+
+    def test_exec_with_arguments(self, db):
+        captured = {}
+
+        def proc(d, lo, hi):
+            captured["args"] = (lo, hi)
+            return int(hi - lo)
+
+        db.create_procedure("spRange", proc)
+        result = db.sql("EXEC spRange 5, 25")
+        assert captured["args"] == (5, 25)
+        assert result.rows_affected == 20
+
+    def test_exec_negative_and_float_args(self, db):
+        db.create_procedure("spBox", lambda d, a, b: (a, b) and 0)
+        db.sql("EXEC spBox -3.5, 1e2")  # parses and runs
+
+    def test_exec_dict_result(self, db):
+        db.create_procedure(
+            "spDict", lambda d: {"x": np.array([1, 2])}
+        )
+        assert db.sql("EXEC spDict").column("x").tolist() == [1, 2]
+
+    def test_unknown_procedure(self, db):
+        with pytest.raises(TableNotFoundError):
+            db.sql("EXEC spGhost")
+
+    def test_duplicate_procedure(self, db):
+        db.create_procedure("p", lambda d: None)
+        with pytest.raises(EngineError):
+            db.create_procedure("P", lambda d: None)
+
+    def test_run_script_with_exec(self, db):
+        db.create_procedure(
+            "spDouble",
+            lambda d: d.sql("UPDATE obj SET ra = ra * 2").rows_affected,
+        )
+        results = db.run_script("EXEC spDouble; SELECT MAX(ra) AS m FROM obj")
+        assert results[-1].scalar() == 60.0

@@ -1,0 +1,90 @@
+"""Exception hierarchy and the TaskStats/TaskTimer machinery."""
+
+import time
+
+import pytest
+
+from repro.engine.stats import IOCounters, TaskStats, TaskTimer, sum_stats
+from repro.errors import (
+    CasJobsError,
+    CatalogError,
+    ConfigError,
+    EngineError,
+    GridError,
+    PartitionError,
+    RegionError,
+    ReproError,
+    SchemaError,
+    SpatialError,
+    SqlPlanError,
+    SqlSyntaxError,
+    TableNotFoundError,
+    TamError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ConfigError, RegionError, CatalogError, EngineError, SpatialError,
+        GridError, TamError, PartitionError, CasJobsError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    @pytest.mark.parametrize("exc", [
+        SchemaError, TableNotFoundError, SqlSyntaxError, SqlPlanError,
+    ])
+    def test_engine_errors_nest(self, exc):
+        assert issubclass(exc, EngineError)
+
+    def test_syntax_error_position(self):
+        err = SqlSyntaxError("bad token", position=17)
+        assert "offset 17" in str(err)
+        assert err.position == 17
+
+
+class TestTaskStats:
+    def test_merge(self):
+        a = TaskStats("a", elapsed_s=1.0, cpu_s=0.5, rows=10)
+        a.io.logical_reads = 5
+        b = TaskStats("b", elapsed_s=2.0, cpu_s=1.0, rows=20)
+        b.io.writes = 3
+        merged = a.merged_with(b, name="total")
+        assert merged.name == "total"
+        assert merged.elapsed_s == 3.0
+        assert merged.rows == 30
+        assert merged.io.total == 8
+
+    def test_sum_stats(self):
+        parts = [TaskStats("x", elapsed_s=1.0), TaskStats("y", elapsed_s=2.0)]
+        total = sum_stats("sum", parts)
+        assert total.elapsed_s == 3.0
+        assert total.name == "sum"
+
+    def test_io_ops_property(self):
+        stats = TaskStats("t")
+        stats.io.logical_reads = 4
+        stats.io.writes = 2
+        assert stats.io_ops == 6
+
+
+class TestTaskTimer:
+    def test_measures_elapsed(self):
+        with TaskTimer("nap") as timer:
+            time.sleep(0.01)
+        assert timer.stats.elapsed_s >= 0.01
+        assert timer.stats.cpu_s >= 0.0
+
+    def test_captures_io_delta(self):
+        counters = IOCounters()
+        counters.logical_reads = 100
+        with TaskTimer("work", counters) as timer:
+            counters.logical_reads += 7
+            counters.writes += 2
+        assert timer.stats.io.logical_reads == 7
+        assert timer.stats.io.writes == 2
+
+    def test_without_counters(self):
+        with TaskTimer("plain") as timer:
+            pass
+        assert timer.stats.io.total == 0

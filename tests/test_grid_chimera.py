@@ -1,0 +1,112 @@
+"""Chimera-style virtual data catalog."""
+
+import pytest
+
+from repro.errors import GridError
+from repro.grid.chimera import Derivation, Transformation, VirtualDataCatalog
+
+
+@pytest.fixture()
+def vdc():
+    """archive -> (target, buffer) -> candidates -> clusters."""
+    catalog = VirtualDataCatalog()
+    cut = Transformation("cutFields")
+    find = Transformation("maxBCG")
+    pick = Transformation("pickClusters")
+
+    catalog.register_executor(
+        cut,
+        lambda inputs, params: {
+            "target.f1": [x for x in inputs["archive"] if x % 2 == 0],
+            "buffer.f1": list(inputs["archive"]),
+        },
+    )
+    catalog.register_executor(
+        find,
+        lambda inputs, params: {
+            "candidates.f1": [
+                x for x in inputs["target.f1"] if x >= params["threshold"]
+            ]
+        },
+    )
+    catalog.register_executor(
+        pick,
+        lambda inputs, params: {"clusters.f1": inputs["candidates.f1"][:1]},
+    )
+
+    catalog.add_input_file("archive", [1, 2, 3, 4, 5, 6])
+    catalog.add_derivation(
+        Derivation(cut, ("archive",), ("target.f1", "buffer.f1"))
+    )
+    catalog.add_derivation(
+        Derivation(find, ("target.f1",), ("candidates.f1",),
+                   parameters={"threshold": 4})
+    )
+    catalog.add_derivation(
+        Derivation(pick, ("candidates.f1",), ("clusters.f1",))
+    )
+    return catalog
+
+
+class TestMaterialization:
+    def test_recursive_materialize(self, vdc):
+        assert vdc.materialize("clusters.f1") == [4]
+
+    def test_intermediates_cached(self, vdc):
+        vdc.materialize("clusters.f1")
+        assert vdc.is_materialized("target.f1")
+        assert vdc.is_materialized("candidates.f1")
+
+    def test_second_request_reuses(self, vdc):
+        vdc.materialize("candidates.f1")
+        count = vdc.materialized_count()
+        vdc.materialize("candidates.f1")
+        assert vdc.materialized_count() == count
+
+    def test_get_requires_materialized(self, vdc):
+        with pytest.raises(GridError):
+            vdc.get("clusters.f1")
+        vdc.materialize("clusters.f1")
+        assert vdc.get("clusters.f1") == [4]
+
+    def test_unknown_file(self, vdc):
+        with pytest.raises(GridError):
+            vdc.materialize("nope")
+
+
+class TestProvenance:
+    def test_chain_order(self, vdc):
+        chain = vdc.provenance("clusters.f1")
+        names = [d.transformation.name for d in chain]
+        assert names == ["cutFields", "maxBCG", "pickClusters"]
+
+    def test_raw_input_has_empty_chain(self, vdc):
+        assert vdc.provenance("archive") == []
+
+    def test_unknown_file_rejected(self, vdc):
+        with pytest.raises(GridError):
+            vdc.provenance("ghost")
+
+
+class TestValidation:
+    def test_duplicate_derivation_rejected(self, vdc):
+        with pytest.raises(GridError):
+            vdc.add_derivation(
+                Derivation(Transformation("dup"), (), ("target.f1",))
+            )
+
+    def test_missing_executor(self):
+        catalog = VirtualDataCatalog()
+        catalog.add_derivation(
+            Derivation(Transformation("ghost"), (), ("out",))
+        )
+        with pytest.raises(GridError):
+            catalog.materialize("out")
+
+    def test_executor_must_produce_outputs(self):
+        catalog = VirtualDataCatalog()
+        tr = Transformation("lazy")
+        catalog.register_executor(tr, lambda inputs, params: {})
+        catalog.add_derivation(Derivation(tr, (), ("out",)))
+        with pytest.raises(GridError):
+            catalog.materialize("out")

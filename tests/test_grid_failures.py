@@ -1,0 +1,81 @@
+"""Failure injection in the grid scheduler (Condor's retry-until-done)."""
+
+import pytest
+
+from repro.errors import GridError
+from repro.grid.jobs import Job, JobState
+from repro.grid.resources import ClusterSpec, Node
+from repro.grid.scheduler import CondorScheduler
+from repro.grid.transfer import TransferModel
+
+
+def free_transfer() -> TransferModel:
+    return TransferModel(bandwidth_bytes_per_s=1e12, latency_s=0.0,
+                         per_file_overhead_s=0.0)
+
+
+def cluster(n=2) -> ClusterSpec:
+    return ClusterSpec("c", tuple(Node(f"n{k}", 2600.0) for k in range(n)))
+
+
+def jobs(n, cpu=100.0):
+    return [Job(job_id=k, name=f"j{k}", cpu_seconds=cpu) for k in range(n)]
+
+
+class TestFailureInjection:
+    def test_zero_rate_identical_to_baseline(self):
+        baseline = CondorScheduler(cluster(), free_transfer()).run(jobs(6))
+        injected = CondorScheduler(
+            cluster(), free_transfer(), failure_rate=0.0, seed=7
+        ).run(jobs(6))
+        assert injected.makespan_s == pytest.approx(baseline.makespan_s)
+        assert injected.retries == 0
+        assert injected.wasted_s_total == 0.0
+
+    def test_retries_recover_all_jobs(self):
+        result = CondorScheduler(
+            cluster(), free_transfer(), failure_rate=0.3, max_retries=10,
+            seed=3,
+        ).run(jobs(20))
+        assert result.completed == 20
+        assert result.retries > 0
+        assert result.wasted_s_total > 0.0
+
+    def test_failures_stretch_makespan(self):
+        clean = CondorScheduler(cluster(), free_transfer(), seed=1).run(jobs(20))
+        flaky = CondorScheduler(
+            cluster(), free_transfer(), failure_rate=0.4, max_retries=10,
+            seed=1,
+        ).run(jobs(20))
+        assert flaky.makespan_s > clean.makespan_s
+
+    def test_certain_failure_exhausts_retries(self):
+        result = CondorScheduler(
+            cluster(), free_transfer(), failure_rate=1.0, max_retries=2,
+            seed=5,
+        ).run(jobs(3))
+        assert result.completed == 0
+        assert all(j.state is JobState.FAILED for j in result.jobs)
+        assert all(j.attempts == 3 for j in result.jobs)  # 1 + 2 retries
+
+    def test_deterministic_given_seed(self):
+        a = CondorScheduler(cluster(), free_transfer(), failure_rate=0.5,
+                            max_retries=5, seed=11).run(jobs(15))
+        b = CondorScheduler(cluster(), free_transfer(), failure_rate=0.5,
+                            max_retries=5, seed=11).run(jobs(15))
+        assert a.makespan_s == b.makespan_s
+        assert a.retries == b.retries
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GridError):
+            CondorScheduler(cluster(), free_transfer(), failure_rate=1.5)
+        with pytest.raises(GridError):
+            CondorScheduler(cluster(), free_transfer(), max_retries=-1)
+
+    def test_wasted_time_excluded_from_compute_total(self):
+        result = CondorScheduler(
+            cluster(), free_transfer(), failure_rate=0.5, max_retries=10,
+            seed=2,
+        ).run(jobs(10, cpu=50.0))
+        assert result.compute_s_total == pytest.approx(10 * 50.0)
+        assert result.wasted_s_total > 0.0

@@ -1,0 +1,58 @@
+"""Grid nodes and the paper's hardware specs."""
+
+import pytest
+
+from repro.errors import GridError
+from repro.grid.resources import ClusterSpec, Node, sql_cluster, tam_cluster
+
+
+class TestNode:
+    def test_cpu_scale(self):
+        node = Node("n", cpu_mhz=600.0)
+        assert node.cpu_scale(2600.0) == pytest.approx(2600.0 / 600.0)
+
+    def test_cpu_scale_reference_positive(self):
+        with pytest.raises(GridError):
+            Node("n", cpu_mhz=600.0).cpu_scale(0.0)
+
+    def test_fits_in_ram(self):
+        node = Node("n", cpu_mhz=600.0, ram_mb=1024.0)
+        assert node.fits_in_ram(512 * 1024 * 1024)
+        assert not node.fits_in_ram(2 * 1024 * 1024 * 1024)
+
+    def test_slots_equal_cpus(self):
+        assert Node("n", cpu_mhz=1.0, n_cpus=2).slots == 2
+
+    def test_invalid_resources(self):
+        with pytest.raises(GridError):
+            Node("n", cpu_mhz=0.0)
+        with pytest.raises(GridError):
+            Node("n", cpu_mhz=1.0, n_cpus=0)
+
+
+class TestPaperClusters:
+    def test_tam_spec(self):
+        # "5 nodes, each one a dual-600-MHz PIII ... 1 GB of RAM"
+        cluster = tam_cluster()
+        assert len(cluster.nodes) == 5
+        assert all(n.cpu_mhz == 600.0 for n in cluster.nodes)
+        assert all(n.n_cpus == 2 for n in cluster.nodes)
+        assert all(n.ram_mb == 1024.0 for n in cluster.nodes)
+        # "could process ten target fields in parallel"
+        assert cluster.total_slots == 10
+
+    def test_sql_spec(self):
+        # "3 nodes, each one a dual 2.6 GHz Xeon with 2 GB of RAM"
+        cluster = sql_cluster()
+        assert len(cluster.nodes) == 3
+        assert all(n.cpu_mhz == 2600.0 for n in cluster.nodes)
+        assert all(n.ram_mb == 2048.0 for n in cluster.nodes)
+
+    def test_cpu_ratio_is_table2_factor(self):
+        # Table 2: "the TAM CPU is about 4 times slower"
+        tam_node = tam_cluster().nodes[0]
+        assert tam_node.cpu_scale(2600.0) == pytest.approx(4.33, abs=0.01)
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(GridError):
+            ClusterSpec("empty", ())

@@ -1,0 +1,124 @@
+"""The Condor-like scheduler simulation."""
+
+import pytest
+
+from repro.grid.jobs import Job, JobState, field_job
+from repro.grid.resources import ClusterSpec, Node, tam_cluster
+from repro.grid.scheduler import CondorScheduler
+from repro.grid.transfer import TransferModel
+
+
+def free_transfer() -> TransferModel:
+    return TransferModel(bandwidth_bytes_per_s=1e12, latency_s=0.0,
+                         per_file_overhead_s=0.0)
+
+
+def uniform_jobs(n, cpu_seconds=100.0, ram=0.0):
+    return [
+        Job(job_id=k, name=f"j{k}", cpu_seconds=cpu_seconds, ram_bytes=ram)
+        for k in range(n)
+    ]
+
+
+class TestScheduling:
+    def test_single_node_serializes(self):
+        cluster = ClusterSpec("one", (Node("n", 2600.0, n_cpus=1),))
+        scheduler = CondorScheduler(cluster, free_transfer())
+        result = scheduler.run(uniform_jobs(4))
+        assert result.makespan_s == pytest.approx(400.0)
+        assert result.completed == 4
+
+    def test_parallel_slots(self):
+        # TAM: 10 slots -> 10 equal jobs in one wave
+        scheduler = CondorScheduler(
+            tam_cluster(), free_transfer(), reference_cpu_mhz=600.0
+        )
+        result = scheduler.run(uniform_jobs(10, cpu_seconds=1000.0))
+        assert result.makespan_s == pytest.approx(1000.0)
+
+    def test_two_waves(self):
+        scheduler = CondorScheduler(
+            tam_cluster(), free_transfer(), reference_cpu_mhz=600.0
+        )
+        result = scheduler.run(uniform_jobs(11, cpu_seconds=1000.0))
+        assert result.makespan_s == pytest.approx(2000.0)
+
+    def test_cpu_speed_scaling(self):
+        # a 600 MHz node takes ~4.33x the reference-2600 time
+        cluster = ClusterSpec("slow", (Node("n", 600.0),))
+        scheduler = CondorScheduler(cluster, free_transfer(),
+                                    reference_cpu_mhz=2600.0)
+        result = scheduler.run(uniform_jobs(1, cpu_seconds=100.0))
+        assert result.makespan_s == pytest.approx(100.0 * 2600.0 / 600.0)
+
+    def test_transfer_time_added(self):
+        cluster = ClusterSpec("one", (Node("n", 2600.0),))
+        transfer = TransferModel(bandwidth_bytes_per_s=1e6, latency_s=0.0,
+                                 per_file_overhead_s=1.0)
+        scheduler = CondorScheduler(cluster, transfer)
+        job = field_job(0, "f", cpu_seconds=10.0, target_bytes=1e6,
+                        buffer_bytes=1e6, candidate_bytes=0.0)
+        result = scheduler.run([job])
+        # 2 input files: 2s overhead + 2s bandwidth, + 10s compute
+        assert result.makespan_s == pytest.approx(14.0)
+
+    def test_serialized_archive_link(self):
+        # with one shared archive, transfers queue even if slots are free
+        cluster = ClusterSpec(
+            "pair", (Node("a", 2600.0), Node("b", 2600.0))
+        )
+        transfer = TransferModel(bandwidth_bytes_per_s=1e6, latency_s=0.0,
+                                 per_file_overhead_s=0.0)
+        jobs = [
+            Job(job_id=k, name=f"j{k}", cpu_seconds=0.0, input_bytes=10e6,
+                input_files=1)
+            for k in range(2)
+        ]
+        parallel = CondorScheduler(cluster, transfer).run(
+            [Job(**{**j.__dict__}) for j in jobs]
+        )
+        serialized = CondorScheduler(
+            cluster, transfer, serialize_transfers=True
+        ).run(jobs)
+        assert serialized.makespan_s > parallel.makespan_s
+
+
+class TestRamMatchmaking:
+    def test_oversized_job_unschedulable(self):
+        # Figure 1: the ideal buffer file does not fit the TAM nodes
+        scheduler = CondorScheduler(tam_cluster(), free_transfer())
+        too_big = uniform_jobs(1, ram=2 * 1024**3)  # 2 GB vs 1 GB nodes
+        result = scheduler.run(too_big)
+        assert result.completed == 0
+        assert len(result.unschedulable) == 1
+        assert result.unschedulable[0].state is JobState.FAILED
+
+    def test_mixed_feasibility(self):
+        cluster = ClusterSpec(
+            "mixed",
+            (Node("small", 2600.0, ram_mb=512.0),
+             Node("big", 2600.0, ram_mb=4096.0)),
+        )
+        scheduler = CondorScheduler(cluster, free_transfer())
+        jobs = uniform_jobs(3, cpu_seconds=10.0, ram=1024**3)  # 1 GB
+        result = scheduler.run(jobs)
+        assert result.completed == 3
+        # all must have run on the big node
+        assert all(j.node.startswith("big") for j in result.jobs)
+
+
+class TestReporting:
+    def test_utilization(self):
+        cluster = ClusterSpec("one", (Node("n", 2600.0),))
+        scheduler = CondorScheduler(cluster, free_transfer())
+        result = scheduler.run(uniform_jobs(2, cpu_seconds=50.0))
+        util = result.node_utilization()
+        assert util["n/0"] == pytest.approx(1.0)
+
+    def test_totals(self):
+        cluster = ClusterSpec("one", (Node("n", 2600.0),))
+        result = CondorScheduler(cluster, free_transfer()).run(
+            uniform_jobs(3, cpu_seconds=10.0)
+        )
+        assert result.compute_s_total == pytest.approx(30.0)
+        assert result.transfer_s_total == pytest.approx(0.0)

@@ -1,0 +1,63 @@
+"""Replaying measured TAM runs on simulated 2004 clusters."""
+
+import pytest
+
+from repro.errors import GridError
+from repro.grid.resources import sql_cluster, tam_cluster
+from repro.grid.simulation import jobs_from_tam_run, simulate_tam_on_grid
+from repro.skyserver.regions import RegionBox
+from repro.tam.runner import run_tam
+
+
+@pytest.fixture(scope="module")
+def tam_run(sky, kcorr, config, tmp_path_factory):
+    target = RegionBox(180.5, 181.5, 0.5, 1.5)
+    return run_tam(sky.catalog, target, kcorr, config,
+                   tmp_path_factory.mktemp("grid_tam"))
+
+
+class TestJobConversion:
+    def test_one_job_per_field(self, tam_run):
+        jobs = jobs_from_tam_run(tam_run, 2600.0, 2600.0)
+        assert len(jobs) == len(tam_run.fields)
+
+    def test_demand_scaling(self, tam_run):
+        same = jobs_from_tam_run(tam_run, 2600.0, 2600.0)
+        slower_reference = jobs_from_tam_run(tam_run, 1300.0, 2600.0)
+        assert slower_reference[0].cpu_seconds == pytest.approx(
+            2 * same[0].cpu_seconds
+        )
+
+    def test_file_sizes_attached(self, tam_run):
+        jobs = jobs_from_tam_run(tam_run, 2600.0, 2600.0)
+        assert all(j.input_bytes > 0 for j in jobs)
+        assert all(j.input_files == 2 for j in jobs)
+
+    def test_bad_host_speed(self, tam_run):
+        with pytest.raises(GridError):
+            jobs_from_tam_run(tam_run, 2600.0, 0.0)
+
+
+class TestReplay:
+    def test_tam_cluster_slower_than_sql_nodes(self, tam_run):
+        on_tam = simulate_tam_on_grid(tam_run, tam_cluster())
+        on_sql = simulate_tam_on_grid(tam_run, sql_cluster())
+        # 600 MHz nodes vs 2.6 GHz nodes: the makespan gap must show
+        assert on_tam.makespan_s > on_sql.makespan_s
+
+    def test_more_nodes_shorter_makespan(self, sky, kcorr, config,
+                                         tmp_path_factory):
+        target = RegionBox(180.2, 181.8, 0.2, 1.8)  # more fields
+        run = run_tam(sky.catalog, target, kcorr, config,
+                      tmp_path_factory.mktemp("grid_tam2"))
+        few = simulate_tam_on_grid(run, sql_cluster(1), serialize_transfers=False)
+        many = simulate_tam_on_grid(run, sql_cluster(3), serialize_transfers=False)
+        assert many.makespan_s < few.makespan_s
+
+    def test_transfer_fraction_reported(self, tam_run):
+        report = simulate_tam_on_grid(tam_run, tam_cluster())
+        assert 0.0 <= report.transfer_fraction <= 1.0
+
+    def test_all_fields_complete(self, tam_run):
+        report = simulate_tam_on_grid(tam_run, tam_cluster())
+        assert report.schedule.completed == report.n_fields

@@ -1,0 +1,38 @@
+"""The file-transfer cost model."""
+
+import pytest
+
+from repro.errors import GridError
+from repro.grid.transfer import TransferModel, wan_model
+
+
+class TestTransferModel:
+    def test_zero_files_is_free(self):
+        assert TransferModel().seconds(0.0, 0) == 0.0
+
+    def test_bandwidth_term(self):
+        model = TransferModel(
+            bandwidth_bytes_per_s=1e6, latency_s=0.0, per_file_overhead_s=0.0
+        )
+        assert model.seconds(2e6, 1) == pytest.approx(2.0)
+
+    def test_per_file_overhead_dominates_small_files(self):
+        model = TransferModel()
+        # 1000 x 44 KB files vs one 44 MB stream
+        many = model.seconds(44e6, 1000)
+        one = model.seconds(44e6, 1)
+        assert many > 50 * one or many - one > 100.0
+
+    def test_batching_savings(self):
+        model = TransferModel()
+        saved = model.seconds_saved_by_batching(44e6, 1000)
+        assert saved == pytest.approx(999 * (model.latency_s + model.per_file_overhead_s))
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(GridError):
+            TransferModel().seconds(-1.0, 1)
+        with pytest.raises(GridError):
+            TransferModel(bandwidth_bytes_per_s=0.0)
+
+    def test_wan_slower_than_lan(self):
+        assert wan_model().seconds(1e9, 10) > TransferModel().seconds(1e9, 10)

@@ -1,0 +1,189 @@
+"""Integration: the paper's SQL workflow runs on our engine.
+
+The appendix of the paper is ~500 lines of SQL.  Our engine speaks a
+subset (no stored procedures or table-valued functions), but the
+*set-oriented statements* — the schema, the zone assignment, the Filter
+step's CROSS JOIN with its chi² predicate, the early-filter counts —
+execute verbatim-shaped SQL here, and their answers are checked against
+the numpy kernels the pipeline uses.  This is the strongest internal
+consistency check in the suite: two independent implementations of the
+paper's math (a SQL engine and vectorized kernels) must agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.likelihood import filter_catalog
+from repro.engine.database import Database
+from repro.spatial.zones import zone_id
+
+PAPER_SCHEMA = """
+CREATE TABLE Kcorr (
+    zid int PRIMARY KEY NOT NULL,
+    z real, i real, ilim real,
+    ug real, gr real, ri real, iz real,
+    radius float
+);
+CREATE TABLE Galaxy (
+    objid bigint PRIMARY KEY,
+    ra float, dec float,
+    i real, gr real, ri real,
+    sigmagr float, sigmari float
+);
+CREATE TABLE Candidates (
+    objid bigint PRIMARY KEY,
+    ra float, dec float, z float, i real,
+    ngal int, chi2 float
+);
+CREATE TABLE Clusters (
+    objid bigint PRIMARY KEY,
+    ra float, dec float, z float, i real,
+    ngal int, chi2 float
+);
+CREATE TABLE ClusterGalaxiesMetric (
+    clusterObjID bigint,
+    galaxyObjID bigint,
+    distance float
+);
+"""
+
+# the paper's chi^2, verbatim modulo identifier qualification
+FILTER_PREDICATE = (
+    "(POWER(g.i - k.i, 2) / POWER(0.57, 2)"
+    " + POWER(g.gr - k.gr, 2) / (POWER(sigmagr, 2) + POWER(0.05, 2))"
+    " + POWER(g.ri - k.ri, 2) / (POWER(sigmari, 2) + POWER(0.06, 2))) < 7"
+)
+
+
+@pytest.fixture(scope="module")
+def paper_db(sky, kcorr):
+    db = Database("paper")
+    db.run_script(PAPER_SCHEMA)
+    db.table("kcorr").insert(kcorr.as_columns())
+    db.table("galaxy").insert(sky.catalog.as_columns())
+    return db
+
+
+class TestSchema:
+    def test_all_five_tables_created(self, paper_db):
+        assert paper_db.table_names() == [
+            "candidates", "clustergalaxiesmetric", "clusters", "galaxy",
+            "kcorr",
+        ]
+
+    def test_kcorr_loaded(self, paper_db, kcorr):
+        assert paper_db.sql("SELECT COUNT(*) AS c FROM Kcorr").scalar() == len(kcorr)
+
+    def test_galaxy_loaded(self, paper_db, sky):
+        assert (
+            paper_db.sql("SELECT COUNT(*) AS c FROM Galaxy").scalar()
+            == sky.n_galaxies
+        )
+
+
+class TestZoneAssignment:
+    def test_zone_formula_in_sql(self, paper_db, sky):
+        # Zone = FLOOR((dec + 90) / h), h = 30 arcsec
+        result = paper_db.sql(
+            "SELECT objid, FLOOR((dec + 90.0) / 0.00833333333333333333) "
+            "AS zoneid FROM Galaxy ORDER BY objid"
+        )
+        order = np.argsort(sky.catalog.objid)
+        want = zone_id(sky.catalog.dec[order])
+        assert np.array_equal(result.column("zoneid").astype(np.int64), want)
+
+    def test_clustered_index_on_zone(self, paper_db):
+        # spZone: assign ZoneID and create the clustered index
+        if not paper_db.has_table("zonetab"):
+            paper_db.sql(
+                "CREATE TABLE zonetab (objid bigint PRIMARY KEY, zoneid int, "
+                "ra float, dec float)"
+            )
+            paper_db.sql(
+                "INSERT INTO zonetab SELECT objid, "
+                "FLOOR((dec + 90.0) / 0.00833333333333333333), ra, dec "
+                "FROM Galaxy"
+            )
+            paper_db.create_clustered_index("zonetab", "zoneid", "ra")
+        plan = paper_db.explain(
+            "SELECT objid FROM zonetab WHERE zoneid BETWEEN 10800 AND 10810"
+        )
+        assert "IndexRangeScan" in plan
+
+
+class TestFilterStep:
+    def test_sql_filter_matches_numpy_kernel(self, paper_db, sky, kcorr, config):
+        """The CROSS JOIN + chi^2 < 7 cut agrees with filter_catalog."""
+        # restrict to a slice of galaxies to keep the cross join small
+        result = paper_db.sql(
+            "SELECT g.objid AS objid, COUNT(*) AS nz "
+            "FROM Galaxy g CROSS JOIN Kcorr k "
+            f"WHERE g.objid % 97 = 0 AND {FILTER_PREDICATE} "
+            "GROUP BY g.objid"
+        )
+        sql_pass = dict(zip(result.column("objid").tolist(),
+                            result.column("nz").tolist()))
+
+        rows = np.flatnonzero(sky.catalog.objid % 97 == 0)
+        catalog = sky.catalog
+        filtered = filter_catalog(
+            catalog.i[rows], catalog.gr[rows], catalog.ri[rows],
+            catalog.sigmagr[rows], catalog.sigmari[rows], kcorr, config,
+        )
+        numpy_pass = {
+            int(catalog.objid[rows[k]]): int(filtered.pass_matrix[j].sum())
+            for j, k in enumerate(filtered.passed_rows)
+        }
+        assert sql_pass == numpy_pass
+
+    def test_early_filter_selectivity(self, paper_db, sky):
+        """The Filter's whole point: most galaxies never pass."""
+        survivors = paper_db.sql(
+            "SELECT g.objid AS objid FROM Galaxy g CROSS JOIN Kcorr k "
+            f"WHERE g.objid % 31 = 0 AND {FILTER_PREDICATE} "
+            "GROUP BY g.objid"
+        ).row_count
+        total = paper_db.sql(
+            "SELECT COUNT(*) AS c FROM Galaxy WHERE objid % 31 = 0"
+        ).scalar()
+        assert survivors / total < 0.3
+
+    def test_candidate_insert_matches_pipeline(self, paper_db,
+                                               pipeline_result):
+        """Insert the pipeline's candidates through SQL; counts line up."""
+        paper_db.sql("TRUNCATE TABLE Candidates")
+        candidates = pipeline_result.candidates
+        paper_db.table("candidates").insert(candidates.as_columns())
+        count = paper_db.sql("SELECT COUNT(*) AS c FROM Candidates").scalar()
+        assert count == len(candidates)
+        best = paper_db.sql(
+            "SELECT MAX(chi2) AS best FROM Candidates"
+        ).scalar()
+        assert best == pytest.approx(float(candidates.chi2.max()))
+
+
+class TestClusterStep:
+    def test_cluster_counts_by_redshift_bin(self, paper_db, pipeline_result):
+        """A Figure 2-style analysis query over the results."""
+        paper_db.sql("TRUNCATE TABLE Clusters")
+        paper_db.table("clusters").insert(pipeline_result.clusters.as_columns())
+        result = paper_db.sql(
+            "SELECT FLOOR(z * 10) AS zbin, COUNT(*) AS n, AVG(ngal) AS richness "
+            "FROM Clusters GROUP BY FLOOR(z * 10) ORDER BY zbin"
+        )
+        assert int(result.column("n").sum()) == len(pipeline_result.clusters)
+
+    def test_members_fraction_query(self, paper_db, pipeline_result):
+        paper_db.sql("TRUNCATE TABLE ClusterGalaxiesMetric")
+        members = pipeline_result.members
+        paper_db.table("clustergalaxiesmetric").insert({
+            "clusterobjid": members.cluster_objid,
+            "galaxyobjid": members.galaxy_objid,
+            "distance": members.distance,
+        })
+        per_cluster = paper_db.sql(
+            "SELECT clusterobjid, COUNT(*) AS n FROM ClusterGalaxiesMetric "
+            "GROUP BY clusterobjid"
+        )
+        assert int(per_cluster.column("n").sum()) == len(members)
+        assert int(per_cluster.column("n").min()) >= 1

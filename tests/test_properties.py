@@ -1,0 +1,194 @@
+"""Property-based tests (hypothesis) for the core invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.partitioning import make_partitions
+from repro.engine.database import Database
+from repro.skyserver.regions import RegionBox
+from repro.spatial.conesearch import BruteForceIndex
+from repro.spatial.geometry import (
+    cap_ra_halfwidth,
+    chord_distance_deg,
+    great_circle_distance_deg,
+)
+from repro.spatial.htm import htm_id
+from repro.spatial.zonejoin import zone_join
+from repro.spatial.zones import ZoneIndex, zone_id
+
+# shared strategies ----------------------------------------------------
+ras = st.floats(min_value=5.0, max_value=355.0)
+decs = st.floats(min_value=-85.0, max_value=85.0)
+radii = st.floats(min_value=0.0, max_value=2.0)
+
+point_clouds = st.lists(
+    st.tuples(ras, decs), min_size=1, max_size=60
+)
+
+
+class TestSpatialProperties:
+    @given(point_clouds, ras, decs, radii)
+    @settings(max_examples=60, deadline=None)
+    def test_zone_query_equals_brute_force(self, points, qra, qdec, radius):
+        ra = np.array([p[0] for p in points])
+        dec = np.array([p[1] for p in points])
+        zone = ZoneIndex(ra, dec)
+        brute = BruteForceIndex(ra, dec)
+        got, _ = zone.query(qra, qdec, radius)
+        want, _ = brute.query(qra, qdec, radius)
+        assert set(got.tolist()) == set(want.tolist())
+
+    @given(point_clouds, st.lists(st.tuples(ras, decs, radii),
+                                  min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_zone_join_equals_per_point(self, points, queries):
+        ra = np.array([p[0] for p in points])
+        dec = np.array([p[1] for p in points])
+        index = ZoneIndex(ra, dec)
+        qra = np.array([q[0] for q in queries])
+        qdec = np.array([q[1] for q in queries])
+        qr = np.array([q[2] for q in queries])
+        pairs = zone_join(index, qra, qdec, qr)
+        got: dict[int, set[int]] = {}
+        for q, c in zip(pairs.query_index.tolist(), pairs.catalog_index.tolist()):
+            got.setdefault(q, set()).add(c)
+        for k in range(len(queries)):
+            want, _ = index.query(float(qra[k]), float(qdec[k]), float(qr[k]))
+            assert got.get(k, set()) == set(want.tolist())
+
+    @given(ras, decs, ras, decs)
+    @settings(max_examples=100, deadline=None)
+    def test_chord_bounded_by_arc(self, ra1, dec1, ra2, dec2):
+        chord = float(chord_distance_deg(ra1, dec1, ra2, dec2))
+        arc = float(great_circle_distance_deg(ra1, dec1, ra2, dec2))
+        assert chord <= arc + 1e-9
+
+    @given(ras, decs, st.integers(min_value=0, max_value=12))
+    @settings(max_examples=80, deadline=None)
+    def test_htm_ids_nest(self, ra, dec, level):
+        parent = int(htm_id([ra], [dec], level)[0])
+        child = int(htm_id([ra], [dec], level + 1)[0])
+        assert child // 4 == parent
+
+    @given(decs)
+    @settings(max_examples=100, deadline=None)
+    def test_zone_id_bounds(self, dec):
+        zid = int(zone_id(dec))
+        assert 0 <= zid <= int(180.0 / (30.0 / 3600.0))
+
+    @given(radii, decs)
+    @settings(max_examples=100, deadline=None)
+    def test_cap_halfwidth_at_least_linear(self, radius, dec):
+        # the exact window is never narrower than r (equator value) and
+        # never narrower than the paper's linear approximation where
+        # that approximation is valid
+        exact = float(cap_ra_halfwidth(radius, dec))
+        assert exact >= radius - 1e-9
+        if abs(dec) + radius < 89.0:
+            linear = radius / np.cos(np.deg2rad(abs(dec)))
+            assert exact >= min(linear, 180.0) - 1e-6
+
+
+class TestRegionProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=300.0),
+        st.floats(min_value=0.5, max_value=30.0),
+        st.floats(min_value=-60.0, max_value=30.0),
+        st.floats(min_value=0.5, max_value=30.0),
+        st.floats(min_value=0.01, max_value=3.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_expand_shrink_inverse(self, ra0, width, dec0, height, margin):
+        box = RegionBox(ra0, ra0 + width, dec0, dec0 + height)
+        expanded = box.expand(margin)
+        assert expanded.contains_box(box)
+        if (
+            expanded.dec_min == box.dec_min - margin
+            and expanded.dec_max == box.dec_max + margin
+        ):
+            back = expanded.shrink(margin)
+            for attr in ("ra_min", "ra_max", "dec_min", "dec_max"):
+                assert getattr(back, attr) == np.float64(
+                    getattr(back, attr)
+                )  # sanity: finite
+                assert abs(getattr(back, attr) - getattr(box, attr)) < 1e-9
+
+    @given(
+        st.floats(min_value=1.0, max_value=20.0),
+        st.floats(min_value=1.0, max_value=20.0),
+        st.floats(min_value=0.1, max_value=0.5),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_targets_tile_exactly(self, width, height, buffer_deg, n):
+        target = RegionBox(100.0, 100.0 + width, 0.0, height)
+        layout = make_partitions(target, buffer_deg, n)
+        total = sum(p.target.flat_area() for p in layout.partitions)
+        assert total == np.float64(total)  # no NaN
+        assert abs(total - target.flat_area()) < 1e-9
+        for p in layout.partitions:
+            assert layout.global_import.contains_box(p.imported)
+
+    @given(
+        st.floats(min_value=0.5, max_value=20.0),
+        st.floats(min_value=0.05, max_value=2.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_buffer_overhead_positive_and_monotone(self, size, margin):
+        from repro.skyserver.regions import buffer_overhead
+
+        small = RegionBox(10.0, 10.0 + size, 0.0, size)
+        bigger = RegionBox(10.0, 10.0 + 2 * size, 0.0, 2 * size)
+        assert buffer_overhead(small, margin) > 0
+        assert buffer_overhead(bigger, margin) < buffer_overhead(small, margin)
+
+
+class TestEngineProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-1000, max_value=1000),
+                st.floats(min_value=-1e6, max_value=1e6),
+            ),
+            min_size=0,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_sql_filter_matches_numpy(self, rows):
+        db = Database("prop")
+        keys = np.arange(len(rows), dtype=np.int64)
+        values = np.array([r[1] for r in rows], dtype=np.float64)
+        flags = np.array([r[0] for r in rows], dtype=np.int64)
+        db.create_table("t", {"k": keys, "flag": flags, "v": values})
+        got = db.sql("SELECT COUNT(*) AS c FROM t WHERE v > 0 AND flag < 5").scalar()
+        want = int(((values > 0) & (flags < 5)).sum())
+        assert got == want
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), min_size=1,
+                 max_size=80)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sql_group_count_matches_numpy(self, groups):
+        db = Database("prop2")
+        arr = np.asarray(groups, dtype=np.int64)
+        db.create_table(
+            "t", {"k": np.arange(arr.size), "g": arr}
+        )
+        result = db.sql("SELECT g, COUNT(*) AS c FROM t GROUP BY g")
+        got = dict(zip(result.column("g").tolist(), result.column("c").tolist()))
+        unique, counts = np.unique(arr, return_counts=True)
+        assert got == dict(zip(unique.tolist(), counts.tolist()))
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1,
+                    max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_sql_order_by_sorts(self, values):
+        db = Database("prop3")
+        arr = np.asarray(values, dtype=np.float64)
+        db.create_table("t", {"k": np.arange(arr.size), "v": arr})
+        result = db.sql("SELECT v FROM t ORDER BY v")
+        assert result.column("v").tolist() == sorted(arr.tolist())

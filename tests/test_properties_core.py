@@ -1,0 +1,141 @@
+"""Property-based tests on MaxBCG kernels and the TAM tiling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MaxBCGConfig
+from repro.core.likelihood import chisq_profile, filter_catalog, windows_for
+from repro.core.neighbors import (
+    best_weighted_redshift,
+    count_friends_per_redshift,
+)
+from repro.skyserver.regions import RegionBox
+from repro.tam.fields import neighbor_fields, tile_fields
+
+# strategies ------------------------------------------------------------
+mags = st.floats(min_value=12.0, max_value=23.0)
+colors = st.floats(min_value=-1.0, max_value=3.0)
+sigmas = st.floats(min_value=1e-4, max_value=0.5)
+
+
+class TestChisqProperties:
+    @given(mags, colors, colors, sigmas, sigmas)
+    @settings(max_examples=100, deadline=None)
+    def test_chisq_non_negative(self, i, gr, ri, sgr, sri):
+        from repro.core.config import fast_config
+        from repro.core.kcorrection import build_kcorrection_table
+
+        config = fast_config()
+        table = build_kcorrection_table(config)
+        chisq = chisq_profile(i, gr, ri, sgr, sri, table, config)
+        assert np.all(chisq >= 0.0)
+        assert np.all(np.isfinite(chisq))
+
+    @given(mags, colors, colors, sigmas, sigmas,
+           st.floats(min_value=0.5, max_value=20.0))
+    @settings(max_examples=60, deadline=None)
+    def test_threshold_monotone(self, i, gr, ri, sgr, sri, threshold):
+        """Raising the chi² threshold can only grow the pass set."""
+        from repro.core.config import fast_config
+        from repro.core.kcorrection import build_kcorrection_table
+
+        tight = fast_config().with_(chi2_threshold=threshold)
+        loose = fast_config().with_(chi2_threshold=threshold * 2)
+        table = build_kcorrection_table(tight)
+        arr = (np.array([i]), np.array([gr]), np.array([ri]),
+               np.array([sgr]), np.array([sri]))
+        a = filter_catalog(*arr, table, tight)
+        b = filter_catalog(*arr, table, loose)
+        if a.passed[0]:
+            assert b.passed[0]
+            assert np.all(b.pass_matrix[0] >= a.pass_matrix[0])
+
+    @given(mags, st.lists(st.integers(min_value=0, max_value=59),
+                          min_size=1, max_size=10, unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_windows_contain_passing_rows(self, i, zids):
+        from repro.core.config import fast_config
+        from repro.core.kcorrection import build_kcorrection_table
+
+        config = fast_config()
+        table = build_kcorrection_table(config)
+        passing = np.array(sorted(zids))
+        windows = windows_for(i, passing, table, config)
+        assert windows.radius >= float(table.radius[passing].min())
+        assert np.all(windows.gr_min <= table.gr[passing])
+        assert np.all(windows.gr_max >= table.gr[passing])
+        assert windows.i_min == i
+
+
+class TestNeighborProperties:
+    @given(st.integers(min_value=0, max_value=30),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=50, deadline=None)
+    def test_more_friends_never_fewer_counts(self, n_friends, n_passing):
+        from repro.core.config import fast_config
+        from repro.core.kcorrection import build_kcorrection_table
+
+        config = fast_config()
+        table = build_kcorrection_table(config)
+        rng = np.random.default_rng(n_friends * 100 + n_passing)
+        passing = np.sort(rng.choice(len(table), n_passing, replace=False))
+        zid = int(passing[0])
+        friends = dict(
+            friend_distance=np.full(n_friends, float(table.radius[zid]) / 2),
+            friend_i=np.full(n_friends, float(table.i[zid]) + 0.5),
+            friend_gr=np.full(n_friends, float(table.gr[zid])),
+            friend_ri=np.full(n_friends, float(table.ri[zid])),
+        )
+        counts = count_friends_per_redshift(
+            candidate_i=float(table.i[zid]), passing_zids=passing,
+            kcorr=table, config=config, **friends,
+        )
+        assert counts[0] == n_friends  # all friends match their own zid
+        assert np.all(counts >= 0) and np.all(counts <= n_friends)
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=50),
+                              st.floats(min_value=-5, max_value=5)),
+                    min_size=1, max_size=10))
+    @settings(max_examples=80, deadline=None)
+    def test_best_weighted_is_argmax(self, rows):
+        counts = np.array([r[0] for r in rows])
+        chisq = np.array([r[1] for r in rows])
+        zids = np.arange(len(rows))
+        result = best_weighted_redshift(counts, chisq, zids)
+        if not (counts > 0).any():
+            assert result is None
+            return
+        zid, ngal, weighted = result
+        eligible = counts > 0
+        expected = np.max((np.log(counts + 1.0) - chisq)[eligible])
+        assert weighted == pytest.approx(expected)
+        assert counts[zid] == ngal
+
+
+class TestTilingProperties:
+    @given(
+        st.floats(min_value=0.3, max_value=6.0),
+        st.floats(min_value=0.3, max_value=6.0),
+        st.floats(min_value=0.1, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tiles_cover_target_exactly(self, width, height, field_size):
+        region = RegionBox(100.0, 100.0 + width, 0.0, height)
+        fields = tile_fields(region, field_size, buffer_margin=0.25)
+        total = sum(f.target.flat_area() for f in fields)
+        assert total == pytest.approx(region.flat_area(), rel=1e-9)
+        for f in fields:
+            assert region.contains_box(f.target)
+
+    @given(st.floats(min_value=0.05, max_value=0.6))
+    @settings(max_examples=40, deadline=None)
+    def test_neighbors_symmetric_in_overlap(self, margin):
+        region = RegionBox(0.0, 2.0, 0.0, 2.0)
+        fields = tile_fields(region, 0.5, buffer_margin=margin)
+        for f in fields[:6]:
+            for g in neighbor_fields(fields, f):
+                # if g's target overlaps f's buffer, then (same margin)
+                # f's target overlaps g's buffer
+                assert f.target.overlaps(g.buffer)

@@ -1,0 +1,116 @@
+"""GalaxyCatalog column bundle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError
+from repro.skyserver.catalog import GALAXY_COLUMNS, GalaxyCatalog
+from repro.skyserver.regions import RegionBox
+
+
+def small_catalog() -> GalaxyCatalog:
+    return GalaxyCatalog(
+        objid=[1, 2, 3],
+        ra=[10.0, 20.0, 30.0],
+        dec=[0.0, 1.0, 2.0],
+        i=[17.0, 18.0, 19.0],
+        gr=[0.8, 0.9, 1.0],
+        ri=[0.4, 0.5, 0.6],
+        sigmagr=[0.01, 0.02, 0.03],
+        sigmari=[0.02, 0.03, 0.04],
+    )
+
+
+class TestConstruction:
+    def test_dtypes_coerced(self):
+        cat = small_catalog()
+        assert cat.objid.dtype == np.int64
+        assert cat.ra.dtype == np.float64
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(CatalogError):
+            GalaxyCatalog(
+                objid=[1], ra=[0.0, 1.0], dec=[0.0], i=[0.0], gr=[0.0],
+                ri=[0.0], sigmagr=[0.0], sigmari=[0.0],
+            )
+
+    def test_duplicate_objids_rejected(self):
+        with pytest.raises(CatalogError):
+            GalaxyCatalog(
+                objid=[1, 1], ra=[0.0, 1.0], dec=[0.0, 0.0], i=[0.0, 0.0],
+                gr=[0.0, 0.0], ri=[0.0, 0.0], sigmagr=[0.0, 0.0],
+                sigmari=[0.0, 0.0],
+            )
+
+    def test_empty(self):
+        assert len(GalaxyCatalog.empty()) == 0
+
+    def test_from_columns_missing(self):
+        with pytest.raises(CatalogError):
+            GalaxyCatalog.from_columns({"objid": np.array([1])})
+
+    def test_columns_roundtrip(self):
+        cat = small_catalog()
+        again = GalaxyCatalog.from_columns(cat.as_columns())
+        assert again.objid.tolist() == cat.objid.tolist()
+
+
+class TestOperations:
+    def test_take_mask(self):
+        cat = small_catalog()
+        subset = cat.take(cat.i > 17.5)
+        assert subset.objid.tolist() == [2, 3]
+
+    def test_take_bad_mask(self):
+        with pytest.raises(CatalogError):
+            small_catalog().take(np.array([True, False]))
+
+    def test_select_region(self):
+        cat = small_catalog()
+        sub = cat.select_region(RegionBox(15.0, 35.0, 0.5, 3.0))
+        assert sub.objid.tolist() == [2, 3]
+
+    def test_sort_by(self):
+        cat = small_catalog().take([2, 0, 1])
+        assert cat.sort_by("objid").objid.tolist() == [1, 2, 3]
+
+    def test_sort_unknown_column(self):
+        with pytest.raises(CatalogError):
+            small_catalog().sort_by("z")
+
+    def test_concat(self):
+        a = small_catalog()
+        b = a.take([0]).__class__(
+            objid=[4], ra=[40.0], dec=[3.0], i=[20.0], gr=[1.1], ri=[0.7],
+            sigmagr=[0.05], sigmari=[0.06],
+        )
+        merged = a.concat(b)
+        assert len(merged) == 4
+
+    def test_concat_duplicate_ids_rejected(self):
+        a = small_catalog()
+        with pytest.raises(CatalogError):
+            a.concat(a)
+
+    def test_row_and_index_of(self):
+        cat = small_catalog()
+        assert cat.row(1)["objid"] == 2
+        assert cat.index_of(3) == 2
+        with pytest.raises(CatalogError):
+            cat.index_of(99)
+        with pytest.raises(CatalogError):
+            cat.row(7)
+
+    def test_bounding_box(self):
+        box = small_catalog().bounding_box()
+        assert box.ra_min == 10.0 and box.ra_max == 30.0
+        assert box.dec_min == 0.0 and box.dec_max == 2.0
+
+    def test_bounding_box_empty(self):
+        with pytest.raises(CatalogError):
+            GalaxyCatalog.empty().bounding_box()
+
+    def test_galaxy_columns_constant(self):
+        assert GALAXY_COLUMNS == (
+            "objid", "ra", "dec", "i", "gr", "ri", "sigmagr", "sigmari"
+        )

@@ -1,0 +1,82 @@
+"""The Data Archive Server."""
+
+import pytest
+
+from repro.errors import GridError
+from repro.grid.transfer import TransferModel
+from repro.skyserver.das import DataArchiveServer
+from repro.skyserver.regions import RegionBox
+
+
+@pytest.fixture()
+def das(tmp_path, sky, config):
+    server = DataArchiveServer(tmp_path / "das")
+    server.publish_region(
+        sky.catalog, RegionBox(180.5, 181.5, 0.5, 1.5), config
+    )
+    return server
+
+
+class TestPublishing:
+    def test_two_files_per_field(self, das):
+        assert das.file_inventory() == 2 * len(das.fields)
+
+    def test_field_count(self, das):
+        assert len(das.fields) == 4  # 1 deg^2 at 0.5 deg fields
+
+
+class TestFetching:
+    def test_fetch_roundtrip(self, das, sky):
+        one_field = das.fields[0]
+        catalog, seconds = das.fetch(one_field, "target")
+        expected = sky.catalog.select_region(one_field.target)
+        assert set(catalog.objid.tolist()) == set(expected.objid.tolist())
+        assert seconds > 0.0
+
+    def test_fetch_field_inputs(self, das):
+        target, buffer, seconds = das.fetch_field_inputs(das.fields[0])
+        assert len(buffer) >= len(target)
+        assert das.log.requests == 2
+        assert seconds == pytest.approx(das.log.simulated_seconds)
+
+    def test_log_accumulates(self, das):
+        for one_field in das.fields:
+            das.fetch_field_inputs(one_field)
+        assert das.log.requests == 2 * len(das.fields)
+        assert das.log.bytes_served > 0
+
+    def test_overhead_dominates_small_files(self, das):
+        # tiny files over a model with stiff per-file overhead: the
+        # paper's many-small-files pathology
+        for one_field in das.fields:
+            das.fetch_field_inputs(one_field)
+        assert das.log.overhead_fraction > 0.5
+
+    def test_faster_network_cheaper(self, tmp_path, sky, config):
+        region = RegionBox(180.6, 181.1, 0.6, 1.1)
+        slow = DataArchiveServer(
+            tmp_path / "slow",
+            TransferModel(bandwidth_bytes_per_s=1e6, per_file_overhead_s=1.0),
+        )
+        fast = DataArchiveServer(
+            tmp_path / "fast",
+            TransferModel(bandwidth_bytes_per_s=1e9,
+                          per_file_overhead_s=0.01),
+        )
+        for server in (slow, fast):
+            server.publish_region(sky.catalog, region, config)
+            server.fetch_field_inputs(server.fields[0])
+        assert fast.log.simulated_seconds < slow.log.simulated_seconds
+
+
+class TestReport:
+    def test_report_fields(self, das):
+        das.fetch_field_inputs(das.fields[0])
+        report = das.staging_report()
+        assert report["fields"] == 4.0
+        assert report["files"] == 8.0
+        assert report["requests_served"] == 2.0
+
+    def test_report_requires_publish(self, tmp_path):
+        with pytest.raises(GridError):
+            DataArchiveServer(tmp_path / "x").staging_report()

@@ -1,0 +1,137 @@
+"""Synthetic sky generation: densities, determinism, ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.skyserver.generator import (
+    SkyConfig,
+    SkySimulator,
+    make_sky,
+)
+from repro.skyserver.regions import RegionBox
+
+
+class TestSkyConfig:
+    def test_defaults_valid(self):
+        SkyConfig()
+
+    def test_negative_density_rejected(self):
+        with pytest.raises(ConfigError):
+            SkyConfig(field_density=-1.0)
+
+    def test_bad_richness(self):
+        with pytest.raises(ConfigError):
+            SkyConfig(richness_min=0)
+        with pytest.raises(ConfigError):
+            SkyConfig(richness_min=10, richness_max=5)
+
+
+class TestGeneration:
+    def test_deterministic_with_seed(self, kcorr, config):
+        region = RegionBox(180.0, 181.0, 0.0, 1.0)
+        sky_config = SkyConfig(field_density=200, cluster_density=5, seed=9)
+        a = make_sky(region, config, kcorr, sky_config)
+        b = make_sky(region, config, kcorr, sky_config)
+        assert a.catalog.objid.tolist() == b.catalog.objid.tolist()
+        assert np.allclose(a.catalog.ra, b.catalog.ra)
+
+    def test_different_seeds_differ(self, kcorr, config):
+        region = RegionBox(180.0, 181.0, 0.0, 1.0)
+        a = make_sky(region, config, kcorr, SkyConfig(field_density=200, seed=1))
+        b = make_sky(region, config, kcorr, SkyConfig(field_density=200, seed=2))
+        assert a.n_galaxies != b.n_galaxies or not np.allclose(
+            a.catalog.ra[: min(10, a.n_galaxies)],
+            b.catalog.ra[: min(10, b.n_galaxies)],
+        )
+
+    def test_density_approximately_respected(self, kcorr, config):
+        region = RegionBox(180.0, 184.0, 0.0, 4.0)  # 16 deg^2
+        sky = make_sky(
+            region, config, kcorr,
+            SkyConfig(field_density=500, cluster_density=0, seed=3),
+        )
+        expected = 500 * region.area()
+        assert sky.n_galaxies == pytest.approx(expected, rel=0.1)
+
+    def test_positions_inside_region(self, sky, import_region, kcorr):
+        # cluster *centers* stay inside; members may leak out by at most
+        # one cluster aperture (the largest Kcorr radius)
+        margin = float(kcorr.radius.max()) * 1.1
+        padded = import_region.expand(margin)
+        assert np.all(padded.contains(sky.catalog.ra, sky.catalog.dec))
+        centers_ra = np.array([c.ra for c in sky.clusters])
+        centers_dec = np.array([c.dec for c in sky.clusters])
+        assert np.all(import_region.contains(centers_ra, centers_dec))
+
+    def test_unique_objids(self, sky):
+        assert np.unique(sky.catalog.objid).size == sky.n_galaxies
+
+    def test_cluster_count_poisson(self, kcorr, config):
+        region = RegionBox(180.0, 183.0, 0.0, 3.0)  # 9 deg^2
+        sky = make_sky(
+            region, config, kcorr,
+            SkyConfig(field_density=10, cluster_density=10, seed=4),
+        )
+        assert sky.n_clusters == pytest.approx(90, rel=0.35)
+
+
+class TestGroundTruth:
+    def test_truth_members_exist_in_catalog(self, sky):
+        ids = set(sky.catalog.objid.tolist())
+        for cluster in sky.clusters[:20]:
+            assert cluster.bcg_objid in ids
+            assert set(cluster.member_objids) <= ids
+
+    def test_bcg_on_ridge(self, sky, kcorr, config):
+        # every truth BCG passes the chi^2 filter at its own redshift
+        from repro.core.likelihood import chisq_profile
+
+        catalog = sky.catalog
+        for cluster in sky.clusters[:30]:
+            row = catalog.index_of(cluster.bcg_objid)
+            chisq = chisq_profile(
+                float(catalog.i[row]), float(catalog.gr[row]),
+                float(catalog.ri[row]), float(catalog.sigmagr[row]),
+                float(catalog.sigmari[row]), kcorr, config,
+            )
+            zid = kcorr.nearest_zid(cluster.z)
+            assert chisq[zid] < config.chi2_threshold
+
+    def test_members_near_center(self, sky, kcorr):
+        from repro.spatial.geometry import chord_distance_deg
+
+        catalog = sky.catalog
+        for cluster in sky.clusters[:20]:
+            radius = kcorr.radius_at(cluster.z)
+            for objid in cluster.member_objids:
+                row = catalog.index_of(objid)
+                d = float(chord_distance_deg(
+                    cluster.ra, cluster.dec,
+                    float(catalog.ra[row]), float(catalog.dec[row]),
+                ))
+                assert d <= radius * 1.05
+
+    def test_members_fainter_than_bcg(self, sky):
+        catalog = sky.catalog
+        for cluster in sky.clusters[:20]:
+            bcg_i = float(catalog.i[catalog.index_of(cluster.bcg_objid)])
+            member_i = [
+                float(catalog.i[catalog.index_of(m)])
+                for m in cluster.member_objids
+            ]
+            assert all(m > bcg_i for m in member_i)
+
+    def test_richness_bounds(self, sky):
+        for cluster in sky.clusters:
+            assert 8 <= cluster.richness <= 40
+            assert len(cluster.member_objids) == cluster.richness
+
+
+class TestSimulatorReuse:
+    def test_objids_unique_across_regions(self, kcorr, config):
+        simulator = SkySimulator(kcorr, config, SkyConfig(field_density=100, seed=6))
+        a = simulator.generate(RegionBox(10.0, 11.0, 0.0, 1.0))
+        b = simulator.generate(RegionBox(20.0, 21.0, 0.0, 1.0))
+        overlap = set(a.catalog.objid.tolist()) & set(b.catalog.objid.tolist())
+        assert not overlap

@@ -1,0 +1,85 @@
+"""Photometric model: the paper's exact error formulas."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.skyserver.photometry import (
+    FieldColorModel,
+    MagnitudeDistribution,
+    observed_colors,
+    sigma_gr,
+    sigma_ri,
+)
+
+
+class TestErrorFormulas:
+    def test_sigma_gr_formula(self):
+        # spImportGalaxy: 2.089 * 10^(0.228*i - 6.0)
+        i = 18.0
+        assert float(sigma_gr(i)) == pytest.approx(
+            2.089 * 10 ** (0.228 * i - 6.0)
+        )
+
+    def test_sigma_ri_formula(self):
+        i = 20.0
+        assert float(sigma_ri(i)) == pytest.approx(
+            4.266 * 10 ** (0.206 * i - 6.0)
+        )
+
+    def test_errors_grow_with_magnitude(self):
+        mags = np.array([15.0, 17.0, 19.0, 21.0])
+        assert np.all(np.diff(sigma_gr(mags)) > 0)
+        assert np.all(np.diff(sigma_ri(mags)) > 0)
+
+    def test_bright_errors_are_small(self):
+        assert float(sigma_gr(15.0)) < 0.01
+        assert float(sigma_ri(15.0)) < 0.02
+
+
+class TestMagnitudeDistribution:
+    def test_samples_within_bounds(self):
+        rng = np.random.default_rng(0)
+        dist = MagnitudeDistribution(bright=14.0, faint=21.0)
+        mags = dist.sample(5000, rng)
+        assert mags.min() >= 14.0
+        assert mags.max() <= 21.0
+
+    def test_faint_dominated(self):
+        rng = np.random.default_rng(1)
+        mags = MagnitudeDistribution().sample(20000, rng)
+        midpoint = (14.0 + 21.0) / 2
+        assert (mags > midpoint).mean() > 0.8
+
+    def test_zero_samples(self):
+        rng = np.random.default_rng(0)
+        assert MagnitudeDistribution().sample(0, rng).size == 0
+
+    def test_negative_samples_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigError):
+            MagnitudeDistribution().sample(-1, rng)
+
+    def test_invalid_limits(self):
+        with pytest.raises(ConfigError):
+            MagnitudeDistribution(bright=22.0, faint=21.0)
+        with pytest.raises(ConfigError):
+            MagnitudeDistribution(slope=0.0)
+
+
+class TestColors:
+    def test_field_colors_shape(self):
+        rng = np.random.default_rng(0)
+        gr, ri = FieldColorModel().sample(100, rng)
+        assert gr.shape == ri.shape == (100,)
+
+    def test_observed_colors_scatter_scales_with_magnitude(self):
+        rng = np.random.default_rng(2)
+        n = 4000
+        true_gr = np.zeros(n)
+        true_ri = np.zeros(n)
+        bright = observed_colors(true_gr, true_ri, np.full(n, 15.0), rng)
+        faint = observed_colors(true_gr, true_ri, np.full(n, 20.5), rng)
+        assert bright[0].std() < faint[0].std()
+        assert bright[0].std() == pytest.approx(float(sigma_gr(15.0)), rel=0.1)
+        assert faint[1].std() == pytest.approx(float(sigma_ri(20.5)), rel=0.1)

@@ -1,0 +1,146 @@
+"""Region algebra: the target/buffer geometry of Figures 1, 4, 5."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RegionError
+from repro.skyserver.regions import (
+    PAPER_BUFFER,
+    PAPER_IMPORT,
+    PAPER_TARGET,
+    RegionBox,
+    buffer_overhead,
+)
+
+
+class TestConstruction:
+    def test_inverted_ra_rejected(self):
+        with pytest.raises(RegionError):
+            RegionBox(10.0, 5.0, 0.0, 1.0)
+
+    def test_inverted_dec_rejected(self):
+        with pytest.raises(RegionError):
+            RegionBox(0.0, 1.0, 5.0, 4.0)
+
+    def test_dec_bounds(self):
+        with pytest.raises(RegionError):
+            RegionBox(0.0, 1.0, -91.0, 0.0)
+
+    def test_degenerate_allowed(self):
+        box = RegionBox(1.0, 1.0, 2.0, 2.0)
+        assert box.flat_area() == 0.0
+
+
+class TestPaperGeometry:
+    def test_target_is_66_deg2(self):
+        assert PAPER_TARGET.flat_area() == pytest.approx(66.0)
+
+    def test_import_is_104_deg2(self):
+        assert PAPER_IMPORT.flat_area() == pytest.approx(104.0)
+
+    def test_import_bounds_match_spimportgalaxy(self):
+        assert PAPER_IMPORT.ra_min == 172.0
+        assert PAPER_IMPORT.ra_max == 185.0
+        assert PAPER_IMPORT.dec_min == -3.0
+        assert PAPER_IMPORT.dec_max == 5.0
+
+    def test_buffer_bounds_match_spmakecandidates(self):
+        assert PAPER_BUFFER.ra_min == 172.5
+        assert PAPER_BUFFER.ra_max == 184.5
+        assert PAPER_BUFFER.dec_min == -2.5
+        assert PAPER_BUFFER.dec_max == 4.5
+
+    def test_nesting(self):
+        assert PAPER_IMPORT.contains_box(PAPER_BUFFER)
+        assert PAPER_BUFFER.contains_box(PAPER_TARGET)
+
+    def test_spherical_vs_flat_area_near_equator(self):
+        assert PAPER_TARGET.area() == pytest.approx(
+            PAPER_TARGET.flat_area(), rel=2e-3
+        )
+
+
+class TestAlgebra:
+    def test_expand_shrink_roundtrip(self):
+        box = RegionBox(10.0, 20.0, -5.0, 5.0)
+        assert box.expand(1.0).shrink(1.0) == box
+
+    def test_expand_clips_at_pole(self):
+        box = RegionBox(0.0, 10.0, 85.0, 89.0)
+        assert box.expand(5.0).dec_max == 90.0
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(RegionError):
+            RegionBox(0, 1, 0, 1).expand(-1.0)
+
+    def test_contains_vectorized_inclusive(self):
+        box = RegionBox(10.0, 20.0, 0.0, 5.0)
+        ra = np.array([10.0, 15.0, 20.0, 21.0])
+        dec = np.array([0.0, 2.0, 5.0, 2.0])
+        assert box.contains(ra, dec).tolist() == [True, True, True, False]
+
+    def test_intersect(self):
+        a = RegionBox(0.0, 10.0, 0.0, 10.0)
+        b = RegionBox(5.0, 15.0, 5.0, 15.0)
+        inter = a.intersect(b)
+        assert inter == RegionBox(5.0, 10.0, 5.0, 10.0)
+
+    def test_disjoint_intersection(self):
+        a = RegionBox(0.0, 1.0, 0.0, 1.0)
+        b = RegionBox(2.0, 3.0, 0.0, 1.0)
+        assert a.intersect(b) is None
+        assert not a.overlaps(b)
+
+    def test_split_dec(self):
+        box = RegionBox(0.0, 10.0, 0.0, 6.0)
+        stripes = box.split_dec(3)
+        assert len(stripes) == 3
+        assert all(s.height == pytest.approx(2.0) for s in stripes)
+        assert stripes[0].dec_min == 0.0 and stripes[-1].dec_max == 6.0
+
+    def test_split_dec_invalid(self):
+        with pytest.raises(RegionError):
+            RegionBox(0, 1, 0, 1).split_dec(0)
+
+
+class TestTiling:
+    def test_tiles_cover_exactly(self):
+        box = RegionBox(0.0, 2.0, 0.0, 1.5)
+        tiles = list(box.tiles(0.5))
+        assert len(tiles) == 4 * 3
+        assert sum(t.flat_area() for t in tiles) == pytest.approx(box.flat_area())
+
+    def test_edge_tiles_clipped(self):
+        box = RegionBox(0.0, 1.3, 0.0, 0.7)
+        tiles = list(box.tiles(0.5))
+        assert max(t.ra_max for t in tiles) == pytest.approx(1.3)
+        assert max(t.dec_max for t in tiles) == pytest.approx(0.7)
+
+    def test_tiles_disjoint(self):
+        box = RegionBox(0.0, 1.0, 0.0, 1.0)
+        tiles = list(box.tiles(0.5))
+        for i, a in enumerate(tiles):
+            for b in tiles[i + 1:]:
+                inter = a.intersect(b)
+                assert inter is None or inter.flat_area() == pytest.approx(0.0)
+
+    def test_bad_tile_size(self):
+        with pytest.raises(RegionError):
+            list(RegionBox(0, 1, 0, 1).tiles(0.0))
+
+
+class TestBufferOverhead:
+    def test_shrinks_with_target_size(self):
+        # Figure 3's monotone claim
+        small = buffer_overhead(RegionBox(0, 1, 0, 1), 0.5)
+        large = buffer_overhead(RegionBox(0, 10, 0, 10), 0.5)
+        assert large < small
+
+    def test_paper_example(self):
+        # 66 deg^2 target inside ~84 deg^2 candidate area: ~27% overhead
+        overhead = buffer_overhead(PAPER_TARGET, 0.5)
+        assert overhead == pytest.approx((12 * 7 - 66) / 66)
+
+    def test_zero_area_rejected(self):
+        with pytest.raises(RegionError):
+            buffer_overhead(RegionBox(1, 1, 0, 0), 0.5)

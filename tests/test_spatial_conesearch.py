@@ -1,0 +1,64 @@
+"""Unified cone-search facade over the three strategies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpatialError
+from repro.spatial.conesearch import (
+    STRATEGIES,
+    BruteForceIndex,
+    build_index,
+)
+from repro.spatial.htm import HTMIndex
+from repro.spatial.zones import ZoneIndex
+
+
+class TestBuildIndex:
+    def test_strategy_types(self, scatter_points):
+        ra, dec = scatter_points
+        assert isinstance(build_index(ra, dec, "zone"), ZoneIndex)
+        assert isinstance(build_index(ra, dec, "htm"), HTMIndex)
+        assert isinstance(build_index(ra, dec, "brute"), BruteForceIndex)
+
+    def test_unknown_strategy(self, scatter_points):
+        ra, dec = scatter_points
+        with pytest.raises(SpatialError):
+            build_index(ra, dec, "rtree")
+
+    def test_all_strategies_agree(self, scatter_points):
+        ra, dec = scatter_points
+        indexes = [build_index(ra, dec, s) for s in STRATEGIES]
+        results = [
+            set(index.query(181.5, 0.5, 0.75)[0].tolist()) for index in indexes
+        ]
+        assert results[0] == results[1] == results[2]
+
+    def test_custom_zone_height(self, scatter_points):
+        ra, dec = scatter_points
+        coarse = build_index(ra, dec, "zone", zone_height_deg=1.0)
+        fine = build_index(ra, dec, "zone")
+        a = set(coarse.query(181.0, 1.0, 0.5)[0].tolist())
+        b = set(fine.query(181.0, 1.0, 0.5)[0].tolist())
+        assert a == b
+
+    def test_custom_htm_level(self, scatter_points):
+        ra, dec = scatter_points
+        index = build_index(ra, dec, "htm", htm_level=7)
+        assert index.level == 7
+
+
+class TestBruteForce:
+    def test_len(self, scatter_points):
+        ra, dec = scatter_points
+        assert len(BruteForceIndex(ra, dec)) == len(ra)
+
+    def test_negative_radius(self, scatter_points):
+        ra, dec = scatter_points
+        with pytest.raises(SpatialError):
+            BruteForceIndex(ra, dec).query(0.0, 0.0, -0.5)
+
+    def test_all_within_big_radius(self, scatter_points):
+        ra, dec = scatter_points
+        index = BruteForceIndex(ra, dec)
+        hits, _ = index.query(180.0, 1.0, 60.0)
+        assert hits.size == len(ra)

@@ -1,0 +1,156 @@
+"""Spherical geometry primitives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpatialError
+from repro.spatial.geometry import (
+    adjusted_ra_radius,
+    chord_distance_deg,
+    chord_sq,
+    chord_sq_to_deg,
+    great_circle_distance_deg,
+    normalize_ra,
+    radius_to_chord_sq,
+    unit_vectors,
+    validate_dec,
+)
+
+
+class TestUnitVectors:
+    def test_equator_prime(self):
+        cx, cy, cz = unit_vectors(0.0, 0.0)
+        assert np.allclose([cx, cy, cz], [1.0, 0.0, 0.0])
+
+    def test_north_pole(self):
+        cx, cy, cz = unit_vectors(123.0, 90.0)
+        assert np.allclose([cx, cy, cz], [0.0, 0.0, 1.0], atol=1e-12)
+
+    def test_ra_90(self):
+        cx, cy, cz = unit_vectors(90.0, 0.0)
+        assert np.allclose([cx, cy, cz], [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_norm_is_one_vectorized(self):
+        ra = np.linspace(0, 359, 50)
+        dec = np.linspace(-89, 89, 50)
+        cx, cy, cz = unit_vectors(ra, dec)
+        assert np.allclose(cx**2 + cy**2 + cz**2, 1.0)
+
+
+class TestDistances:
+    def test_zero_distance(self):
+        assert chord_distance_deg(10.0, 5.0, 10.0, 5.0) == pytest.approx(0.0)
+
+    def test_one_degree_dec_offset(self):
+        d = chord_distance_deg(180.0, 0.0, 180.0, 1.0)
+        assert d == pytest.approx(1.0, abs=1e-4)
+
+    def test_chord_close_to_arc_at_small_angles(self):
+        # The paper's chord-degrees convention agrees with the true arc
+        # to < 0.01% at MaxBCG radii (<= 1.5 deg).
+        rng = np.random.default_rng(1)
+        ra1 = rng.uniform(0, 360, 200)
+        dec1 = rng.uniform(-60, 60, 200)
+        ra2 = ra1 + rng.uniform(-1, 1, 200)
+        dec2 = np.clip(dec1 + rng.uniform(-1, 1, 200), -90, 90)
+        chord = chord_distance_deg(ra1, dec1, ra2, dec2)
+        arc = great_circle_distance_deg(ra1, dec1, ra2, dec2)
+        assert np.allclose(chord, arc, rtol=1e-4)
+
+    def test_chord_below_arc_at_large_angles(self):
+        # Chord length underestimates arc length, visibly so at 90 deg.
+        chord = float(chord_distance_deg(0.0, 0.0, 90.0, 0.0))
+        assert chord < 90.0
+        assert chord == pytest.approx(np.sqrt(2.0) * 180.0 / np.pi, rel=1e-12)
+
+    def test_antipodal_great_circle(self):
+        assert great_circle_distance_deg(0.0, 0.0, 180.0, 0.0) == pytest.approx(180.0)
+
+    def test_symmetry(self):
+        a = chord_distance_deg(12.0, 3.0, 14.0, -2.0)
+        b = chord_distance_deg(14.0, -2.0, 12.0, 3.0)
+        assert a == pytest.approx(b)
+
+
+class TestRadiusConversions:
+    def test_radius_roundtrip(self):
+        # the roundtrip returns the *chord* of r in degrees, which sits
+        # a hair below r itself (exact at 0, ~3e-5 relative at 1.5 deg)
+        for r in (0.01, 0.25, 0.5, 1.5):
+            c2 = radius_to_chord_sq(r)
+            back = float(chord_sq_to_deg(c2))
+            assert back == pytest.approx(r, rel=1e-4)
+            assert back <= r
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(SpatialError):
+            radius_to_chord_sq(-0.1)
+
+    def test_chord_sq_matches_distance(self):
+        x1, y1, z1 = unit_vectors(180.0, 10.0)
+        x2, y2, z2 = unit_vectors(180.4, 10.3)
+        c2 = chord_sq(x1, y1, z1, x2, y2, z2)
+        assert chord_sq_to_deg(c2) == pytest.approx(
+            float(chord_distance_deg(180.0, 10.0, 180.4, 10.3))
+        )
+
+
+class TestCapRaHalfwidth:
+    def test_equator_equals_radius(self):
+        from repro.spatial.geometry import cap_ra_halfwidth
+
+        assert float(cap_ra_halfwidth(0.5, 0.0)) == pytest.approx(0.5, rel=1e-4)
+
+    def test_exceeds_linear_approximation_at_high_dec(self):
+        from repro.spatial.geometry import cap_ra_halfwidth
+
+        exact = float(cap_ra_halfwidth(1.0, 75.0))
+        linear = 1.0 / np.cos(np.deg2rad(75.0))
+        assert exact > linear  # the paper's formula undershoots here
+
+    def test_polar_wrap(self):
+        from repro.spatial.geometry import cap_ra_halfwidth
+
+        assert float(cap_ra_halfwidth(2.0, 89.0)) == 180.0
+
+    def test_interval_version_bounded_by_global(self):
+        from repro.spatial.geometry import (
+            cap_ra_halfwidth,
+            cap_ra_halfwidth_at_dec,
+        )
+
+        full = float(cap_ra_halfwidth(1.0, 40.0))
+        for lo, hi in [(39.0, 39.2), (40.0, 40.1), (40.8, 41.0)]:
+            partial = cap_ra_halfwidth_at_dec(1.0, 40.0, lo, hi)
+            assert partial <= full + 1e-12
+
+    def test_interval_outside_cap_is_zero(self):
+        from repro.spatial.geometry import cap_ra_halfwidth_at_dec
+
+        assert cap_ra_halfwidth_at_dec(0.5, 10.0, 20.0, 21.0) == 0.0
+
+    def test_zero_radius(self):
+        from repro.spatial.geometry import cap_ra_halfwidth_at_dec
+
+        assert cap_ra_halfwidth_at_dec(0.0, 10.0, 9.0, 11.0) == 0.0
+
+
+class TestRaHelpers:
+    def test_adjusted_radius_at_equator(self):
+        assert float(adjusted_ra_radius(0.5, 0.0)) == pytest.approx(0.5, rel=1e-6)
+
+    def test_adjusted_radius_widens_toward_pole(self):
+        assert float(adjusted_ra_radius(0.5, 60.0)) == pytest.approx(1.0, rel=1e-3)
+
+    def test_adjusted_radius_sign_symmetric(self):
+        assert float(adjusted_ra_radius(0.5, -45.0)) == pytest.approx(
+            float(adjusted_ra_radius(0.5, 45.0))
+        )
+
+    def test_normalize_ra(self):
+        assert np.allclose(normalize_ra([-10.0, 370.0, 0.0]), [350.0, 10.0, 0.0])
+
+    def test_validate_dec_rejects_out_of_range(self):
+        with pytest.raises(SpatialError):
+            validate_dec([0.0, 91.0])
+        validate_dec([-90.0, 90.0])  # boundary is fine

@@ -1,0 +1,121 @@
+"""Hierarchical Triangular Mesh: ids, covers, exact cone search."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpatialError
+from repro.spatial.conesearch import BruteForceIndex
+from repro.spatial.htm import HTMIndex, MAX_LEVEL, cone_cover, htm_id
+
+
+class TestHtmId:
+    def test_level0_root_ids(self):
+        ra = np.array([0.0, 90.0, 180.0, 270.0, 0.0, 90.0])
+        dec = np.array([45.0, 45.0, 45.0, 45.0, -45.0, -45.0])
+        ids = htm_id(ra, dec, 0)
+        assert np.all((ids >= 8) & (ids <= 15))
+        # northern points land in N trixels (12-15), southern in S (8-11)
+        assert np.all(ids[:4] >= 12)
+        assert np.all(ids[4:] <= 11)
+
+    def test_id_range_at_level(self):
+        rng = np.random.default_rng(0)
+        ra = rng.uniform(0, 360, 500)
+        dec = np.rad2deg(np.arcsin(rng.uniform(-1, 1, 500)))
+        for level in (1, 4, 8):
+            ids = htm_id(ra, dec, level)
+            lo = 8 << (2 * level)
+            hi = 16 << (2 * level)
+            assert np.all((ids >= lo) & (ids < hi))
+
+    def test_children_nest(self):
+        # a point's level-(L+1) id must be a child of its level-L id
+        rng = np.random.default_rng(3)
+        ra = rng.uniform(0, 360, 200)
+        dec = np.rad2deg(np.arcsin(rng.uniform(-1, 1, 200)))
+        for level in (0, 3, 6):
+            parent = htm_id(ra, dec, level)
+            child = htm_id(ra, dec, level + 1)
+            assert np.all(child // 4 == parent)
+
+    def test_deterministic(self):
+        a = htm_id([123.4], [-12.3], 10)
+        b = htm_id([123.4], [-12.3], 10)
+        assert a == b
+
+    def test_bad_level(self):
+        with pytest.raises(SpatialError):
+            htm_id([0.0], [0.0], MAX_LEVEL + 1)
+        with pytest.raises(SpatialError):
+            htm_id([0.0], [0.0], -1)
+
+    def test_nearby_points_share_prefix(self):
+        # two points 1 arcsec apart share all but possibly the last few
+        # levels of their trixel path
+        a = int(htm_id([180.0], [10.0], 6)[0])
+        b = int(htm_id([180.0 + 1 / 3600.0], [10.0], 6)[0])
+        assert a == b
+
+
+class TestConeCover:
+    def test_cover_contains_center_trixel(self):
+        level = 8
+        cover = cone_cover(200.0, 30.0, 0.5, level)
+        center = int(htm_id([200.0], [30.0], level)[0])
+        assert any(r.lo <= center <= r.hi for r in cover)
+
+    def test_cover_ranges_sorted_disjoint(self):
+        cover = cone_cover(10.0, -20.0, 1.0, 9)
+        for earlier, later in zip(cover, cover[1:]):
+            assert earlier.hi < later.lo
+
+    def test_small_cone_small_cover(self):
+        small = cone_cover(180.0, 0.0, 0.01, 10)
+        big = cone_cover(180.0, 0.0, 2.0, 10)
+        n_small = sum(r.hi - r.lo + 1 for r in small)
+        n_big = sum(r.hi - r.lo + 1 for r in big)
+        assert n_small < n_big
+
+    def test_full_sphere_cover(self):
+        # a 180-deg cone covers everything: all 8 roots collapse to one range
+        cover = cone_cover(0.0, 0.0, 180.0, 4)
+        total = sum(r.hi - r.lo + 1 for r in cover)
+        assert total == 8 * 4**4
+
+
+class TestHTMIndex:
+    def test_matches_brute_force(self, scatter_points, rng):
+        ra, dec = scatter_points
+        index = HTMIndex(ra, dec, level=9)
+        brute = BruteForceIndex(ra, dec)
+        for _ in range(20):
+            q = int(rng.integers(0, len(ra)))
+            radius = float(rng.uniform(0.05, 1.2))
+            got, got_d = index.query(ra[q], dec[q], radius)
+            want, want_d = brute.query(ra[q], dec[q], radius)
+            assert set(got.tolist()) == set(want.tolist())
+            assert np.allclose(np.sort(got_d), np.sort(want_d))
+
+    def test_different_levels_same_answers(self, scatter_points):
+        ra, dec = scatter_points
+        shallow = HTMIndex(ra, dec, level=6)
+        deep = HTMIndex(ra, dec, level=12)
+        a, _ = shallow.query(181.0, 1.0, 0.6)
+        b, _ = deep.query(181.0, 1.0, 0.6)
+        assert set(a.tolist()) == set(b.tolist())
+
+    def test_empty_index(self):
+        index = HTMIndex(np.empty(0), np.empty(0))
+        hits, dist = index.query(0.0, 0.0, 1.0)
+        assert hits.size == 0 and dist.size == 0
+
+    def test_trixels_probed_grows_with_radius(self, scatter_points):
+        ra, dec = scatter_points
+        index = HTMIndex(ra, dec, level=10)
+        assert index.trixels_probed(181.0, 1.0, 1.0) > index.trixels_probed(
+            181.0, 1.0, 0.1
+        )
+
+    def test_mismatched_inputs(self):
+        with pytest.raises(SpatialError):
+            HTMIndex(np.zeros(2), np.zeros(3))

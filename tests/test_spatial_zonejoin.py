@@ -1,0 +1,110 @@
+"""Batched zone join: must equal per-point queries exactly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpatialError
+from repro.spatial.zonejoin import NeighborPairs, neighbor_counts, zone_join
+from repro.spatial.zones import ZoneIndex
+
+
+def pairs_as_dict(pairs: NeighborPairs) -> dict[int, set[int]]:
+    result: dict[int, set[int]] = {}
+    for q, c in zip(pairs.query_index.tolist(), pairs.catalog_index.tolist()):
+        result.setdefault(q, set()).add(c)
+    return result
+
+
+class TestZoneJoinCorrectness:
+    def test_equals_per_point_queries(self, scatter_points, rng):
+        ra, dec = scatter_points
+        index = ZoneIndex(ra, dec)
+        n_queries = 300
+        q_rows = rng.integers(0, len(ra), n_queries)
+        radii = rng.uniform(0.05, 1.0, n_queries)
+        pairs = zone_join(index, ra[q_rows], dec[q_rows], radii)
+        got = pairs_as_dict(pairs)
+        for k in range(n_queries):
+            want, _ = index.query(
+                float(ra[q_rows[k]]), float(dec[q_rows[k]]), float(radii[k])
+            )
+            assert got.get(k, set()) == set(want.tolist()), f"query {k}"
+
+    def test_scalar_radius_broadcast(self, scatter_points):
+        ra, dec = scatter_points
+        index = ZoneIndex(ra, dec)
+        pairs = zone_join(index, ra[:50], dec[:50], 0.4)
+        per_point = sum(
+            index.query(float(ra[k]), float(dec[k]), 0.4)[0].size
+            for k in range(50)
+        )
+        assert len(pairs) == per_point
+
+    def test_distances_match_queries(self, scatter_points):
+        ra, dec = scatter_points
+        index = ZoneIndex(ra, dec)
+        pairs = zone_join(index, ra[:20], dec[:20], 0.5)
+        for k in range(20):
+            mask = pairs.query_index == k
+            _, want_d = index.query(float(ra[k]), float(dec[k]), 0.5)
+            assert np.allclose(
+                np.sort(pairs.distance_deg[mask]), np.sort(want_d)
+            )
+
+    def test_empty_queries(self, scatter_points):
+        ra, dec = scatter_points
+        index = ZoneIndex(ra, dec)
+        pairs = zone_join(index, np.empty(0), np.empty(0), 0.5)
+        assert len(pairs) == 0
+
+    def test_empty_catalog(self):
+        index = ZoneIndex(np.empty(0), np.empty(0))
+        pairs = zone_join(index, np.array([180.0]), np.array([0.0]), 0.5)
+        assert len(pairs) == 0
+
+    def test_zero_radius_yields_nothing(self, scatter_points):
+        ra, dec = scatter_points
+        index = ZoneIndex(ra, dec)
+        pairs = zone_join(index, ra[:10], dec[:10], 0.0)
+        assert len(pairs) == 0  # strict inequality
+
+    def test_negative_radius_rejected(self, scatter_points):
+        ra, dec = scatter_points
+        index = ZoneIndex(ra, dec)
+        with pytest.raises(SpatialError):
+            zone_join(index, ra[:2], dec[:2], np.array([0.5, -0.1]))
+
+    def test_mismatched_query_arrays(self, scatter_points):
+        ra, dec = scatter_points
+        index = ZoneIndex(ra, dec)
+        with pytest.raises(SpatialError):
+            zone_join(index, ra[:3], dec[:4], 0.5)
+
+    def test_chunking_does_not_change_results(self, scatter_points):
+        ra, dec = scatter_points
+        index = ZoneIndex(ra, dec)
+        big = zone_join(index, ra[:100], dec[:100], 0.8)
+        small = zone_join(index, ra[:100], dec[:100], 0.8, chunk_pairs=64)
+        assert pairs_as_dict(big) == pairs_as_dict(small)
+
+    def test_no_duplicate_pairs(self, scatter_points):
+        ra, dec = scatter_points
+        index = ZoneIndex(ra, dec)
+        pairs = zone_join(index, ra[:200], dec[:200], 0.7)
+        seen = set(zip(pairs.query_index.tolist(), pairs.catalog_index.tolist()))
+        assert len(seen) == len(pairs)
+
+
+class TestNeighborCounts:
+    def test_counts_match_queries(self, scatter_points):
+        ra, dec = scatter_points
+        index = ZoneIndex(ra, dec)
+        counts = neighbor_counts(index, ra[:40], dec[:40], 0.5)
+        for k in range(40):
+            assert counts[k] == index.count(float(ra[k]), float(dec[k]), 0.5)
+
+    def test_self_counted(self, scatter_points):
+        ra, dec = scatter_points
+        index = ZoneIndex(ra, dec)
+        counts = neighbor_counts(index, ra[:10], dec[:10], 0.05)
+        assert np.all(counts >= 1)  # each point finds at least itself

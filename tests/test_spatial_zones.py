@@ -1,0 +1,171 @@
+"""Zone index: assignment formula, structure, and faithful cone search."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpatialError
+from repro.spatial.conesearch import BruteForceIndex
+from repro.spatial.zones import ZoneIndex, zone_id
+
+
+class TestZoneId:
+    def test_paper_formula(self):
+        # Zone = floor((dec + 90) / h), h = 30 arcsec.
+        h = 30.0 / 3600.0
+        assert zone_id(-90.0) == 0
+        assert zone_id(0.0) == int(90.0 / h)
+        assert zone_id(0.0) == 10800
+
+    def test_monotone_in_dec(self):
+        dec = np.linspace(-89, 89, 500)
+        zones = zone_id(dec)
+        assert np.all(np.diff(zones) >= 0)
+
+    def test_custom_height(self):
+        assert zone_id(0.0, zone_height_deg=1.0) == 90
+        assert zone_id(0.5, zone_height_deg=1.0) == 90
+        assert zone_id(1.0, zone_height_deg=1.0) == 91
+
+    def test_bad_height(self):
+        with pytest.raises(SpatialError):
+            zone_id(0.0, zone_height_deg=0.0)
+
+    def test_bad_dec(self):
+        with pytest.raises(SpatialError):
+            zone_id(100.0)
+
+
+class TestZoneIndexStructure:
+    def test_sorted_by_zone_then_ra(self, scatter_points):
+        ra, dec = scatter_points
+        index = ZoneIndex(ra, dec)
+        assert np.all(np.diff(index.zone) >= 0)
+        # within each zone, ra ascending
+        same_zone = index.zone[1:] == index.zone[:-1]
+        assert np.all(index.ra[1:][same_zone] >= index.ra[:-1][same_zone])
+
+    def test_source_index_roundtrip(self, scatter_points):
+        ra, dec = scatter_points
+        index = ZoneIndex(ra, dec)
+        assert np.allclose(ra[index.source_index], index.ra)
+        assert np.allclose(dec[index.source_index], index.dec)
+
+    def test_empty_index(self):
+        index = ZoneIndex(np.empty(0), np.empty(0))
+        assert len(index) == 0
+        hits, dist = index.query(180.0, 0.0, 1.0)
+        assert hits.size == 0 and dist.size == 0
+
+    def test_stats(self, scatter_points):
+        ra, dec = scatter_points
+        index = ZoneIndex(ra, dec)
+        stats = index.stats()
+        assert stats.n_objects == len(ra)
+        assert stats.n_zones > 100  # 14 deg / 30 arcsec spread
+        assert stats.max_zone_population >= 1
+
+    def test_mismatched_inputs(self):
+        with pytest.raises(SpatialError):
+            ZoneIndex(np.zeros(3), np.zeros(4))
+
+    def test_zone_slice_contains_only_that_zone(self, scatter_points):
+        ra, dec = scatter_points
+        index = ZoneIndex(ra, dec)
+        zid = int(index.zone[len(index) // 2])
+        sl = index.zone_slice(zid)
+        assert np.all(index.zone[sl] == zid)
+        # and is maximal: neighbors differ
+        if sl.start > 0:
+            assert index.zone[sl.start - 1] != zid
+        if sl.stop < len(index):
+            assert index.zone[sl.stop] != zid
+
+
+class TestZoneQuery:
+    def test_matches_brute_force(self, scatter_points, rng):
+        ra, dec = scatter_points
+        index = ZoneIndex(ra, dec)
+        brute = BruteForceIndex(ra, dec)
+        for _ in range(25):
+            q = int(rng.integers(0, len(ra)))
+            radius = float(rng.uniform(0.02, 1.5))
+            got, got_d = index.query(ra[q], dec[q], radius)
+            want, want_d = brute.query(ra[q], dec[q], radius)
+            assert set(got.tolist()) == set(want.tolist())
+            assert np.allclose(np.sort(got_d), np.sort(want_d))
+
+    def test_self_included_at_distance_zero(self, scatter_points):
+        ra, dec = scatter_points
+        index = ZoneIndex(ra, dec)
+        hits, dist = index.query(ra[0], dec[0], 0.1)
+        assert 0 in hits.tolist()
+        assert dist[hits.tolist().index(0)] == pytest.approx(0.0, abs=1e-12)
+
+    def test_strict_inequality_excludes_boundary(self):
+        # distance < r, per the paper's @r2 > chord^2 predicate
+        index = ZoneIndex(np.array([180.0, 180.0]), np.array([0.0, 1.0]))
+        # exact 1-deg chord distance between the two points
+        exact = 2 * np.sin(np.deg2rad(1.0) / 2) * 180.0 / np.pi
+        hits, _ = index.query(180.0, 0.0, exact * 0.9999)
+        assert hits.tolist() == [0]
+
+    def test_zero_radius(self, scatter_points):
+        ra, dec = scatter_points
+        index = ZoneIndex(ra, dec)
+        hits, _ = index.query(ra[0], dec[0], 0.0)
+        assert hits.size == 0  # strict < 0 matches nothing
+
+    def test_negative_radius_rejected(self, scatter_points):
+        ra, dec = scatter_points
+        index = ZoneIndex(ra, dec)
+        with pytest.raises(SpatialError):
+            index.query(180.0, 0.0, -1.0)
+
+    def test_count(self, scatter_points):
+        ra, dec = scatter_points
+        index = ZoneIndex(ra, dec)
+        hits, _ = index.query(ra[5], dec[5], 0.7)
+        assert index.count(ra[5], dec[5], 0.7) == hits.size
+
+    def test_query_point_not_in_index(self, scatter_points):
+        ra, dec = scatter_points
+        index = ZoneIndex(ra, dec)
+        brute = BruteForceIndex(ra, dec)
+        got, _ = index.query(181.234, 1.567, 0.8)
+        want, _ = brute.query(181.234, 1.567, 0.8)
+        assert set(got.tolist()) == set(want.tolist())
+
+    def test_high_declination_ra_widening(self, rng):
+        # at dec ~ 75 the RA window must widen by ~4x; verify correctness
+        n = 2000
+        ra = rng.uniform(100.0, 120.0, n)
+        dec = rng.uniform(73.0, 77.0, n)
+        index = ZoneIndex(ra, dec)
+        brute = BruteForceIndex(ra, dec)
+        for q in (10, 500, 1500):
+            got, _ = index.query(ra[q], dec[q], 1.0)
+            want, _ = brute.query(ra[q], dec[q], 1.0)
+            assert set(got.tolist()) == set(want.tolist())
+
+
+class TestScanRanges:
+    def test_ranges_cover_all_hits(self, scatter_points):
+        ra, dec = scatter_points
+        index = ZoneIndex(ra, dec)
+        hits, _ = index.query(ra[7], dec[7], 0.6)
+        # map hits (source positions) back to sorted rows
+        inverse = np.empty(len(index), dtype=np.int64)
+        inverse[index.source_index] = np.arange(len(index))
+        hit_rows = set(inverse[hits].tolist())
+        covered: set[int] = set()
+        for start, stop in index.scan_ranges(ra[7], dec[7], 0.6):
+            covered.update(range(start, stop))
+        assert hit_rows <= covered
+
+    def test_ranges_are_bounded(self, scatter_points):
+        ra, dec = scatter_points
+        index = ZoneIndex(ra, dec)
+        total = sum(
+            stop - start for start, stop in index.scan_ranges(181.0, 1.0, 0.3)
+        )
+        assert total < len(index)  # a cone scan is not a full scan

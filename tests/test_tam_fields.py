@@ -1,0 +1,97 @@
+"""TAM field tiling and the Figure 1 RAM story."""
+
+import pytest
+
+from repro.errors import TamError
+from repro.skyserver.regions import RegionBox
+from repro.tam.fields import (
+    FIELD_SIZE_DEG,
+    IDEAL_BUFFER_DEG,
+    ROW_BYTES,
+    TAM_BUFFER_DEG,
+    buffer_file_bytes,
+    buffer_file_rows,
+    neighbor_fields,
+    tile_fields,
+)
+
+
+class TestTiling:
+    def test_field_count(self):
+        # 2 x 2 deg target at 0.5 deg fields -> 16 fields
+        fields = tile_fields(RegionBox(0.0, 2.0, 0.0, 2.0))
+        assert len(fields) == 16
+
+    def test_target_quarter_degree_squared(self):
+        fields = tile_fields(RegionBox(0.0, 2.0, 0.0, 2.0))
+        assert fields[0].target.flat_area() == pytest.approx(0.25)
+
+    def test_buffer_one_degree_squared(self):
+        # the TAM compromise: 1 x 1 deg^2 buffer files
+        fields = tile_fields(RegionBox(0.0, 2.0, 0.0, 2.0))
+        assert fields[0].buffer.flat_area() == pytest.approx(1.0)
+
+    def test_ideal_buffer_is_2_25(self):
+        fields = tile_fields(
+            RegionBox(0.0, 2.0, 0.0, 2.0), buffer_margin=IDEAL_BUFFER_DEG
+        )
+        assert fields[0].buffer.flat_area() == pytest.approx(2.25)
+
+    def test_unique_names(self):
+        fields = tile_fields(RegionBox(0.0, 2.0, 0.0, 2.0))
+        names = {f.name for f in fields}
+        assert len(names) == len(fields)
+
+    def test_buffer_contains_target(self):
+        for f in tile_fields(RegionBox(10.0, 12.0, -1.0, 1.0)):
+            assert f.buffer.contains_box(f.target)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(TamError):
+            tile_fields(RegionBox(0, 1, 0, 1), field_size=0.0)
+        with pytest.raises(TamError):
+            tile_fields(RegionBox(0, 1, 0, 1), buffer_margin=-0.1)
+
+
+class TestNeighborFields:
+    def test_interior_field_has_8_neighbors(self):
+        fields = tile_fields(RegionBox(0.0, 2.0, 0.0, 2.0))
+        # find the field whose target starts at (0.5, 0.5): interior
+        interior = next(
+            f for f in fields
+            if f.target.ra_min == 0.5 and f.target.dec_min == 0.5
+        )
+        assert len(neighbor_fields(fields, interior)) == 8
+
+    def test_corner_field_has_3_neighbors(self):
+        fields = tile_fields(RegionBox(0.0, 2.0, 0.0, 2.0))
+        corner = next(
+            f for f in fields
+            if f.target.ra_min == 0.0 and f.target.dec_min == 0.0
+        )
+        assert len(neighbor_fields(fields, corner)) == 3
+
+    def test_never_includes_self(self):
+        fields = tile_fields(RegionBox(0.0, 2.0, 0.0, 2.0))
+        for f in fields[:4]:
+            assert f not in neighbor_fields(fields, f)
+
+
+class TestRamBudget:
+    def test_paper_buffer_file_size(self):
+        # at survey density a 1 deg^2 buffer file is ~14k rows * 44 B
+        rows = buffer_file_rows(14_000.0, TAM_BUFFER_DEG)
+        assert rows == pytest.approx(14_000.0)
+        assert buffer_file_bytes(14_000.0, TAM_BUFFER_DEG) == pytest.approx(
+            rows * ROW_BYTES
+        )
+
+    def test_ideal_buffer_2_25x_larger(self):
+        compromise = buffer_file_bytes(14_000.0, TAM_BUFFER_DEG)
+        ideal = buffer_file_bytes(14_000.0, IDEAL_BUFFER_DEG)
+        assert ideal / compromise == pytest.approx(2.25)
+
+    def test_defaults(self):
+        assert FIELD_SIZE_DEG == 0.5
+        assert TAM_BUFFER_DEG == 0.25
+        assert IDEAL_BUFFER_DEG == 0.5

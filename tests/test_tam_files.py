@@ -1,0 +1,70 @@
+"""The flat-file store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TamError
+from repro.skyserver.regions import RegionBox
+from repro.tam.fields import tile_fields
+from repro.tam.files import FileStore
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return FileStore(tmp_path / "das")
+
+
+@pytest.fixture()
+def one_field():
+    return tile_fields(RegionBox(0.0, 0.5, 0.0, 0.5))[0]
+
+
+class TestCatalogFiles:
+    def test_roundtrip(self, store, one_field, sky):
+        subset = sky.catalog.take(np.arange(100))
+        store.write_catalog(one_field, "target", subset)
+        back = store.read_catalog(one_field, "target")
+        assert back.objid.tolist() == subset.objid.tolist()
+        assert np.allclose(back.ra, subset.ra)
+
+    def test_missing_file(self, store, one_field):
+        with pytest.raises(TamError):
+            store.read_catalog(one_field, "buffer")
+
+    def test_unknown_kind(self, store, one_field, sky):
+        with pytest.raises(TamError):
+            store.write_catalog(one_field, "bonus", sky.catalog)
+
+    def test_has_file(self, store, one_field, sky):
+        assert not store.has_file(one_field, "target")
+        store.write_catalog(one_field, "target", sky.catalog.take([0]))
+        assert store.has_file(one_field, "target")
+
+
+class TestStats:
+    def test_traffic_counters(self, store, one_field, sky):
+        subset = sky.catalog.take(np.arange(50))
+        store.write_catalog(one_field, "target", subset)
+        assert store.stats.files_written == 1
+        assert store.stats.bytes_written > 0
+        store.read_catalog(one_field, "target")
+        assert store.stats.files_read == 1
+        assert store.stats.bytes_read == store.stats.bytes_written
+
+    def test_file_count(self, store, one_field, sky):
+        store.write_catalog(one_field, "target", sky.catalog.take([0]))
+        store.write_catalog(one_field, "buffer", sky.catalog.take([1]))
+        assert store.file_count() == 2
+
+
+class TestRowFiles:
+    def test_rows_roundtrip(self, store, one_field):
+        rows = {"objid": np.array([1, 2]), "chi2": np.array([0.5, 1.5])}
+        store.write_rows(one_field, "candidates", rows)
+        back = store.read_rows(one_field, "candidates")
+        assert back["objid"].tolist() == [1, 2]
+        assert back["chi2"].tolist() == [0.5, 1.5]
+
+    def test_missing_rows_file(self, store, one_field):
+        with pytest.raises(TamError):
+            store.read_rows(one_field, "candidates")

@@ -1,0 +1,119 @@
+"""The TAM driver and its agreement with the database pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import run_maxbcg
+from repro.skyserver.regions import RegionBox
+from repro.tam.astrotools import process_field
+from repro.tam.files import FileStore
+from repro.tam.runner import TamRunner, run_tam
+
+
+@pytest.fixture(scope="module")
+def tam_result(sky, kcorr, config, tmp_path_factory):
+    target = RegionBox(180.5, 181.5, 0.5, 1.5)
+    workdir = tmp_path_factory.mktemp("tam")
+    return run_tam(sky.catalog, target, kcorr, config, workdir), target
+
+
+class TestRun:
+    def test_field_count(self, tam_result):
+        result, target = tam_result
+        assert len(result.fields) == 4  # 1 deg^2 at 0.5 deg fields
+
+    def test_two_files_per_field_staged(self, tam_result):
+        result, _ = tam_result
+        # stage writes target+buffer; process adds one candidates file
+        assert result.file_stats.files_written == 3 * len(result.fields)
+
+    def test_every_field_timed(self, tam_result):
+        result, _ = tam_result
+        assert len(result.timings) == len(result.fields)
+        assert all(t.process_s > 0 for t in result.timings)
+
+    def test_elapsed_is_sum_of_fields(self, tam_result):
+        result, _ = tam_result
+        assert result.elapsed_s == pytest.approx(
+            float(result.per_field_seconds().sum())
+        )
+        assert result.mean_field_s > 0
+
+    def test_candidates_within_target(self, tam_result):
+        result, target = tam_result
+        assert np.all(target.contains(result.candidates.ra, result.candidates.dec))
+
+
+class TestCrossImplementationAgreement:
+    def test_tam_with_sql_config_matches_pipeline(self, sky, kcorr, config,
+                                                  tmp_path):
+        """Same configuration => same science, file-based or set-oriented.
+
+        Interior clusters must agree exactly; at the target boundary the
+        TAM run lacks buffer candidates (it only evaluates galaxies in
+        field targets), so the comparison is restricted to the interior.
+        """
+        target = RegionBox(180.5, 181.5, 0.5, 1.5)
+        tam = run_tam(sky.catalog, target, kcorr, config, tmp_path / "t")
+        sql = run_maxbcg(sky.catalog, target, kcorr, config,
+                         compute_members=False)
+
+        # candidate values agree on shared objids (TAM evaluates T only,
+        # SQL evaluates B = T + 0.5, a superset)
+        tam_by_id = {
+            int(o): (float(z), int(n), float(c))
+            for o, z, n, c in zip(tam.candidates.objid, tam.candidates.z,
+                                  tam.candidates.ngal, tam.candidates.chi2)
+        }
+        sql_ids = set(sql.candidates.objid.tolist())
+        assert set(tam_by_id) <= sql_ids
+        sql_by_id = {
+            int(o): (float(z), int(n), float(c))
+            for o, z, n, c in zip(sql.candidates.objid, sql.candidates.z,
+                                  sql.candidates.ngal, sql.candidates.chi2)
+        }
+        for objid, values in tam_by_id.items():
+            assert sql_by_id[objid] == pytest.approx(values)
+
+        # interior clusters identical
+        interior = target.shrink(config.buffer_deg)
+        tam_in = tam.clusters.take(
+            interior.contains(tam.clusters.ra, tam.clusters.dec)
+        )
+        sql_in = sql.clusters.take(
+            interior.contains(sql.clusters.ra, sql.clusters.dec)
+        )
+        assert set(tam_in.objid.tolist()) == set(sql_in.objid.tolist())
+
+
+class TestProcessField:
+    def test_empty_target(self, sky, kcorr, config):
+        from repro.skyserver.catalog import GalaxyCatalog
+
+        result = process_field(
+            GalaxyCatalog.empty(), sky.catalog, kcorr, config
+        )
+        assert len(result) == 0
+
+    def test_truncated_buffer_changes_counts(self, sky, kcorr, config):
+        # shrinking the buffer can only reduce neighbor counts — the
+        # science cost of the TAM compromise
+        region = RegionBox(180.6, 180.9, 0.6, 0.9)
+        target = sky.catalog.select_region(region)
+        wide = sky.catalog.select_region(region.expand(0.5))
+        narrow = sky.catalog.select_region(region.expand(0.1))
+        full = process_field(target, wide, kcorr, config)
+        cut = process_field(target, narrow, kcorr, config)
+        full_by_id = dict(zip(full.objid.tolist(), full.ngal.tolist()))
+        cut_by_id = dict(zip(cut.objid.tolist(), cut.ngal.tolist()))
+        assert set(cut_by_id) <= set(full_by_id)
+        for objid, ngal in cut_by_id.items():
+            assert ngal <= full_by_id[objid]
+
+
+class TestRunnerStage:
+    def test_stage_only(self, sky, kcorr, config, tmp_path):
+        runner = TamRunner(kcorr, config, FileStore(tmp_path))
+        fields = runner.stage(sky.catalog, RegionBox(180.5, 181.0, 0.5, 1.0))
+        assert len(fields) == 1
+        assert runner.store.file_count() == 2
