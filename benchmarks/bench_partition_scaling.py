@@ -10,11 +10,17 @@ the total work" only while stripes stay wide.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.bench.reporting import ShapeCheck, format_table, print_report
+from repro.cluster.backends import BACKEND_NAMES
 from repro.cluster.executor import run_partitioned
-from repro.cluster.verify import assert_union_equals_sequential
+from repro.cluster.verify import (
+    assert_backends_equivalent,
+    assert_union_equals_sequential,
+)
 from repro.core.pipeline import run_maxbcg
 
 SERVER_COUNTS = (1, 2, 3, 4)
@@ -79,6 +85,87 @@ def test_partition_count_sweep(benchmark, workload, sky, sql_kcorr):
             "server-count sweep",
             ["servers", "elapsed (s)", "total cpu (s)", "total I/O",
              "rows imported", "dup factor", "speedup"],
+            rows,
+        )],
+        checks,
+    )
+    assert all(c.holds for c in checks)
+
+
+@pytest.mark.benchmark(group="partition-scaling")
+def test_backend_sweep(benchmark, workload, sky, sql_kcorr):
+    """Measured wall-clock per execution backend at 3 servers.
+
+    The paper's ~2× headline is a *measured* number on 3 machines; this
+    sweep produces our measured equivalent: the same partitioned run
+    dispatched sequentially, on threads and on worker processes, with
+    the backend-equivalence identity asserted before any timing is
+    reported.  The ≥1.5× process-backend speedup claim only applies on
+    ≥3 cores, so on smaller machines the check is informational.
+    """
+    n_servers = 3
+    cores = os.cpu_count() or 1
+
+    results = {}
+
+    def run_all_backends():
+        for name in BACKEND_NAMES:
+            results[name] = run_partitioned(
+                sky.catalog, workload.target, sql_kcorr, workload.sql,
+                n_servers=n_servers, compute_members=False, backend=name,
+            )
+        return results
+
+    benchmark.pedantic(run_all_backends, rounds=1, iterations=1)
+
+    # identical answers before any performance claim
+    assert_backends_equivalent(results)
+
+    modeled = results["sequential"].modeled_elapsed_s
+    seq_wall = sum(
+        w.wall_s for w in results["sequential"].workers
+    )  # true one-after-another wall of the same work
+    rows = []
+    for name in BACKEND_NAMES:
+        result = results[name]
+        measured = result.wall_s
+        rows.append([
+            name,
+            "modeled" if measured is None else f"{measured:.3f}",
+            round(result.modeled_elapsed_s, 3),
+            round(result.cpu_s, 3),
+            "-" if measured is None else f"{seq_wall / measured:.2f}x",
+        ])
+
+    process_wall = results["processes"].wall_s
+    speedup = seq_wall / process_wall if process_wall else 0.0
+    checks = [
+        ShapeCheck("all backends byte-identical", "identical", "identical",
+                   True),
+        ShapeCheck("parallel backends record measured wall",
+                   "wall_s set",
+                   "set" if all(results[n].wall_s is not None
+                                for n in ("threads", "processes")) else "missing",
+                   all(results[n].wall_s is not None
+                       for n in ("threads", "processes"))),
+        ShapeCheck(
+            f"process backend speedup on {cores} core(s)",
+            ">= 1.5x on >= 3 cores (Table 1: ~2x)",
+            f"{speedup:.2f}x",
+            speedup >= 1.5 if cores >= 3 else True,
+        ),
+        ShapeCheck("modeled elapsed available on every backend",
+                   "max over servers", f"{modeled:.3f} s",
+                   all(results[n].modeled_elapsed_s > 0
+                       for n in BACKEND_NAMES)),
+    ]
+    print_report(
+        f"Extension — execution-backend sweep ({workload.name} scale, "
+        f"{n_servers} servers, {cores} cores)",
+        [format_table(
+            "backend sweep",
+            ["backend", "measured wall (s)", "modeled elapsed (s)",
+             "total cpu (s)", "speedup vs sequential wall"],
             rows,
         )],
         checks,

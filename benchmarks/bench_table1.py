@@ -41,9 +41,13 @@ def test_table1_cluster_performance(benchmark, workload, sky, sql_kcorr):
     benchmark.pedantic(run_sequential, rounds=1, iterations=1)
     seq = sequential["result"]
 
+    # Table 1 accounting uses the sequential backend on purpose: the
+    # modeled elapsed = max over servers mirrors the paper's physically
+    # separate machines; measured-wall backends are benched in
+    # bench_partition_scaling.py.
     par = run_partitioned(
         sky.catalog, workload.target, sql_kcorr, workload.sql,
-        n_servers=N_SERVERS, compute_members=False,
+        n_servers=N_SERVERS, compute_members=False, backend="sequential",
     )
 
     # the invariant comes before any performance claim
@@ -70,9 +74,9 @@ def test_table1_cluster_performance(benchmark, workload, sky, sql_kcorr):
                      round(part_total.elapsed_s, 3),
                      round(part_total.cpu_s, 3), part_total.io_ops,
                      run.n_galaxies])
-    rows.append(["partitioning total", "", round(par.elapsed_s, 3),
+    rows.append(["partitioning total", "", round(par.modeled_elapsed_s, 3),
                  round(par.cpu_s, 3), par.io_ops, par.total_galaxies])
-    ratio_elapsed = par.elapsed_s / total.elapsed_s
+    ratio_elapsed = par.modeled_elapsed_s / total.elapsed_s
     ratio_cpu = par.cpu_s / total.cpu_s
     ratio_io = par.io_ops / total.io.total
     rows.append(["ratio 1node/3node", "",

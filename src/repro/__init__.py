@@ -33,6 +33,14 @@ from repro.core.config import MaxBCGConfig, fast_config, sql_config, tam_config
 from repro.core.kcorrection import KCorrectionTable, build_kcorrection_table
 from repro.core.pipeline import MaxBCGPipeline, MaxBCGResult, run_maxbcg
 from repro.core.results import CandidateCatalog, ClusterCatalog, MemberTable
+from repro.cluster.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessBackend,
+    SequentialBackend,
+    ThreadBackend,
+    resolve_backend,
+)
 from repro.cluster.executor import SqlServerCluster, run_partitioned
 from repro.engine.database import Database
 from repro.errors import ReproError
@@ -44,26 +52,32 @@ from repro.tam.runner import TamRunner, run_tam
 __version__ = "1.0.0"
 
 __all__ = [
+    "BACKEND_NAMES",
     "CandidateCatalog",
     "ClusterCatalog",
     "Database",
+    "ExecutionBackend",
     "GalaxyCatalog",
     "KCorrectionTable",
     "MaxBCGConfig",
     "MaxBCGPipeline",
     "MaxBCGResult",
     "MemberTable",
+    "ProcessBackend",
     "RegionBox",
     "ReproError",
+    "SequentialBackend",
     "SkyConfig",
     "SkySimulator",
     "SqlServerCluster",
     "SyntheticSky",
     "TamRunner",
+    "ThreadBackend",
     "__version__",
     "build_kcorrection_table",
     "fast_config",
     "make_sky",
+    "resolve_backend",
     "run_maxbcg",
     "run_partitioned",
     "run_tam",

@@ -1,5 +1,22 @@
-"""SQL Server cluster: zone-range partitioning + parallel execution."""
+"""SQL Server cluster: zone-range partitioning + pluggable execution.
 
+Partition layout (:mod:`repro.cluster.partitioning`), per-partition
+work units (:mod:`repro.cluster.workunit`), execution backends —
+sequential, threads, processes (:mod:`repro.cluster.backends`) — the
+cluster executor (:mod:`repro.cluster.executor`) and the equivalence
+checks (:mod:`repro.cluster.verify`).
+"""
+
+from repro.cluster.backends import (
+    BACKEND_NAMES,
+    BackendRun,
+    ExecutionBackend,
+    ProcessBackend,
+    SequentialBackend,
+    ThreadBackend,
+    WorkerReport,
+    resolve_backend,
+)
 from repro.cluster.executor import (
     ClusterRunResult,
     PartitionRun,
@@ -12,18 +29,38 @@ from repro.cluster.partitioning import (
     make_partitions,
 )
 from repro.cluster.verify import (
+    assert_backends_equivalent,
     assert_union_equals_sequential,
     compare_catalogs,
 )
+from repro.cluster.workunit import (
+    FaultSpec,
+    PartitionWorkUnit,
+    WorkUnitOutcome,
+    execute_workunit,
+)
 
 __all__ = [
+    "BACKEND_NAMES",
+    "BackendRun",
     "ClusterRunResult",
+    "ExecutionBackend",
+    "FaultSpec",
     "Partition",
     "PartitionLayout",
     "PartitionRun",
+    "PartitionWorkUnit",
+    "ProcessBackend",
+    "SequentialBackend",
     "SqlServerCluster",
+    "ThreadBackend",
+    "WorkUnitOutcome",
+    "WorkerReport",
+    "assert_backends_equivalent",
     "assert_union_equals_sequential",
     "compare_catalogs",
+    "execute_workunit",
     "make_partitions",
+    "resolve_backend",
     "run_partitioned",
 ]

@@ -3,42 +3,75 @@
 Each partition runs the full single-node pipeline against its own
 :class:`~repro.engine.database.Database` instance ("when running in
 parallel, the data distribution is arranged so each server is
-completely independent from the others").  Partitions are executed one
-after another in this process — what matters for Table 1 is the paper's
-own aggregation rule:
+completely independent from the others").  *How* the partitions execute
+is delegated to an :class:`~repro.cluster.backends.ExecutionBackend`:
 
-* cluster **elapsed** time = the *maximum* over servers (they run
-  concurrently; the slowest one gates the answer — exactly how the
-  paper's "Partitioning Total" row equals P2's 8,988 s);
-* cluster **CPU** and **I/O** = the *sums* over servers (total work,
-  which exceeds the one-node run by the duplicated skirts — the
-  paper's 127% / 126% ratios).
+* ``"sequential"`` (default) — partitions run one after another and the
+  cluster's elapsed time is *modeled* by the paper's own aggregation
+  rule: elapsed = the *maximum* over servers (they run concurrently on
+  separate machines; the slowest one gates the answer — exactly how the
+  paper's "Partitioning Total" row equals P2's 8,988 s), while CPU and
+  I/O are the *sums* over servers (total work, which exceeds the
+  one-node run by the duplicated skirts — the paper's 127% / 126%
+  ratios);
+* ``"threads"`` / ``"processes"`` — partitions genuinely run
+  concurrently and the cluster records the *measured* wall-clock,
+  per-worker attempts and honest per-worker CPU.
+
+Whatever the backend, the merged candidate/cluster/member catalogs are
+identical — :func:`repro.cluster.verify.assert_backends_equivalent`
+checks that byte for byte.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from typing import Callable
 
+from repro.cluster.backends import (
+    BackendRun,
+    ExecutionBackend,
+    WorkerReport,
+    resolve_backend,
+)
 from repro.cluster.partitioning import PartitionLayout, make_partitions
+from repro.cluster.workunit import FaultSpec, PartitionWorkUnit
 from repro.core.config import MaxBCGConfig
 from repro.core.kcorrection import KCorrectionTable
-from repro.core.pipeline import MaxBCGPipeline, MaxBCGResult
-from repro.core.results import CandidateCatalog, ClusterCatalog, MemberTable
-from repro.engine.database import Database
-from repro.engine.stats import TaskStats, sum_stats
+from repro.core.pipeline import MaxBCGResult
+from repro.core.results import CandidateCatalog, MemberTable
+from repro.engine.stats import TaskStats
 from repro.skyserver.catalog import GalaxyCatalog
 
 #: Task names aggregated into Table 1 totals.
 TABLE1_TASKS = ("spZone", "fBCGCandidate", "fIsCluster")
 
 
+def _resolve_deprecated_parallel(
+    backend: str | ExecutionBackend, parallel: bool | None
+) -> str | ExecutionBackend:
+    """Map the retired ``parallel=`` flag onto ``backend=`` (one release)."""
+    if parallel is None:
+        return backend
+    warnings.warn(
+        "parallel= is deprecated; pass backend='threads' (parallel=True) "
+        "or backend='sequential' (parallel=False) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return "threads" if parallel else "sequential"
+
+
 @dataclass
 class PartitionRun:
-    """One server's result plus its workload size."""
+    """One server's result plus its workload size and provenance."""
 
     server: int
     result: MaxBCGResult
     n_galaxies: int  # galaxies imported on this server (skirt included)
+    worker: str = ""  # who executed it ("pid:.." / "pid:../thread:..")
+    attempts: int = 1  # worker attempts consumed (retries included)
 
     @property
     def total_stats(self) -> TaskStats:
@@ -47,19 +80,35 @@ class PartitionRun:
 
 @dataclass
 class ClusterRunResult:
-    """A full partitioned run: per-server results and merged catalogs."""
+    """A full partitioned run: per-server results and merged catalogs.
+
+    The elapsed story, in one place: :attr:`elapsed_s` is the *measured*
+    end-to-end wall-clock when a parallel backend ran (``wall_s`` is
+    then set), and the *modeled* max-over-servers otherwise;
+    :attr:`modeled_elapsed_s` is always available for the paper's
+    Table 1 accounting regardless of backend.
+    """
 
     layout: PartitionLayout
     runs: list[PartitionRun]
     candidates: CandidateCatalog
-    clusters: ClusterCatalog
+    clusters: CandidateCatalog
     members: MemberTable
-    wall_s: float | None = None  # measured wall-clock when run in parallel
+    wall_s: float | None = None  # measured wall-clock (parallel backends)
+    backend: str = "sequential"  # name of the backend that executed
+    workers: list[WorkerReport] = field(default_factory=list)
+
+    @property
+    def modeled_elapsed_s(self) -> float:
+        """The slowest server's pipeline time (the paper's rule)."""
+        return max(r.total_stats.elapsed_s for r in self.runs)
 
     @property
     def elapsed_s(self) -> float:
-        """Cluster wall-clock: the slowest server (the paper's rule)."""
-        return max(r.total_stats.elapsed_s for r in self.runs)
+        """Cluster wall-clock: measured when parallel, modeled otherwise."""
+        if self.wall_s is not None:
+            return self.wall_s
+        return self.modeled_elapsed_s
 
     @property
     def cpu_s(self) -> float:
@@ -82,7 +131,28 @@ class ClusterRunResult:
 
 
 class SqlServerCluster:
-    """A simulated cluster of independent database servers."""
+    """A simulated cluster of independent database servers.
+
+    Parameters
+    ----------
+    kcorr, config:
+        The k-correction table and algorithm parameters.
+    n_servers:
+        Partition count (declination stripes, Figure 6).
+    method:
+        Pipeline method, ``"vectorized"`` or ``"cursor"``.
+    compute_members:
+        Skip membership retrieval when False (Table 1 excludes it).
+    backend:
+        ``"sequential"`` | ``"threads"`` | ``"processes"`` or any
+        :class:`~repro.cluster.backends.ExecutionBackend` instance.
+    parallel:
+        Deprecated (one release): ``True`` maps to ``backend="threads"``,
+        ``False`` to ``backend="sequential"``.
+    fault:
+        Optional :class:`~repro.cluster.workunit.FaultSpec` injected
+        into every work unit — used by the fault-tolerance tests.
+    """
 
     def __init__(
         self,
@@ -91,61 +161,66 @@ class SqlServerCluster:
         n_servers: int = 3,
         method: str = "vectorized",
         compute_members: bool = True,
-        parallel: bool = False,
+        backend: str | ExecutionBackend = "sequential",
+        *,
+        parallel: bool | None = None,
+        fault: FaultSpec | None = None,
     ):
         self.kcorr = kcorr
         self.config = config
         self.n_servers = n_servers
         self.method = method
         self.compute_members = compute_members
-        #: when True, partitions execute on concurrent threads — every
-        #: server owns its private Database and read-only inputs, so
-        #: this is *correct*, but on GIL-bound CPython it is typically
-        #: NOT faster (the counting kernels' fancy indexing holds the
-        #: GIL; measured ~0.7x at medium scale).  The default sequential
-        #: mode with elapsed = max over servers models the paper's
-        #: physically separate machines; the flag exists for free-threaded
-        #: builds and for callers who want the measured number anyway.
-        self.parallel = parallel
-
-    def _run_partition(self, catalog: GalaxyCatalog, partition) -> PartitionRun:
-        local_catalog = catalog.select_region(partition.imported)
-        database = Database(f"server{partition.server}")
-        pipeline = MaxBCGPipeline(
-            self.kcorr,
-            self.config,
-            method=self.method,
-            database=database,
-            compute_members=self.compute_members,
+        self.backend = resolve_backend(
+            _resolve_deprecated_parallel(backend, parallel)
         )
-        result = pipeline.run(local_catalog, partition.target, partition.buffer)
-        return PartitionRun(
-            server=partition.server,
-            result=result,
-            n_galaxies=len(local_catalog),
-        )
+        self.fault = fault
 
-    def run(self, catalog: GalaxyCatalog, target) -> ClusterRunResult:
+    @property
+    def parallel(self) -> bool:
+        """Deprecated mirror of the old flag: is the backend concurrent?"""
+        return self.backend.measured
+
+    def make_workunits(
+        self, catalog: GalaxyCatalog, layout: PartitionLayout
+    ) -> list[PartitionWorkUnit]:
+        """Slice the catalog per partition into shippable work units."""
+        return [
+            PartitionWorkUnit(
+                server=partition.server,
+                catalog=catalog.select_region(partition.imported),
+                target=partition.target,
+                buffer=partition.buffer,
+                kcorr=self.kcorr,
+                config=self.config,
+                method=self.method,
+                compute_members=self.compute_members,
+                fault=self.fault,
+            )
+            for partition in layout.partitions
+        ]
+
+    def run(
+        self,
+        catalog: GalaxyCatalog,
+        target,
+        progress: Callable[[str], None] | None = None,
+    ) -> ClusterRunResult:
         """Distribute, run every partition, merge the answers."""
-        import time
-
         layout = make_partitions(target, self.config.buffer_deg, self.n_servers)
-        wall: float | None = None
-        if self.parallel:
-            from concurrent.futures import ThreadPoolExecutor
+        units = self.make_workunits(catalog, layout)
+        executed: BackendRun = self.backend.run(units, progress=progress)
 
-            started = time.perf_counter()
-            with ThreadPoolExecutor(max_workers=self.n_servers) as pool:
-                runs = list(pool.map(
-                    lambda p: self._run_partition(catalog, p),
-                    layout.partitions,
-                ))
-            wall = time.perf_counter() - started
-        else:
-            runs = [
-                self._run_partition(catalog, partition)
-                for partition in layout.partitions
-            ]
+        runs = [
+            PartitionRun(
+                server=outcome.server,
+                result=outcome.result,
+                n_galaxies=outcome.n_galaxies,
+                worker=outcome.worker,
+                attempts=report.attempts,
+            )
+            for outcome, report in zip(executed.outcomes, executed.workers)
+        ]
 
         candidates = CandidateCatalog.empty()
         clusters = CandidateCatalog.empty()
@@ -161,7 +236,9 @@ class SqlServerCluster:
             candidates=candidates.dedup_by_objid().sort_by_objid(),
             clusters=clusters.dedup_by_objid().sort_by_objid(),
             members=members,
-            wall_s=wall,
+            wall_s=executed.wall_s if self.backend.measured else None,
+            backend=self.backend.name,
+            workers=executed.workers,
         )
 
 
@@ -171,19 +248,29 @@ def run_partitioned(
     kcorr: KCorrectionTable,
     config: MaxBCGConfig,
     n_servers: int = 3,
+    method: str = "vectorized",
     compute_members: bool = True,
-    parallel: bool = False,
+    backend: str | ExecutionBackend = "sequential",
+    *,
+    parallel: bool | None = None,
+    progress: Callable[[str], None] | None = None,
 ) -> ClusterRunResult:
     """Convenience wrapper: build a cluster and run one target region.
 
-    ``parallel=True`` executes the servers on concurrent threads and
-    records the measured ``wall_s``.  Note that per-task *CPU* seconds
-    are then inflated (``process_time`` spans all threads), so the
-    Table 1 accounting benches keep the default sequential mode, where
-    elapsed = max over servers models the concurrency instead.
+    ``backend`` selects how partitions execute (see
+    :mod:`repro.cluster.backends`): ``"sequential"`` models the paper's
+    separate machines (elapsed = max over servers), ``"threads"`` and
+    ``"processes"`` really run concurrently and record the measured
+    ``wall_s``.  Per-task CPU stays honest in every mode: thread workers
+    bill ``thread_time``, process workers their own ``process_time``.
+    ``parallel=`` is deprecated and maps onto ``backend=``.
     """
     cluster = SqlServerCluster(
-        kcorr, config, n_servers, compute_members=compute_members,
-        parallel=parallel,
+        kcorr,
+        config,
+        n_servers,
+        method=method,
+        compute_members=compute_members,
+        backend=_resolve_deprecated_parallel(backend, parallel),
     )
-    return cluster.run(catalog, target)
+    return cluster.run(catalog, target, progress=progress)

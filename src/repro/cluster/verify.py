@@ -6,16 +6,26 @@ implementation."  This module checks that claim exactly — same objids,
 same redshifts, same neighbor counts, same likelihood values — and is
 used both by the test suite and by the Table 1 benchmark before it
 reports any timing.
+
+It also checks the *backend* flavor of the same identity
+(:func:`assert_backends_equivalent`): however the partitions execute —
+sequentially, on threads, or in worker processes — the merged
+candidate, cluster and member catalogs must be byte-identical to the
+sequential backend's answer.  Only the clocks may differ.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
-from repro.core.results import CandidateCatalog
+from repro.core.results import CandidateCatalog, MemberTable
 from repro.errors import PartitionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (executor imports us)
+    from repro.cluster.executor import ClusterRunResult
 
 
 @dataclass(frozen=True)
@@ -76,3 +86,67 @@ def assert_union_equals_sequential(
                 f"{comparison.only_left} extra, {comparison.only_right} missing, "
                 f"{comparison.value_mismatches} value mismatches"
             )
+
+
+def _catalogs_identical(left: CandidateCatalog, right: CandidateCatalog) -> bool:
+    """Byte-identical candidate catalogs: every column exactly equal."""
+    return len(left) == len(right) and all(
+        np.array_equal(getattr(left, c), getattr(right, c))
+        for c in ("objid", "ra", "dec", "z", "i", "ngal", "chi2")
+    )
+
+
+def _sorted_members(members: MemberTable) -> MemberTable:
+    order = np.lexsort((members.galaxy_objid, members.cluster_objid))
+    return MemberTable(
+        members.cluster_objid[order],
+        members.galaxy_objid[order],
+        members.distance[order],
+    )
+
+
+def members_identical(left: MemberTable, right: MemberTable) -> bool:
+    """Byte-identical member tables, insensitive to partition arrival order."""
+    if len(left) != len(right):
+        return False
+    left, right = _sorted_members(left), _sorted_members(right)
+    return (
+        np.array_equal(left.cluster_objid, right.cluster_objid)
+        and np.array_equal(left.galaxy_objid, right.galaxy_objid)
+        and np.array_equal(left.distance, right.distance)
+    )
+
+
+def assert_backends_equivalent(
+    results: Mapping[str, "ClusterRunResult"],
+    reference: str = "sequential",
+) -> None:
+    """Every backend's merged catalogs must match the sequential answer.
+
+    ``results`` maps backend names to their :class:`ClusterRunResult`
+    over the *same* catalog/target/layout; ``reference`` names the
+    entry the others are compared against (byte-identical, not merely
+    numerically close — all backends run the identical per-partition
+    code, so any drift is an execution bug, not roundoff).  Raises
+    :class:`PartitionError` naming the first divergent backend and
+    catalog.
+    """
+    if reference not in results:
+        raise PartitionError(
+            f"reference backend '{reference}' missing from results "
+            f"({sorted(results)})"
+        )
+    base = results[reference]
+    for name, result in results.items():
+        if name == reference:
+            continue
+        for what, same in (
+            ("candidates", _catalogs_identical(result.candidates, base.candidates)),
+            ("clusters", _catalogs_identical(result.clusters, base.clusters)),
+            ("members", members_identical(result.members, base.members)),
+        ):
+            if not same:
+                raise PartitionError(
+                    f"backend '{name}' produced {what} that differ from "
+                    f"the '{reference}' backend's answer"
+                )

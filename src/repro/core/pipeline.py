@@ -22,6 +22,7 @@ neighbor search is complete.  ``run`` checks this and raises otherwise.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -89,6 +90,12 @@ class MaxBCGPipeline:
         All I/O accounting appears on ``database.pool.counters``.
     compute_members:
         Skip the membership step when False (Table 1 excludes it).
+    progress:
+        Optional hook called with each task's name as it completes
+        ("spZone", "fBCGCandidate", ...) — the same hook shape every
+        top-level entry point (:func:`run_maxbcg`,
+        :func:`repro.cluster.executor.run_partitioned`,
+        :func:`repro.tam.runner.run_tam`) accepts.
     """
 
     def __init__(
@@ -98,6 +105,7 @@ class MaxBCGPipeline:
         method: str = "vectorized",
         database: Database | None = None,
         compute_members: bool = True,
+        progress: "Callable[[str], None] | None" = None,
     ):
         if method not in METHODS:
             raise ConfigError(f"unknown method '{method}'; expected {METHODS}")
@@ -106,6 +114,11 @@ class MaxBCGPipeline:
         self.method = method
         self.database = database or Database("maxbcg")
         self.compute_members = compute_members
+        self.progress = progress
+
+    def _report(self, task: str) -> None:
+        if self.progress is not None:
+            self.progress(task)
 
     # ------------------------------------------------------------------
     def run(
@@ -148,6 +161,7 @@ class MaxBCGPipeline:
             db.create_clustered_index("galaxy", "zoneid", "ra")
             timer.stats.rows = len(catalog)
         stats["spZone"] = timer.stats
+        self._report("spZone")
 
         # ------------------------------------------------ fBCGCandidate
         with TaskTimer("fBCGCandidate", counters) as timer:
@@ -166,6 +180,7 @@ class MaxBCGPipeline:
             self._store_candidates(candidates, "candidates")
             timer.stats.rows = len(candidates)
         stats["fBCGCandidate"] = timer.stats
+        self._report("fBCGCandidate")
 
         # ------------------------------------------------ fIsCluster
         with TaskTimer("fIsCluster", counters) as timer:
@@ -184,6 +199,7 @@ class MaxBCGPipeline:
             self._store_candidates(clusters, "clusters")
             timer.stats.rows = len(clusters)
         stats["fIsCluster"] = timer.stats
+        self._report("fIsCluster")
 
         # ------------------------------------------------ members
         members = MemberTable.empty()
@@ -204,6 +220,7 @@ class MaxBCGPipeline:
                 self._store_members(members)
                 timer.stats.rows = len(members)
             stats["spMakeGalaxiesMetric"] = timer.stats
+            self._report("spMakeGalaxiesMetric")
 
         return MaxBCGResult(
             candidates=candidates,
@@ -249,9 +266,19 @@ def run_maxbcg(
     config: MaxBCGConfig,
     method: str = "vectorized",
     compute_members: bool = True,
+    *,
+    progress: Callable[[str], None] | None = None,
 ) -> MaxBCGResult:
-    """One-call convenience wrapper: build a pipeline and run it."""
+    """One-call convenience wrapper: build a pipeline and run it.
+
+    Shares its keyword surface with the other entry points
+    (:func:`repro.cluster.executor.run_partitioned`,
+    :func:`repro.tam.runner.run_tam`): positional
+    ``catalog, target, kcorr, config``, then options, with ``progress``
+    receiving task/stage names as they complete.
+    """
     pipeline = MaxBCGPipeline(
-        kcorr, config, method=method, compute_members=compute_members
+        kcorr, config, method=method, compute_members=compute_members,
+        progress=progress,
     )
     return pipeline.run(catalog, target)

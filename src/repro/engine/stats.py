@@ -9,13 +9,69 @@ maintains so the reproduction can report the same three columns:
   reads (pool misses) and writes, incremented by the page layer;
 * :class:`TaskStats` — one task's (elapsed, cpu, io) triple;
 * :class:`TaskTimer` — a context manager that samples wall-clock and
-  process-CPU time around a task and snapshots the I/O counters.
+  CPU time around a task and snapshots the I/O counters.
+
+CPU accounting must stay honest when tasks run on worker threads or in
+worker processes.  ``time.process_time`` spans *every* thread of the
+process, so a timer on one of three concurrent threads would bill each
+task roughly 3× its true cost.  :func:`use_cpu_clock` selects, per
+thread, the clock :class:`TaskTimer` reads: the thread backend wraps
+each partition in ``use_cpu_clock("thread")`` (``time.thread_time``),
+while the process backend needs no override — the child's own
+``process_time`` covers exactly its work.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Callable
+
+#: Named CPU clocks selectable with :func:`use_cpu_clock`.
+CPU_CLOCKS: dict[str, Callable[[], float]] = {
+    "process": time.process_time,
+    "thread": time.thread_time,
+}
+
+_CLOCK_STATE = threading.local()
+
+
+def current_cpu_clock() -> Callable[[], float]:
+    """The CPU clock new :class:`TaskTimer` instances will read.
+
+    Defaults to ``time.process_time``; overridden per thread by
+    :func:`use_cpu_clock`.
+    """
+    return getattr(_CLOCK_STATE, "clock", time.process_time)
+
+
+@contextmanager
+def use_cpu_clock(clock: str | Callable[[], float]):
+    """Select the CPU clock for :class:`TaskTimer` on *this* thread.
+
+    ``clock`` is ``"process"``, ``"thread"`` or any zero-argument
+    callable returning CPU seconds.  The previous clock is restored on
+    exit, so nested scopes behave.
+    """
+    if isinstance(clock, str):
+        try:
+            clock = CPU_CLOCKS[clock]
+        except KeyError:
+            raise ValueError(
+                f"unknown cpu clock '{clock}'; expected one of "
+                f"{tuple(CPU_CLOCKS)} or a callable"
+            ) from None
+    previous = getattr(_CLOCK_STATE, "clock", None)
+    _CLOCK_STATE.clock = clock
+    try:
+        yield clock
+    finally:
+        if previous is None:
+            del _CLOCK_STATE.clock
+        else:
+            _CLOCK_STATE.clock = previous
 
 
 @dataclass
@@ -90,8 +146,9 @@ class TaskTimer:
     """Measure one task: ``with TaskTimer("spZone", counters) as t: ...``.
 
     On exit, ``t.stats`` holds the elapsed wall-clock seconds, the CPU
-    seconds consumed by this process, and the I/O counter deltas observed
-    on the supplied :class:`IOCounters` during the block.
+    seconds consumed (read from :func:`current_cpu_clock`, so worker
+    threads bill only their own time), and the I/O counter deltas
+    observed on the supplied :class:`IOCounters` during the block.
     """
 
     def __init__(self, name: str, counters: IOCounters | None = None):
@@ -100,16 +157,18 @@ class TaskTimer:
         self._io_before: IOCounters | None = None
         self._wall0 = 0.0
         self._cpu0 = 0.0
+        self._cpu_clock: Callable[[], float] = time.process_time
 
     def __enter__(self) -> "TaskTimer":
         if self._counters is not None:
             self._io_before = self._counters.snapshot()
+        self._cpu_clock = current_cpu_clock()
         self._wall0 = time.perf_counter()
-        self._cpu0 = time.process_time()
+        self._cpu0 = self._cpu_clock()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.stats.elapsed_s = time.perf_counter() - self._wall0
-        self.stats.cpu_s = time.process_time() - self._cpu0
+        self.stats.cpu_s = self._cpu_clock() - self._cpu0
         if self._counters is not None and self._io_before is not None:
             self.stats.io = self._counters.since(self._io_before)

@@ -75,5 +75,19 @@ class PartitionError(ReproError):
     """Cluster partitioning produced an invalid or non-covering layout."""
 
 
+class ClusterExecutionError(ReproError):
+    """A cluster execution backend could not complete a partition.
+
+    Raised only after every recovery path is exhausted: the configured
+    retries failed *and* the sequential in-parent fallback failed too.
+    ``server`` identifies the partition; the original worker failure is
+    chained as ``__cause__`` when available.
+    """
+
+    def __init__(self, message: str, server: int | None = None):
+        super().__init__(message)
+        self.server = server
+
+
 class CasJobsError(ReproError):
     """CasJobs job management error (unknown job, permission denied, ...)."""

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -86,11 +87,17 @@ class TamRunner:
         config: MaxBCGConfig,
         store: FileStore,
         field_size: float = 0.5,
+        progress: Callable[[str], None] | None = None,
     ):
         self.kcorr = kcorr
         self.config = config
         self.store = store
         self.field_size = field_size
+        self.progress = progress
+
+    def _report(self, stage: str) -> None:
+        if self.progress is not None:
+            self.progress(stage)
 
     # ------------------------------------------------------------------
     def stage(self, catalog: GalaxyCatalog, target: RegionBox) -> list[Field]:
@@ -146,18 +153,21 @@ class TamRunner:
             fields = self.stage(catalog, target)
         if not fields:
             raise TamError("target region produced no fields")
+        self._report("stage")
         stage_each = stage_timer.stats.elapsed_s / len(fields)
 
         timings = [FieldTiming(f.field_id, stage_s=stage_each) for f in fields]
         candidates = CandidateCatalog.empty()
         for one_field, timing in zip(fields, timings):
             candidates = candidates.concat(self.process_one(one_field, timing))
+            self._report(f"field{one_field.field_id}")
 
         clusters = CandidateCatalog.empty()
         for one_field, timing in zip(fields, timings):
             clusters = clusters.concat(
                 self.coalesce_one(fields, one_field, timing)
             )
+            self._report(f"coalesce{one_field.field_id}")
 
         return TamRunResult(
             candidates=candidates.sort_by_objid(),
@@ -174,7 +184,19 @@ def run_tam(
     kcorr: KCorrectionTable,
     config: MaxBCGConfig,
     workdir: str | Path,
+    field_size: float = 0.5,
+    *,
+    progress: Callable[[str], None] | None = None,
 ) -> TamRunResult:
-    """Convenience wrapper: build a store + runner and execute."""
-    runner = TamRunner(kcorr, config, FileStore(workdir))
+    """Convenience wrapper: build a store + runner and execute.
+
+    Shares its keyword surface with :func:`repro.core.pipeline.run_maxbcg`
+    and :func:`repro.cluster.executor.run_partitioned`: positional
+    ``catalog, target, kcorr, config``, then options, with ``progress``
+    receiving stage/field names as they complete.
+    """
+    runner = TamRunner(
+        kcorr, config, FileStore(workdir), field_size=field_size,
+        progress=progress,
+    )
     return runner.run(catalog, target)

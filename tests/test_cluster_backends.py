@@ -1,0 +1,357 @@
+"""Execution backends: equivalence, fault tolerance, honest accounting.
+
+The contract under test is the paper's partition-union identity lifted
+to backends: *how* partitions execute (in-process, threads, worker
+processes) must never change *what* they compute — merged candidate,
+cluster and member catalogs are byte-identical across backends — while
+wall-clock is measured, worker failures are retried, and exhausted
+retries degrade gracefully to in-parent execution.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster.backends import (
+    BACKEND_NAMES,
+    ProcessBackend,
+    SequentialBackend,
+    ThreadBackend,
+    resolve_backend,
+)
+from repro.cluster.executor import SqlServerCluster
+from repro.cluster.partitioning import make_partitions
+from repro.cluster.verify import assert_backends_equivalent, members_identical
+from repro.cluster.workunit import (
+    FaultSpec,
+    InjectedWorkerFault,
+    execute_workunit,
+)
+from repro.errors import ClusterExecutionError, ConfigError, PartitionError
+
+N_SERVERS = 2
+
+#: Keep process workers snappy in CI: generous timeout, tiny backoff.
+FAST_PROCESS = dict(max_retries=2, backoff_s=0.01)
+
+
+def make_cluster(kcorr, config, backend, **kwargs):
+    return SqlServerCluster(
+        kcorr, config, n_servers=N_SERVERS, compute_members=True,
+        backend=backend, **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def by_backend(sky, target_region, kcorr, config):
+    """One full cluster run per backend over the same small sky."""
+    results = {}
+    for name in BACKEND_NAMES:
+        backend = (
+            ProcessBackend(**FAST_PROCESS) if name == "processes" else name
+        )
+        results[name] = make_cluster(kcorr, config, backend).run(
+            sky.catalog, target_region
+        )
+    return results
+
+
+class TestBackendEquivalence:
+    def test_all_backends_byte_identical(self, by_backend):
+        assert_backends_equivalent(by_backend)
+
+    def test_members_merged_identically(self, by_backend):
+        base = by_backend["sequential"]
+        for name in ("threads", "processes"):
+            assert members_identical(by_backend[name].members, base.members)
+            assert len(by_backend[name].members) > 0
+
+    def test_no_duplicated_catalog_rows(self, by_backend):
+        for result in by_backend.values():
+            assert np.unique(result.candidates.objid).size == len(
+                result.candidates
+            )
+            assert np.unique(result.clusters.objid).size == len(
+                result.clusters
+            )
+
+    def test_equivalence_check_catches_divergence(self, by_backend):
+        tampered = by_backend["processes"]
+        broken = type(tampered)(
+            layout=tampered.layout,
+            runs=tampered.runs,
+            candidates=tampered.candidates,
+            clusters=tampered.clusters.take(slice(0, max(1, len(tampered.clusters) - 1))),
+            members=tampered.members,
+            backend="processes",
+        )
+        with pytest.raises(PartitionError, match="clusters that differ"):
+            assert_backends_equivalent(
+                {"sequential": by_backend["sequential"], "processes": broken}
+            )
+
+    def test_missing_reference_is_an_error(self, by_backend):
+        with pytest.raises(PartitionError, match="reference backend"):
+            assert_backends_equivalent({"threads": by_backend["threads"]})
+
+
+class TestMeasuredWallAndWorkers:
+    def test_parallel_backends_measure_wall(self, by_backend):
+        assert by_backend["sequential"].wall_s is None
+        for name in ("threads", "processes"):
+            result = by_backend[name]
+            assert result.wall_s is not None and result.wall_s > 0
+            assert result.elapsed_s == result.wall_s
+
+    def test_worker_reports_cover_every_server(self, by_backend):
+        for name, result in by_backend.items():
+            assert [w.server for w in result.workers] == list(range(N_SERVERS))
+            assert all(w.attempts == 1 for w in result.workers)
+            assert all(w.wall_s > 0 for w in result.workers)
+            assert all(w.cpu_s >= 0 for w in result.workers)
+
+    def test_process_workers_are_distinct_processes(self, by_backend):
+        import os
+
+        pids = {w.worker for w in by_backend["processes"].workers}
+        assert len(pids) == N_SERVERS
+        assert f"pid:{os.getpid()}" not in pids
+
+    def test_thread_cpu_not_inflated_by_siblings(self, by_backend):
+        # the old bug: process_time spans all threads, so each task's
+        # cpu_s could exceed its own elapsed_s by ~n_threads.  With
+        # thread_time billing, cpu <= elapsed (+ timer slop) per worker.
+        for worker in by_backend["threads"].workers:
+            assert worker.cpu_s <= worker.wall_s * 1.5 + 0.05
+
+
+class TestResolveBackend:
+    def test_names_resolve(self):
+        assert resolve_backend("sequential").name == "sequential"
+        assert resolve_backend("threads").name == "threads"
+        assert resolve_backend("processes").name == "processes"
+
+    def test_instances_pass_through(self):
+        backend = ThreadBackend(max_workers=2)
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError, match="unknown execution backend"):
+            resolve_backend("gpu")
+
+    def test_non_backend_rejected(self):
+        with pytest.raises(ConfigError, match="must be a name"):
+            resolve_backend(42)
+
+    def test_exported_from_top_level(self):
+        import repro
+
+        assert repro.BACKEND_NAMES == BACKEND_NAMES
+        for name in ("ExecutionBackend", "SequentialBackend", "ThreadBackend",
+                     "ProcessBackend", "resolve_backend"):
+            assert name in repro.__all__ and hasattr(repro, name)
+
+    def test_invalid_retry_config_rejected(self):
+        with pytest.raises(ConfigError, match="max_retries"):
+            ProcessBackend(max_retries=-1)
+
+
+class TestWorkUnits:
+    def test_workunit_pickles_roundtrip(self, sky, target_region, kcorr,
+                                        config):
+        cluster = make_cluster(kcorr, config, "sequential")
+        layout = make_partitions(target_region, config.buffer_deg, N_SERVERS)
+        units = cluster.make_workunits(sky.catalog, layout)
+        for unit in units:
+            clone = pickle.loads(pickle.dumps(unit))
+            assert clone.server == unit.server
+            assert len(clone.catalog) == len(unit.catalog)
+            assert np.array_equal(clone.catalog.objid, unit.catalog.objid)
+
+    def test_execute_workunit_matches_partition_run(
+        self, sky, target_region, kcorr, config, by_backend
+    ):
+        cluster = make_cluster(kcorr, config, "sequential")
+        layout = make_partitions(target_region, config.buffer_deg, N_SERVERS)
+        unit = cluster.make_workunits(sky.catalog, layout)[0]
+        outcome = execute_workunit(pickle.loads(pickle.dumps(unit)))
+        reference = by_backend["sequential"].runs[0]
+        assert np.array_equal(outcome.result.clusters.objid,
+                              reference.result.clusters.objid)
+        assert outcome.n_galaxies == reference.n_galaxies
+
+
+class TestFaultTolerance:
+    def test_raising_worker_is_retried(self, sky, target_region, kcorr,
+                                       config, by_backend, tmp_path):
+        fault = FaultSpec(servers=(0,), mode="raise", max_failures=1,
+                          counter_dir=str(tmp_path))
+        result = make_cluster(
+            kcorr, config, ProcessBackend(**FAST_PROCESS), fault=fault
+        ).run(sky.catalog, target_region)
+        assert result.workers[0].attempts == 2
+        assert not result.workers[0].degraded
+        assert result.workers[1].attempts == 1
+        assert_backends_equivalent(
+            {"sequential": by_backend["sequential"], "processes": result}
+        )
+
+    def test_killed_worker_is_retried(self, sky, target_region, kcorr,
+                                      config, by_backend, tmp_path):
+        fault = FaultSpec(servers=(1,), mode="exit", max_failures=1,
+                          counter_dir=str(tmp_path))
+        result = make_cluster(
+            kcorr, config, ProcessBackend(**FAST_PROCESS), fault=fault
+        ).run(sky.catalog, target_region)
+        assert result.workers[1].attempts == 2
+        assert "worker died" in result.workers[1].failures[0]
+        assert_backends_equivalent(
+            {"sequential": by_backend["sequential"], "processes": result}
+        )
+
+    def test_exhausted_retries_degrade_gracefully(self, sky, target_region,
+                                                  kcorr, config, by_backend,
+                                                  tmp_path):
+        # every worker attempt dies; the parent falls back sequentially
+        fault = FaultSpec(servers=(0,), mode="exit", max_failures=99,
+                          counter_dir=str(tmp_path))
+        cluster = make_cluster(
+            kcorr, config, ProcessBackend(max_retries=1, backoff_s=0.01),
+            fault=fault,
+        )
+        with pytest.warns(RuntimeWarning, match="degrading to sequential"):
+            result = cluster.run(sky.catalog, target_region)
+        report = result.workers[0]
+        assert report.degraded
+        assert report.attempts == 3  # 2 worker attempts + in-parent fallback
+        # degradation never corrupts or duplicates the merged catalogs
+        assert_backends_equivalent(
+            {"sequential": by_backend["sequential"], "processes": result}
+        )
+
+    def test_unrecoverable_failure_raises_clear_error(
+        self, sky, target_region, kcorr, config, tmp_path
+    ):
+        # fault fires in workers *and* in the parent fallback
+        fault = FaultSpec(servers=(0,), mode="raise", max_failures=99,
+                          counter_dir=str(tmp_path), worker_only=False)
+        cluster = make_cluster(
+            kcorr, config, ProcessBackend(max_retries=1, backoff_s=0.01),
+            fault=fault,
+        )
+        with pytest.warns(RuntimeWarning):
+            with pytest.raises(ClusterExecutionError,
+                               match="partition 0 .* sequential fallback"):
+                cluster.run(sky.catalog, target_region)
+
+    def test_timeout_counts_as_failure(self, sky, target_region, kcorr,
+                                       config):
+        backend = ProcessBackend(timeout_s=1e-4, max_retries=0,
+                                 backoff_s=0.01)
+        cluster = make_cluster(kcorr, config, backend)
+        with pytest.warns(RuntimeWarning, match="degrading to sequential"):
+            result = cluster.run(sky.catalog, target_region)
+        assert all(w.degraded for w in result.workers)
+        assert all("timed out" in w.failures[0] for w in result.workers)
+
+    def test_fault_spec_rejects_unknown_mode(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            FaultSpec(servers=(0,), mode="explode",
+                      counter_dir=str(tmp_path))
+
+    def test_fault_fires_in_worker_context(self, sky, target_region, kcorr,
+                                           config, tmp_path):
+        # directly executing a unit with a non-worker-only raise fault
+        cluster = make_cluster(kcorr, config, "sequential")
+        layout = make_partitions(target_region, config.buffer_deg, N_SERVERS)
+        unit = cluster.make_workunits(sky.catalog, layout)[0]
+        unit.fault = FaultSpec(servers=(0,), mode="raise", max_failures=1,
+                               counter_dir=str(tmp_path), worker_only=False)
+        with pytest.raises(InjectedWorkerFault):
+            execute_workunit(unit)
+        # second attempt exceeds max_failures and succeeds
+        outcome = execute_workunit(unit)
+        assert outcome.server == 0
+
+
+class TestProgressHooks:
+    def test_pipeline_progress_events(self, sky, target_region, kcorr,
+                                      config):
+        from repro.core.pipeline import run_maxbcg
+
+        events = []
+        run_maxbcg(sky.catalog, target_region, kcorr, config,
+                   compute_members=True, progress=events.append)
+        assert events == ["spZone", "fBCGCandidate", "fIsCluster",
+                          "spMakeGalaxiesMetric"]
+
+    def test_cluster_progress_events(self, sky, target_region, kcorr,
+                                     config):
+        from repro.cluster.executor import run_partitioned
+
+        events = []
+        run_partitioned(sky.catalog, target_region, kcorr, config,
+                        n_servers=N_SERVERS, compute_members=False,
+                        backend="sequential", progress=events.append)
+        assert events == [f"server{i}" for i in range(N_SERVERS)]
+
+    def test_tam_progress_events(self, sky, target_region, kcorr, config,
+                                 tmp_path):
+        from repro.tam.runner import run_tam
+
+        events = []
+        run_tam(sky.catalog, target_region, kcorr, config, tmp_path,
+                progress=events.append)
+        assert events[0] == "stage"
+        assert any(e.startswith("field") for e in events)
+        assert any(e.startswith("coalesce") for e in events)
+
+
+class TestCpuClockSelection:
+    def test_use_cpu_clock_switches_and_restores(self):
+        from repro.engine.stats import current_cpu_clock, use_cpu_clock
+
+        default = current_cpu_clock()
+        assert default is time.process_time
+        with use_cpu_clock("thread"):
+            assert current_cpu_clock() is time.thread_time
+            with use_cpu_clock("process"):
+                assert current_cpu_clock() is time.process_time
+            assert current_cpu_clock() is time.thread_time
+        assert current_cpu_clock() is time.process_time
+
+    def test_unknown_clock_rejected(self):
+        from repro.engine.stats import use_cpu_clock
+
+        with pytest.raises(ValueError, match="unknown cpu clock"):
+            with use_cpu_clock("sundial"):
+                pass  # pragma: no cover
+
+    def test_task_timer_reads_selected_clock(self):
+        from repro.engine.stats import TaskTimer, use_cpu_clock
+
+        ticks = iter([1.0, 3.5])
+        with use_cpu_clock(lambda: next(ticks)):
+            with TaskTimer("fake") as timer:
+                pass
+        assert timer.stats.cpu_s == pytest.approx(2.5)
+
+    def test_clock_selection_is_per_thread(self):
+        import threading
+
+        from repro.engine.stats import current_cpu_clock, use_cpu_clock
+
+        seen = {}
+
+        def worker():
+            seen["clock"] = current_cpu_clock()
+
+        with use_cpu_clock("thread"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["clock"] is time.process_time

@@ -64,7 +64,8 @@ class TestParallelExecution:
         import numpy as np
 
         parallel = SqlServerCluster(
-            kcorr, config, n_servers=2, compute_members=False, parallel=True
+            kcorr, config, n_servers=2, compute_members=False,
+            backend="threads",
         ).run(sky.catalog, target_region)
         assert np.array_equal(parallel.clusters.objid,
                               partitioned.clusters.objid)
@@ -75,12 +76,63 @@ class TestParallelExecution:
                                                   kcorr, config, partitioned):
         assert partitioned.wall_s is None
         parallel = SqlServerCluster(
-            kcorr, config, n_servers=2, compute_members=False, parallel=True
+            kcorr, config, n_servers=2, compute_members=False,
+            backend="threads",
         ).run(sky.catalog, target_region)
         assert parallel.wall_s is not None and parallel.wall_s > 0
 
     def test_runs_ordered_by_server(self, sky, target_region, kcorr, config):
         parallel = SqlServerCluster(
-            kcorr, config, n_servers=3, compute_members=False, parallel=True
+            kcorr, config, n_servers=3, compute_members=False,
+            backend="threads",
         ).run(sky.catalog, target_region)
         assert [r.server for r in parallel.runs] == [0, 1, 2]
+
+
+class TestDeprecatedParallelFlag:
+    def test_parallel_true_maps_to_threads(self, kcorr, config):
+        with pytest.warns(DeprecationWarning, match="parallel= is deprecated"):
+            cluster = SqlServerCluster(
+                kcorr, config, n_servers=2, compute_members=False,
+                parallel=True,
+            )
+        assert cluster.backend.name == "threads"
+        assert cluster.parallel is True
+
+    def test_parallel_false_maps_to_sequential(self, kcorr, config):
+        with pytest.warns(DeprecationWarning):
+            cluster = SqlServerCluster(
+                kcorr, config, n_servers=2, compute_members=False,
+                parallel=False,
+            )
+        assert cluster.backend.name == "sequential"
+        assert cluster.parallel is False
+
+    def test_run_partitioned_accepts_deprecated_flag(
+        self, sky, target_region, kcorr, config, partitioned
+    ):
+        with pytest.warns(DeprecationWarning):
+            result = run_partitioned(
+                sky.catalog, target_region, kcorr, config, n_servers=2,
+                compute_members=False, parallel=False,
+            )
+        assert np.array_equal(result.clusters.objid,
+                              partitioned.clusters.objid)
+
+
+class TestElapsedStory:
+    def test_sequential_elapsed_is_modeled(self, partitioned):
+        assert partitioned.backend == "sequential"
+        assert partitioned.wall_s is None
+        assert partitioned.elapsed_s == partitioned.modeled_elapsed_s
+
+    def test_parallel_elapsed_is_measured(self, sky, target_region, kcorr,
+                                          config):
+        parallel = SqlServerCluster(
+            kcorr, config, n_servers=2, compute_members=False,
+            backend="threads",
+        ).run(sky.catalog, target_region)
+        assert parallel.elapsed_s == parallel.wall_s
+        # the modeled number stays available for Table 1 accounting
+        per_server = [r.total_stats.elapsed_s for r in parallel.runs]
+        assert parallel.modeled_elapsed_s == max(per_server)
