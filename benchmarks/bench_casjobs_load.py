@@ -1,0 +1,98 @@
+"""Extension: heavy-traffic CasJobs — the multi-user service under load.
+
+The paper's CasJobs "serves multi-TB data on the Web" to a large
+community through quick/long queues; this bench fires ≥100 concurrent
+jobs from ≥10 users at the scheduler and regenerates the service-side
+shape claims:
+
+* every submitted job reaches exactly one terminal state (no lost or
+  duplicated work under concurrency);
+* the weighted-fair rotation keeps the quick queue interactive: quick
+  p95 *wait* stays below long p95 wait while both queues contend;
+* users get even service (Jain fairness index near 1);
+* the thread pool sustains the whole burst and reports real
+  throughput.
+
+Run standalone (``python benchmarks/bench_casjobs_load.py``) or under
+pytest-benchmark (``pytest benchmarks/bench_casjobs_load.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.casjobs_load import (
+    LoadSpec,
+    check_no_lost_or_duplicated,
+    run_load,
+)
+from repro.bench.reporting import ShapeCheck, print_report
+from repro.casjobs.queue import QueueClass
+
+#: ≥100 jobs from ≥10 users — the acceptance floor for this workload.
+DEFAULT_SPEC = LoadSpec(n_users=12, n_jobs=150, quick_fraction=0.4,
+                        workers=4, seed=2005)
+
+
+def run_and_check(spec: LoadSpec = DEFAULT_SPEC):
+    from repro.bench.casjobs_load import build_demo_site
+
+    service = build_demo_site(spec)
+    report = run_load(spec, service=service)
+    check_no_lost_or_duplicated(service, spec.n_jobs - report.shed)
+
+    quick_p95 = report.stats.p95_wait(QueueClass.QUICK)
+    long_p95 = report.stats.p95_wait(QueueClass.LONG)
+    checks = [
+        ShapeCheck(
+            claim="all jobs terminal (none lost/duplicated)",
+            paper="batch service completes every job",
+            measured=f"{report.stats.completed}/{spec.n_jobs - report.shed}",
+            holds=report.stats.completed == spec.n_jobs - report.shed,
+        ),
+        ShapeCheck(
+            claim="quick queue stays interactive under long-queue load",
+            paper="quick p95 wait < long p95 wait",
+            measured=f"{quick_p95 * 1e3:.2f} ms vs {long_p95 * 1e3:.2f} ms",
+            holds=quick_p95 < long_p95,
+        ),
+        ShapeCheck(
+            claim="users served evenly",
+            paper="Jain fairness ~ 1",
+            measured=f"{report.user_fairness:.3f}",
+            holds=report.user_fairness > 0.7,
+        ),
+        ShapeCheck(
+            claim="service sustains the burst",
+            paper="> 0 jobs/s measured throughput",
+            measured=f"{report.throughput_jobs_s:,.1f} jobs/s",
+            holds=report.throughput_jobs_s > 0,
+        ),
+    ]
+    return report, checks
+
+
+@pytest.mark.benchmark(group="casjobs-load")
+def test_casjobs_load(benchmark):
+    holder = {}
+
+    def once():
+        holder["out"] = run_and_check()
+        return holder["out"]
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    report, checks = holder["out"]
+    print_report("CasJobs scheduler under heavy traffic",
+                 [report.render()], checks)
+    assert all(c.holds for c in checks), [c.claim for c in checks if not c.holds]
+
+
+def main() -> int:
+    report, checks = run_and_check()
+    print_report("CasJobs scheduler under heavy traffic",
+                 [report.render()], checks)
+    return 0 if all(c.holds for c in checks) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

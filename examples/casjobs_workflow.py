@@ -3,8 +3,10 @@
 
 Walks the workflow the paper sketches for the gridified implementation:
 
-1. a CasJobs site hosts a CAS catalog context; an astronomer registers,
-   submits batch SQL, spools results into a personal MyDB;
+1. a CasJobs site hosts a CAS catalog context and *serves*: a
+   background scheduler drains the quick/long queues through a worker
+   pool with weighted-fair rotation while astronomers submit batch SQL
+   and spool results into personal MyDBs;
 2. a collaboration group shares MyDB tables between users;
 3. the MaxBCG "application" (its configuration — the paper's ~500 lines
    of SQL) is deployed to a federation of autonomous sites (Fermilab,
@@ -27,6 +29,8 @@ from repro import (
     make_sky,
 )
 from repro.casjobs.federation import DataGridFederation
+from repro.casjobs.queue import QueueClass
+from repro.casjobs.scheduler import SchedulerConfig
 from repro.casjobs.server import CasJobsService
 
 
@@ -40,7 +44,13 @@ def main() -> None:
     )
 
     # ------------------------------------------------ a CasJobs site
-    service = CasJobsService("skyserver.sdss.org")
+    # Two workers, quick queue weighted 3:1 over long, at most two
+    # in-flight jobs per user: the multi-user service configuration.
+    service = CasJobsService(
+        "skyserver.sdss.org",
+        SchedulerConfig(pool="threads", max_workers=2,
+                        quick_weight=3, long_weight=1, per_user_limit=2),
+    )
     cas = Database("dr1")
     cas.create_table("galaxy", sky.catalog.as_columns(), primary_key="objid")
     service.add_context("dr1", cas)
@@ -48,17 +58,30 @@ def main() -> None:
     service.register_user("maria")
     service.register_user("jim")
 
-    # long-running batch query with output into MyDB
+    # the site serves in the background; submissions run concurrently
+    service.serve()
+
+    # maria: long-running batch query with output into MyDB
     job = service.submit(
         "maria",
         "SELECT objid, ra, dec, i FROM galaxy WHERE i < 17.5",
         context="dr1",
         output_table="bright_galaxies",
     )
-    service.process_queue()
+    # jim: interactive-grade count rides the quick queue meanwhile
+    quick = service.submit(
+        "jim",
+        "SELECT COUNT(*) AS n FROM galaxy WHERE i < 19.0",
+        context="dr1",
+        queue_class=QueueClass.QUICK,
+    )
+    service.process_queue()  # wait for the scheduler to go idle
     result = service.fetch("maria", job.job_id)
     print(f"batch job {job.job_id} finished: {result.row_count:,} bright "
           f"galaxies spooled into maria's MyDB")
+    print(f"quick job {quick.job_id} finished alongside: "
+          f"{service.fetch('jim', quick.job_id).scalar():,} galaxies "
+          f"(waited {quick.queue_seconds * 1e3:.1f} ms)")
 
     # correlate inside MyDB (users "can correlate data inside MyDB")
     followup = service.submit(
@@ -69,6 +92,12 @@ def main() -> None:
     service.process_queue()
     row = service.fetch("maria", followup.job_id).rows()[0]
     print(f"MyDB follow-up: n={row['n']:,} mean_i={row['mean_i']:.2f}")
+
+    snapshot = service.status()
+    print(f"site status: {snapshot['finished']} finished, "
+          f"{snapshot['failed']} failed, {snapshot['running']} running, "
+          f"{snapshot['pending_quick'] + snapshot['pending_long']} pending")
+    service.shutdown()
 
     # groups and sharing
     service.create_group("cluster-hunters", "maria")

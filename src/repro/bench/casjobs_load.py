@@ -1,0 +1,261 @@
+"""Heavy-traffic CasJobs workload: many users, both queue classes.
+
+The ROADMAP's north star is "heavy traffic from millions of users";
+this module is the measuring stick.  It stands up one CasJobs site
+hosting a synthetic catalog context, registers ``n_users`` users, and
+fires ``n_jobs`` real SQL jobs at the scheduler — a mix of quick
+(single-pass filter/count) and long (group/aggregate/sort over the
+whole table) queries — while the service runs in the background.  The
+report carries throughput, per-class p50/p95 wait and run latency, and
+fairness across users and classes.
+
+Used three ways: ``benchmarks/bench_casjobs_load.py`` (the shape
+checks), ``repro casjobs serve`` (the CLI front door), and the
+TUTORIAL's measured table.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.casjobs.queue import JobStatus, QueueClass
+from repro.casjobs.scheduler import SchedulerConfig, SchedulerStats
+from repro.casjobs.server import CasJobsService
+from repro.engine.database import Database
+from repro.errors import CasJobsError, QueueFullError, QuotaExceededError
+
+
+@dataclass
+class LoadSpec:
+    """One load experiment, fully seeded."""
+
+    n_users: int = 10
+    n_jobs: int = 120
+    quick_fraction: float = 0.4  # share of jobs on the quick queue
+    workers: int = 4
+    pool: str = "threads"
+    quick_weight: int = 3
+    long_weight: int = 1
+    per_user_limit: int = 2
+    high_water: int | None = None
+    timeout_s: float | None = None
+    max_retries: int = 1
+    catalog_rows: int = 20_000
+    seed: int = 2005
+    spool_every: int = 5  # every Nth job spools INTO MyDB
+
+    def scheduler_config(self) -> SchedulerConfig:
+        return SchedulerConfig(
+            pool=self.pool,
+            max_workers=self.workers,
+            quick_weight=self.quick_weight,
+            long_weight=self.long_weight,
+            per_user_limit=self.per_user_limit,
+            high_water=self.high_water,
+            timeout_s=self.timeout_s,
+            max_retries=self.max_retries,
+        )
+
+
+@dataclass
+class LoadReport:
+    """What one :func:`run_load` measured."""
+
+    spec: LoadSpec
+    stats: SchedulerStats
+    wall_s: float
+    finished: int
+    failed: int
+    shed: int
+    per_user_finished: dict[str, int]
+    per_class_submitted: dict[QueueClass, int] = field(default_factory=dict)
+    quota_rejected: int = 0  # refused at admission: MyDB already at quota
+
+    @property
+    def accepted(self) -> int:
+        """Submissions that became jobs (not shed, not quota-refused)."""
+        return sum(self.per_class_submitted.values())
+
+    @property
+    def throughput_jobs_s(self) -> float:
+        return self.stats.completed / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def user_fairness(self) -> float:
+        """Jain's fairness index over per-user finished counts (1 = even)."""
+        counts = np.asarray(list(self.per_user_finished.values()), dtype=float)
+        if counts.size == 0 or counts.sum() == 0:
+            return 1.0
+        return float(counts.sum() ** 2 / (counts.size * (counts**2).sum()))
+
+    def latency_rows(self) -> list[list]:
+        rows = []
+        for cls in QueueClass:
+            rows.append([
+                cls.value,
+                self.per_class_submitted.get(cls, 0),
+                round(self.stats.p50_wait(cls) * 1e3, 2),
+                round(self.stats.p95_wait(cls) * 1e3, 2),
+                round(self.stats.p50_run(cls) * 1e3, 2),
+                round(self.stats.p95_run(cls) * 1e3, 2),
+            ])
+        return rows
+
+    def render(self) -> str:
+        from repro.bench.reporting import format_table
+
+        lines = [
+            format_table(
+                f"casjobs load: {self.spec.n_jobs} jobs, "
+                f"{self.spec.n_users} users, {self.spec.workers} workers "
+                f"({self.spec.pool})",
+                ["class", "jobs", "p50 wait ms", "p95 wait ms",
+                 "p50 run ms", "p95 run ms"],
+                self.latency_rows(),
+            ),
+            "",
+            f"wall {self.wall_s:.3f} s  "
+            f"throughput {self.throughput_jobs_s:,.1f} jobs/s  "
+            f"finished {self.finished}  failed {self.failed}  "
+            f"shed {self.shed}  quota-refused {self.quota_rejected}",
+            f"user fairness (Jain) {self.user_fairness:.3f}  "
+            f"dead-lettered {self.stats.dead_lettered}  "
+            f"retries {self.stats.retries}",
+        ]
+        return "\n".join(lines)
+
+
+def build_demo_catalog(rows: int, seed: int) -> Database:
+    """A seeded synthetic catalog database (the shared ``dr1`` context)."""
+    rng = np.random.default_rng(seed)
+    catalog = Database("dr1")
+    catalog.create_table(
+        "galaxy",
+        {
+            "objid": np.arange(rows, dtype=np.int64),
+            "ra": rng.uniform(180.0, 190.0, rows),
+            "dec": rng.uniform(-5.0, 5.0, rows),
+            "i": rng.uniform(14.0, 22.0, rows),
+            "z": rng.uniform(0.05, 0.35, rows),
+            "stripe": rng.integers(0, 12, rows),
+        },
+        primary_key="objid",
+    )
+    return catalog
+
+
+def build_demo_site(
+    spec: LoadSpec, scheduler_config: SchedulerConfig | None = None
+) -> CasJobsService:
+    """One site hosting a seeded synthetic catalog context ``dr1``."""
+    service = CasJobsService(
+        "bench", scheduler_config or spec.scheduler_config()
+    )
+    service.add_context("dr1", build_demo_catalog(spec.catalog_rows, spec.seed))
+    for user in (f"user{u:02d}" for u in range(spec.n_users)):
+        service.register_user(user)
+    return service
+
+
+def _quick_query(rng: np.random.Generator) -> str:
+    """Single-pass filter + count: the interactive-grade shape."""
+    cut = rng.uniform(15.0, 21.0)
+    return f"SELECT COUNT(*) AS n, AVG(i) AS mean_i FROM galaxy WHERE i < {cut:.3f}"
+
+
+def _long_query(rng: np.random.Generator) -> str:
+    """Whole-table group/aggregate/sort: the batch-grade shape."""
+    zcut = rng.uniform(0.1, 0.3)
+    return (
+        "SELECT stripe, COUNT(*) AS n, AVG(i) AS mean_i, MIN(z) AS zmin, "
+        f"MAX(z) AS zmax FROM galaxy WHERE z < {zcut:.3f} "
+        "GROUP BY stripe ORDER BY stripe"
+    )
+
+
+def run_load(
+    spec: LoadSpec, service: CasJobsService | None = None
+) -> LoadReport:
+    """Fire the workload at a (background-serving) site and measure it."""
+    service = service or build_demo_site(spec)
+    rng = np.random.default_rng(spec.seed + 1)
+    users = [f"user{u:02d}" for u in range(spec.n_users)]
+    per_class: dict[QueueClass, int] = {cls: 0 for cls in QueueClass}
+    shed = 0
+    quota_rejected = 0
+
+    service.serve()
+    began = time.perf_counter()
+    try:
+        for k in range(spec.n_jobs):
+            user = users[int(rng.integers(0, len(users)))]
+            quick = rng.random() < spec.quick_fraction
+            cls = QueueClass.QUICK if quick else QueueClass.LONG
+            query = _quick_query(rng) if quick else _long_query(rng)
+            output = (
+                f"spool_{k}" if spec.spool_every and k % spec.spool_every == 0
+                else None
+            )
+            try:
+                service.submit(user, query, "dr1", output_table=output,
+                               queue_class=cls)
+            except QueueFullError:
+                shed += 1
+                continue
+            except QuotaExceededError:
+                quota_rejected += 1
+                continue
+            per_class[cls] += 1
+        service.shutdown(drain=True, timeout_s=120.0)
+    finally:
+        if service.scheduler.serving:
+            service.shutdown(drain=False)
+    wall = time.perf_counter() - began
+
+    finished_per_user = {
+        user: sum(
+            1
+            for job in service.queue.jobs_of(user)
+            if job.status is JobStatus.FINISHED
+        )
+        for user in users
+    }
+    stats = service.scheduler.stats
+    return LoadReport(
+        spec=spec,
+        stats=stats,
+        wall_s=wall,
+        finished=stats.finished,
+        failed=stats.failed,
+        shed=shed,
+        per_user_finished=finished_per_user,
+        per_class_submitted=per_class,
+        quota_rejected=quota_rejected,
+    )
+
+
+def check_no_lost_or_duplicated(service: CasJobsService, submitted: int) -> None:
+    """Invariant: every submitted job is terminal exactly once.
+
+    Raised as :class:`CasJobsError` on violation; the stress test and
+    the CI smoke step both call this after a run.
+    """
+    jobs = service.queue.jobs()
+    if len(jobs) != submitted:
+        raise CasJobsError(
+            f"job ledger has {len(jobs)} entries for {submitted} submissions"
+        )
+    ids = [j.job_id for j in jobs]
+    if len(set(ids)) != len(ids):
+        raise CasJobsError("duplicate job ids in the ledger")
+    non_terminal = [j.job_id for j in jobs if not j.status.is_terminal]
+    if non_terminal:
+        raise CasJobsError(
+            f"{len(non_terminal)} jobs not terminal after drain: "
+            f"{non_terminal[:10]}"
+        )
+    if service.queue.pending_count() != 0:
+        raise CasJobsError("pending queue not empty after drain")

@@ -1,18 +1,28 @@
-"""CasJobs: batch queries, MyDB, groups, and the federated data grid."""
+"""CasJobs: batch queries, MyDB, groups, scheduler, and the data grid."""
 
 from repro.casjobs.federation import DataGridFederation, FederatedRunReport
 from repro.casjobs.mydb import MyDB
 from repro.casjobs.queue import BatchJob, JobQueue, JobStatus, QueueClass
+from repro.casjobs.scheduler import (
+    DeadLetter,
+    Scheduler,
+    SchedulerConfig,
+    SchedulerStats,
+)
 from repro.casjobs.server import CasJobsService, Group
 
 __all__ = [
     "BatchJob",
     "CasJobsService",
     "DataGridFederation",
+    "DeadLetter",
     "FederatedRunReport",
     "Group",
     "JobQueue",
     "JobStatus",
     "MyDB",
     "QueueClass",
+    "Scheduler",
+    "SchedulerConfig",
+    "SchedulerStats",
 ]

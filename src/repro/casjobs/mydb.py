@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.engine.database import Database
 from repro.engine.sql.executor import QueryResult
-from repro.errors import CasJobsError
+from repro.errors import CasJobsError, QuotaExceededError
 
 #: Default MyDB quota, in rows (the real service used ~500 MB).
 DEFAULT_QUOTA_ROWS = 5_000_000
@@ -53,11 +53,23 @@ class MyDB:
             for name in self.database.table_names()
         )
 
-    def _check_quota(self, incoming_rows: int) -> None:
-        if self.rows_used() + incoming_rows > self.quota_rows:
-            raise CasJobsError(
+    def remaining_rows(self) -> int:
+        """Quota headroom (never negative)."""
+        return max(0, self.quota_rows - self.rows_used())
+
+    def at_quota(self) -> bool:
+        return self.rows_used() >= self.quota_rows
+
+    def _check_quota(self, incoming_rows: int, replacing: str | None = None) -> None:
+        used = self.rows_used()
+        if replacing is not None and self.database.has_table(replacing):
+            # replacing a table frees its rows first — a re-spool into
+            # the same output table must not be billed twice
+            used -= self.database.table(replacing).row_count
+        if used + incoming_rows > self.quota_rows:
+            raise QuotaExceededError(
                 f"MyDB quota exceeded for '{self.owner}': "
-                f"{self.rows_used()} + {incoming_rows} > {self.quota_rows}"
+                f"{used} + {incoming_rows} > {self.quota_rows}"
             )
 
     # ------------------------------------------------------------------
@@ -75,7 +87,7 @@ class MyDB:
 
     def store_result(self, name: str, result: QueryResult) -> None:
         """Persist a query result as a MyDB table (the INTO MyDB path)."""
-        self._check_quota(result.row_count)
+        self._check_quota(result.row_count, replacing=name)
         if self.database.has_table(name):
             self.database.drop_table(name)
         self.database.create_table(name, dict(result.columns))

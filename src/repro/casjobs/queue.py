@@ -5,13 +5,23 @@ feature versus the 60-second web portal.  :class:`JobQueue` provides
 the lifecycle: submitted → executing → finished/failed, with timestamps,
 per-user listing, cancellation of queued jobs, and a drain loop that a
 service worker (or a test) pumps.
+
+The queue is safe to share between a dispatcher and worker threads:
+every state transition happens under one internal lock, through the
+explicit transition API (:meth:`JobQueue.take`, :meth:`JobQueue.finish`,
+:meth:`JobQueue.fail`, :meth:`JobQueue.requeue`).  Jobs are held in one
+pending deque *per queue class* so a scheduler can drain the quick and
+long queues at different rates — the weighted-fair policy of
+:class:`~repro.casjobs.scheduler.Scheduler`.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
+import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -59,100 +69,178 @@ class BatchJob:
     queue_class: QueueClass = QueueClass.LONG
     status: JobStatus = JobStatus.SUBMITTED
     submitted_at: float = field(default_factory=time.time)
+    queued_at: float | None = None  # last (re)entry into the pending queue
     started_at: float | None = None
     finished_at: float | None = None
     error: str | None = None
     result: object | None = None
+    attempts: int = 0  # execution attempts consumed (retries included)
+
+    def __post_init__(self) -> None:
+        if self.queued_at is None:
+            self.queued_at = self.submitted_at
 
     @property
     def queue_seconds(self) -> float | None:
+        """Wait of the *latest* attempt: last enqueue → start."""
         if self.started_at is None:
             return None
-        return self.started_at - self.submitted_at
+        return self.started_at - (self.queued_at or self.submitted_at)
 
     @property
     def run_seconds(self) -> float | None:
-        if self.started_at is None or self.finished_at is None:
+        """Execution time of the latest attempt.
+
+        For a job still EXECUTING this is the time it has been running
+        *so far* (it used to be None, which made every in-flight job
+        look instantaneous to monitoring); None only if it never
+        started.
+        """
+        if self.started_at is None:
             return None
+        if self.finished_at is None:
+            return time.time() - self.started_at
         return self.finished_at - self.started_at
 
 
 class JobQueue:
-    """FIFO batch queue with per-user views."""
+    """FIFO batch queue (per queue class) with per-user views.
+
+    Thread-safe: all transitions run under one lock, so a dispatcher
+    thread and any number of completion callbacks can share it.
+    """
 
     def __init__(self):
         self._jobs: dict[int, BatchJob] = {}
-        self._pending: list[int] = []
+        self._pending: dict[QueueClass, deque[int]] = {
+            cls: deque() for cls in QueueClass
+        }
         self._ids = itertools.count(1)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def submit(self, owner: str, query: str, target: str,
                output_table: str | None = None,
                queue_class: QueueClass = QueueClass.LONG) -> BatchJob:
-        job = BatchJob(
-            job_id=next(self._ids),
-            owner=owner,
-            query=query,
-            target=target,
-            output_table=output_table,
-            queue_class=queue_class,
-        )
-        self._jobs[job.job_id] = job
-        self._pending.append(job.job_id)
-        return job
+        with self._lock:
+            job = BatchJob(
+                job_id=next(self._ids),
+                owner=owner,
+                query=query,
+                target=target,
+                output_table=output_table,
+                queue_class=queue_class,
+            )
+            self._jobs[job.job_id] = job
+            self._pending[queue_class].append(job.job_id)
+            return job
 
     def get(self, job_id: int) -> BatchJob:
-        try:
-            return self._jobs[job_id]
-        except KeyError:
-            raise CasJobsError(f"unknown job {job_id}") from None
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise CasJobsError(f"unknown job {job_id}") from None
+
+    def jobs(self) -> list[BatchJob]:
+        """All jobs ever submitted, in id order."""
+        with self._lock:
+            return [self._jobs[k] for k in sorted(self._jobs)]
 
     def jobs_of(self, owner: str) -> list[BatchJob]:
-        return [j for j in self._jobs.values() if j.owner == owner]
+        with self._lock:
+            return [j for j in self._jobs.values() if j.owner == owner]
 
-    def pending_count(self) -> int:
-        return len(self._pending)
+    def pending_count(self, queue_class: QueueClass | None = None) -> int:
+        with self._lock:
+            if queue_class is not None:
+                return len(self._pending[queue_class])
+            return sum(len(d) for d in self._pending.values())
+
+    def executing_count(self, owner: str | None = None) -> int:
+        with self._lock:
+            return sum(
+                1
+                for j in self._jobs.values()
+                if j.status is JobStatus.EXECUTING
+                and (owner is None or j.owner == owner)
+            )
 
     def cancel(self, job_id: int) -> BatchJob:
         """Cancel a job that has not started executing."""
-        job = self.get(job_id)
-        if job.status is not JobStatus.SUBMITTED:
-            raise CasJobsError(
-                f"job {job_id} is {job.status.value}; only queued jobs cancel"
-            )
-        job.status = JobStatus.CANCELLED
-        job.finished_at = time.time()
-        self._pending.remove(job_id)
-        return job
+        with self._lock:
+            job = self.get(job_id)
+            if job.status is not JobStatus.SUBMITTED:
+                raise CasJobsError(
+                    f"job {job_id} is {job.status.value}; only queued jobs cancel"
+                )
+            job.status = JobStatus.CANCELLED
+            job.finished_at = time.time()
+            self._pending[job.queue_class].remove(job_id)
+            return job
 
     # ------------------------------------------------------------------
-    def run_next(self, executor: Callable[[BatchJob], object]) -> BatchJob | None:
-        """Execute the oldest queued job; returns it, or None if idle.
+    # explicit transitions (the scheduler's API)
+    # ------------------------------------------------------------------
+    def take(
+        self,
+        queue_class: QueueClass | None = None,
+        eligible: Callable[[BatchJob], bool] | None = None,
+    ) -> BatchJob | None:
+        """Atomically claim the oldest eligible queued job for execution.
 
-        ``executor`` receives the job and returns its result; exceptions
-        mark the job FAILED with the message preserved.
+        Scans the class's pending deque in FIFO order; jobs that fail
+        ``eligible`` (e.g. their owner is at the concurrency limit) are
+        left in place, preserving their position.  The claimed job moves
+        SUBMITTED → EXECUTING with ``started_at`` stamped and its
+        attempt counter bumped.  Returns None when nothing is eligible.
         """
-        while self._pending:
-            job_id = self._pending.pop(0)
-            job = self._jobs[job_id]
-            if job.status is not JobStatus.SUBMITTED:
-                continue
-            job.status = JobStatus.EXECUTING
-            job.started_at = time.time()
-            try:
-                job.result = executor(job)
-                job.status = JobStatus.FINISHED
-            except Exception as exc:  # noqa: BLE001 - job isolation boundary
-                job.status = JobStatus.FAILED
-                job.error = f"{type(exc).__name__}: {exc}"
+        with self._lock:
+            classes = [queue_class] if queue_class is not None else list(QueueClass)
+            for cls in classes:
+                pending = self._pending[cls]
+                for position, job_id in enumerate(pending):
+                    job = self._jobs[job_id]
+                    if job.status is not JobStatus.SUBMITTED:
+                        continue  # cancelled under us; swept below
+                    if eligible is not None and not eligible(job):
+                        continue
+                    del pending[position]
+                    job.status = JobStatus.EXECUTING
+                    job.started_at = time.time()
+                    job.attempts += 1
+                    return job
+                # sweep ids whose jobs are no longer SUBMITTED
+                stale = [
+                    jid for jid in pending
+                    if self._jobs[jid].status is not JobStatus.SUBMITTED
+                ]
+                for jid in stale:
+                    pending.remove(jid)
+            return None
+
+    def _expect_executing(self, job_id: int) -> BatchJob:
+        job = self.get(job_id)
+        if job.status is not JobStatus.EXECUTING:
+            raise CasJobsError(
+                f"job {job_id} is {job.status.value}, not executing"
+            )
+        return job
+
+    def finish(self, job_id: int, result: object) -> BatchJob:
+        """EXECUTING → FINISHED, enforcing the queue-class time budget.
+
+        A quick-queue job that ran past its budget is *failed*, its
+        result discarded, and the user told to resubmit long — the
+        quick queue's contract is latency, not best effort.
+        """
+        with self._lock:
+            job = self._expect_executing(job_id)
             job.finished_at = time.time()
-            if (
-                job.status is JobStatus.FINISHED
-                and job.run_seconds is not None
-                and job.run_seconds > job.queue_class.budget_seconds
-            ):
-                # the quick queue kills over-budget queries; the result
-                # is discarded and the user told to resubmit as LONG
+            job.result = result
+            job.status = JobStatus.FINISHED
+            run = job.finished_at - (job.started_at or job.finished_at)
+            if run > job.queue_class.budget_seconds:
                 job.status = JobStatus.FAILED
                 job.result = None
                 job.error = (
@@ -161,7 +249,54 @@ class JobQueue:
                     "to the long queue"
                 )
             return job
-        return None
+
+    def fail(self, job_id: int, error: str) -> BatchJob:
+        """EXECUTING → FAILED with the error message preserved."""
+        with self._lock:
+            job = self._expect_executing(job_id)
+            job.status = JobStatus.FAILED
+            job.error = error
+            job.result = None
+            job.finished_at = time.time()
+            return job
+
+    def requeue(self, job_id: int, error: str) -> BatchJob:
+        """EXECUTING → SUBMITTED: put a timed-out/failed attempt back.
+
+        The job re-enters the *back* of its class queue (a retry must
+        not jump ahead of work that never misbehaved).  Timestamps of
+        the failed attempt are reset so ``queue_seconds``/``run_seconds``
+        describe the latest attempt; ``attempts`` and ``error`` keep the
+        history visible.
+        """
+        with self._lock:
+            job = self._expect_executing(job_id)
+            job.status = JobStatus.SUBMITTED
+            job.error = error
+            job.result = None
+            job.started_at = None
+            job.finished_at = None
+            job.queued_at = time.time()
+            self._pending[job.queue_class].append(job_id)
+            return job
+
+    # ------------------------------------------------------------------
+    def run_next(self, executor: Callable[[BatchJob], object]) -> BatchJob | None:
+        """Execute the oldest queued job inline; returns it, or None if idle.
+
+        ``executor`` receives the job and returns its result; exceptions
+        mark the job FAILED with the message preserved.  This is the
+        single-worker path; concurrent service use goes through
+        :class:`~repro.casjobs.scheduler.Scheduler`.
+        """
+        job = self.take()
+        if job is None:
+            return None
+        try:
+            result = executor(job)
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            return self.fail(job.job_id, f"{type(exc).__name__}: {exc}")
+        return self.finish(job.job_id, result)
 
     def drain(self, executor: Callable[[BatchJob], object]) -> int:
         """Run every queued job; returns how many were executed."""

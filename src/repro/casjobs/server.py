@@ -7,6 +7,14 @@ against a context and can spool their output into MyDB, and users can
 form groups to share MyDB tables with each other — "CasJobs provides a
 collaborative environment where users can form groups and share data
 with others."
+
+Execution is owned by a :class:`~repro.casjobs.scheduler.Scheduler`:
+quick/long queue classes drain weighted-fair through a worker pool,
+each user is capped to ``per_user_limit`` concurrent jobs, and past
+``high_water`` pending jobs new submissions are shed.  Queries run on
+pool workers; spooling results into MyDB (and any other mutation of
+shared service state) happens in the dispatcher thread via the
+scheduler's finalizer, so MyDBs are written from exactly one thread.
 """
 
 from __future__ import annotations
@@ -17,9 +25,10 @@ import numpy as np
 
 from repro.casjobs.mydb import MyDB
 from repro.casjobs.queue import BatchJob, JobQueue, JobStatus, QueueClass
+from repro.casjobs.scheduler import Scheduler, SchedulerConfig
 from repro.engine.database import Database
 from repro.engine.sql.executor import QueryResult
-from repro.errors import CasJobsError
+from repro.errors import CasJobsError, QuotaExceededError
 
 
 @dataclass
@@ -33,14 +42,30 @@ class Group:
 
 
 class CasJobsService:
-    """One CasJobs site."""
+    """One CasJobs site.
 
-    def __init__(self, site_name: str):
+    ``scheduler_config`` selects the execution policy; the default is a
+    small thread pool with quick-over-long weighting.  Tests that need
+    strictly deterministic ordering pass
+    ``SchedulerConfig(pool="sequential", max_workers=1)``.
+    """
+
+    def __init__(
+        self,
+        site_name: str,
+        scheduler_config: SchedulerConfig | None = None,
+    ):
         self.site_name = site_name
         self._contexts: dict[str, Database] = {}
         self._users: dict[str, MyDB] = {}
         self._groups: dict[str, Group] = {}
         self.queue = JobQueue()
+        self.scheduler = Scheduler(
+            self.queue,
+            executor=self._run_query,
+            config=scheduler_config,
+            finalizer=self._spool,
+        )
 
     # ------------------------------------------------------------------
     # administration
@@ -59,10 +84,10 @@ class CasJobsService:
                 f"site '{self.site_name}' has no context '{name}'"
             ) from None
 
-    def register_user(self, username: str) -> MyDB:
+    def register_user(self, username: str, quota_rows: int | None = None) -> MyDB:
         if username in self._users:
             raise CasJobsError(f"user '{username}' already registered")
-        mydb = MyDB(username)
+        mydb = MyDB(username) if quota_rows is None else MyDB(username, quota_rows)
         self._users[username] = mydb
         return mydb
 
@@ -83,24 +108,59 @@ class CasJobsService:
         output_table: str | None = None,
         queue_class: QueueClass = QueueClass.LONG,
     ) -> BatchJob:
-        """Queue a query for a user against a context ('mydb' or a catalog)."""
-        self.mydb(username)  # authn/z: must be registered
+        """Queue a query for a user against a context ('mydb' or a catalog).
+
+        Admission control happens here, before a job exists: the
+        scheduler sheds the submission past high water
+        (:class:`~repro.errors.QueueFullError`), and a job that wants
+        to spool into MyDB is refused while the user's MyDB is already
+        at quota (:class:`~repro.errors.QuotaExceededError`) — no point
+        queuing work whose output cannot land.
+        """
+        mydb = self.mydb(username)  # authn/z: must be registered
         if context.lower() != "mydb":
             self.context(context)  # must exist
-        return self.queue.submit(username, query, context.lower(),
-                                 output_table, queue_class)
+        if output_table is not None and mydb.at_quota():
+            raise QuotaExceededError(
+                f"MyDB for '{username}' is at quota "
+                f"({mydb.rows_used()}/{mydb.quota_rows} rows); "
+                "free space before spooling more results"
+            )
+        return self.scheduler.submit(
+            username, query, context.lower(), output_table, queue_class
+        )
 
-    def process_queue(self) -> int:
-        """Worker loop: execute everything queued (tests call this)."""
-        return self.queue.drain(self._execute)
+    def process_queue(self, timeout_s: float | None = None) -> int:
+        """Worker loop: execute everything queued; returns the count.
 
-    def _execute(self, job: BatchJob) -> QueryResult:
+        Blocks the calling thread, pumping the scheduler until idle —
+        jobs still run on the scheduler's pool, so a thread-pool service
+        executes them concurrently even through this entry point.
+        """
+        return self.scheduler.run_until_idle(timeout_s=timeout_s)
+
+    def serve(self) -> None:
+        """Start serving in the background (dispatcher thread)."""
+        self.scheduler.start()
+
+    def shutdown(self, drain: bool = True, timeout_s: float | None = None) -> None:
+        """Stop serving; optionally drain the queue first."""
+        if self.scheduler.serving:
+            self.scheduler.stop(drain=drain, timeout_s=timeout_s)
+        elif drain:
+            self.scheduler.run_until_idle(timeout_s=timeout_s)
+
+    def _run_query(self, job: BatchJob) -> QueryResult:
+        """Execute the query (pool worker thread; no shared-state writes)."""
         database = (
             self.mydb(job.owner).database
             if job.target == "mydb"
             else self.context(job.target)
         )
-        result = database.sql(job.query)
+        return database.sql(job.query)
+
+    def _spool(self, job: BatchJob, result: QueryResult) -> QueryResult:
+        """Finalize a successful job (dispatcher thread): INTO MyDB."""
         if job.output_table is not None:
             self.mydb(job.owner).store_result(job.output_table, result)
         return result
@@ -117,6 +177,15 @@ class CasJobsService:
             )
         assert isinstance(job.result, QueryResult)
         return job.result
+
+    def status(self) -> dict[str, object]:
+        """Site snapshot: scheduler counters plus registered population."""
+        return {
+            "site": self.site_name,
+            "users": len(self._users),
+            "contexts": sorted(self._contexts),
+            **self.scheduler.status(),
+        }
 
     # ------------------------------------------------------------------
     # groups and sharing

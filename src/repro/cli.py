@@ -9,7 +9,10 @@ writing Python:
 * ``repro sql``        — execute a SQL script against a demo database
   with the MaxBCG application installed;
 * ``repro analyze``    — EXPLAIN ANALYZE a SELECT on that database;
-* ``repro workloads``  — list the benchmark workloads.
+* ``repro workloads``  — list the benchmark workloads;
+* ``repro casjobs``    — the multi-user batch service: ``serve`` a
+  heavy-traffic demo workload through the scheduler, ``submit`` one
+  query end-to-end, ``status`` a mixed workload's job ledger.
 
 Every subcommand prints a compact text report; exit code 0 on success,
 1 when an invariant or shape check fails.
@@ -99,6 +102,43 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="SELECT statement to analyze")
 
     sub.add_parser("workloads", help="list the benchmark workloads")
+
+    cas_p = sub.add_parser(
+        "casjobs", help="the CasJobs multi-user batch service (demo site)"
+    )
+    cas_sub = cas_p.add_subparsers(dest="casjobs_command", required=True)
+
+    serve_p = cas_sub.add_parser(
+        "serve", help="serve a heavy-traffic workload through the scheduler"
+    )
+    serve_p.add_argument("--users", type=int, default=12)
+    serve_p.add_argument("--jobs", type=int, default=150)
+    serve_p.add_argument("--workers", type=int, default=4)
+    serve_p.add_argument("--quick-frac", type=float, default=0.4,
+                         help="share of jobs on the quick queue")
+    serve_p.add_argument("--pool", choices=("sequential", "threads"),
+                         default="threads",
+                         help="worker pool the scheduler drains through")
+    serve_p.add_argument("--high-water", type=int, default=None,
+                         help="pending depth that sheds new submissions")
+    serve_p.add_argument("--seed", type=int, default=2005)
+
+    submit_p = cas_sub.add_parser(
+        "submit", help="submit one query end-to-end on a demo site"
+    )
+    submit_p.add_argument("-e", "--execute", required=True,
+                          help="SQL to run against the demo 'dr1' context")
+    submit_p.add_argument("--user", default="astronomer")
+    submit_p.add_argument("--queue", choices=("quick", "long"), default="long")
+    submit_p.add_argument("--into", default=None,
+                          help="spool the result into this MyDB table")
+    submit_p.add_argument("--seed", type=int, default=2005)
+
+    status_p = cas_sub.add_parser(
+        "status", help="run a mixed workload and print the job ledger"
+    )
+    status_p.add_argument("--jobs", type=int, default=12)
+    status_p.add_argument("--seed", type=int, default=2005)
     return parser
 
 
@@ -260,6 +300,78 @@ def cmd_workloads(_args) -> int:
     return 0
 
 
+def cmd_casjobs(args) -> int:
+    from repro.bench.casjobs_load import (
+        LoadSpec,
+        build_demo_site,
+        check_no_lost_or_duplicated,
+        run_load,
+    )
+    from repro.casjobs.queue import QueueClass
+    from repro.errors import CasJobsError
+
+    if args.casjobs_command == "serve":
+        spec = LoadSpec(
+            n_users=args.users, n_jobs=args.jobs, workers=args.workers,
+            quick_fraction=args.quick_frac, pool=args.pool,
+            high_water=args.high_water, seed=args.seed,
+        )
+        service = build_demo_site(spec)
+        report = run_load(spec, service=service)
+        print(report.render())
+        try:
+            check_no_lost_or_duplicated(service, spec.n_jobs - report.shed)
+        except CasJobsError as exc:
+            print(f"INVARIANT VIOLATED: {exc}")
+            return 1
+        print("invariant OK: every admitted job terminal exactly once")
+        return 0 if report.failed == 0 else 1
+
+    if args.casjobs_command == "submit":
+        spec = LoadSpec(n_users=0, seed=args.seed)
+        service = build_demo_site(spec)
+        service.register_user(args.user)
+        queue_class = (QueueClass.QUICK if args.queue == "quick"
+                       else QueueClass.LONG)
+        job = service.submit(args.user, args.execute, "dr1",
+                             output_table=args.into, queue_class=queue_class)
+        service.process_queue()
+        job = service.queue.get(job.job_id)
+        print(f"job {job.job_id} [{job.queue_class.value}] {job.status.value}"
+              f"  wait {1e3 * (job.queue_seconds or 0):.2f} ms"
+              f"  run {1e3 * (job.run_seconds or 0):.2f} ms")
+        if job.error:
+            print(f"error: {job.error}")
+            return 1
+        result = service.fetch(args.user, job.job_id)
+        names = result.column_names
+        print("  ".join(names))
+        for row in result.rows()[:20]:
+            print("  ".join(str(row[n]) for n in names))
+        if result.row_count > 20:
+            print(f"... ({result.row_count:,} rows total)")
+        if args.into:
+            print(f"spooled into {args.user}'s MyDB as '{args.into}' "
+                  f"({service.mydb(args.user).rows_used():,} rows used)")
+        return 0
+
+    # status: run a small mixed workload, then show the ledger
+    spec = LoadSpec(n_users=3, n_jobs=args.jobs, workers=2,
+                    quick_fraction=0.5, seed=args.seed)
+    service = build_demo_site(spec)
+    run_load(spec, service=service)
+    print(f"{'id':>4s}  {'owner':8s}{'class':7s}{'status':10s}"
+          f"{'wait ms':>9s}{'run ms':>9s}  error")
+    for job in service.queue.jobs():
+        print(f"{job.job_id:4d}  {job.owner:8s}{job.queue_class.value:7s}"
+              f"{job.status.value:10s}"
+              f"{1e3 * (job.queue_seconds or 0):9.2f}"
+              f"{1e3 * (job.run_seconds or 0):9.2f}  {job.error or ''}")
+    for key, value in service.status().items():
+        print(f"  {key}: {value}")
+    return 0
+
+
 COMMANDS = {
     "run": cmd_run,
     "partition": cmd_partition,
@@ -267,6 +379,7 @@ COMMANDS = {
     "sql": cmd_sql,
     "analyze": cmd_analyze,
     "workloads": cmd_workloads,
+    "casjobs": cmd_casjobs,
 }
 
 

@@ -410,6 +410,155 @@ class ProcessBackend:
         )
 
 
+class JobPool(Protocol):
+    """A pool that runs arbitrary callables — the job-level sibling of
+    :class:`ExecutionBackend`.
+
+    ``ExecutionBackend`` runs *partition work units* (picklable, batch,
+    run-to-completion); a :class:`JobPool` runs *jobs* — opaque
+    callables submitted one at a time by a long-lived dispatcher such
+    as the CasJobs :class:`~repro.casjobs.scheduler.Scheduler`.  The
+    extra surface a service needs and a batch run does not:
+    ``submit`` returns a :class:`concurrent.futures.Future` the caller
+    can poll, and ``cancel`` is the hook for revoking work that has not
+    started (a running thread cannot be killed — the scheduler handles
+    that by abandoning the future and ignoring its eventual result).
+    """
+
+    name: str
+
+    def submit(self, fn: Callable, /, *args, **kwargs): ...
+
+    def cancel(self, future) -> bool: ...
+
+    def shutdown(self, wait: bool = True) -> None: ...
+
+
+class InlineJobPool:
+    """Run each job synchronously at submit time (the reference pool).
+
+    Deterministic single-worker execution: ``submit`` runs the callable
+    in the calling thread and returns an already-resolved Future.  The
+    scheduler on this pool reproduces ``JobQueue.drain`` ordering
+    exactly, which is what makes scheduler-driven runs comparable to
+    sequential golden runs byte for byte.
+    """
+
+    name = "sequential"
+
+    def submit(self, fn: Callable, /, *args, **kwargs):
+        from concurrent.futures import Future
+
+        future: Future = Future()
+        future.set_running_or_notify_cancel()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # noqa: BLE001 - ferried to the caller
+            future.set_exception(exc)
+        return future
+
+    def cancel(self, future) -> bool:
+        return False  # already ran
+
+    def shutdown(self, wait: bool = True) -> None:
+        pass
+
+
+class ThreadJobPool:
+    """Run jobs on a shared thread pool.
+
+    The service default: CasJobs jobs close over shared in-process
+    state (context databases, MyDBs), which threads share for free.
+    Real concurrency wherever the engine releases the GIL; correct
+    everywhere.
+    """
+
+    name = "threads"
+
+    def __init__(self, max_workers: int = 4):
+        from concurrent.futures import ThreadPoolExecutor
+
+        if max_workers <= 0:
+            raise ConfigError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = max_workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="casjobs"
+        )
+
+    def submit(self, fn: Callable, /, *args, **kwargs):
+        return self._pool.submit(fn, *args, **kwargs)
+
+    def cancel(self, future) -> bool:
+        return future.cancel()
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait, cancel_futures=True)
+
+
+class ProcessJobPool:
+    """Run jobs in worker processes.
+
+    Only for jobs that are *picklable and self-contained* — a CasJobs
+    job that mutates shared service state (MyDB spooling) must not use
+    this pool directly; the scheduler keeps finalization in the parent
+    for exactly that reason.  Exposed for callers whose jobs are pure
+    functions of their arguments (e.g. federated per-site pipelines
+    built from picklable configs).
+    """
+
+    name = "processes"
+
+    def __init__(self, max_workers: int = 4, mp_context: str | None = None):
+        from concurrent.futures import ProcessPoolExecutor
+
+        if max_workers <= 0:
+            raise ConfigError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = max_workers
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        self._pool = ProcessPoolExecutor(
+            max_workers=max_workers,
+            mp_context=multiprocessing.get_context(mp_context),
+        )
+
+    def submit(self, fn: Callable, /, *args, **kwargs):
+        return self._pool.submit(fn, *args, **kwargs)
+
+    def cancel(self, future) -> bool:
+        return future.cancel()
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait, cancel_futures=True)
+
+
+def resolve_job_pool(
+    spec: "str | JobPool", max_workers: int = 4
+) -> "JobPool":
+    """Accept a pool name or instance; return the instance.
+
+    Names map to default-configured pools: ``"sequential"`` (inline),
+    ``"threads"``, ``"processes"``.  Anything with the
+    :class:`JobPool` surface passes through untouched.
+    """
+    if isinstance(spec, str):
+        if spec == "sequential":
+            return InlineJobPool()
+        if spec == "threads":
+            return ThreadJobPool(max_workers=max_workers)
+        if spec == "processes":
+            return ProcessJobPool(max_workers=max_workers)
+        raise ConfigError(
+            f"unknown job pool '{spec}'; expected one of {BACKEND_NAMES} "
+            f"or a JobPool instance"
+        )
+    if all(hasattr(spec, a) for a in ("submit", "cancel", "shutdown")):
+        return spec
+    raise ConfigError(
+        f"pool must be a name or a JobPool, got {type(spec).__name__}"
+    )
+
+
 def default_worker_count(n_units: int) -> int:
     """Workers to use when the caller does not say: min(units, cores)."""
     return max(1, min(n_units, os.cpu_count() or 1))

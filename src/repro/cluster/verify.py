@@ -117,6 +117,71 @@ def members_identical(left: MemberTable, right: MemberTable) -> bool:
     )
 
 
+#: Columns fingerprinted per catalog (order matters: it is hashed).
+_FINGERPRINT_COLUMNS = ("objid", "ra", "dec", "z", "i", "ngal", "chi2")
+
+
+def run_fingerprint(
+    candidates: CandidateCatalog,
+    clusters: CandidateCatalog,
+    members: MemberTable,
+) -> dict[str, object]:
+    """A compact, exact fingerprint of one MaxBCG answer.
+
+    Counts plus a SHA-256 over the raw little-endian bytes of every
+    column — byte-identity, not approximate equality, in a form small
+    enough to commit as a golden file.  Members are sorted by
+    (cluster, galaxy) first so the fingerprint is insensitive to
+    partition/completion arrival order, same as
+    :func:`members_identical`.
+    """
+    import hashlib
+
+    def _catalog_digest(catalog: CandidateCatalog) -> str:
+        digest = hashlib.sha256()
+        for column in _FINGERPRINT_COLUMNS:
+            array = np.ascontiguousarray(getattr(catalog, column))
+            digest.update(array.astype(array.dtype.newbyteorder("<")).tobytes())
+        return digest.hexdigest()
+
+    ordered = _sorted_members(members)
+    member_digest = hashlib.sha256()
+    for array in (ordered.cluster_objid, ordered.galaxy_objid, ordered.distance):
+        array = np.ascontiguousarray(array)
+        member_digest.update(array.astype(array.dtype.newbyteorder("<")).tobytes())
+
+    return {
+        "n_candidates": int(len(candidates)),
+        "n_clusters": int(len(clusters)),
+        "n_members": int(len(members)),
+        "candidates_sha256": _catalog_digest(candidates),
+        "clusters_sha256": _catalog_digest(clusters),
+        "members_sha256": member_digest.hexdigest(),
+    }
+
+
+def assert_matches_golden(
+    fingerprint: Mapping[str, object],
+    golden: Mapping[str, object],
+    label: str = "run",
+) -> None:
+    """Raise :class:`PartitionError` on any golden-fingerprint drift.
+
+    The error names every divergent field — a count drift and a digest
+    drift point at very different bugs.
+    """
+    divergent = [
+        f"{key}: got {fingerprint.get(key)!r}, golden {expected!r}"
+        for key, expected in golden.items()
+        if fingerprint.get(key) != expected
+    ]
+    if divergent:
+        raise PartitionError(
+            f"{label} diverged from the golden fingerprint — "
+            + "; ".join(divergent)
+        )
+
+
 def assert_backends_equivalent(
     results: Mapping[str, "ClusterRunResult"],
     reference: str = "sequential",

@@ -91,3 +91,22 @@ class ClusterExecutionError(ReproError):
 
 class CasJobsError(ReproError):
     """CasJobs job management error (unknown job, permission denied, ...)."""
+
+
+class QueueFullError(CasJobsError):
+    """The service shed the submission: queue depth is past high water.
+
+    Raised at *admission* time, before a job is created — the CasJobs
+    answer to overload is to refuse new work early rather than let the
+    backlog grow without bound.  Carries ``depth`` and ``high_water``
+    so callers can report or back off.
+    """
+
+    def __init__(self, message: str, depth: int = 0, high_water: int = 0):
+        super().__init__(message)
+        self.depth = depth
+        self.high_water = high_water
+
+
+class QuotaExceededError(CasJobsError):
+    """A MyDB storage quota would be (or was) exceeded."""

@@ -118,3 +118,144 @@ class TestViews:
         assert JobStatus.CANCELLED.is_terminal
         assert not JobStatus.SUBMITTED.is_terminal
         assert not JobStatus.EXECUTING.is_terminal
+
+
+class TestTransitionEdgeCases:
+    """The explicit transition API the scheduler drives."""
+
+    def test_take_claims_fifo_and_stamps_attempt(self, queue):
+        first = queue.submit("alice", "a", "dr1")
+        queue.submit("bob", "b", "dr1")
+        taken = queue.take()
+        assert taken.job_id == first.job_id
+        assert taken.status is JobStatus.EXECUTING
+        assert taken.attempts == 1
+        assert taken.started_at is not None
+
+    def test_take_honors_queue_class(self, queue):
+        queue.submit("alice", "slow", "dr1", queue_class=QueueClass.LONG)
+        quick = queue.submit("bob", "fast", "dr1",
+                             queue_class=QueueClass.QUICK)
+        taken = queue.take(queue_class=QueueClass.QUICK)
+        assert taken.job_id == quick.job_id
+        assert queue.take(queue_class=QueueClass.QUICK) is None
+
+    def test_ineligible_jobs_keep_their_position(self, queue):
+        blocked = queue.submit("alice", "a", "dr1")
+        other = queue.submit("bob", "b", "dr1")
+        taken = queue.take(eligible=lambda j: j.owner != "alice")
+        assert taken.job_id == other.job_id
+        # alice's job was skipped, not dropped: still first in line
+        queue.finish(other.job_id, None)
+        assert queue.take().job_id == blocked.job_id
+
+    def test_cancelled_jobs_leave_the_pending_deque(self, queue):
+        doomed = queue.submit("alice", "a", "dr1")
+        queue.cancel(doomed.job_id)
+        assert queue.pending_count() == 0  # removed eagerly, not lazily
+        assert queue.take() is None
+
+    def test_requeue_resets_attempt_timestamps(self, queue):
+        job = queue.submit("alice", "a", "dr1")
+        queue.take()
+        first_queued_at = job.queued_at
+        queue.requeue(job.job_id, "timed out")
+        assert job.status is JobStatus.SUBMITTED
+        assert job.started_at is None and job.finished_at is None
+        assert job.result is None
+        assert job.attempts == 1  # history survives the reset
+        assert job.error == "timed out"
+        assert job.queued_at >= first_queued_at
+        assert job.run_seconds is None
+
+    def test_requeue_goes_to_the_back_of_the_class_queue(self, queue):
+        job = queue.submit("alice", "a", "dr1")
+        queue.take()
+        waiting = queue.submit("bob", "b", "dr1")
+        queue.requeue(job.job_id, "timeout")
+        # the retry must not jump ahead of work that never misbehaved
+        assert queue.take().job_id == waiting.job_id
+        queue.finish(waiting.job_id, None)
+        assert queue.take().job_id == job.job_id
+
+    def test_requeue_then_take_counts_second_attempt(self, queue):
+        job = queue.submit("alice", "a", "dr1")
+        queue.take()
+        queue.requeue(job.job_id, "timeout")
+        retaken = queue.take()
+        assert retaken.job_id == job.job_id
+        assert retaken.attempts == 2
+
+    def test_transitions_require_executing(self, queue):
+        job = queue.submit("alice", "a", "dr1")
+        for move in (
+            lambda: queue.finish(job.job_id, None),
+            lambda: queue.fail(job.job_id, "boom"),
+            lambda: queue.requeue(job.job_id, "boom"),
+        ):
+            with pytest.raises(CasJobsError, match="not executing"):
+                move()
+
+    def test_finished_job_rejects_further_transitions(self, queue):
+        job = queue.submit("alice", "a", "dr1")
+        queue.take()
+        queue.finish(job.job_id, 42)
+        with pytest.raises(CasJobsError, match="not executing"):
+            queue.fail(job.job_id, "late failure")
+
+
+class TestTimingViews:
+    def test_run_seconds_none_before_start(self, queue):
+        job = queue.submit("alice", "a", "dr1")
+        assert job.run_seconds is None
+        assert job.queue_seconds is None
+
+    def test_run_seconds_elapsed_while_executing(self, queue):
+        """An in-flight job reports time-so-far, not None (the old bug)."""
+        job = queue.submit("alice", "a", "dr1")
+        queue.take()
+        time.sleep(0.02)
+        first = job.run_seconds
+        assert first is not None and first >= 0.02
+        time.sleep(0.01)
+        assert job.run_seconds > first  # still ticking
+
+    def test_run_seconds_frozen_after_finish(self, queue):
+        job = queue.submit("alice", "a", "dr1")
+        queue.take()
+        queue.finish(job.job_id, None)
+        frozen = job.run_seconds
+        time.sleep(0.01)
+        assert job.run_seconds == frozen
+
+    def test_queue_seconds_measures_latest_attempt(self, queue):
+        job = queue.submit("alice", "a", "dr1")
+        queue.take()
+        queue.requeue(job.job_id, "timeout")
+        time.sleep(0.02)
+        queue.take()
+        assert job.queue_seconds == pytest.approx(
+            job.started_at - job.queued_at
+        )
+        assert job.queue_seconds < 0.5  # the first attempt's wait is excluded
+
+
+class TestCounts:
+    def test_pending_count_per_class(self, queue):
+        queue.submit("alice", "a", "dr1", queue_class=QueueClass.QUICK)
+        queue.submit("bob", "b", "dr1", queue_class=QueueClass.LONG)
+        queue.submit("carol", "c", "dr1", queue_class=QueueClass.LONG)
+        assert queue.pending_count() == 3
+        assert queue.pending_count(QueueClass.QUICK) == 1
+        assert queue.pending_count(QueueClass.LONG) == 2
+
+    def test_executing_count_per_owner(self, queue):
+        queue.submit("alice", "a", "dr1")
+        queue.submit("alice", "b", "dr1")
+        queue.submit("bob", "c", "dr1")
+        queue.take()
+        queue.take()
+        queue.take()
+        assert queue.executing_count() == 3
+        assert queue.executing_count("alice") == 2
+        assert queue.executing_count("mallory") == 0

@@ -1,0 +1,136 @@
+"""Golden-run regression: the seeded MaxBCG answer, pinned byte-for-byte.
+
+``tests/golden/maxbcg_2server_seed42.json`` holds the SHA-256
+fingerprint (:func:`repro.cluster.verify.run_fingerprint`) of one fully
+seeded end-to-end run: the session sky (seed 42), ``fast_config()``,
+two partitions.  Every execution path must keep reproducing it exactly:
+
+* ``run_partitioned`` on the sequential backend (the reference);
+* the thread backend, checked two ways — byte-identity against the
+  sequential run via :func:`assert_backends_equivalent` AND against the
+  committed golden file, so a bug that shifts *both* backends together
+  still trips the alarm;
+* the scheduler-driven federation of CasJobs sites, on both the
+  sequential and the thread job pool.
+
+If an intentional algorithm change moves the numbers, regenerate with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_maxbcg.py
+
+and commit the diff — the point is that drift is always a decision,
+never an accident.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.casjobs.federation import DataGridFederation
+from repro.casjobs.scheduler import SchedulerConfig
+from repro.cluster.executor import run_partitioned
+from repro.cluster.verify import (
+    assert_backends_equivalent,
+    assert_matches_golden,
+    run_fingerprint,
+)
+from repro.errors import PartitionError
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "maxbcg_2server_seed42.json"
+N_SERVERS = 2
+
+
+def load_golden() -> dict:
+    golden = json.loads(GOLDEN_PATH.read_text())
+    golden.pop("description", None)
+    return golden
+
+
+@pytest.fixture(scope="module")
+def runs(sky, target_region, kcorr, config):
+    """The same seeded workload through both execution backends."""
+    return {
+        backend: run_partitioned(
+            sky.catalog, target_region, kcorr, config,
+            n_servers=N_SERVERS, backend=backend,
+        )
+        for backend in ("sequential", "threads")
+    }
+
+
+@pytest.fixture(scope="module")
+def federation_fingerprints(sky, target_region, kcorr, config):
+    """Scheduler-driven federated runs on both job pools."""
+    fingerprints = {}
+    for pool in ("sequential", "threads"):
+        federation = DataGridFederation(kcorr, config)
+        federation.deploy_sites(["fermilab", "jhu"], sky.catalog, target_region)
+        report = federation.submit_maxbcg(
+            scheduler_config=SchedulerConfig(pool=pool, max_workers=N_SERVERS)
+        )
+        fingerprints[pool] = run_fingerprint(
+            report.candidates, report.clusters, report.members
+        )
+    return fingerprints
+
+
+def test_regenerate_golden_if_requested(runs):
+    """With REPRO_REGEN_GOLDEN=1, rewrite the fixture from the sequential run."""
+    if not os.environ.get("REPRO_REGEN_GOLDEN"):
+        pytest.skip("set REPRO_REGEN_GOLDEN=1 to regenerate the golden file")
+    result = runs["sequential"]
+    fingerprint = run_fingerprint(result.candidates, result.clusters,
+                                  result.members)
+    payload = {
+        "description": (
+            "Golden MaxBCG fingerprint: fast_config(), sky seed 42 "
+            "(field_density=700, cluster_density=9), target "
+            "RegionBox(180, 182, 0, 2), 2 servers/sites. Regenerate with "
+            "REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest "
+            "tests/test_golden_maxbcg.py"
+        ),
+        **fingerprint,
+    }
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def test_sequential_matches_golden(runs):
+    result = runs["sequential"]
+    fingerprint = run_fingerprint(result.candidates, result.clusters,
+                                  result.members)
+    assert_matches_golden(fingerprint, load_golden(), label="sequential run")
+
+
+def test_thread_backend_matches_sequential_and_golden(runs):
+    assert_backends_equivalent(runs)
+    result = runs["threads"]
+    fingerprint = run_fingerprint(result.candidates, result.clusters,
+                                  result.members)
+    assert_matches_golden(fingerprint, load_golden(), label="thread backend")
+
+
+@pytest.mark.parametrize("pool", ["sequential", "threads"])
+def test_federation_matches_golden(federation_fingerprints, pool):
+    """The CasJobs-scheduler route reproduces the partitioned answer."""
+    assert_matches_golden(
+        federation_fingerprints[pool], load_golden(),
+        label=f"federated run ({pool} pool)",
+    )
+
+
+def test_federation_pools_agree(federation_fingerprints):
+    assert (federation_fingerprints["sequential"]
+            == federation_fingerprints["threads"])
+
+
+def test_golden_drift_is_loud(runs):
+    """A single flipped count must name the divergent field."""
+    result = runs["sequential"]
+    fingerprint = run_fingerprint(result.candidates, result.clusters,
+                                  result.members)
+    tampered = {**load_golden(), "n_clusters": -1}
+    with pytest.raises(PartitionError, match="n_clusters"):
+        assert_matches_golden(fingerprint, tampered, label="tampered")
