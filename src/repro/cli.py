@@ -9,6 +9,9 @@ writing Python:
 * ``repro sql``        — execute a SQL script against a demo database
   with the MaxBCG application installed;
 * ``repro analyze``    — EXPLAIN ANALYZE a SELECT on that database;
+* ``repro explain``    — show a SELECT's plan with optimizer row
+  estimates; ``--analyze`` also executes it and reports per-operator
+  est vs actual rows and q-error;
 * ``repro workloads``  — list the benchmark workloads;
 * ``repro casjobs``    — the multi-user batch service: ``serve`` a
   heavy-traffic demo workload through the scheduler, ``submit`` one
@@ -100,6 +103,21 @@ def _build_parser() -> argparse.ArgumentParser:
     add_common(analyze_p)
     analyze_p.add_argument("-e", "--execute", required=True,
                            help="SELECT statement to analyze")
+
+    explain_p = sub.add_parser(
+        "explain",
+        help="show a SELECT's plan (with row estimates) on the demo database",
+    )
+    add_common(explain_p)
+    explain_p.add_argument("sql", help="SELECT statement to plan")
+    explain_p.add_argument("--analyze", action="store_true",
+                           help="also execute and report est vs actual rows "
+                           "with per-operator q-error")
+    explain_p.add_argument("--optimizer", choices=("cost", "syntactic"),
+                           default="cost", help="planner mode")
+    explain_p.add_argument("--no-stats", action="store_true",
+                           help="skip the ANALYZE pass (plan without "
+                           "statistics)")
 
     sub.add_parser("workloads", help="list the benchmark workloads")
 
@@ -269,22 +287,43 @@ def cmd_sql(args) -> int:
     return 0
 
 
-def cmd_analyze(args) -> int:
+def _demo_database(args):
+    """The demo catalog: MaxBCG installed, galaxies imported and zoned."""
     from repro.core.procedures import install_maxbcg
     from repro.engine.database import Database
-    from repro.engine.instrument import explain_analyze
 
     config, kcorr, sky = _make_sky(args)
     db = Database("cli")
     db.create_table("galaxy_source", sky.catalog.as_columns(),
                     primary_key="objid")
-    app = install_maxbcg(db, kcorr, config)
+    install_maxbcg(db, kcorr, config)
     box = args.target.expand(2 * config.buffer_deg)
     db.sql(f"EXEC spImportGalaxy {box.ra_min}, {box.ra_max}, "
            f"{box.dec_min}, {box.dec_max}")
     db.sql("EXEC spZone")
+    return db
+
+
+def cmd_analyze(args) -> int:
+    from repro.engine.instrument import explain_analyze
+
+    db = _demo_database(args)
     report = explain_analyze(db, args.execute)
     print(report.render())
+    return 0
+
+
+def cmd_explain(args) -> int:
+    db = _demo_database(args)
+    if not args.no_stats:
+        db.sql("ANALYZE")
+    if not args.analyze:
+        print(db.explain(args.sql, optimizer=args.optimizer))
+        return 0
+    report = db.explain_analyze(args.sql, optimizer=args.optimizer)
+    print(report.render())
+    print()
+    print(report.quality_report().render())
     return 0
 
 
@@ -378,6 +417,7 @@ COMMANDS = {
     "compare": cmd_compare,
     "sql": cmd_sql,
     "analyze": cmd_analyze,
+    "explain": cmd_explain,
     "workloads": cmd_workloads,
     "casjobs": cmd_casjobs,
 }

@@ -167,7 +167,13 @@ class MaxBCGSqlApplication:
 
     def _sp_zone(self, db: Database):
         """``spZone``: sort Galaxy into zone order, build the clustered
-        index, and cache the in-memory zone structure."""
+        index, and cache the in-memory zone structure.
+
+        Also materializes the ``Zone`` table — (objid, zoneid, ra, dec)
+        clustered on (zoneid, ra) — so declarative zone joins have an
+        index-backed access path, exactly the structure the paper's
+        set-oriented rewrite exploits.
+        """
         galaxy = db.table("galaxy")
         catalog = GalaxyCatalog.from_columns(galaxy.columns_dict())
         index = ZoneIndex(catalog.ra, catalog.dec, self.config.zone_height_deg)
@@ -178,6 +184,14 @@ class MaxBCGSqlApplication:
         self._index = ZoneIndex(
             sorted_catalog.ra, sorted_catalog.dec, self.config.zone_height_deg
         )
+        db.drop_table("zone", if_exists=True)
+        db.create_table("zone", {
+            "objid": sorted_catalog.objid,
+            "zoneid": self._index.zone,
+            "ra": self._index.ra,
+            "dec": self._index.dec,
+        }, primary_key="objid")
+        db.create_clustered_index("zone", "zoneid", "ra")
         return galaxy.row_count
 
     def _sp_make_candidates(self, db: Database, min_ra, max_ra, min_dec, max_dec):

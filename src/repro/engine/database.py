@@ -43,8 +43,19 @@ class TableFunction:
 class Database:
     """A single-node database instance."""
 
-    def __init__(self, name: str = "db", pool_pages: int = DEFAULT_POOL_PAGES):
+    def __init__(
+        self,
+        name: str = "db",
+        pool_pages: int = DEFAULT_POOL_PAGES,
+        optimizer: str = "cost",
+    ):
+        if optimizer not in ("cost", "syntactic"):
+            raise EngineError(
+                f"unknown optimizer mode '{optimizer}'; "
+                "expected 'cost' or 'syntactic'"
+            )
         self.name = name
+        self.optimizer_mode = optimizer
         self.pool = BufferPool(pool_pages)
         self._tables: dict[str, Table] = {}
         self._clustered: dict[str, ClusteredIndex] = {}
@@ -230,17 +241,19 @@ class Database:
         """Execute a ';'-separated script, returning per-statement results."""
         return [self._executor.execute(stmt) for stmt in parse_script(text)]
 
-    def explain_analyze(self, text: str):
+    def explain_analyze(self, text: str, optimizer: str | None = None):
         """Execute a SELECT with per-operator instrumentation.
 
         Returns an :class:`~repro.engine.instrument.AnalyzeReport` whose
-        ``render()`` shows rows/time/I/O per plan node.
+        ``render()`` shows rows/time/I/O and estimated-vs-actual q-error
+        per plan node.  ``optimizer`` overrides the database's mode for
+        this one statement.
         """
         from repro.engine.instrument import explain_analyze
 
-        return explain_analyze(self, text)
+        return explain_analyze(self, text, optimizer=optimizer)
 
-    def explain(self, text: str) -> str:
+    def explain(self, text: str, optimizer: str | None = None) -> str:
         """Plan a SELECT and return the operator tree as text."""
         from repro.engine.sql.ast import SelectStatement
         from repro.engine.sql.planner import Planner
@@ -248,7 +261,29 @@ class Database:
         stmt = parse(text)
         if not isinstance(stmt, SelectStatement):
             raise EngineError("EXPLAIN supports SELECT statements only")
-        return Planner(self).plan_select(stmt).explain()
+        return Planner(self, optimizer).plan_select(stmt).explain()
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def analyze(self, table_name: str | None = None) -> list[str]:
+        """Collect optimizer statistics (``ANALYZE [table]`` in SQL).
+
+        Builds row counts, per-column NDV/min/max/null-fraction and
+        equi-depth histograms for one table — or, with no argument, for
+        every table in the catalog — and attaches them as
+        ``table.stats``.  Returns the names of the analyzed tables.
+        """
+        from repro.engine.optimizer.statistics import build_table_stats
+
+        if table_name is not None:
+            names = [self.table(table_name).name]
+        else:
+            names = self.table_names()
+        for name in names:
+            table = self.table(name)
+            table.stats = build_table_stats(table)
+        return [n.lower() for n in names]
 
     # ------------------------------------------------------------------
     @property

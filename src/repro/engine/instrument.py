@@ -20,6 +20,11 @@ from dataclasses import dataclass, field
 
 from repro.engine.expressions import Batch, batch_length
 from repro.engine.operators import PlanNode
+from repro.engine.optimizer.quality import (
+    NodeQuality,
+    PlanQualityReport,
+    q_error,
+)
 from repro.engine.stats import IOCounters
 from repro.errors import EngineError
 
@@ -34,13 +39,27 @@ class NodeStats:
     inclusive_s: float = 0.0
     io_total: int = 0
     calls: int = 0
+    est_rows: float | None = None
+
+    @property
+    def q_error(self) -> float | None:
+        """Estimated-vs-actual error, once the node has executed."""
+        if self.calls == 0:
+            return None
+        return q_error(self.est_rows, self.rows)
 
     @property
     def line(self) -> str:
         pad = "  " * self.depth
-        return (f"{pad}{self.description}  "
-                f"[rows={self.rows:,} time={self.inclusive_s * 1e3:.2f}ms "
-                f"io={self.io_total:,}]")
+        measured = (f"rows={self.rows:,} time={self.inclusive_s * 1e3:.2f}ms "
+                    f"io={self.io_total:,}")
+        if self.est_rows is not None:
+            q = self.q_error
+            quality = f" est={self.est_rows:,.0f}"
+            if q is not None:
+                quality += f" q={q:.2f}"
+            measured += quality
+        return f"{pad}{self.description}  [{measured}]"
 
 
 @dataclass
@@ -67,6 +86,27 @@ class AnalyzeReport:
             if substring in node.description:
                 return node
         raise EngineError(f"no plan node matching '{substring}'")
+
+    # ------------------------------------------------------------------
+    # plan quality (q-error) accounting
+    # ------------------------------------------------------------------
+    def quality_report(self) -> PlanQualityReport:
+        """Estimated-vs-actual report over every node with an estimate."""
+        return PlanQualityReport(nodes=tuple(
+            NodeQuality(
+                description=node.description,
+                depth=node.depth,
+                est_rows=node.est_rows,
+                actual_rows=node.rows,
+            )
+            for node in self.nodes
+            if node.est_rows is not None and node.calls > 0
+        ))
+
+    @property
+    def max_q_error(self) -> float:
+        """Worst per-operator q-error of the run (1.0 = all perfect)."""
+        return self.quality_report().max_q_error
 
 
 class _Instrumented(PlanNode):
@@ -110,7 +150,10 @@ def instrument_plan(
     records: list[NodeStats] = []
 
     def wrap(node: PlanNode, depth: int) -> PlanNode:
-        stats = NodeStats(description=node._describe(), depth=depth)
+        # capture est_rows here: dataclasses.replace below would lose the
+        # instance attribute the annotation pass stamped on.
+        stats = NodeStats(description=node._describe(), depth=depth,
+                          est_rows=node.est_rows)
         records.append(stats)
         if dataclasses.is_dataclass(node):
             replacements = {}
@@ -125,11 +168,14 @@ def instrument_plan(
     return wrap(plan, 0), records
 
 
-def explain_analyze(database, sql_text: str) -> AnalyzeReport:
+def explain_analyze(
+    database, sql_text: str, optimizer: str | None = None
+) -> AnalyzeReport:
     """Plan, instrument and execute a SELECT; return the measured tree.
 
     Inclusive timings: each node's time contains its children's (the
-    familiar EXPLAIN ANALYZE convention).
+    familiar EXPLAIN ANALYZE convention).  ``optimizer`` overrides the
+    database's planner mode for this statement.
     """
     from repro.engine.sql.ast import SelectStatement
     from repro.engine.sql.parser import parse
@@ -138,7 +184,7 @@ def explain_analyze(database, sql_text: str) -> AnalyzeReport:
     stmt = parse(sql_text)
     if not isinstance(stmt, SelectStatement):
         raise EngineError("explain_analyze supports SELECT statements only")
-    plan = Planner(database).plan_select(stmt)
+    plan = Planner(database, optimizer).plan_select(stmt)
     wrapped, records = instrument_plan(plan, database.pool.counters)
     started = time.perf_counter()
     result = wrapped.execute()

@@ -35,12 +35,20 @@ def empty_like(batch: Batch) -> Batch:
 class PlanNode:
     """Base class of executable plan nodes."""
 
+    #: Optimizer row estimate, stamped by ``annotate_plan`` after
+    #: planning.  A class attribute so the operator dataclasses keep
+    #: their positional constructors; instances overwrite it in place.
+    est_rows: float | None = None
+
     def execute(self) -> Batch:
         raise NotImplementedError
 
     def explain(self, depth: int = 0) -> str:
         """Indented plan description (the engine's EXPLAIN output)."""
-        lines = ["  " * depth + self._describe()]
+        line = "  " * depth + self._describe()
+        if self.est_rows is not None:
+            line += f"  [est={self.est_rows:.0f} rows]"
+        lines = [line]
         for child in self._children():
             lines.append(child.explain(depth + 1))
         return "\n".join(lines)
@@ -54,10 +62,16 @@ class PlanNode:
 
 @dataclass
 class SeqScan(PlanNode):
-    """Full table scan; qualifies columns with the alias."""
+    """Full table scan; qualifies columns with the alias.
+
+    ``reason`` records *why* the planner fell back to a scan when an
+    index existed (e.g. an OR predicate on the leading key) so EXPLAIN
+    surfaces missed access paths instead of hiding them.
+    """
 
     table: Table
     alias: str
+    reason: str | None = None
 
     def execute(self) -> Batch:
         raw = self.table.scan()
@@ -65,7 +79,10 @@ class SeqScan(PlanNode):
         return {f"{prefix}.{name}": arr for name, arr in raw.items()}
 
     def _describe(self) -> str:
-        return f"SeqScan({self.table.name} AS {self.alias})"
+        base = f"SeqScan({self.table.name} AS {self.alias})"
+        if self.reason:
+            base += f" [{self.reason}]"
+        return base
 
 
 @dataclass

@@ -1,0 +1,55 @@
+"""Cost-based query optimization for the engine.
+
+The subsystem the paper's 40x win quietly presupposes: SQL Server beat
+the TAM pipeline because its optimizer chose early filters, set-oriented
+joins and index-aware access paths *from statistics*, not because the
+queries were hand-ordered.  This package gives our engine the same
+machinery:
+
+* :mod:`~repro.engine.optimizer.statistics` — per-table row counts and
+  per-column NDV / min / max / null-fraction / equi-depth histograms,
+  collected by ``ANALYZE <table>`` and persisted with the table;
+* :mod:`~repro.engine.optimizer.cardinality` — selectivity and
+  cardinality estimation over predicate trees and equi-joins, plus the
+  ``est_rows`` annotation pass every plan receives;
+* :mod:`~repro.engine.optimizer.cost` — the operator cost model pricing
+  TableScan vs IndexRangeScan vs hash/nested-loop joins;
+* :mod:`~repro.engine.optimizer.joinorder` — join-order search
+  (dynamic programming up to ~6 relations, greedy beyond);
+* :mod:`~repro.engine.optimizer.quality` — q-error accounting, the
+  estimated-vs-actual report EXPLAIN ANALYZE renders per operator.
+"""
+
+from repro.engine.optimizer.cardinality import (
+    CardinalityEstimator,
+    annotate_plan,
+)
+from repro.engine.optimizer.cost import CostModel
+from repro.engine.optimizer.joinorder import JoinPred, JoinRel, order_relations
+from repro.engine.optimizer.quality import (
+    NodeQuality,
+    PlanQualityReport,
+    q_error,
+)
+from repro.engine.optimizer.statistics import (
+    ColumnStats,
+    Histogram,
+    TableStats,
+    build_table_stats,
+)
+
+__all__ = [
+    "CardinalityEstimator",
+    "ColumnStats",
+    "CostModel",
+    "Histogram",
+    "JoinPred",
+    "JoinRel",
+    "NodeQuality",
+    "PlanQualityReport",
+    "TableStats",
+    "annotate_plan",
+    "build_table_stats",
+    "order_relations",
+    "q_error",
+]

@@ -1,0 +1,69 @@
+"""Plan-quality accounting: q-error, the optimizer's report card.
+
+The q-error of an operator is ``max(est/actual, actual/est)`` with both
+sides floored at one row — the standard symmetric measure of estimation
+error (1.0 is perfect; 10 means an order of magnitude off in either
+direction).  EXPLAIN ANALYZE renders it per operator, and
+:class:`PlanQualityReport` aggregates the worst offenders so a golden
+run can pin "no node is more than X× off" in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def q_error(est: float | None, actual: float) -> float | None:
+    """Symmetric estimation error; ``None`` when no estimate exists."""
+    if est is None:
+        return None
+    e = max(float(est), 1.0)
+    a = max(float(actual), 1.0)
+    return max(e / a, a / e)
+
+
+@dataclass(frozen=True)
+class NodeQuality:
+    """One operator's estimate vs. what actually flowed through it."""
+
+    description: str
+    depth: int
+    est_rows: float
+    actual_rows: int
+
+    @property
+    def q(self) -> float:
+        return q_error(self.est_rows, self.actual_rows)
+
+    @property
+    def line(self) -> str:
+        pad = "  " * self.depth
+        return (
+            f"{pad}{self.description}: est={self.est_rows:.0f} "
+            f"actual={self.actual_rows} q={self.q:.2f}"
+        )
+
+
+@dataclass(frozen=True)
+class PlanQualityReport:
+    """All instrumented operators that carried an estimate."""
+
+    nodes: tuple[NodeQuality, ...]
+
+    @property
+    def max_q_error(self) -> float:
+        if not self.nodes:
+            return 1.0
+        return max(node.q for node in self.nodes)
+
+    def worst(self, k: int = 3) -> list[NodeQuality]:
+        """The ``k`` operators with the largest q-error, worst first."""
+        ranked = sorted(self.nodes, key=lambda n: (-n.q, n.depth))
+        return ranked[:k]
+
+    def render(self) -> str:
+        if not self.nodes:
+            return "plan quality: no estimates recorded"
+        lines = [f"plan quality: max q-error {self.max_q_error:.2f}"]
+        lines.extend(node.line for node in self.nodes)
+        return "\n".join(lines)

@@ -1,0 +1,207 @@
+"""Table statistics: the raw material of cardinality estimation.
+
+``ANALYZE <table>`` builds one :class:`TableStats` per table — a row
+count plus, per column, the number of distinct values (NDV), min/max,
+the null fraction and (for numeric columns) an equi-depth histogram.
+Statistics are *estimates by design*: they describe the table at
+ANALYZE time and survive later DML untouched, exactly like a real
+engine's, so plans stay stable until the DBA re-analyzes.
+
+Everything here is JSON-serializable so :mod:`repro.engine.storage`
+can persist stats next to the table's ``.npz``/``.schema`` files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Default number of equi-depth histogram buckets.
+DEFAULT_BUCKETS = 32
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Equi-depth histogram: piecewise-linear CDF over bucket bounds.
+
+    ``bounds`` holds ``B + 1`` ascending quantile values; ``depths``
+    the row count landing in each of the ``B`` buckets.  Range
+    selectivity interpolates linearly inside a bucket — the classic
+    uniformity-within-bucket assumption.
+    """
+
+    bounds: tuple[float, ...]
+    depths: tuple[int, ...]
+
+    @property
+    def total(self) -> int:
+        return int(sum(self.depths))
+
+    def _cdf(self, value: float) -> float:
+        """Rows with ``column <= value`` (interpolated)."""
+        bounds = np.asarray(self.bounds, dtype=np.float64)
+        cumulative = np.concatenate([[0.0], np.cumsum(self.depths)])
+        if value <= bounds[0]:
+            return 0.0
+        if value >= bounds[-1]:
+            return float(cumulative[-1])
+        return float(np.interp(value, bounds, cumulative))
+
+    def fraction_between(self, lo: float | None, hi: float | None) -> float:
+        """Fraction of (non-null) rows with ``lo <= column <= hi``.
+
+        ``None`` on either end means unbounded.  BETWEEN is inclusive,
+        and the interpolation cannot see individual values, so the
+        result is the CDF difference clamped to [0, 1].
+        """
+        total = self.total
+        if total == 0:
+            return 0.0
+        low = 0.0 if lo is None else self._cdf(float(lo))
+        high = float(total) if hi is None else self._cdf(float(hi))
+        return float(min(max((high - low) / total, 0.0), 1.0))
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """One column's ANALYZE output."""
+
+    name: str
+    n_rows: int
+    n_null: int
+    ndv: int
+    min_value: object | None
+    max_value: object | None
+    histogram: Histogram | None = None
+
+    @property
+    def null_fraction(self) -> float:
+        if self.n_rows == 0:
+            return 0.0
+        return self.n_null / self.n_rows
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Statistics for one table, as of its last ANALYZE."""
+
+    table: str
+    row_count: int
+    columns: dict[str, ColumnStats]
+
+    def column(self, name: str) -> ColumnStats | None:
+        return self.columns.get(name.lower())
+
+
+# ----------------------------------------------------------------------
+# building
+# ----------------------------------------------------------------------
+def _column_stats(
+    name: str, values: np.ndarray, buckets: int
+) -> ColumnStats:
+    values = np.asarray(values)
+    n_rows = int(values.size)
+    numeric = values.dtype.kind in ("i", "u", "f", "b")
+    if numeric:
+        as_float = values.astype(np.float64, copy=False)
+        null_mask = np.isnan(as_float)
+        present = values[~null_mask]
+    else:
+        null_mask = np.asarray([v is None for v in values.tolist()])
+        present = values[~null_mask]
+    n_null = int(null_mask.sum())
+
+    if present.size == 0:
+        return ColumnStats(name, n_rows, n_null, 0, None, None, None)
+
+    distinct = np.unique(present)
+    ndv = int(distinct.size)
+    if numeric:
+        lo, hi = float(present.min()), float(present.max())
+    else:
+        ordered = sorted(str(v) for v in present.tolist())
+        lo, hi = ordered[0], ordered[-1]
+
+    histogram = None
+    if numeric and ndv > 1:
+        n_buckets = int(min(buckets, ndv))
+        quantiles = np.linspace(0.0, 1.0, n_buckets + 1)
+        bounds = np.quantile(present.astype(np.float64), quantiles)
+        # collapse duplicate bounds produced by heavy values
+        bounds = np.maximum.accumulate(bounds)
+        ordered_values = np.sort(present.astype(np.float64))
+        positions = np.searchsorted(ordered_values, bounds, side="right")
+        positions[0] = 0
+        positions[-1] = ordered_values.size
+        depths = np.diff(positions)
+        histogram = Histogram(
+            bounds=tuple(float(b) for b in bounds),
+            depths=tuple(int(d) for d in depths),
+        )
+    return ColumnStats(name, n_rows, n_null, ndv, lo, hi, histogram)
+
+
+def build_table_stats(table, buckets: int = DEFAULT_BUCKETS) -> TableStats:
+    """ANALYZE one engine table (reads arrays directly, no page I/O —
+    statistics gathering samples memory structures, like DBCC does)."""
+    columns: dict[str, ColumnStats] = {}
+    for column in table.schema.columns:
+        key = column.name.lower()
+        columns[key] = _column_stats(key, table.column(key), buckets)
+    return TableStats(
+        table=table.name.lower(),
+        row_count=table.row_count,
+        columns=columns,
+    )
+
+
+# ----------------------------------------------------------------------
+# (de)serialization — storage.py persists these next to the table
+# ----------------------------------------------------------------------
+def stats_to_json(stats: TableStats) -> dict:
+    return {
+        "table": stats.table,
+        "row_count": stats.row_count,
+        "columns": {
+            name: {
+                "n_rows": c.n_rows,
+                "n_null": c.n_null,
+                "ndv": c.ndv,
+                "min": c.min_value,
+                "max": c.max_value,
+                "histogram": (
+                    None if c.histogram is None else {
+                        "bounds": list(c.histogram.bounds),
+                        "depths": list(c.histogram.depths),
+                    }
+                ),
+            }
+            for name, c in stats.columns.items()
+        },
+    }
+
+
+def stats_from_json(payload: dict) -> TableStats:
+    columns: dict[str, ColumnStats] = {}
+    for name, c in payload["columns"].items():
+        histogram = None
+        if c.get("histogram") is not None:
+            histogram = Histogram(
+                bounds=tuple(c["histogram"]["bounds"]),
+                depths=tuple(c["histogram"]["depths"]),
+            )
+        columns[name] = ColumnStats(
+            name=name,
+            n_rows=c["n_rows"],
+            n_null=c["n_null"],
+            ndv=c["ndv"],
+            min_value=c["min"],
+            max_value=c["max"],
+            histogram=histogram,
+        )
+    return TableStats(
+        table=payload["table"],
+        row_count=payload["row_count"],
+        columns=columns,
+    )

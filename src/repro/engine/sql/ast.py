@@ -167,6 +167,16 @@ class ExecStatement:
     arguments: tuple[Expr, ...] = ()
 
 
+@dataclass(frozen=True)
+class AnalyzeStatement:
+    """``ANALYZE [table]`` — collect optimizer statistics.
+
+    With no table, analyzes every table in the catalog.
+    """
+
+    table: str | None = None
+
+
 Statement = (
     SelectStatement
     | CreateTableStatement
@@ -178,5 +188,6 @@ Statement = (
     | CreateViewStatement
     | DropViewStatement
     | ExecStatement
+    | AnalyzeStatement
     | UnionStatement
 )

@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.engine.expressions import Batch, batch_length
 from repro.engine.sql.ast import (
+    AnalyzeStatement,
     CreateTableStatement,
     CreateViewStatement,
     DeleteStatement,
@@ -112,9 +113,23 @@ class Executor:
             return QueryResult()
         if isinstance(stmt, ExecStatement):
             return self._exec(stmt)
+        if isinstance(stmt, AnalyzeStatement):
+            return self._analyze(stmt)
         if isinstance(stmt, UnionStatement):
             return self._union(stmt)
         raise SqlPlanError(f"unsupported statement {type(stmt).__name__}")
+
+    def _analyze(self, stmt: AnalyzeStatement) -> QueryResult:
+        """ANALYZE [table]: collect statistics, report what was analyzed."""
+        names = self.database.analyze(stmt.table)
+        tables = [self.database.table(name) for name in names]
+        return QueryResult(columns={
+            "table_name": np.asarray(names, dtype=object),
+            "n_rows": np.asarray([t.row_count for t in tables], dtype=np.int64),
+            "n_columns": np.asarray(
+                [len(t.schema.columns) for t in tables], dtype=np.int64
+            ),
+        })
 
     def _union(self, stmt: UnionStatement) -> QueryResult:
         """UNION ALL: concatenate branch results, aligned by position."""

@@ -2,7 +2,8 @@
 
 Statements supported: SELECT (joins, WHERE, GROUP BY, HAVING, ORDER BY,
 LIMIT, DISTINCT), CREATE TABLE, INSERT (VALUES and INSERT..SELECT),
-UPDATE, DELETE, TRUNCATE TABLE, DROP TABLE.  Expressions reuse the
+UPDATE, DELETE, TRUNCATE TABLE, DROP TABLE, ANALYZE.  Expressions reuse
+the
 engine expression nodes; aggregate calls parse as
 :class:`~repro.engine.expressions.FuncCall` nodes that the planner
 recognizes by name (``COUNT(*)`` parses as a zero-argument ``count``).
@@ -22,6 +23,7 @@ from repro.engine.expressions import (
     UnaryOp,
 )
 from repro.engine.sql.ast import (
+    AnalyzeStatement,
     ColumnDef,
     CreateTableStatement,
     CreateViewStatement,
@@ -124,6 +126,8 @@ class Parser:
             stmt = self.parse_truncate()
         elif token.is_keyword("drop"):
             stmt = self.parse_drop()
+        elif token.is_keyword("analyze"):
+            stmt = self.parse_analyze()
         else:
             raise self.error(f"unexpected token '{token.value}' at statement start")
         self.accept_punct(";")
@@ -422,6 +426,13 @@ class Parser:
         self.expect_keyword("truncate")
         self.expect_keyword("table")
         return TruncateStatement(self.expect_ident())
+
+    def parse_analyze(self) -> AnalyzeStatement:
+        """``ANALYZE [table]`` — no table means the whole catalog."""
+        self.expect_keyword("analyze")
+        if self.peek().type is TokenType.IDENT:
+            return AnalyzeStatement(self.expect_ident())
+        return AnalyzeStatement(None)
 
     def parse_drop(self) -> Statement:
         self.expect_keyword("drop")

@@ -1,7 +1,16 @@
 """Logical planning: SELECT ASTs to executable operator trees.
 
-A deliberately small optimizer with the two moves the paper credits for
-the SQL win (Section 2.6):
+Two optimizer modes:
+
+* ``"cost"`` (the default) — statistics-driven planning via
+  :mod:`repro.engine.optimizer`: per-relation cardinality estimates
+  pick access paths, and inner-join blocks are reordered by the
+  cost-based join-order search (DP up to ~6 relations, greedy beyond)
+  instead of being joined in FROM-clause order;
+* ``"syntactic"`` — the historical planner: joins in written order.
+
+Both modes share the two moves the paper credits for the SQL win
+(Section 2.6):
 
 * **early filtering** — WHERE conjuncts that mention a single relation
   are pushed below the joins onto that relation's scan;
@@ -9,6 +18,9 @@ the SQL win (Section 2.6):
   clustered-index leading key becomes an
   :class:`~repro.engine.operators.IndexRangeScan` instead of a full scan,
   and equi-join conjuncts select a hash join over a nested loop.
+
+Every finished plan — under either mode — gets an ``est_rows``
+annotation pass so EXPLAIN ANALYZE can report per-operator q-error.
 
 Aggregation rewrites aggregate calls found in the select list / HAVING
 into references to columns computed by one
@@ -46,9 +58,20 @@ from repro.engine.operators import (
     SubqueryScan,
     TableFunctionScan,
 )
+from repro.engine.optimizer.cardinality import (
+    CardinalityEstimator,
+    RelationProfile,
+    annotate_plan,
+    profile_for_table,
+)
+from repro.engine.optimizer.cost import DEFAULT_COST_MODEL
+from repro.engine.optimizer.joinorder import JoinPred, JoinRel, order_relations
 from repro.engine.sql.ast import SelectItem, SelectStatement, TableRef
 from repro.engine.sql.parser import AGGREGATE_FUNCS
 from repro.errors import SqlPlanError
+
+#: Recognized planner modes.
+OPTIMIZER_MODES = ("cost", "syntactic")
 
 
 # ----------------------------------------------------------------------
@@ -147,11 +170,29 @@ class Planner:
     :class:`~repro.engine.index.ClusteredIndex` or None.
     """
 
-    def __init__(self, database):
+    def __init__(self, database, optimizer: str | None = None):
         self.database = database
+        if optimizer is not None and optimizer not in OPTIMIZER_MODES:
+            raise SqlPlanError(
+                f"unknown optimizer mode '{optimizer}'; "
+                f"expected one of {OPTIMIZER_MODES}"
+            )
+        self.optimizer = optimizer
+
+    @property
+    def mode(self) -> str:
+        """Effective optimizer mode: explicit override, else the database's."""
+        if self.optimizer is not None:
+            return self.optimizer
+        return getattr(self.database, "optimizer_mode", "cost")
 
     # ------------------------------------------------------------------
     def plan_select(self, stmt: SelectStatement) -> PlanNode:
+        plan = self._plan_select(stmt)
+        annotate_plan(plan)
+        return plan
+
+    def _plan_select(self, stmt: SelectStatement) -> PlanNode:
         relations = self._bind_relations(stmt)
         where_parts = split_conjuncts(stmt.where)
 
@@ -180,7 +221,10 @@ class Planner:
         for rel in relations:
             rel.scan = self._access_path(rel, pushed[rel.ref.alias.lower()])
 
-        plan = self._join_relations(stmt, relations, remaining)
+        if self._can_reorder(stmt, relations):
+            plan = self._join_relations_cost(stmt, relations, remaining)
+        else:
+            plan = self._join_relations(stmt, relations, remaining)
 
         plan, outputs, order_keys = self._aggregate_and_project(stmt, plan)
 
@@ -331,17 +375,179 @@ class Planner:
         scan: PlanNode = rel.scan
         if index is not None and conjuncts:
             leading = index.leading_key
-            for pos, conjunct in enumerate(conjuncts):
-                bounds = _range_bounds(conjunct, leading)
-                if bounds is not None:
-                    lo, hi = bounds
-                    scan = IndexRangeScan(index, lo, hi, rel.ref.alias)
-                    conjuncts = conjuncts[:pos] + conjuncts[pos + 1:]
-                    break
+            sargable = [
+                (pos, bounds)
+                for pos, conjunct in enumerate(conjuncts)
+                if (bounds := _range_bounds(conjunct, leading)) is not None
+            ]
+            if sargable:
+                pos, (lo, hi) = self._best_sargable(rel, index, sargable)
+                scan = IndexRangeScan(index, lo, hi, rel.ref.alias)
+                conjuncts = conjuncts[:pos] + conjuncts[pos + 1:]
+            elif isinstance(scan, SeqScan):
+                # OR predicates silently disable the index: say so, so
+                # EXPLAIN shows the missed access path instead of hiding it.
+                reason = _or_disables_index(conjuncts, leading)
+                if reason is not None:
+                    scan.reason = reason
         predicate = and_all(conjuncts)
         if predicate is not None:
             scan = Filter(scan, predicate)
         return scan
+
+    def _best_sargable(
+        self,
+        rel: _Relation,
+        index,
+        sargable: list[tuple[int, tuple[object, object]]],
+    ) -> tuple[int, tuple[object, object]]:
+        """Pick the most selective sargable bound.
+
+        Under the cost optimizer, statistics rank candidate key ranges
+        by covered fraction; the syntactic planner keeps the historical
+        first-match rule.
+        """
+        if self.mode != "cost" or len(sargable) == 1:
+            return sargable[0]
+        table = index.table
+        estimator = CardinalityEstimator(
+            [profile_for_table(table, rel.ref.alias)]
+        )
+        ref = ColumnRef(index.leading_key, rel.ref.alias)
+
+        def fraction(entry):
+            _, (lo, hi) = entry
+            lo = lo if isinstance(lo, (int, float)) else None
+            hi = hi if isinstance(hi, (int, float)) else None
+            return estimator._range(ref, lo, hi)
+
+        return min(sargable, key=fraction)
+
+    # ------------------------------------------------------------------
+    # cost-based join ordering
+    # ------------------------------------------------------------------
+    def _can_reorder(
+        self, stmt: SelectStatement, relations: list[_Relation]
+    ) -> bool:
+        """Cost-based reordering applies to pure inner/cross join blocks."""
+        if self.mode != "cost" or len(relations) < 2:
+            return False
+        return all(join.kind in ("inner", "cross") for join in stmt.joins)
+
+    def _relation_profile(self, rel: _Relation) -> RelationProfile:
+        alias = rel.ref.alias.lower()
+        if (
+            not rel.ref.is_subquery
+            and not rel.ref.is_function
+            and not self.database.has_view(rel.ref.table)
+        ):
+            return profile_for_table(self.database.table(rel.ref.table), alias)
+        return RelationProfile(alias=alias, table_rows=0.0, columns=set(rel.columns))
+
+    def _join_relations_cost(
+        self,
+        stmt: SelectStatement,
+        relations: list[_Relation],
+        remaining: list[Expr],
+    ) -> PlanNode:
+        """Join in cost-chosen order instead of FROM-clause order.
+
+        The predicate pool merges ON conjuncts with the multi-relation
+        WHERE conjuncts (legal because every join here is inner), so a
+        ``CROSS JOIN ... WHERE a.x = b.x`` still hash-joins and the DP
+        sees every predicate that could constrain an intermediate.
+        """
+        model = DEFAULT_COST_MODEL
+        profiles = [self._relation_profile(rel) for rel in relations]
+        estimator = CardinalityEstimator(profiles)
+
+        pool: list[tuple[Expr, frozenset[str]]] = []
+        post: list[Expr] = []
+        candidates = list(remaining)
+        for join in stmt.joins:
+            candidates.extend(split_conjuncts(join.condition))
+        for conjunct in candidates:
+            owners: set[str] = set()
+            resolvable = not find_aggregates(conjunct)
+            for ref in conjunct.column_refs():
+                alias = self._resolve_alias(ref, relations)
+                if alias is None:
+                    resolvable = False
+                    break
+                owners.add(alias)
+            if resolvable and owners:
+                pool.append((conjunct, frozenset(owners)))
+            else:
+                post.append(conjunct)
+
+        join_rels = []
+        for rel, profile in zip(relations, profiles):
+            est = annotate_plan(rel.scan)
+            join_rels.append(JoinRel(
+                alias=rel.ref.alias.lower(),
+                rows=max(est, 1.0),
+                cost=self._access_cost(rel.scan, profile, model),
+            ))
+        join_preds = [
+            JoinPred(
+                aliases=owners,
+                selectivity=estimator.selectivity(conjunct),
+                equi=_is_equi_shape(conjunct, owners),
+            )
+            for conjunct, owners in pool
+        ]
+        order = order_relations(join_rels, join_preds, model)
+
+        first = relations[order[0]]
+        plan = first.scan
+        bound = {first.ref.alias.lower()}
+        for idx in order[1:]:
+            rel = relations[idx]
+            alias = rel.ref.alias.lower()
+            applicable = [
+                (conjunct, owners) for conjunct, owners in pool
+                if alias in owners and owners <= bound | {alias}
+            ]
+            pool = [entry for entry in pool if entry not in applicable]
+            equi = None
+            residuals: list[Expr] = []
+            for conjunct, _ in applicable:
+                if equi is None:
+                    pair = _equi_pair(conjunct, bound, rel, relations)
+                    if pair is not None:
+                        equi = pair
+                        continue
+                residuals.append(conjunct)
+            if equi is not None:
+                left_key, right_key = equi
+                plan = HashJoin(plan, rel.scan, left_key, right_key,
+                                and_all(residuals))
+            elif residuals:
+                plan = NestedLoopJoin(plan, rel.scan, and_all(residuals))
+            else:
+                plan = CrossJoin(plan, rel.scan)
+            bound.add(alias)
+
+        # anything unapplied (aggregates, unresolvable refs) filters on top
+        post.extend(conjunct for conjunct, _ in pool)
+        predicate = and_all(post)
+        if predicate is not None:
+            plan = Filter(plan, predicate)
+        return plan
+
+    @staticmethod
+    def _access_cost(scan: PlanNode, profile: RelationProfile, model) -> float:
+        """Price a relation's already-chosen access path (post-annotation)."""
+        if isinstance(scan, Filter):
+            inner = Planner._access_cost(scan.child, profile, model)
+            return inner + model.filter(scan.child.est_rows or 0.0)
+        if isinstance(scan, IndexRangeScan):
+            return model.index_range_scan(
+                scan.est_rows or 0.0, profile.table_rows, profile.pages
+            )
+        if isinstance(scan, SeqScan):
+            return model.seq_scan(profile.table_rows, profile.pages)
+        return model.cpu_row * (scan.est_rows or 0.0)
 
     # ------------------------------------------------------------------
     def _join_relations(
@@ -525,6 +731,29 @@ def _range_bounds(conjunct: Expr, key: str) -> tuple[object, object] | None:
         value = _literal_value(conjunct.right)
         if value is not None:
             return value, value
+    return None
+
+
+def _is_equi_shape(conjunct: Expr, owners: frozenset[str]) -> bool:
+    """Does this conjunct look like an equi-join (for cost purposes)?"""
+    return (
+        isinstance(conjunct, BinaryOp)
+        and conjunct.op == "="
+        and len(owners) >= 2
+    )
+
+
+def _or_disables_index(conjuncts: list[Expr], leading: str) -> str | None:
+    """If a top-level OR references the index's leading key, explain the
+    fallback to a scan (the classic 'OR disables the index' trap)."""
+    for conjunct in conjuncts:
+        if not (isinstance(conjunct, BinaryOp) and conjunct.op.upper() == "OR"):
+            continue
+        if any(
+            ref.name.lower() == leading.lower()
+            for ref in conjunct.column_refs()
+        ):
+            return f"index on {leading} unused: OR predicate"
     return None
 
 

@@ -4,7 +4,9 @@ Two consumers need durable tables: the TAM comparison (whose whole point
 is that the baseline round-trips everything through files) and CasJobs
 MyDBs (per-user databases that outlive a session).  Format: one ``.npz``
 per table holding the column arrays, plus a tiny ``.schema`` JSON with
-column types and the primary key.
+column types and the primary key.  Optimizer statistics, when the table
+has been ANALYZEd, ride along in a ``.stats`` JSON so a restored
+database plans as well as the original did.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.engine.database import Database
+from repro.engine.optimizer.statistics import stats_from_json, stats_to_json
 from repro.engine.schema import Column, TableSchema
 from repro.engine.table import Table
 from repro.engine.types import ColumnType
@@ -41,6 +44,12 @@ def save_table(table: Table, directory: str | Path) -> Path:
         "primary_key": table.schema.primary_key,
     }
     (directory / f"{table.name.lower()}.schema").write_text(json.dumps(meta))
+    stats_path = directory / f"{table.name.lower()}.stats"
+    if table.stats is not None:
+        stats_path.write_text(json.dumps(stats_to_json(table.stats)))
+    elif stats_path.exists():
+        # re-saving an unanalyzed table must not resurrect stale stats
+        stats_path.unlink()
     return data_path
 
 
@@ -69,6 +78,9 @@ def load_table(database: Database, directory: str | Path, name: str) -> Table:
             columns[column.name.lower()] = arr
     if next(iter(columns.values())).size:
         table.insert(columns)
+    stats_path = directory / f"{name.lower()}.stats"
+    if stats_path.exists():
+        table.stats = stats_from_json(json.loads(stats_path.read_text()))
     return table
 
 

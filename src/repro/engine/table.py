@@ -29,6 +29,10 @@ class Table:
             for c in schema.columns
         }
         self.file = PagedFile(pool, schema.row_byte_width)
+        #: Optimizer statistics (a TableStats), set by ANALYZE; stay as
+        #: of their collection time until the next ANALYZE, like a real
+        #: engine's.
+        self.stats = None
         self._pk_index: dict | None = None
         if schema.primary_key is not None:
             self._pk_index = {}
