@@ -43,6 +43,8 @@ import numpy as np
 from repro.casjobs.queue import BatchJob, JobQueue, JobStatus, QueueClass
 from repro.cluster.backends import JobPool, resolve_job_pool
 from repro.errors import CasJobsError, ConfigError, QueueFullError
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import activate, enabled, finish_span, span, start_span
 
 #: Executor signature: runs the job, returns its result (worker thread).
 JobExecutor = Callable[[BatchJob], object]
@@ -50,6 +52,22 @@ JobExecutor = Callable[[BatchJob], object]
 #: Finalizer signature: post-processes a successful result in the
 #: dispatcher thread; its return value becomes the job's result.
 JobFinalizer = Callable[[BatchJob, object], object]
+
+
+def _traced_execute(executor: JobExecutor, ctx, attempt: int, job: BatchJob):
+    """Worker-side wrapper: run one attempt inside a ``scheduler.attempt``
+    span parented under the job's open ``casjobs.job`` span.
+
+    Module-level (not a closure) so it survives pickling into process
+    pools; pool threads need the explicit :func:`activate` because
+    contextvars do not flow into pool workers.
+    """
+    with activate(ctx), span(
+        "scheduler.attempt",
+        layer="casjobs",
+        attrs={"job_id": job.job_id, "attempt": attempt},
+    ):
+        return executor(job)
 
 
 @dataclass
@@ -198,6 +216,7 @@ class Scheduler:
         self.stats = SchedulerStats()
         self.dead_letters: list[DeadLetter] = []
         self._running: dict[int, _Running] = {}
+        self._job_spans: dict[int, object] = {}  # open casjobs.job spans
         self._executing_per_user: Counter[str] = Counter()
         self._not_before: dict[int, float] = {}  # backoff gates (monotonic)
         self._rotation = [QueueClass.QUICK] * self.config.quick_weight + [
@@ -223,6 +242,7 @@ class Scheduler:
         depth = self.queue.pending_count()
         if depth >= high_water:
             self.stats.shed += 1
+            get_metrics().counter("casjobs.shed").inc()
             raise QueueFullError(
                 f"queue depth {depth} at/above high water {high_water}; "
                 "submission shed — retry later",
@@ -242,6 +262,16 @@ class Scheduler:
         self.admit()
         job = self.queue.submit(owner, query, target, output_table, queue_class)
         self.stats.submitted += 1
+        get_metrics().counter("casjobs.submitted").inc()
+        if enabled():
+            # The job span stays open across dispatcher passes (queue
+            # wait included) and closes at the job's terminal state.
+            self._job_spans[job.job_id] = start_span(
+                "casjobs.job",
+                layer="casjobs",
+                attrs={"job_id": job.job_id, "owner": owner,
+                       "class": queue_class.value},
+            )
         return job
 
     # ------------------------------------------------------------------
@@ -282,9 +312,17 @@ class Scheduler:
             self._not_before.pop(job.job_id, None)
             self._executing_per_user[job.owner] += 1
             deadline = time.monotonic() + self.config.attempt_timeout(job)
-            future = self.pool.submit(self.executor, job)
+            job_span = self._job_spans.get(job.job_id)
+            if job_span is not None:
+                future = self.pool.submit(
+                    _traced_execute, self.executor, job_span.context(),
+                    job.attempts, job,
+                )
+            else:
+                future = self.pool.submit(self.executor, job)
             self._running[job.job_id] = _Running(job, future, deadline)
             self.stats.dispatched += 1
+            get_metrics().counter("casjobs.dispatched").inc()
             dispatched += 1
         return dispatched
 
@@ -292,12 +330,21 @@ class Scheduler:
     # completion / timeout handling
     # ------------------------------------------------------------------
     def _record_latency(self, job: BatchJob) -> None:
+        metrics = get_metrics()
         if job.queue_seconds is not None:
             self.stats.wait_s[job.queue_class].append(job.queue_seconds)
+            metrics.histogram("casjobs.wait_s").observe(job.queue_seconds)
         if job.finished_at is not None and job.started_at is not None:
-            self.stats.run_s[job.queue_class].append(
-                job.finished_at - job.started_at
-            )
+            run_seconds = job.finished_at - job.started_at
+            self.stats.run_s[job.queue_class].append(run_seconds)
+            metrics.histogram("casjobs.run_s").observe(run_seconds)
+
+    def _close_job_span(self, job: BatchJob, status: str) -> None:
+        """Finish the job's open trace span at its terminal state."""
+        job_span = self._job_spans.pop(job.job_id, None)
+        if job_span is not None:
+            job_span.set("status", status)
+            finish_span(job_span)
 
     def _release(self, job: BatchJob) -> None:
         del self._running[job.job_id]
@@ -314,18 +361,25 @@ class Scheduler:
                     job.job_id, f"{type(exc).__name__}: {exc}"
                 )
                 self.stats.failed += 1
+                get_metrics().counter("casjobs.failed").inc()
                 self._record_latency(job)
+                self._close_job_span(job, "failed")
                 return
         finished = self.queue.finish(job.job_id, result)
         if finished.status is JobStatus.FINISHED:
             self.stats.finished += 1
+            get_metrics().counter("casjobs.finished").inc()
+            self._close_job_span(job, "finished")
         else:  # budget kill inside finish()
             self.stats.failed += 1
+            get_metrics().counter("casjobs.failed").inc()
+            self._close_job_span(job, "failed")
         self._record_latency(job)
 
     def _handle_timeout(self, running: _Running) -> None:
         job = running.job
         self.stats.timeouts += 1
+        get_metrics().counter("casjobs.timeouts").inc()
         self.pool.cancel(running.future)  # revokes it if not yet started;
         # a running thread cannot be killed: the future is abandoned and
         # its eventual result ignored (it is no longer tracked here).
@@ -339,6 +393,7 @@ class Scheduler:
             if backoff > 0:
                 self._not_before[job.job_id] = time.monotonic() + backoff
             self.stats.retries += 1
+            get_metrics().counter("casjobs.retries").inc()
         else:
             self.queue.fail(
                 job.job_id,
@@ -346,6 +401,9 @@ class Scheduler:
             )
             self.stats.failed += 1
             self.stats.dead_lettered += 1
+            metrics = get_metrics()
+            metrics.counter("casjobs.failed").inc()
+            metrics.counter("casjobs.dead_lettered").inc()
             self.dead_letters.append(
                 DeadLetter(
                     job_id=job.job_id,
@@ -356,6 +414,7 @@ class Scheduler:
                 )
             )
             self._record_latency(job)
+            self._close_job_span(job, "dead_lettered")
 
     def _reap(self) -> int:
         """Process completions and timeouts; returns how many resolved."""
@@ -373,7 +432,9 @@ class Scheduler:
                         job.job_id, f"{type(exc).__name__}: {exc}"
                     )
                     self.stats.failed += 1
+                    get_metrics().counter("casjobs.failed").inc()
                     self._record_latency(job)
+                    self._close_job_span(job, "failed")
                 else:
                     self._finalize_success(job, result)
             elif now >= running.deadline:

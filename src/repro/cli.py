@@ -15,7 +15,13 @@ writing Python:
 * ``repro workloads``  — list the benchmark workloads;
 * ``repro casjobs``    — the multi-user batch service: ``serve`` a
   heavy-traffic demo workload through the scheduler, ``submit`` one
-  query end-to-end, ``status`` a mixed workload's job ledger.
+  query end-to-end, ``status`` a mixed workload's job ledger;
+* ``repro trace``      — run a MaxBCG job through the full stack
+  (CasJobs scheduler -> cluster backend -> engine) with tracing on and
+  export the spans as a Chrome ``trace_event`` file (Perfetto), JSONL,
+  or a text tree;
+* ``repro metrics``    — run the same demo pipeline and dump the
+  process-wide metrics registry.
 
 Every subcommand prints a compact text report; exit code 0 on success,
 1 when an invariant or shape check fails.
@@ -157,6 +163,38 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     status_p.add_argument("--jobs", type=int, default=12)
     status_p.add_argument("--seed", type=int, default=2005)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="trace one MaxBCG job through CasJobs -> cluster -> engine",
+    )
+    add_common(trace_p)
+    trace_p.add_argument("--demo", action="store_true",
+                         help="small fast sky (CI smoke scale)")
+    trace_p.add_argument("--servers", type=int, default=2,
+                         help="cluster partitions inside the job")
+    trace_p.add_argument("--backend",
+                         choices=("sequential", "threads", "processes"),
+                         default="processes",
+                         help="cluster execution backend for the job")
+    trace_p.add_argument("--out", default="trace.json",
+                         help="output file for chrome/jsonl formats")
+    trace_p.add_argument("--format", choices=("chrome", "jsonl", "tree"),
+                         default="chrome", dest="fmt")
+    trace_p.add_argument("--slow-ms", type=float, default=None,
+                         help="slow-query log threshold in milliseconds")
+
+    metrics_p = sub.add_parser(
+        "metrics",
+        help="run the demo pipeline and dump the metrics registry",
+    )
+    add_common(metrics_p)
+    metrics_p.add_argument("--demo", action="store_true",
+                           help="small fast sky (CI smoke scale)")
+    metrics_p.add_argument("--servers", type=int, default=2)
+    metrics_p.add_argument("--backend",
+                           choices=("sequential", "threads", "processes"),
+                           default="sequential")
     return parser
 
 
@@ -411,6 +449,89 @@ def cmd_casjobs(args) -> int:
     return 0
 
 
+def _obs_demo_run(args):
+    """Run one MaxBCG job through the full stack: a CasJobs scheduler
+    dispatches it, the cluster backend fans out partitions, each runs
+    the engine pipeline.  The shared workload behind ``repro trace``
+    and ``repro metrics``."""
+    from repro.casjobs.queue import JobQueue, QueueClass
+    from repro.casjobs.scheduler import Scheduler, SchedulerConfig
+    from repro.cluster.executor import run_partitioned
+
+    if args.demo:  # CI-smoke scale: seconds, not minutes
+        args.density = min(args.density, 150.0)
+        args.clusters = min(args.clusters, 3.0)
+    config, kcorr, sky = _make_sky(args)
+
+    def executor(job):
+        return run_partitioned(
+            sky.catalog, args.target, kcorr, config,
+            n_servers=args.servers, backend=args.backend,
+            compute_members=False,
+        )
+
+    queue = JobQueue()
+    scheduler = Scheduler(
+        queue, executor,
+        SchedulerConfig(pool="sequential", max_workers=1),
+    )
+    job = scheduler.submit("astronomer", "EXEC maxbcg", "dr1",
+                           queue_class=QueueClass.LONG)
+    scheduler.run_until_idle(timeout_s=600)
+    scheduler.close()
+    finished = queue.get(job.job_id)
+    print(f"job {finished.job_id} {finished.status.value}: "
+          f"{sky.n_galaxies:,} galaxies through {args.servers} "
+          f"{args.backend} partition(s)")
+    return finished
+
+
+def cmd_trace(args) -> int:
+    from repro.errors import ObsError
+    from repro.obs import (
+        get_slow_log,
+        get_tracer,
+        render_tree,
+        tracing,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    if args.slow_ms is not None:
+        get_slow_log().set_threshold(args.slow_ms / 1e3)
+    with tracing():
+        _obs_demo_run(args)
+        spans = get_tracer().spans()
+
+    trace_ids = {s.trace_id for s in spans}
+    layers = sorted({s.layer for s in spans})
+    print(f"{len(spans)} spans, {len(trace_ids)} trace(s), "
+          f"layers: {', '.join(layers)}")
+    print(render_tree(spans))
+    if args.fmt == "chrome":
+        try:
+            path = write_chrome_trace(spans, args.out)
+        except ObsError as exc:
+            print(f"INVALID TRACE: {exc}")
+            return 1
+        print(f"chrome trace written to {path} "
+              "(load in about:tracing or ui.perfetto.dev)")
+    elif args.fmt == "jsonl":
+        print(f"spans written to {write_jsonl(spans, args.out)}")
+    slow = get_slow_log()
+    if args.slow_ms is not None or len(slow):
+        print(slow.render())
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    from repro.obs import get_metrics
+
+    _obs_demo_run(args)
+    print(get_metrics().render())
+    return 0
+
+
 COMMANDS = {
     "run": cmd_run,
     "partition": cmd_partition,
@@ -420,6 +541,8 @@ COMMANDS = {
     "explain": cmd_explain,
     "workloads": cmd_workloads,
     "casjobs": cmd_casjobs,
+    "trace": cmd_trace,
+    "metrics": cmd_metrics,
 }
 
 

@@ -103,7 +103,32 @@ def _sorted_run(
 ) -> BackendRun:
     outcomes = sorted(outcomes, key=lambda o: o.server)
     workers = sorted(workers, key=lambda w: w.server)
+    _record_run_metrics(outcomes, workers)
     return BackendRun(outcomes=outcomes, workers=workers, wall_s=wall_s)
+
+
+def _record_run_metrics(
+    outcomes: list[WorkUnitOutcome], workers: list[WorkerReport]
+) -> None:
+    """Feed the metrics registry from the one funnel every backend exits
+    through, so per-partition observables need no per-backend wiring."""
+    from repro.obs.metrics import get_metrics
+
+    metrics = get_metrics()
+    metrics.counter("cluster.partitions").inc(len(outcomes))
+    metrics.counter("cluster.attempts").inc(
+        sum(max(w.attempts, 1) for w in workers)
+    )
+    degraded = sum(1 for w in workers if w.degraded)
+    if degraded:
+        metrics.counter("cluster.degraded").inc(degraded)
+    wall = metrics.histogram("cluster.partition.wall_s")
+    cpu = metrics.histogram("cluster.partition.cpu_s")
+    io_ops = metrics.counter("cluster.partition.io_ops")
+    for worker, outcome in zip(workers, outcomes):
+        wall.observe(worker.wall_s)
+        cpu.observe(worker.cpu_s)
+        io_ops.inc(outcome.result.total_stats.io_ops)
 
 
 class SequentialBackend:

@@ -42,6 +42,7 @@ from repro.core.kcorrection import KCorrectionTable
 from repro.core.pipeline import MaxBCGResult
 from repro.core.results import CandidateCatalog, MemberTable
 from repro.engine.stats import TaskStats
+from repro.obs.trace import current_context, enabled, get_tracer, span
 from repro.skyserver.catalog import GalaxyCatalog
 
 #: Task names aggregated into Table 1 totals.
@@ -209,7 +210,26 @@ class SqlServerCluster:
         """Distribute, run every partition, merge the answers."""
         layout = make_partitions(target, self.config.buffer_deg, self.n_servers)
         units = self.make_workunits(catalog, layout)
-        executed: BackendRun = self.backend.run(units, progress=progress)
+        with span(
+            "cluster.run",
+            layer="cluster",
+            attrs={"backend": self.backend.name, "n_servers": self.n_servers},
+        ):
+            if enabled():
+                # Stamp the dispatch context on every unit so worker-side
+                # cluster.partition spans parent under this cluster.run —
+                # across pool threads and child processes alike.
+                ctx = current_context()
+                for unit in units:
+                    unit.trace = ctx
+            executed: BackendRun = self.backend.run(units, progress=progress)
+        # Child processes can't reach our tracer; they ship their spans
+        # home inside the outcome and we absorb them here.
+        tracer = get_tracer()
+        for outcome in executed.outcomes:
+            if outcome.spans:
+                tracer.absorb(outcome.spans)
+                outcome.spans = []
 
         runs = [
             PartitionRun(

@@ -34,6 +34,7 @@ from repro.core.kcorrection import KCorrectionTable
 from repro.core.pipeline import MaxBCGPipeline, MaxBCGResult
 from repro.engine.database import Database
 from repro.errors import ClusterExecutionError
+from repro.obs.trace import TraceContext
 from repro.skyserver.catalog import GalaxyCatalog
 from repro.skyserver.regions import RegionBox
 
@@ -120,6 +121,11 @@ class PartitionWorkUnit:
     method: str = "vectorized"
     compute_members: bool = True
     fault: FaultSpec | None = None
+    #: Trace context of the dispatching cluster run.  When set, the
+    #: worker opens a ``cluster.partition`` span parented here, so the
+    #: partition's engine-layer spans land in the caller's trace even
+    #: across a process boundary (the context is a picklable triple).
+    trace: TraceContext | None = None
 
 
 @dataclass
@@ -131,6 +137,11 @@ class WorkUnitOutcome:
     n_galaxies: int
     worker: str  # "pid:<n>" or "pid:<n>/thread:<name>"
     cpu_clock: str  # which clock billed the per-task cpu_s
+    #: Spans recorded in a *child process* (where the parent's tracer is
+    #: unreachable), shipped home for the dispatcher to absorb.  Empty
+    #: for in-process execution — those spans land in the shared tracer
+    #: directly.
+    spans: list = field(default_factory=list)
 
 
 def worker_label() -> str:
@@ -151,10 +162,19 @@ def execute_workunit(
     The caller picks the honest ``cpu_clock`` for its concurrency model
     (see :mod:`repro.engine.stats`).
     """
+    from contextlib import ExitStack
+
     from repro.engine.stats import use_cpu_clock
+    from repro.obs.trace import activate, get_tracer, set_enabled, span
 
     if unit.fault is not None:
         unit.fault.maybe_fail(unit.server)
+    in_child = unit.trace is not None and os.getpid() != unit.trace.pid
+    if unit.trace is not None:
+        # A spawn-started child resets module globals: re-enable tracing
+        # so the partition span below actually records.  Harmless when
+        # already enabled (thread pool / fork).
+        set_enabled(True)
     database = Database(f"server{unit.server}")
     pipeline = MaxBCGPipeline(
         unit.kcorr,
@@ -163,12 +183,27 @@ def execute_workunit(
         database=database,
         compute_members=unit.compute_members,
     )
-    with use_cpu_clock(cpu_clock):
+    with ExitStack() as stack:
+        stack.enter_context(use_cpu_clock(cpu_clock))
+        if unit.trace is not None:
+            # Re-parent under the dispatcher's cluster.run span: pool
+            # threads don't inherit the dispatcher's contextvars and
+            # child processes have none, so activation is explicit.
+            stack.enter_context(activate(unit.trace))
+            stack.enter_context(span(
+                "cluster.partition",
+                layer="cluster",
+                counters=database.pool.counters,
+                attrs={"server": unit.server,
+                       "galaxies": len(unit.catalog)},
+            ))
         result = pipeline.run(unit.catalog, unit.target, unit.buffer)
+    spans = get_tracer().drain() if in_child else []
     return WorkUnitOutcome(
         server=unit.server,
         result=result,
         n_galaxies=len(unit.catalog),
         worker=worker_label(),
         cpu_clock=cpu_clock,
+        spans=spans,
     )

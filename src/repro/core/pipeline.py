@@ -37,6 +37,7 @@ from repro.core.members import make_cluster_members
 from repro.core.results import CandidateCatalog, ClusterCatalog, MemberTable
 from repro.engine.database import Database
 from repro.engine.stats import TaskStats, TaskTimer, sum_stats
+from repro.obs.trace import span as obs_span
 from repro.errors import ConfigError, RegionError
 from repro.skyserver.catalog import GalaxyCatalog
 from repro.skyserver.regions import RegionBox
@@ -148,7 +149,12 @@ class MaxBCGPipeline:
         stats: dict[str, TaskStats] = {}
 
         # ------------------------------------------------ spZone
-        with TaskTimer("spZone", counters) as timer:
+        # Each task runs inside an engine-layer span (no-op while
+        # tracing is off) so a partitioned trace shows the per-task
+        # breakdown under every cluster.partition span.
+        with obs_span("engine.task:spZone", layer="engine",
+                      counters=counters), \
+                TaskTimer("spZone", counters) as timer:
             index = ZoneIndex(catalog.ra, catalog.dec, self.config.zone_height_deg)
             sorted_catalog = catalog.take(index.source_index)
             # Rebuild the index over the sorted catalog so that index row
@@ -164,7 +170,9 @@ class MaxBCGPipeline:
         self._report("spZone")
 
         # ------------------------------------------------ fBCGCandidate
-        with TaskTimer("fBCGCandidate", counters) as timer:
+        with obs_span("engine.task:fBCGCandidate", layer="engine",
+                      counters=counters), \
+                TaskTimer("fBCGCandidate", counters) as timer:
             eval_rows = np.flatnonzero(
                 buffer.contains(sorted_catalog.ra, sorted_catalog.dec)
             )
@@ -183,7 +191,9 @@ class MaxBCGPipeline:
         self._report("fBCGCandidate")
 
         # ------------------------------------------------ fIsCluster
-        with TaskTimer("fIsCluster", counters) as timer:
+        with obs_span("engine.task:fIsCluster", layer="engine",
+                      counters=counters), \
+                TaskTimer("fIsCluster", counters) as timer:
             cand_table = db.table("candidates")
             cand_table.scan()
             # Rival inspections touch Candidates-table pages (the engine
@@ -204,7 +214,9 @@ class MaxBCGPipeline:
         # ------------------------------------------------ members
         members = MemberTable.empty()
         if self.compute_members:
-            with TaskTimer("spMakeGalaxiesMetric", counters) as timer:
+            with obs_span("engine.task:spMakeGalaxiesMetric", layer="engine",
+                          counters=counters), \
+                    TaskTimer("spMakeGalaxiesMetric", counters) as timer:
                 members = make_cluster_members(
                     sorted_catalog, clusters, index, self.kcorr, self.config
                 )

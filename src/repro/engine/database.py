@@ -234,8 +234,40 @@ class Database:
     # SQL entry points
     # ------------------------------------------------------------------
     def sql(self, text: str) -> QueryResult:
-        """Parse and execute one SQL statement."""
-        return self._executor.execute(parse(text))
+        """Parse and execute one SQL statement.
+
+        Execution runs inside an ``engine.sql`` trace span (a no-op
+        when tracing is disabled) and statements over the slow-query
+        threshold are recorded with their SQL text and — for SELECTs —
+        the plan that ran.
+        """
+        import time as _time
+
+        from repro.obs.slowlog import get_slow_log
+        from repro.obs.trace import span
+
+        stmt = parse(text)
+        started = _time.perf_counter()
+        with span("engine.sql", layer="engine", counters=self.pool.counters,
+                  attrs={"db": self.name, "sql": text.strip()[:200]}):
+            result = self._executor.execute(stmt)
+        elapsed = _time.perf_counter() - started
+        slow_log = get_slow_log()
+        if slow_log.is_slow(elapsed):
+            from repro.engine.sql.ast import SelectStatement
+            from repro.engine.sql.printer import statement_to_sql
+
+            plan = None
+            statement_text = text.strip()
+            if isinstance(stmt, SelectStatement):
+                try:
+                    statement_text = statement_to_sql(stmt)
+                    plan = self.explain(text)
+                except Exception:  # logging must never fail the query
+                    pass
+            slow_log.record(statement_text, elapsed, plan=plan,
+                            database=self.name)
+        return result
 
     def run_script(self, text: str) -> list[QueryResult]:
         """Execute a ';'-separated script, returning per-statement results."""

@@ -42,16 +42,30 @@ class NodeStats:
     est_rows: float | None = None
 
     @property
+    def rows_per_call(self) -> float:
+        """Mean rows per execution — what ``est_rows`` estimates."""
+        if self.calls == 0:
+            return 0.0
+        return self.rows / self.calls
+
+    @property
     def q_error(self) -> float | None:
-        """Estimated-vs-actual error, once the node has executed."""
+        """Estimated-vs-actual error, once the node has executed.
+
+        ``rows`` accumulates across calls while the optimizer estimates
+        one execution, so the comparison uses rows *per call*.
+        """
         if self.calls == 0:
             return None
-        return q_error(self.est_rows, self.rows)
+        return q_error(self.est_rows, self.rows_per_call)
 
     @property
     def line(self) -> str:
         pad = "  " * self.depth
-        measured = (f"rows={self.rows:,} time={self.inclusive_s * 1e3:.2f}ms "
+        rows = f"rows={self.rows:,}"
+        if self.calls > 1:
+            rows += f" ({self.rows_per_call:,.0f}/call x {self.calls})"
+        measured = (f"{rows} time={self.inclusive_s * 1e3:.2f}ms "
                     f"io={self.io_total:,}")
         if self.est_rows is not None:
             q = self.q_error
@@ -97,7 +111,7 @@ class AnalyzeReport:
                 description=node.description,
                 depth=node.depth,
                 est_rows=node.est_rows,
-                actual_rows=node.rows,
+                actual_rows=round(node.rows_per_call),
             )
             for node in self.nodes
             if node.est_rows is not None and node.calls > 0
@@ -125,7 +139,9 @@ class _Instrumented(PlanNode):
         started = time.perf_counter()
         batch = self._inner.execute()
         self._stats.inclusive_s += time.perf_counter() - started
-        self._stats.rows = batch_length(batch)
+        # accumulate: a node executed multiple times (a re-executed join
+        # input, say) must report every batch, not just its last one
+        self._stats.rows += batch_length(batch)
         self._stats.calls += 1
         if io_before is not None and self._counters is not None:
             self._stats.io_total += self._counters.since(io_before).total
@@ -179,14 +195,37 @@ def explain_analyze(
     """
     from repro.engine.sql.ast import SelectStatement
     from repro.engine.sql.parser import parse
+    from repro.engine.sql.printer import statement_to_sql
     from repro.engine.sql.planner import Planner
+    from repro.obs.metrics import get_metrics
+    from repro.obs.slowlog import get_slow_log
+    from repro.obs.trace import span
 
     stmt = parse(sql_text)
     if not isinstance(stmt, SelectStatement):
         raise EngineError("explain_analyze supports SELECT statements only")
     plan = Planner(database, optimizer).plan_select(stmt)
     wrapped, records = instrument_plan(plan, database.pool.counters)
-    started = time.perf_counter()
-    result = wrapped.execute()
-    total = time.perf_counter() - started
-    return AnalyzeReport(nodes=records, result=result, total_s=total)
+    with span("engine.query", layer="engine", counters=database.pool.counters,
+              attrs={"sql": sql_text.strip()[:200]}):
+        started = time.perf_counter()
+        result = wrapped.execute()
+        total = time.perf_counter() - started
+    report = AnalyzeReport(nodes=records, result=result, total_s=total)
+
+    metrics = get_metrics()
+    metrics.counter("engine.queries.analyzed").inc()
+    metrics.histogram("engine.query.elapsed_s").observe(total)
+    max_q = report.max_q_error
+    metrics.histogram(
+        "engine.query.max_q_error", buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 64.0)
+    ).observe(max_q)
+    slow_log = get_slow_log()
+    if slow_log.is_slow(total):
+        try:
+            text = statement_to_sql(stmt)
+        except Exception:  # printer gaps must never lose the log entry
+            text = sql_text.strip()
+        slow_log.record(text, total, plan=plan.explain(),
+                        max_q_error=max_q, database=database.name)
+    return report

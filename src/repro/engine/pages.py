@@ -21,6 +21,7 @@ and the pool turns those calls into the counters that
 
 from __future__ import annotations
 
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -35,6 +36,10 @@ PAGE_BYTES = 8192
 DEFAULT_POOL_PAGES = (2 * 1024**3) // PAGE_BYTES
 
 
+#: Every live buffer pool, for the pull-style metrics collector below.
+_POOLS: "weakref.WeakSet[BufferPool]" = weakref.WeakSet()
+
+
 @dataclass(frozen=True)
 class PageId:
     """Globally unique page address: (file id, page number)."""
@@ -44,37 +49,51 @@ class PageId:
 
 
 class BufferPool:
-    """LRU page cache with logical/physical read and write accounting."""
+    """LRU page cache with logical/physical read and write accounting.
+
+    Beyond the shared :class:`IOCounters` (incremented through its
+    locked methods — the pool is shared across worker threads under the
+    thread backend), every pool keeps plain-int ``hits`` / ``evictions``
+    tallies.  Those feed the observability metrics registry *by pull*:
+    a module-level collector sums them over all live pools at snapshot
+    time, so the per-page hot path pays nothing for metrics.
+    """
 
     def __init__(self, capacity_pages: int = DEFAULT_POOL_PAGES):
         if capacity_pages <= 0:
             raise EngineError("buffer pool capacity must be positive")
         self.capacity_pages = capacity_pages
         self.counters = IOCounters()
+        self.hits = 0
+        self.evictions = 0
         self._resident: OrderedDict[PageId, None] = OrderedDict()
+        _POOLS.add(self)
 
     def __len__(self) -> int:
         return len(self._resident)
 
     def access(self, page: PageId) -> bool:
         """Request a page. Returns True on a hit, False on a miss (fault)."""
-        self.counters.logical_reads += 1
+        self.counters.add_logical()
         if page in self._resident:
             self._resident.move_to_end(page)
+            self.hits += 1
             return True
-        self.counters.physical_reads += 1
+        self.counters.add_physical()
         self._resident[page] = None
         if len(self._resident) > self.capacity_pages:
             self._resident.popitem(last=False)
+            self.evictions += 1
         return False
 
     def write(self, page: PageId) -> None:
         """Dirty a page (insert/update/delete paths)."""
-        self.counters.writes += 1
+        self.counters.add_write()
         self._resident[page] = None
         self._resident.move_to_end(page)
         if len(self._resident) > self.capacity_pages:
             self._resident.popitem(last=False)
+            self.evictions += 1
 
     def evict_file(self, file_id: int) -> None:
         """Drop a file's pages (table truncate/drop)."""
@@ -138,3 +157,34 @@ class PagedFile:
     def invalidate(self) -> None:
         """Remove this file's pages from the pool (truncate semantics)."""
         self.pool.evict_file(self.file_id)
+
+
+def _collect_pool_metrics() -> dict[str, float]:
+    """Snapshot-time aggregation over every live buffer pool."""
+    totals = {
+        "engine.pool.hits": 0.0,
+        "engine.pool.misses": 0.0,
+        "engine.pool.evictions": 0.0,
+        "engine.pool.logical_reads": 0.0,
+        "engine.pool.writes": 0.0,
+        "engine.pool.resident_pages": 0.0,
+        "engine.pools": 0.0,
+    }
+    for pool in list(_POOLS):
+        totals["engine.pool.hits"] += pool.hits
+        totals["engine.pool.misses"] += pool.counters.physical_reads
+        totals["engine.pool.evictions"] += pool.evictions
+        totals["engine.pool.logical_reads"] += pool.counters.logical_reads
+        totals["engine.pool.writes"] += pool.counters.writes
+        totals["engine.pool.resident_pages"] += len(pool)
+        totals["engine.pools"] += 1
+    return totals
+
+
+def _register_pool_collector() -> None:
+    from repro.obs.metrics import get_metrics
+
+    get_metrics().add_collector(_collect_pool_metrics)
+
+
+_register_pool_collector()

@@ -76,14 +76,53 @@ def use_cpu_clock(clock: str | Callable[[], float]):
 
 @dataclass
 class IOCounters:
-    """Monotonic I/O counters, shared by a database's buffer pool."""
+    """Monotonic I/O counters, shared by a database's buffer pool.
+
+    The buffer pool is shared across worker threads under the thread
+    backend, and a plain ``+=`` on an int attribute is a read-modify-
+    write that can drop updates when two threads interleave.  All
+    mutation therefore goes through the ``add_*`` methods (and
+    :meth:`add`), which hold a per-instance lock; :meth:`snapshot`
+    takes the same lock so a reader never sees a torn triple.  The lock
+    is excluded from pickling — counters cross process boundaries
+    inside :class:`TaskStats` as plain values.
+    """
 
     logical_reads: int = 0
     physical_reads: int = 0
     writes: int = 0
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        return {
+            "logical_reads": self.logical_reads,
+            "physical_reads": self.physical_reads,
+            "writes": self.writes,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def add_logical(self, n: int = 1) -> None:
+        with self._lock:
+            self.logical_reads += n
+
+    def add_physical(self, n: int = 1) -> None:
+        with self._lock:
+            self.physical_reads += n
+
+    def add_write(self, n: int = 1) -> None:
+        with self._lock:
+            self.writes += n
+
     def snapshot(self) -> "IOCounters":
-        return IOCounters(self.logical_reads, self.physical_reads, self.writes)
+        with self._lock:
+            return IOCounters(
+                self.logical_reads, self.physical_reads, self.writes
+            )
 
     def since(self, earlier: "IOCounters") -> "IOCounters":
         """Counter deltas relative to an earlier snapshot."""
@@ -99,9 +138,10 @@ class IOCounters:
         return self.logical_reads + self.writes
 
     def add(self, other: "IOCounters") -> None:
-        self.logical_reads += other.logical_reads
-        self.physical_reads += other.physical_reads
-        self.writes += other.writes
+        with self._lock:
+            self.logical_reads += other.logical_reads
+            self.physical_reads += other.physical_reads
+            self.writes += other.writes
 
 
 @dataclass

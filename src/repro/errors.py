@@ -110,3 +110,7 @@ class QueueFullError(CasJobsError):
 
 class QuotaExceededError(CasJobsError):
     """A MyDB storage quota would be (or was) exceeded."""
+
+
+class ObsError(ReproError):
+    """Observability-layer error (malformed trace, metric type clash)."""

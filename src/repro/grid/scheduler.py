@@ -20,6 +20,8 @@ from repro.errors import GridError
 from repro.grid.jobs import Job, JobState
 from repro.grid.resources import ClusterSpec, Node
 from repro.grid.transfer import TransferModel
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import span
 
 
 @dataclass
@@ -103,6 +105,38 @@ class CondorScheduler:
 
     def run(self, jobs: list[Job]) -> ScheduleResult:
         """Simulate a queue of jobs to completion; returns the timeline."""
+        with span("grid.schedule", layer="grid",
+                  attrs={"jobs": len(jobs),
+                         "nodes": len(self.cluster.nodes)}):
+            result = self._run(jobs)
+        self._record_metrics(result)
+        return result
+
+    def _record_metrics(self, result: ScheduleResult) -> None:
+        """Mirror the simulated timeline into the metrics registry."""
+        metrics = get_metrics()
+        metrics.counter("grid.jobs.completed").inc(result.completed)
+        unschedulable_ids = {id(j) for j in result.unschedulable}
+        failed = sum(
+            1 for j in result.jobs
+            if j.state is JobState.FAILED and id(j) not in unschedulable_ids
+        )
+        metrics.counter("grid.jobs.failed").inc(failed)
+        metrics.counter("grid.jobs.unschedulable").inc(
+            len(result.unschedulable)
+        )
+        metrics.counter("grid.retries").inc(result.retries)
+        metrics.gauge("grid.makespan_s").set(result.makespan_s)
+        metrics.counter("grid.transfer.seconds").inc(result.transfer_s_total)
+        metrics.counter("grid.compute.seconds").inc(result.compute_s_total)
+        metrics.counter("grid.wasted.seconds").inc(result.wasted_s_total)
+        metrics.counter("grid.transfer.bytes").inc(sum(
+            j.input_bytes + j.output_bytes
+            for j in result.jobs
+            if j.state is JobState.COMPLETED
+        ))
+
+    def _run(self, jobs: list[Job]) -> ScheduleResult:
         slots: list[_Slot] = [
             _Slot(node, index)
             for node in self.cluster.nodes

@@ -1,0 +1,87 @@
+"""Unified observability: tracing, metrics, exporters, slow-query log.
+
+One subsystem connects the reproduction's islands of measurement —
+``engine/instrument.py`` (one query), ``engine/stats.py`` (one task),
+the CasJobs scheduler's counters, the cluster backends' per-worker
+reports, and the grid simulator — into a single diagnostic surface:
+
+* :func:`span` / :class:`Tracer` — hierarchical tracing with
+  trace/span/parent ids, wall + CPU + I/O per span, propagated across
+  threads via contextvars and across process boundaries inside cluster
+  work units;
+* :func:`get_metrics` — a process-wide registry of named counters,
+  gauges and fixed-bucket histograms every layer feeds;
+* :mod:`repro.obs.export` — JSONL, Chrome ``trace_event`` JSON (loads
+  in ``about:tracing`` / Perfetto) and a plain-text tree;
+* :func:`get_slow_log` — statements over their latency budget, with
+  SQL text, chosen plan and worst q-error.
+
+Tracing is **off by default** and the disabled path is near-free (one
+module-global check per ``span()``); metrics are always on but only
+touched on coarse events or pulled at snapshot time.  Drive it from
+the shell with ``repro trace`` and ``repro metrics``.
+"""
+
+from repro.obs.export import (
+    render_tree,
+    to_chrome_trace,
+    to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+)
+from repro.obs.slowlog import SlowQuery, SlowQueryLog, get_slow_log
+from repro.obs.trace import (
+    Span,
+    TraceContext,
+    Tracer,
+    activate,
+    current_context,
+    disable,
+    enable,
+    enabled,
+    finish_span,
+    get_tracer,
+    set_enabled,
+    span,
+    start_span,
+    tracing,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SlowQuery",
+    "SlowQueryLog",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "activate",
+    "current_context",
+    "disable",
+    "enable",
+    "enabled",
+    "finish_span",
+    "get_metrics",
+    "get_slow_log",
+    "get_tracer",
+    "render_tree",
+    "set_enabled",
+    "span",
+    "start_span",
+    "to_chrome_trace",
+    "to_jsonl",
+    "tracing",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

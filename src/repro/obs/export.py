@@ -1,0 +1,165 @@
+"""Trace exporters: JSONL, Chrome ``trace_event`` JSON, and a text tree.
+
+The Chrome format is the portable one — the file written by
+``repro trace`` loads directly in ``about:tracing`` or
+https://ui.perfetto.dev, with one track per (process, thread) and the
+span attributes (CPU seconds, I/O ops, SQL text, ...) in the event
+``args``.  :func:`validate_chrome_trace` is the small schema check the
+CI smoke and the round-trip tests run against emitted files.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import ObsError
+from repro.obs.trace import Span
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def span_to_dict(span: Span) -> dict:
+    return dataclasses.asdict(span)
+
+
+def to_jsonl(spans: Iterable[Span]) -> str:
+    """One JSON object per line, one line per span."""
+    return "\n".join(json.dumps(span_to_dict(s), default=str) for s in spans)
+
+
+def write_jsonl(spans: Iterable[Span], path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(to_jsonl(spans) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+def to_chrome_trace(spans: Iterable[Span]) -> dict:
+    """Spans as a Chrome ``trace_event`` document (complete "X" events).
+
+    Thread names are mapped to small integer ``tid``s per process (the
+    format wants integers) and surfaced via ``thread_name`` metadata
+    events, so Perfetto labels the tracks readably.
+    """
+    spans = list(spans)
+    tids: dict[tuple[int, str], int] = {}
+    events: list[dict] = []
+    for span in spans:
+        key = (span.pid, span.thread)
+        if key not in tids:
+            tids[key] = len([k for k in tids if k[0] == span.pid]) + 1
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": span.pid,
+                "tid": tids[key],
+                "args": {"name": span.thread},
+            })
+        events.append({
+            "name": span.name,
+            "cat": span.layer,
+            "ph": "X",
+            "ts": span.start_wall * 1e6,  # microseconds
+            "dur": max(span.wall_s, 0.0) * 1e6,
+            "pid": span.pid,
+            "tid": tids[key],
+            "args": {
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "cpu_s": span.cpu_s,
+                "io_ops": span.io_ops,
+                **{k: str(v) for k, v in span.attrs.items()},
+            },
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(document: object) -> int:
+    """Schema-check a Chrome trace document; returns the event count.
+
+    Raises :class:`~repro.errors.ObsError` describing the first
+    violation.  Deliberately small: the shape ``about:tracing`` and
+    Perfetto require, nothing more.
+    """
+    if not isinstance(document, dict):
+        raise ObsError(f"trace document must be an object, got "
+                       f"{type(document).__name__}")
+    events = document.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ObsError("trace document needs a non-empty 'traceEvents' list")
+    for position, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ObsError(f"event {position} is not an object")
+        for key, types in (("name", str), ("ph", str),
+                           ("pid", int), ("tid", int)):
+            if not isinstance(event.get(key), types):
+                raise ObsError(
+                    f"event {position} ('{event.get('name', '?')}') is "
+                    f"missing a valid '{key}'"
+                )
+        if event["ph"] == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    raise ObsError(
+                        f"event {position} ('{event['name']}'): complete "
+                        f"events need a non-negative '{key}'"
+                    )
+    if not any(e.get("ph") == "X" for e in events):
+        raise ObsError("trace contains no complete ('X') span events")
+    return len(events)
+
+
+def write_chrome_trace(spans: Iterable[Span], path: str | Path) -> Path:
+    """Export, validate, and write a Chrome trace file."""
+    document = to_chrome_trace(spans)
+    validate_chrome_trace(document)
+    path = Path(path)
+    path.write_text(json.dumps(document, indent=1))
+    return path
+
+
+# ----------------------------------------------------------------------
+# text tree
+# ----------------------------------------------------------------------
+def render_tree(spans: Iterable[Span]) -> str:
+    """Indented parent/child rendering, one line per span.
+
+    Spans whose parent is unknown (or absent) root their own subtree;
+    trees are ordered by start time, children likewise.
+    """
+    spans = sorted(spans, key=lambda s: s.start_wall)
+    by_id = {s.span_id: s for s in spans}
+    children: dict[str | None, list[Span]] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in by_id else None
+        children.setdefault(parent, []).append(span)
+
+    lines: list[str] = []
+
+    def emit(span: Span, depth: int) -> None:
+        pad = "  " * depth
+        extras = ""
+        if span.attrs:
+            shown = ", ".join(
+                f"{k}={v}" for k, v in sorted(span.attrs.items())
+            )
+            extras = f"  {{{shown}}}"
+        lines.append(
+            f"{pad}{span.name} [{span.layer}]  "
+            f"wall={span.wall_s * 1e3:.2f}ms cpu={span.cpu_s * 1e3:.2f}ms "
+            f"io={span.io_ops:,}{extras}"
+        )
+        for child in children.get(span.span_id, []):
+            emit(child, depth + 1)
+
+    for root in children.get(None, []):
+        emit(root, 0)
+    return "\n".join(lines)

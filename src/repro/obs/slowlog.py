@@ -1,0 +1,122 @@
+"""The slow-query log: statements that blew their latency budget.
+
+Production CasJobs lived on per-job history and accounting; the part a
+DBA reaches for first is the slow-query log.  Any statement the engine
+executes above the threshold is recorded with its SQL text (re-rendered
+through the one true printer where parseable), the plan that ran, and —
+when the statement was executed with instrumentation — the worst
+per-operator q-error, so "slow because the optimizer was wrong" is
+distinguishable from "slow because the work is big".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import get_metrics
+
+#: Default latency budget before a statement is logged, seconds.
+DEFAULT_THRESHOLD_S = 0.25
+
+
+@dataclass(frozen=True)
+class SlowQuery:
+    """One over-budget statement."""
+
+    sql: str
+    elapsed_s: float
+    plan: str | None = None
+    max_q_error: float | None = None
+    database: str | None = None
+    recorded_at: float = field(default_factory=time.time)
+
+    @property
+    def line(self) -> str:
+        parts = [f"{self.elapsed_s * 1e3:9.2f} ms"]
+        if self.max_q_error is not None:
+            parts.append(f"q={self.max_q_error:.2f}")
+        if self.database:
+            parts.append(f"db={self.database}")
+        parts.append(self.sql if len(self.sql) <= 120 else self.sql[:117] + "...")
+        return "  ".join(parts)
+
+
+class SlowQueryLog:
+    """Bounded, thread-safe ring of :class:`SlowQuery` records."""
+
+    def __init__(
+        self,
+        threshold_s: float = DEFAULT_THRESHOLD_S,
+        capacity: int = 200,
+    ):
+        self.threshold_s = threshold_s
+        self._entries: deque[SlowQuery] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def set_threshold(self, threshold_s: float) -> None:
+        self.threshold_s = threshold_s
+
+    def is_slow(self, elapsed_s: float) -> bool:
+        return elapsed_s >= self.threshold_s
+
+    def record(
+        self,
+        sql: str,
+        elapsed_s: float,
+        plan: str | None = None,
+        max_q_error: float | None = None,
+        database: str | None = None,
+    ) -> SlowQuery | None:
+        """Log the statement if it is over threshold; returns the entry."""
+        if not self.is_slow(elapsed_s):
+            return None
+        entry = SlowQuery(
+            sql=sql,
+            elapsed_s=elapsed_s,
+            plan=plan,
+            max_q_error=max_q_error,
+            database=database,
+        )
+        with self._lock:
+            self._entries.append(entry)
+        get_metrics().counter("engine.slow_queries").inc()
+        return entry
+
+    def entries(self) -> list[SlowQuery]:
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def render(self) -> str:
+        """The log as text, slowest first; plans inline when captured."""
+        entries = sorted(
+            self.entries(), key=lambda e: e.elapsed_s, reverse=True
+        )
+        if not entries:
+            return "slow-query log: empty"
+        lines = [f"slow-query log ({len(entries)} over "
+                 f"{self.threshold_s * 1e3:g} ms):"]
+        for entry in entries:
+            lines.append(f"  {entry.line}")
+            if entry.plan:
+                lines.extend(f"    | {plan_line}"
+                             for plan_line in entry.plan.splitlines())
+        return "\n".join(lines)
+
+
+_SLOW_LOG = SlowQueryLog()
+
+
+def get_slow_log() -> SlowQueryLog:
+    """The process-wide slow-query log the engine feeds."""
+    return _SLOW_LOG

@@ -1,0 +1,296 @@
+"""Hierarchical tracing: one trace across CasJobs, cluster, grid, engine.
+
+The paper's whole argument rests on observables — Table 1's
+elapsed/CPU/I/O triples came straight from SQL Server's execution
+statistics.  This module is how the reproduction connects its islands
+of measurement into one picture: a submitted CasJobs job, the scheduler
+attempts that served it, the cluster partitions those fanned out to,
+and the engine tasks each partition ran all land in a *single* trace
+with parent/child links intact.
+
+Design points:
+
+* **Near-zero disabled path.**  Tracing is off by default; a disabled
+  :func:`span` is one module-global check and yields a shared no-op
+  span — no allocation, no id generation, no clock reads.
+* **Propagation across threads** is explicit: a :class:`TraceContext`
+  is a tiny picklable value; workers call :func:`activate` with the
+  context their dispatcher captured (contextvars do not flow into pool
+  threads on their own).
+* **Propagation across processes** rides inside
+  :class:`~repro.cluster.workunit.PartitionWorkUnit`: the parent stamps
+  its context on the unit, the child re-parents its spans under it and
+  ships them back in the outcome, and the parent absorbs them into the
+  global tracer — so `about:tracing` shows one tree spanning pids.
+* **Honest clocks.**  Span CPU time is read from
+  :func:`repro.engine.stats.current_cpu_clock`, so the thread backend's
+  ``use_cpu_clock("thread")`` discipline applies to spans exactly as it
+  does to :class:`~repro.engine.stats.TaskTimer`.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.engine.stats import IOCounters, current_cpu_clock
+
+#: Module-global master switch.  Read on every span() call; kept a plain
+#: bool so the disabled path costs one attribute load.
+_ENABLED = False
+
+#: The active span's context on *this* logical context (task/thread).
+_CURRENT: contextvars.ContextVar["TraceContext | None"] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+def _new_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """What crosses a thread or process boundary: ids + origin pid.
+
+    ``pid`` records where the context was captured, so a worker can
+    tell whether its spans already live in the dispatcher's tracer
+    (same process) or must be shipped back (child process).
+    """
+
+    trace_id: str
+    span_id: str
+    pid: int = field(default_factory=os.getpid)
+
+
+@dataclass
+class Span:
+    """One measured region: ids, wall + CPU + I/O, free-form attrs.
+
+    Plain data, pickles cleanly — finished spans cross process
+    boundaries inside work-unit outcomes.
+    """
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+    layer: str = "app"  # "casjobs" | "cluster" | "grid" | "engine" | ...
+    start_wall: float = 0.0  # epoch seconds (Chrome trace timestamps)
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    io_ops: int = 0
+    pid: int = 0
+    thread: str = ""
+    attrs: dict = field(default_factory=dict)
+
+    def context(self) -> TraceContext:
+        return TraceContext(self.trace_id, self.span_id)
+
+    def set(self, key: str, value) -> None:
+        """Attach an attribute to the span (no-op on the disabled span)."""
+        self.attrs[key] = value
+
+
+class _NoopSpan:
+    """The shared span yielded when tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value) -> None:
+        pass
+
+    def context(self) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Thread-safe sink for finished spans."""
+
+    def __init__(self) -> None:
+        self._spans: list[Span] = []
+        self._lock = threading.Lock()
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def absorb(self, spans: Iterable[Span]) -> None:
+        """Merge spans shipped back from another process."""
+        with self._lock:
+            self._spans.extend(spans)
+
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def drain(self) -> list[Span]:
+        """Return everything recorded so far and clear the buffer."""
+        with self._lock:
+            drained, self._spans = self._spans, []
+            return drained
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    return _TRACER
+
+
+def enabled() -> bool:
+    return _ENABLED
+
+
+def set_enabled(on: bool) -> None:
+    """Flip the master switch (idempotent; spans in the tracer persist)."""
+    global _ENABLED
+    _ENABLED = bool(on)
+
+
+def enable() -> None:
+    set_enabled(True)
+
+
+def disable() -> None:
+    set_enabled(False)
+
+
+@contextmanager
+def tracing(on: bool = True, clear: bool = True):
+    """Scoped enable/disable; yields the tracer.  Test/bench helper."""
+    previous = _ENABLED
+    if clear:
+        _TRACER.clear()
+    set_enabled(on)
+    try:
+        yield _TRACER
+    finally:
+        set_enabled(previous)
+
+
+def current_context() -> TraceContext | None:
+    """The active span's context, for handing to another thread/process."""
+    if not _ENABLED:
+        return None
+    return _CURRENT.get()
+
+
+@contextmanager
+def activate(ctx: TraceContext | None):
+    """Adopt a context captured elsewhere as this thread's parent."""
+    if ctx is None:
+        yield
+        return
+    token = _CURRENT.set(ctx)
+    try:
+        yield
+    finally:
+        _CURRENT.reset(token)
+
+
+def start_span(
+    name: str,
+    *,
+    layer: str = "app",
+    counters: IOCounters | None = None,
+    parent: TraceContext | None = None,
+    attrs: dict | None = None,
+) -> Span:
+    """Open a span explicitly (caller must :func:`finish_span` it).
+
+    Used where a span's lifetime does not fit a ``with`` block — e.g.
+    the CasJobs job span that opens at submission and closes whenever
+    the job reaches a terminal state.  Does *not* set the current
+    context; use :func:`span` or :func:`activate` for that.
+    """
+    ctx = parent if parent is not None else _CURRENT.get()
+    thread = threading.current_thread()
+    sp = Span(
+        name=name,
+        trace_id=ctx.trace_id if ctx is not None else _new_id(),
+        span_id=_new_id(),
+        parent_id=ctx.span_id if ctx is not None else None,
+        layer=layer,
+        start_wall=time.time(),
+        pid=os.getpid(),
+        thread=thread.name,
+        attrs=dict(attrs or {}),
+    )
+    # live measurement state: instance attributes, not dataclass fields,
+    # so asdict()/export never see them; finish_span deletes them.
+    sp._t0 = time.perf_counter()  # type: ignore[attr-defined]
+    sp._cpu_clock = current_cpu_clock()  # type: ignore[attr-defined]
+    sp._cpu0 = sp._cpu_clock()  # type: ignore[attr-defined]
+    sp._counters = counters  # type: ignore[attr-defined]
+    sp._io0 = counters.snapshot() if counters is not None else None  # type: ignore[attr-defined]
+    return sp
+
+
+def finish_span(sp: Span) -> None:
+    """Close an explicitly opened span and record it."""
+    sp.wall_s = time.perf_counter() - sp._t0  # type: ignore[attr-defined]
+    sp.cpu_s = sp._cpu_clock() - sp._cpu0  # type: ignore[attr-defined]
+    if sp._counters is not None and sp._io0 is not None:  # type: ignore[attr-defined]
+        sp.io_ops = sp._counters.since(sp._io0).total  # type: ignore[attr-defined]
+    del sp._t0, sp._cpu_clock, sp._cpu0, sp._counters, sp._io0  # type: ignore[attr-defined]
+    _TRACER.record(sp)
+
+
+@contextmanager
+def span(
+    name: str,
+    *,
+    layer: str = "app",
+    counters: IOCounters | None = None,
+    parent: TraceContext | None = None,
+    attrs: dict | None = None,
+):
+    """Measure a region as a child of the active (or given) context.
+
+    Disabled tracing yields a shared no-op span: one flag check, no
+    allocation.  Enabled, the span measures wall clock, CPU (via the
+    per-thread clock discipline) and, when ``counters`` is supplied,
+    the I/O delta observed during the block; the span becomes the
+    current context for anything opened inside it.
+    """
+    if not _ENABLED:
+        yield _NOOP_SPAN
+        return
+    sp = start_span(
+        name, layer=layer, counters=counters, parent=parent, attrs=attrs
+    )
+    token = _CURRENT.set(sp.context())
+    try:
+        yield sp
+    finally:
+        _CURRENT.reset(token)
+        finish_span(sp)
+
+
+def wrap(name: str, fn: Callable, *, layer: str = "app") -> Callable:
+    """Decorate a callable so each invocation runs inside a span."""
+
+    def traced(*args, **kwargs):
+        with span(name, layer=layer):
+            return fn(*args, **kwargs)
+
+    traced.__name__ = getattr(fn, "__name__", name)
+    return traced

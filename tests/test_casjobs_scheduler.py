@@ -349,3 +349,48 @@ class TestStress:
         for job in service.queue.jobs():
             if job.status is JobStatus.FAILED:
                 assert job.error
+
+
+class TestSchedulerStatsPercentiles:
+    """Edge cases of the latency percentile helpers, pinned exactly."""
+
+    def make_stats(self, samples):
+        from repro.casjobs.scheduler import SchedulerStats
+
+        stats = SchedulerStats()
+        stats.wait_s[QueueClass.QUICK] = list(samples)
+        stats.run_s[QueueClass.QUICK] = list(samples)
+        return stats
+
+    def test_empty_samples_report_zero(self):
+        stats = self.make_stats([])
+        assert stats.p50_wait(QueueClass.QUICK) == 0.0
+        assert stats.p95_wait(QueueClass.QUICK) == 0.0
+        assert stats.p50_run(QueueClass.QUICK) == 0.0
+        assert stats.p95_run(QueueClass.QUICK) == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        stats = self.make_stats([2.0])
+        assert stats.p50_wait(QueueClass.QUICK) == 2.0
+        assert stats.p95_wait(QueueClass.QUICK) == 2.0
+
+    def test_small_n_linear_interpolation(self):
+        # np.percentile's default linear interpolation on [1, 2, 3, 4]:
+        # p50 = 2.5, p95 = 1 + 0.95 * 3 = 3.85
+        stats = self.make_stats([1.0, 2.0, 3.0, 4.0])
+        assert stats.p50_wait(QueueClass.QUICK) == pytest.approx(2.5)
+        assert stats.p95_wait(QueueClass.QUICK) == pytest.approx(3.85)
+
+    def test_order_does_not_matter(self):
+        shuffled = self.make_stats([4.0, 1.0, 3.0, 2.0])
+        ordered = self.make_stats([1.0, 2.0, 3.0, 4.0])
+        assert shuffled.p95_wait(QueueClass.QUICK) == pytest.approx(
+            ordered.p95_wait(QueueClass.QUICK)
+        )
+
+    def test_summary_includes_both_classes(self):
+        stats = self.make_stats([1.0])
+        summary = stats.summary()
+        assert summary["quick_p50_wait_s"] == 1.0
+        assert summary["long_p50_wait_s"] == 0.0
+        assert summary["quick_p95_wait_s"] == 1.0

@@ -83,3 +83,74 @@ class TestWorkloads:
         assert main(["workloads"]) == 0
         out = capsys.readouterr().out
         assert "small" in out and "paper" in out
+
+
+class TestTraceCommand:
+    def test_trace_demo_writes_valid_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+
+        out = tmp_path / "trace.json"
+        code = main([
+            "trace", *small_args(), "--demo",
+            "--backend", "sequential", "--servers", "2",
+            "--out", str(out),
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "casjobs.job" in text
+        assert "cluster.partition" in text
+        assert "engine.task:fBCGCandidate" in text
+        assert validate_chrome_trace(json.loads(out.read_text())) > 0
+
+    def test_trace_tree_format_needs_no_file(self, tmp_path, capsys):
+        code = main([
+            "trace", *small_args(), "--demo",
+            "--backend", "sequential", "--servers", "2",
+            "--format", "tree", "--out", str(tmp_path / "unused.json"),
+        ])
+        assert code == 0
+        assert not (tmp_path / "unused.json").exists()
+        assert "cluster.run" in capsys.readouterr().out
+
+    def test_trace_jsonl_format(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "spans.jsonl"
+        code = main([
+            "trace", *small_args(), "--demo",
+            "--backend", "sequential", "--servers", "2",
+            "--format", "jsonl", "--out", str(out),
+        ])
+        assert code == 0
+        lines = [json.loads(l) for l in out.read_text().splitlines() if l]
+        assert any(d["name"] == "casjobs.job" for d in lines)
+
+    def test_trace_slow_ms_populates_slow_log(self, tmp_path, capsys):
+        from repro.obs.slowlog import get_slow_log
+
+        old = get_slow_log().threshold_s
+        try:
+            code = main([
+                "trace", *small_args(), "--demo",
+                "--backend", "sequential", "--servers", "2",
+                "--slow-ms", "0", "--out", str(tmp_path / "t.json"),
+            ])
+        finally:
+            get_slow_log().set_threshold(old)
+            get_slow_log().clear()
+        assert code == 0
+        assert "slow-query log" in capsys.readouterr().out
+
+
+class TestMetricsCommand:
+    def test_metrics_dumps_registry(self, capsys):
+        code = main([
+            "metrics", *small_args(), "--demo", "--servers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "casjobs.finished" in out
+        assert "cluster.partitions" in out
+        assert "engine.pool.hits" in out

@@ -99,3 +99,49 @@ class TestInstrumentPlan:
         got = wrapped.execute()
         assert np.array_equal(got["objid"], expected["objid"])
         assert all(r.calls == 1 for r in records)
+
+
+class TestRowAccumulation:
+    """A node executed more than once must report every batch it produced
+    (the old behaviour overwrote ``rows`` with the last call's count)."""
+
+    def test_rows_accumulate_across_calls(self, db):
+        from repro.engine.sql.parser import parse
+        from repro.engine.sql.planner import Planner
+
+        stmt = parse("SELECT objid FROM g WHERE v > 0.5")
+        plan = Planner(db).plan_select(stmt)
+        wrapped, records = instrument_plan(plan)
+        first = wrapped.execute()
+        second = wrapped.execute()
+        n = len(first["objid"])
+        assert len(second["objid"]) == n
+        root = records[0]
+        assert root.calls == 2
+        assert root.rows == 2 * n
+        assert root.rows_per_call == pytest.approx(n)
+
+    def test_q_error_uses_rows_per_call(self):
+        from repro.engine.instrument import NodeStats
+
+        stats = NodeStats(description="x", depth=0, est_rows=100.0)
+        stats.rows = 300
+        stats.calls = 3  # 100 rows per execution: the estimate was perfect
+        assert stats.q_error == pytest.approx(1.0)
+
+    def test_line_shows_per_call_breakdown(self):
+        from repro.engine.instrument import NodeStats
+
+        stats = NodeStats(description="Scan", depth=0)
+        stats.rows, stats.calls = 200, 2
+        assert "(100/call x 2)" in stats.line
+        stats.calls = 1
+        stats.rows = 100
+        assert "/call" not in stats.line
+
+    def test_rows_per_call_zero_calls(self):
+        from repro.engine.instrument import NodeStats
+
+        stats = NodeStats(description="x", depth=0)
+        assert stats.rows_per_call == 0.0
+        assert stats.q_error is None

@@ -88,3 +88,50 @@ class TestTaskTimer:
         with TaskTimer("plain") as timer:
             pass
         assert timer.stats.io.total == 0
+
+
+class TestIOCountersThreadSafety:
+    def test_concurrent_increments_do_not_drop(self):
+        """Plain += drops updates under interleaving; the locked add_*
+        methods must count exactly."""
+        import threading
+
+        counters = IOCounters()
+        n_threads, per_thread = 8, 10_000
+
+        def hammer():
+            for _ in range(per_thread):
+                counters.add_logical()
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counters.logical_reads == n_threads * per_thread
+
+    def test_add_methods_take_amounts(self):
+        counters = IOCounters()
+        counters.add_logical(5)
+        counters.add_physical(3)
+        counters.add_write(2)
+        assert (counters.logical_reads, counters.physical_reads,
+                counters.writes) == (5, 3, 2)
+
+    def test_snapshot_is_a_consistent_copy(self):
+        counters = IOCounters()
+        counters.add_logical(9)
+        snap = counters.snapshot()
+        counters.add_logical(1)
+        assert snap.logical_reads == 9
+        assert counters.logical_reads == 10
+
+    def test_pickles_without_lock_and_still_works(self):
+        import pickle
+
+        counters = IOCounters()
+        counters.add_write(4)
+        clone = pickle.loads(pickle.dumps(counters))
+        assert clone.writes == 4
+        clone.add_write(1)  # the restored instance has a fresh lock
+        assert clone.writes == 5

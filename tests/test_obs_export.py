@@ -1,0 +1,139 @@
+"""Trace exporters: JSONL, Chrome trace_event, text tree, validation."""
+
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.export import (
+    render_tree,
+    span_to_dict,
+    to_chrome_trace,
+    to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.trace import Span
+
+
+def make_span(name="work", span_id="s1", parent_id=None, *, pid=100,
+              thread="MainThread", start=1000.0, wall=0.5, layer="engine",
+              attrs=None):
+    return Span(
+        name=name, trace_id="t1", span_id=span_id, parent_id=parent_id,
+        layer=layer, start_wall=start, wall_s=wall, cpu_s=0.25, io_ops=12,
+        pid=pid, thread=thread, attrs=attrs or {},
+    )
+
+
+class TestJsonl:
+    def test_one_line_per_span(self):
+        text = to_jsonl([make_span("a"), make_span("b", span_id="s2")])
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["name"] == "a"
+
+    def test_span_to_dict_has_no_live_state(self):
+        d = span_to_dict(make_span())
+        assert "_t0" not in d
+        assert d["io_ops"] == 12
+
+    def test_write_jsonl(self, tmp_path):
+        path = write_jsonl([make_span()], tmp_path / "spans.jsonl")
+        assert json.loads(path.read_text().splitlines()[0])["name"] == "work"
+
+
+class TestChromeTrace:
+    def test_complete_events_with_microsecond_times(self):
+        doc = to_chrome_trace([make_span(start=2.0, wall=0.5)])
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 1
+        assert xs[0]["ts"] == pytest.approx(2e6)
+        assert xs[0]["dur"] == pytest.approx(5e5)
+        assert xs[0]["cat"] == "engine"
+
+    def test_thread_name_metadata_and_integer_tids(self):
+        doc = to_chrome_trace([
+            make_span("a", thread="MainThread"),
+            make_span("b", span_id="s2", thread="worker-1"),
+            make_span("c", span_id="s3", pid=200, thread="MainThread"),
+        ])
+        metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in metas} == {
+            "MainThread", "worker-1",
+        }
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert all(isinstance(e["tid"], int) for e in xs)
+        # tids restart per pid; same (pid, thread) shares a tid
+        assert xs[0]["tid"] != xs[1]["tid"]
+        assert xs[2]["tid"] == 1
+
+    def test_args_carry_ids_and_attrs(self):
+        doc = to_chrome_trace(
+            [make_span(parent_id="p9", attrs={"sql": "SELECT 1", "n": 3})]
+        )
+        args = [e for e in doc["traceEvents"] if e["ph"] == "X"][0]["args"]
+        assert args["parent_id"] == "p9"
+        assert args["sql"] == "SELECT 1"
+        assert args["n"] == "3"  # attrs stringified for the viewer
+
+    def test_round_trips_through_json(self):
+        doc = to_chrome_trace([make_span()])
+        reparsed = json.loads(json.dumps(doc))
+        assert validate_chrome_trace(reparsed) == len(doc["traceEvents"])
+
+    def test_write_validates_and_writes(self, tmp_path):
+        path = write_chrome_trace([make_span()], tmp_path / "trace.json")
+        assert validate_chrome_trace(json.loads(path.read_text())) >= 1
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        with pytest.raises(ObsError, match="object"):
+            validate_chrome_trace([1, 2])
+
+    def test_rejects_empty_events(self):
+        with pytest.raises(ObsError, match="non-empty"):
+            validate_chrome_trace({"traceEvents": []})
+
+    def test_rejects_missing_fields(self):
+        with pytest.raises(ObsError, match="pid"):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "X", "tid": 1}]}
+            )
+
+    def test_rejects_negative_duration(self):
+        event = {"name": "x", "ph": "X", "pid": 1, "tid": 1,
+                 "ts": 0.0, "dur": -1.0}
+        with pytest.raises(ObsError, match="dur"):
+            validate_chrome_trace({"traceEvents": [event]})
+
+    def test_rejects_metadata_only_documents(self):
+        meta = {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+                "args": {"name": "t"}}
+        with pytest.raises(ObsError, match="complete"):
+            validate_chrome_trace({"traceEvents": [meta]})
+
+
+class TestRenderTree:
+    def test_indents_children_under_parents(self):
+        root = make_span("casjobs.job", span_id="root", layer="casjobs",
+                         start=1.0)
+        child = make_span("cluster.run", span_id="kid", parent_id="root",
+                          layer="cluster", start=2.0)
+        grandchild = make_span("engine.task", span_id="gk", parent_id="kid",
+                               start=3.0)
+        lines = render_tree([grandchild, root, child]).splitlines()
+        assert lines[0].startswith("casjobs.job")
+        assert lines[1].startswith("  cluster.run")
+        assert lines[2].startswith("    engine.task")
+
+    def test_unknown_parent_roots_its_subtree(self):
+        orphan = make_span("lonely", span_id="o1", parent_id="missing")
+        lines = render_tree([orphan]).splitlines()
+        assert lines[0].startswith("lonely")
+
+    def test_attrs_rendered_sorted(self):
+        sp = make_span(attrs={"b": 2, "a": 1})
+        assert "{a=1, b=2}" in render_tree([sp])

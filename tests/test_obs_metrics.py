@@ -1,0 +1,164 @@
+"""The metrics registry: counters, gauges, histograms, collectors."""
+
+import math
+import threading
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_defaults_to_one(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5.0
+
+    def test_concurrent_increments_do_not_drop(self):
+        c = Counter("contended")
+        n_threads, per_thread = 8, 5_000
+
+        def hammer():
+            for _ in range(per_thread):
+                c.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n_threads * per_thread
+
+    def test_reset(self):
+        c = Counter("r")
+        c.inc(9)
+        c.reset()
+        assert c.value == 0.0
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_observe_fills_buckets(self):
+        h = Histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(55.55)
+        assert h.mean == pytest.approx(55.55 / 4)
+        assert h.buckets() == {
+            "le=0.1": 1, "le=1": 1, "le=10": 1, "le=inf": 1,
+        }
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        h = Histogram("edge", buckets=(1.0, 2.0))
+        h.observe(1.0)  # le=1 is inclusive
+        assert h.buckets()["le=1"] == 1
+
+    def test_quantile_upper_bound(self):
+        h = Histogram("q", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.6, 0.7, 3.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == 4.0
+
+    def test_quantile_empty_and_overflow(self):
+        h = Histogram("q2", buckets=(1.0,))
+        assert h.quantile(0.5) == 0.0
+        h.observe(99.0)
+        assert h.quantile(0.9) == math.inf
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ObsError):
+            Histogram("bad", buckets=(1.0,)).quantile(1.5)
+
+    def test_needs_buckets(self):
+        with pytest.raises(ObsError):
+            Histogram("none", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self, registry):
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_type_clash_raises(self, registry):
+        registry.counter("x")
+        with pytest.raises(ObsError, match="Counter"):
+            registry.gauge("x")
+        with pytest.raises(ObsError):
+            registry.histogram("x")
+
+    def test_snapshot_shapes(self, registry):
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(7)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["c"] == 2.0
+        assert snap["g"] == 7.0
+        assert snap["h"]["count"] == 1
+        assert snap["h"]["buckets"]["le=1"] == 1
+
+    def test_collectors_merge_at_snapshot_time(self, registry):
+        calls = []
+
+        def collector():
+            calls.append(True)
+            return {"pulled.value": 42.0}
+
+        registry.add_collector(collector)
+        assert not calls  # pull style: nothing until snapshot
+        assert registry.snapshot()["pulled.value"] == 42.0
+        assert len(calls) == 1
+
+    def test_reset_zeroes_but_keeps_registrations(self, registry):
+        c = registry.counter("keep")
+        c.inc(5)
+        registry.add_collector(lambda: {"still.here": 1.0})
+        registry.reset()
+        assert registry.counter("keep") is c
+        assert c.value == 0.0
+        assert registry.snapshot()["still.here"] == 1.0
+
+    def test_render_one_line_per_metric(self, registry):
+        registry.counter("z.last").inc()
+        registry.counter("a.first").inc()
+        lines = registry.render().splitlines()
+        assert lines[0].startswith("a.first")
+        assert lines[-1].startswith("z.last")
+
+
+class TestGlobalRegistry:
+    def test_singleton(self):
+        assert get_metrics() is get_metrics()
+
+    def test_buffer_pool_collector_is_registered(self):
+        """The page layer feeds the registry by pull (hot path untouched)."""
+        from repro.engine.pages import BufferPool, PageId
+
+        pool = BufferPool(capacity_pages=4)
+        pool.access(PageId(90901, 0))  # miss
+        pool.access(PageId(90901, 0))  # hit
+        snap = get_metrics().snapshot()
+        assert snap["engine.pools"] >= 1
+        assert snap["engine.pool.hits"] >= 1
+        assert snap["engine.pool.misses"] >= 1

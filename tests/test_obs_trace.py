@@ -1,0 +1,213 @@
+"""Tracing core: spans, parenting, propagation, the disabled path."""
+
+import os
+import pickle
+import threading
+
+import pytest
+
+from repro.engine.stats import IOCounters, use_cpu_clock
+from repro.obs.trace import (
+    TraceContext,
+    activate,
+    current_context,
+    enabled,
+    finish_span,
+    get_tracer,
+    span,
+    start_span,
+    tracing,
+    wrap,
+    _NOOP_SPAN,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    """Every test starts disabled with an empty tracer."""
+    get_tracer().clear()
+    yield
+    get_tracer().clear()
+
+
+class TestDisabledPath:
+    def test_disabled_by_default(self):
+        assert not enabled()
+
+    def test_disabled_span_is_shared_noop(self):
+        with span("anything") as sp:
+            assert sp is _NOOP_SPAN
+        sp.set("key", "value")  # swallowed, never raises
+        assert sp.context() is None
+        assert len(get_tracer()) == 0
+
+    def test_disabled_records_nothing(self):
+        with span("outer"):
+            with span("inner"):
+                pass
+        assert get_tracer().spans() == []
+
+    def test_current_context_is_none_when_disabled(self):
+        assert current_context() is None
+
+
+class TestSpanRecording:
+    def test_span_measures_wall_and_ids(self):
+        with tracing():
+            with span("work", layer="engine") as sp:
+                pass
+        spans = get_tracer().spans()
+        assert len(spans) == 1
+        recorded = spans[0]
+        assert recorded is sp
+        assert recorded.name == "work"
+        assert recorded.layer == "engine"
+        assert recorded.wall_s >= 0.0
+        assert recorded.trace_id and recorded.span_id
+        assert recorded.parent_id is None
+        assert recorded.pid == os.getpid()
+
+    def test_nested_spans_parent_correctly(self):
+        with tracing():
+            with span("outer") as outer:
+                with span("inner") as inner:
+                    pass
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+
+    def test_sibling_roots_get_distinct_traces(self):
+        with tracing():
+            with span("first") as first:
+                pass
+            with span("second") as second:
+                pass
+        assert first.trace_id != second.trace_id
+
+    def test_span_captures_io_delta(self):
+        counters = IOCounters()
+        with tracing():
+            with span("io-work", counters=counters) as sp:
+                counters.add_logical(7)
+                counters.add_write(3)
+        assert sp.io_ops == 10  # logical + writes (the Table 1 rule)
+
+    def test_span_reads_selected_cpu_clock(self):
+        reads = []
+
+        def fake_clock():
+            reads.append(True)
+            return 1.25
+
+        with tracing():
+            with use_cpu_clock(fake_clock):
+                with span("clocked") as sp:
+                    pass
+        assert reads  # the span consulted the per-thread clock
+        assert sp.cpu_s == 0.0  # same reading at start and finish
+
+    def test_attrs_and_set(self):
+        with tracing():
+            with span("attrs", attrs={"a": 1}) as sp:
+                sp.set("b", 2)
+        assert sp.attrs == {"a": 1, "b": 2}
+
+    def test_finished_span_pickles(self):
+        """Finished spans cross process boundaries inside outcomes."""
+        with tracing():
+            with span("shippable", counters=IOCounters()) as sp:
+                pass
+        clone = pickle.loads(pickle.dumps(sp))
+        assert clone.span_id == sp.span_id
+        assert not hasattr(clone, "_t0")  # live state removed at finish
+
+    def test_exception_still_finishes_span(self):
+        with tracing():
+            with pytest.raises(ValueError):
+                with span("doomed"):
+                    raise ValueError("boom")
+        assert len(get_tracer()) == 1
+
+
+class TestExplicitLifetime:
+    def test_start_finish_without_with_block(self):
+        with tracing():
+            sp = start_span("long-lived", layer="casjobs")
+            assert len(get_tracer()) == 0  # not recorded until finished
+            finish_span(sp)
+        assert get_tracer().spans() == [sp]
+
+    def test_start_span_does_not_set_current_context(self):
+        with tracing():
+            sp = start_span("job")
+            assert current_context() is None
+            finish_span(sp)
+
+
+class TestPropagation:
+    def test_activate_adopts_foreign_context(self):
+        ctx = TraceContext(trace_id="t" * 16, span_id="s" * 16)
+        with tracing():
+            with activate(ctx):
+                with span("child") as child:
+                    pass
+        assert child.trace_id == ctx.trace_id
+        assert child.parent_id == ctx.span_id
+
+    def test_activate_none_is_noop(self):
+        with tracing():
+            with activate(None):
+                with span("orphan") as sp:
+                    pass
+        assert sp.parent_id is None
+
+    def test_context_pickles(self):
+        ctx = TraceContext(trace_id="abc", span_id="def")
+        assert pickle.loads(pickle.dumps(ctx)) == ctx
+        assert ctx.pid == os.getpid()
+
+    def test_spans_from_worker_thread_reparent_via_activate(self):
+        """Pool threads don't inherit contextvars; activate() is the fix."""
+        with tracing():
+            with span("dispatcher") as parent:
+                ctx = current_context()
+                results = []
+
+                def worker():
+                    with activate(ctx):
+                        with span("worker-side") as sp:
+                            results.append(sp)
+
+                thread = threading.Thread(target=worker)
+                thread.start()
+                thread.join()
+        worker_span = results[0]
+        assert worker_span.trace_id == parent.trace_id
+        assert worker_span.parent_id == parent.span_id
+
+    def test_drain_and_absorb_round_trip(self):
+        """The process-boundary protocol: drain in the child, ship, absorb."""
+        with tracing():
+            with span("child-side"):
+                pass
+            shipped = get_tracer().drain()
+            assert len(get_tracer()) == 0
+            get_tracer().absorb(shipped)
+            assert get_tracer().spans() == shipped
+
+
+class TestWrap:
+    def test_wrap_traces_each_call(self):
+        def add(a, b):
+            return a + b
+
+        traced = wrap("math.add", add, layer="app")
+        with tracing():
+            assert traced(2, 3) == 5
+            assert traced(4, 5) == 9
+        names = [s.name for s in get_tracer().spans()]
+        assert names == ["math.add", "math.add"]
+
+    def test_wrap_is_free_when_disabled(self):
+        traced = wrap("noop", lambda: 42)
+        assert traced() == 42
+        assert len(get_tracer()) == 0
