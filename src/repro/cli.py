@@ -97,8 +97,15 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_p = sub.add_parser("compare", help="TAM (file-based) vs SQL pipeline")
     add_common(cmp_p)
 
+    def add_workers(p):
+        p.add_argument("--workers", type=int, default=1,
+                       dest="intra_query_workers", metavar="N",
+                       help="intra-query morsel workers (1 = sequential; "
+                       "results are identical at any value)")
+
     sql_p = sub.add_parser("sql", help="run SQL against a demo database")
     add_common(sql_p)
+    add_workers(sql_p)
     group = sql_p.add_mutually_exclusive_group(required=True)
     group.add_argument("-e", "--execute", help="one SQL statement")
     group.add_argument("--script", help="path to a ;-separated SQL script")
@@ -107,6 +114,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "analyze", help="EXPLAIN ANALYZE a SELECT against the demo database"
     )
     add_common(analyze_p)
+    add_workers(analyze_p)
     analyze_p.add_argument("-e", "--execute", required=True,
                            help="SELECT statement to analyze")
 
@@ -115,6 +123,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="show a SELECT's plan (with row estimates) on the demo database",
     )
     add_common(explain_p)
+    add_workers(explain_p)
     explain_p.add_argument("sql", help="SELECT statement to plan")
     explain_p.add_argument("--analyze", action="store_true",
                            help="also execute and report est vs actual rows "
@@ -304,7 +313,8 @@ def cmd_sql(args) -> int:
     from repro.engine.database import Database
 
     config, kcorr, sky = _make_sky(args)
-    db = Database("cli")
+    db = Database("cli",
+                  intra_query_workers=getattr(args, "intra_query_workers", 1))
     db.create_table("galaxy_source", sky.catalog.as_columns(),
                     primary_key="objid")
     install_maxbcg(db, kcorr, config)
@@ -331,7 +341,8 @@ def _demo_database(args):
     from repro.engine.database import Database
 
     config, kcorr, sky = _make_sky(args)
-    db = Database("cli")
+    db = Database("cli",
+                  intra_query_workers=getattr(args, "intra_query_workers", 1))
     db.create_table("galaxy_source", sky.catalog.as_columns(),
                     primary_key="objid")
     install_maxbcg(db, kcorr, config)

@@ -153,6 +153,10 @@ class SqlServerCluster:
     fault:
         Optional :class:`~repro.cluster.workunit.FaultSpec` injected
         into every work unit — used by the fault-tolerance tests.
+    intra_query_workers:
+        Morsel-parallel workers inside each partition's database
+        (orthogonal to the partition backend; results are identical
+        at any value).
     """
 
     def __init__(
@@ -166,6 +170,7 @@ class SqlServerCluster:
         *,
         parallel: bool | None = None,
         fault: FaultSpec | None = None,
+        intra_query_workers: int = 1,
     ):
         self.kcorr = kcorr
         self.config = config
@@ -176,6 +181,7 @@ class SqlServerCluster:
             _resolve_deprecated_parallel(backend, parallel)
         )
         self.fault = fault
+        self.intra_query_workers = intra_query_workers
 
     @property
     def parallel(self) -> bool:
@@ -197,6 +203,7 @@ class SqlServerCluster:
                 method=self.method,
                 compute_members=self.compute_members,
                 fault=self.fault,
+                intra_query_workers=self.intra_query_workers,
             )
             for partition in layout.partitions
         ]
@@ -274,6 +281,7 @@ def run_partitioned(
     *,
     parallel: bool | None = None,
     progress: Callable[[str], None] | None = None,
+    intra_query_workers: int = 1,
 ) -> ClusterRunResult:
     """Convenience wrapper: build a cluster and run one target region.
 
@@ -292,5 +300,6 @@ def run_partitioned(
         method=method,
         compute_members=compute_members,
         backend=_resolve_deprecated_parallel(backend, parallel),
+        intra_query_workers=intra_query_workers,
     )
     return cluster.run(catalog, target, progress=progress)

@@ -121,6 +121,9 @@ class PartitionWorkUnit:
     method: str = "vectorized"
     compute_members: bool = True
     fault: FaultSpec | None = None
+    #: Morsel-parallel workers inside this partition's database (see
+    #: :mod:`repro.engine.parallel`); output is identical at any value.
+    intra_query_workers: int = 1
     #: Trace context of the dispatching cluster run.  When set, the
     #: worker opens a ``cluster.partition`` span parented here, so the
     #: partition's engine-layer spans land in the caller's trace even
@@ -175,7 +178,10 @@ def execute_workunit(
         # so the partition span below actually records.  Harmless when
         # already enabled (thread pool / fork).
         set_enabled(True)
-    database = Database(f"server{unit.server}")
+    database = Database(
+        f"server{unit.server}",
+        intra_query_workers=unit.intra_query_workers,
+    )
     pipeline = MaxBCGPipeline(
         unit.kcorr,
         unit.config,

@@ -48,14 +48,24 @@ class Database:
         name: str = "db",
         pool_pages: int = DEFAULT_POOL_PAGES,
         optimizer: str = "cost",
+        intra_query_workers: int = 1,
+        band_joins: bool = True,
     ):
         if optimizer not in ("cost", "syntactic"):
             raise EngineError(
                 f"unknown optimizer mode '{optimizer}'; "
                 "expected 'cost' or 'syntactic'"
             )
+        from repro.engine.parallel import resolve_workers
+
         self.name = name
         self.optimizer_mode = optimizer
+        #: Morsel-parallel workers per operator (1 = sequential; output
+        #: is byte-identical for any setting).
+        self.intra_query_workers = resolve_workers(intra_query_workers)
+        #: Allow the cost planner to extract BandJoin operators from
+        #: range conjuncts (off = nested-loop baseline, for benchmarks).
+        self.band_join_enabled = bool(band_joins)
         self.pool = BufferPool(pool_pages)
         self._tables: dict[str, Table] = {}
         self._clustered: dict[str, ClusteredIndex] = {}

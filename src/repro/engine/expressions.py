@@ -24,26 +24,39 @@ Batch = dict[str, np.ndarray]
 
 def batch_length(batch: Batch) -> int:
     for arr in batch.values():
+        if isinstance(arr, np.ndarray):
+            return int(arr.shape[0])
         return int(np.asarray(arr).shape[0])
     return 0
 
 
-def resolve_column(batch: Batch, name: str, qualifier: str | None) -> np.ndarray:
-    """SQL name resolution against a batch's (possibly qualified) keys."""
+def resolve_key(batch: Batch, name: str, qualifier: str | None) -> str:
+    """SQL name resolution to the *key* a reference binds to in a batch.
+
+    Same rules as :func:`resolve_column` but returns the matched key
+    instead of the array — operators that evaluate a predicate over a
+    projected subset of a batch (band-join residuals) use this to learn
+    which columns the predicate actually needs.
+    """
     if qualifier is not None:
         key = f"{qualifier.lower()}.{name.lower()}"
         if key in batch:
-            return batch[key]
+            return key
         raise ColumnNotFoundError(f"unknown column '{qualifier}.{name}'")
     lowered = name.lower()
     if lowered in batch:
-        return batch[lowered]
+        return lowered
     matches = [k for k in batch if k.rsplit(".", 1)[-1] == lowered]
     if len(matches) == 1:
-        return batch[matches[0]]
+        return matches[0]
     if not matches:
         raise ColumnNotFoundError(f"unknown column '{name}'")
     raise SqlPlanError(f"ambiguous column '{name}' (candidates: {sorted(matches)})")
+
+
+def resolve_column(batch: Batch, name: str, qualifier: str | None) -> np.ndarray:
+    """SQL name resolution against a batch's (possibly qualified) keys."""
+    return batch[resolve_key(batch, name, qualifier)]
 
 
 class Expr:

@@ -1,11 +1,22 @@
-"""Join operators: hash, nested-loop, and cross joins.
+"""Join operators: hash, band, nested-loop, and cross joins.
 
 The paper's Filter step is a ``CROSS JOIN`` of each galaxy with the
 1000-row Kcorr table followed by a chi² predicate, and its Section 2.6
 credits "the redshift index as the JOIN attribute" for speed — i.e. an
 equi-join on ``zid`` executed as a hash join.  The planner picks
 :class:`HashJoin` whenever an equality conjunct connects the two sides,
-and falls back to :class:`NestedLoopJoin` otherwise.
+:class:`BandJoin` when a range conjunct bounds one side's column by
+expressions over the other (the set-oriented rewrite the original
+authors used for neighbor searches: sort one side, visit only the rows
+inside each probe's interval), and falls back to
+:class:`NestedLoopJoin` otherwise.
+
+Join outputs are *canonically ordered*: pairs appear sorted by
+(left row, right row), exactly the order a naive nested loop emits.
+Every operator here preserves that invariant no matter which side it
+builds on, how it bins, or how many morsel workers execute it — which
+is what lets the differential tests demand byte-identical batches
+across physical plans.
 """
 
 from __future__ import annotations
@@ -14,26 +25,52 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.engine.expressions import Batch, Expr, batch_length
+from repro.engine.expressions import (
+    Batch,
+    Expr,
+    batch_length,
+    resolve_key,
+)
 from repro.engine.operators import PlanNode, take
 from repro.errors import SqlPlanError
+
+
+def _as_array(arr) -> np.ndarray:
+    """Coerce only when needed — columns are almost always ndarrays."""
+    return arr if isinstance(arr, np.ndarray) else np.asarray(arr)
 
 
 def merge_batches(left: Batch, left_rows, right: Batch, right_rows) -> Batch:
     """Combine row selections from two batches into one joined batch."""
     out: Batch = {}
     for key, arr in left.items():
-        out[key] = np.asarray(arr)[left_rows]
+        out[key] = _as_array(arr)[left_rows]
     for key, arr in right.items():
         if key in out:
             raise SqlPlanError(f"join would duplicate output column '{key}'")
-        out[key] = np.asarray(arr)[right_rows]
+        out[key] = _as_array(arr)[right_rows]
     return out
+
+
+def _row_bytes(*batches: Batch) -> int:
+    """Bytes one materialized pair row costs across the given batches."""
+    total = 0
+    for batch in batches:
+        for arr in batch.values():
+            total += _as_array(arr).itemsize
+    return max(total, 1)
 
 
 @dataclass
 class HashJoin(PlanNode):
-    """Equi-join: build a hash table on the right, probe from left.
+    """Equi-join: build a hash table on the smaller input, probe the other.
+
+    The build side is picked by the optimizer's ``est_rows`` stamped on
+    each input (falling back to the actual batch lengths when the plan
+    was never annotated) — building on a 1000-row dimension instead of
+    a million-row fact is the difference between a dict that fits in
+    cache and one that doesn't.  Output order is canonical
+    (left row, right row) regardless of which side built.
 
     ``outer=True`` gives LEFT OUTER semantics: unmatched left rows are
     kept, with the right side's columns padded with NULL (NaN; integer
@@ -50,56 +87,78 @@ class HashJoin(PlanNode):
     residual: Expr | None = None  # extra non-equi conjuncts from ON
     outer: bool = False
 
+    def _build_on_right(self, n_left: int, n_right: int) -> bool:
+        """Build the table on the smaller side (estimates, then actuals)."""
+        left_est, right_est = self.left.est_rows, self.right.est_rows
+        if left_est is not None and right_est is not None \
+                and left_est != right_est:
+            return right_est <= left_est
+        return n_right <= n_left
+
     def execute(self) -> Batch:
         lbatch = self.left.execute()
         rbatch = self.right.execute()
-        lkeys = np.asarray(self.left_key.eval(lbatch))
-        rkeys = np.asarray(self.right_key.eval(rbatch))
+        lkeys = _as_array(self.left_key.eval(lbatch))
+        rkeys = _as_array(self.right_key.eval(rbatch))
+
+        if self._build_on_right(lkeys.shape[0], rkeys.shape[0]):
+            build_keys, probe_keys, probe_is_left = rkeys, lkeys, True
+        else:
+            build_keys, probe_keys, probe_is_left = lkeys, rkeys, False
 
         buckets: dict = {}
-        for row, key in enumerate(rkeys.tolist()):
+        for row, key in enumerate(build_keys.tolist()):
             buckets.setdefault(key, []).append(row)
 
-        left_rows: list[int] = []
-        right_rows: list[int] = []
-        for row, key in enumerate(lkeys.tolist()):
+        probe_rows: list[int] = []
+        build_rows: list[int] = []
+        for row, key in enumerate(probe_keys.tolist()):
             matches = buckets.get(key)
             if matches:
-                left_rows.extend([row] * len(matches))
-                right_rows.extend(matches)
+                probe_rows.extend([row] * len(matches))
+                build_rows.extend(matches)
 
-        joined = merge_batches(
-            lbatch, np.asarray(left_rows, dtype=np.int64),
-            rbatch, np.asarray(right_rows, dtype=np.int64),
-        )
+        if probe_is_left:
+            left_rows = np.asarray(probe_rows, dtype=np.int64)
+            right_rows = np.asarray(build_rows, dtype=np.int64)
+        else:
+            # probed from the right: pairs arrived right-major; restore
+            # the canonical (left row, right row) order
+            left_rows = np.asarray(build_rows, dtype=np.int64)
+            right_rows = np.asarray(probe_rows, dtype=np.int64)
+            perm = np.lexsort((right_rows, left_rows))
+            left_rows = left_rows[perm]
+            right_rows = right_rows[perm]
+
+        joined = merge_batches(lbatch, left_rows, rbatch, right_rows)
         if self.residual is not None and batch_length(joined):
             mask = np.asarray(self.residual.eval(joined), dtype=bool)
             joined = take(joined, mask)
-            left_rows = np.asarray(left_rows, dtype=np.int64)[mask].tolist()
+            left_rows = left_rows[mask]
 
         if not self.outer:
             return joined
 
         matched = np.zeros(batch_length(lbatch), dtype=bool)
-        if left_rows:
-            matched[np.asarray(left_rows, dtype=np.int64)] = True
+        if left_rows.size:
+            matched[left_rows] = True
         missing = np.flatnonzero(~matched)
         if missing.size == 0:
             return joined
         pad: Batch = {}
         for key, arr in lbatch.items():
-            pad[key] = np.asarray(arr)[missing]
+            pad[key] = _as_array(arr)[missing]
         n_pad = missing.size
         for key, arr in rbatch.items():
-            arr = np.asarray(arr)
+            arr = _as_array(arr)
             if arr.dtype.kind in ("i", "u", "b", "f"):
                 pad[key] = np.full(n_pad, np.nan)
             else:
                 pad[key] = np.full(n_pad, None, dtype=object)
         out: Batch = {}
         for key in joined:
-            left_part = np.asarray(joined[key])
-            right_part = np.asarray(pad[key])
+            left_part = _as_array(joined[key])
+            right_part = _as_array(pad[key])
             if left_part.dtype != right_part.dtype and right_part.dtype.kind == "f":
                 left_part = left_part.astype(np.float64)
             out[key] = np.concatenate([left_part, right_part])
@@ -117,18 +176,46 @@ class HashJoin(PlanNode):
 
 
 @dataclass
-class NestedLoopJoin(PlanNode):
-    """Inner join on an arbitrary predicate.
+class BandJoin(PlanNode):
+    """Sort-based band join: the paper-era fix for range theta-joins.
 
-    Evaluated block-wise: for each left row block, the right side is
-    broadcast and the predicate filters pairs.  Quadratic, as nested
-    loops are — the planner only uses it when no equi-key exists.
+    The right side is sorted on ``right_key`` once; for every left row
+    the bounds ``[low(l), high(l)]`` (expressions over the left batch —
+    column arithmetic or constants) select a *contiguous* slice of the
+    sorted keys by binary search, so the pair space shrinks from
+    |L|·|R| to exactly the rows inside each band.  The remaining theta
+    conjuncts run as a vectorized ``residual`` filter over only the
+    band survivors — and only over the columns the residual references;
+    the full output batch is materialized for final pairs alone.
+
+    Semantics are *identical* to a :class:`NestedLoopJoin` over
+    ``low ⋈ key ⋈ high AND residual``:
+
+    * strict bounds (``<``/``>``) pick the open searchsorted side, so no
+      boundary row is wrongly admitted;
+    * NaN bounds match nothing (as every SQL comparison with NaN is
+      false), and NaN key rows are never visited (they sort past the
+      finite region and the search is clamped to it);
+    * output pairs are canonically ordered (left row, right row).
+
+    ``workers > 1`` dispatches left-row blocks to the shared morsel
+    pool; block boundaries depend only on :attr:`block_rows`, so the
+    output is byte-identical for every worker count.
     """
+
+    #: Default left rows per block (overridable via ``block_rows``).
+    DEFAULT_BLOCK_ROWS = 8192
 
     left: PlanNode
     right: PlanNode
-    predicate: Expr | None
-    block_rows: int = 1024
+    right_key: Expr
+    low: Expr | None = None
+    high: Expr | None = None
+    low_strict: bool = False
+    high_strict: bool = False
+    residual: Expr | None = None
+    block_rows: int = 0  # 0 = DEFAULT_BLOCK_ROWS
+    workers: int = 1
 
     def execute(self) -> Batch:
         lbatch = self.left.execute()
@@ -140,29 +227,202 @@ class NestedLoopJoin(PlanNode):
                 lbatch, np.empty(0, np.int64), rbatch, np.empty(0, np.int64)
             )
 
-        left_parts: list[np.ndarray] = []
-        right_parts: list[np.ndarray] = []
+        rkeys = _as_array(self.right_key.eval(rbatch))
+        order = np.argsort(rkeys, kind="stable")
+        sorted_keys = rkeys[order]
+        # NaN keys sort past every finite key; clamping the search stops
+        # to the finite region guarantees they are never visited.
+        n_finite = n_right
+        if sorted_keys.dtype.kind == "f":
+            n_finite = n_right - int(np.isnan(sorted_keys).sum())
+
+        lo = hi = None
+        invalid = np.zeros(n_left, dtype=bool)
+        if self.low is not None:
+            lo = _as_array(self.low.eval(lbatch))
+            if lo.dtype.kind == "f":
+                invalid |= np.isnan(lo)
+        if self.high is not None:
+            hi = _as_array(self.high.eval(lbatch))
+            if hi.dtype.kind == "f":
+                invalid |= np.isnan(hi)
+        any_invalid = bool(invalid.any())
+
+        residual_keys = self._residual_keys(lbatch, rbatch)
+
+        def block_task(start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
+            if lo is not None:
+                starts = np.searchsorted(
+                    sorted_keys, lo[start:stop],
+                    side="right" if self.low_strict else "left",
+                )
+                starts = np.minimum(starts, n_finite)
+            else:
+                starts = np.zeros(stop - start, dtype=np.int64)
+            if hi is not None:
+                stops = np.searchsorted(
+                    sorted_keys, hi[start:stop],
+                    side="left" if self.high_strict else "right",
+                )
+                stops = np.minimum(stops, n_finite)
+            else:
+                stops = np.full(stop - start, n_finite, dtype=np.int64)
+
+            counts = np.maximum(stops - starts, 0)
+            if any_invalid:
+                counts[invalid[start:stop]] = 0
+            total = int(counts.sum())
+            empty = np.empty(0, dtype=np.int64)
+            if total == 0:
+                return empty, empty
+
+            l_rows = np.repeat(np.arange(start, stop, dtype=np.int64), counts)
+            # concatenate the ranges starts[i]:stops[i] without a loop
+            group_first = np.cumsum(counts) - counts
+            within = np.arange(total, dtype=np.int64) - np.repeat(
+                group_first, counts
+            )
+            r_rows = order[np.repeat(starts, counts) + within]
+            # canonical order: per left row, right rows by original
+            # position (the sorted slice visits them in key order)
+            perm = np.lexsort((r_rows, l_rows))
+            r_rows = r_rows[perm]
+
+            if self.residual is not None:
+                pair = {
+                    key: (_as_array(lbatch[key])[l_rows] if side == "left"
+                          else _as_array(rbatch[key])[r_rows])
+                    for key, side in residual_keys
+                }
+                if not pair:
+                    pair = {"__band": np.zeros(total)}
+                mask = np.asarray(self.residual.eval(pair), dtype=bool)
+                l_rows = l_rows[mask]
+                r_rows = r_rows[mask]
+            return l_rows, r_rows
+
+        block = self.block_rows or self.DEFAULT_BLOCK_ROWS
+        starts_list = list(range(0, n_left, block))
+        from repro.engine.parallel import run_morsels
+
+        parts = run_morsels(
+            [
+                (lambda s=start: block_task(s, min(s + block, n_left)))
+                for start in starts_list
+            ],
+            workers=self.workers,
+            name="engine.morsel.bandjoin",
+        )
+        left_rows = np.concatenate([p[0] for p in parts])
+        right_rows = np.concatenate([p[1] for p in parts])
+        return merge_batches(lbatch, left_rows, rbatch, right_rows)
+
+    def _residual_keys(
+        self, lbatch: Batch, rbatch: Batch
+    ) -> list[tuple[str, str]]:
+        """Resolve the residual's column refs to (batch key, side) pairs
+        so the residual evaluates over a projection, not the full merge."""
+        if self.residual is None:
+            return []
+        combined: Batch = {**lbatch, **rbatch}
+        resolved: dict[str, str] = {}
+        for ref in self.residual.column_refs():
+            key = resolve_key(combined, ref.name, ref.qualifier)
+            resolved[key] = "left" if key in lbatch else "right"
+        return sorted(resolved.items())
+
+    def _describe(self) -> str:
+        lb = "(" if self.low_strict else "["
+        rb = ")" if self.high_strict else "]"
+        lo = str(self.low) if self.low is not None else "-inf"
+        hi = str(self.high) if self.high is not None else "+inf"
+        txt = f"BandJoin({self.right_key} in {lb}{lo}, {hi}{rb}"
+        if self.residual is not None:
+            txt += f", residual {self.residual}"
+        if self.workers > 1:
+            txt += f", workers={self.workers}"
+        return txt + ")"
+
+    def _children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+
+@dataclass
+class NestedLoopJoin(PlanNode):
+    """Inner join on an arbitrary predicate.
+
+    Evaluated block-wise: for each left row block, the right side is
+    broadcast and the predicate filters pairs.  Quadratic, as nested
+    loops are — the planner only uses it when neither an equi key nor a
+    band bound exists.
+
+    ``block_rows=0`` (the default) sizes blocks adaptively so one
+    materialized pair batch stays under :attr:`PAIR_BYTE_BUDGET` —
+    a wide right side gets short blocks instead of a memory blowup.
+    ``workers > 1`` runs blocks on the shared morsel pool; the block
+    split never depends on the worker count, so output is byte-stable.
+    """
+
+    #: Byte ceiling for one block's materialized pair batch.
+    PAIR_BYTE_BUDGET = 32 << 20
+
+    left: PlanNode
+    right: PlanNode
+    predicate: Expr | None
+    block_rows: int = 0  # 0 = adaptive under PAIR_BYTE_BUDGET
+    workers: int = 1
+
+    def _effective_block_rows(
+        self, lbatch: Batch, rbatch: Batch, n_right: int
+    ) -> int:
+        if self.block_rows:
+            return self.block_rows
+        per_left_row = n_right * _row_bytes(lbatch, rbatch)
+        return int(min(max(self.PAIR_BYTE_BUDGET // max(per_left_row, 1), 16),
+                       65536))
+
+    def execute(self) -> Batch:
+        lbatch = self.left.execute()
+        rbatch = self.right.execute()
+        n_left = batch_length(lbatch)
+        n_right = batch_length(rbatch)
+        if n_left == 0 or n_right == 0:
+            return merge_batches(
+                lbatch, np.empty(0, np.int64), rbatch, np.empty(0, np.int64)
+            )
+
         r_index = np.arange(n_right, dtype=np.int64)
-        for start in range(0, n_left, self.block_rows):
-            stop = min(start + self.block_rows, n_left)
+
+        def block_task(start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
             block = stop - start
             l_rows = np.repeat(np.arange(start, stop, dtype=np.int64), n_right)
             r_rows = np.tile(r_index, block)
             if self.predicate is None:
-                left_parts.append(l_rows)
-                right_parts.append(r_rows)
-                continue
+                return l_rows, r_rows
             pair_batch = merge_batches(lbatch, l_rows, rbatch, r_rows)
             mask = np.asarray(self.predicate.eval(pair_batch), dtype=bool)
-            left_parts.append(l_rows[mask])
-            right_parts.append(r_rows[mask])
+            return l_rows[mask], r_rows[mask]
 
-        left_rows = np.concatenate(left_parts)
-        right_rows = np.concatenate(right_parts)
+        block = self._effective_block_rows(lbatch, rbatch, n_right)
+        from repro.engine.parallel import run_morsels
+
+        parts = run_morsels(
+            [
+                (lambda s=start: block_task(s, min(s + block, n_left)))
+                for start in range(0, n_left, block)
+            ],
+            workers=self.workers,
+            name="engine.morsel.nljoin",
+        )
+        left_rows = np.concatenate([p[0] for p in parts])
+        right_rows = np.concatenate([p[1] for p in parts])
         return merge_batches(lbatch, left_rows, rbatch, right_rows)
 
     def _describe(self) -> str:
-        return f"NestedLoopJoin({self.predicate})"
+        txt = f"NestedLoopJoin({self.predicate}"
+        if self.workers > 1:
+            txt += f", workers={self.workers}"
+        return txt + ")"
 
     def _children(self) -> tuple[PlanNode, ...]:
         return (self.left, self.right)
@@ -174,9 +434,12 @@ class CrossJoin(PlanNode):
 
     left: PlanNode
     right: PlanNode
+    workers: int = 1
 
     def execute(self) -> Batch:
-        return NestedLoopJoin(self.left, self.right, None).execute()
+        return NestedLoopJoin(
+            self.left, self.right, None, workers=self.workers
+        ).execute()
 
     def _describe(self) -> str:
         return "CrossJoin"

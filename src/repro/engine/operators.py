@@ -25,11 +25,20 @@ from repro.errors import SqlPlanError
 
 def take(batch: Batch, selector) -> Batch:
     """Row subset of every column (mask or fancy index)."""
-    return {k: np.asarray(v)[selector] for k, v in batch.items()}
+    # Columns are almost always ndarrays already; np.asarray on every
+    # column of every operator is pure allocation churn, so only coerce
+    # the odd list-backed batch a test may hand in.
+    return {
+        k: (v if isinstance(v, np.ndarray) else np.asarray(v))[selector]
+        for k, v in batch.items()
+    }
 
 
 def empty_like(batch: Batch) -> Batch:
-    return {k: np.asarray(v)[:0] for k, v in batch.items()}
+    return {
+        k: (v if isinstance(v, np.ndarray) else np.asarray(v))[:0]
+        for k, v in batch.items()
+    }
 
 
 class PlanNode:
@@ -161,14 +170,48 @@ class TableFunctionScan(PlanNode):
 
 @dataclass
 class Filter(PlanNode):
+    """Predicate filter; morsel-parallel over row blocks when asked.
+
+    ``workers > 1`` splits the input into :attr:`MORSEL_ROWS`-sized
+    blocks whose masks are computed concurrently (numpy releases the
+    GIL inside the ufuncs) and concatenated in block order — block
+    boundaries never depend on the worker count, so the output is
+    byte-identical for every ``workers`` setting.
+    """
+
+    #: Rows per parallel block.  Fixed (not derived from ``workers``)
+    #: so the split — and therefore the float work per block — is
+    #: identical no matter how many threads execute it.
+    MORSEL_ROWS = 16384
+
     child: PlanNode
     predicate: Expr
+    workers: int = 1
 
     def execute(self) -> Batch:
         batch = self.child.execute()
-        if batch_length(batch) == 0:
+        n = batch_length(batch)
+        if n == 0:
             return batch
-        mask = np.asarray(self.predicate.eval(batch), dtype=bool)
+        if self.workers > 1 and n > self.MORSEL_ROWS:
+            from repro.engine.parallel import run_morsels
+
+            def block_task(start: int, stop: int):
+                piece = take(batch, slice(start, stop))
+                return np.asarray(self.predicate.eval(piece), dtype=bool)
+
+            bounds = range(0, n, self.MORSEL_ROWS)
+            masks = run_morsels(
+                [
+                    (lambda s=start: block_task(s, min(s + self.MORSEL_ROWS, n)))
+                    for start in bounds
+                ],
+                workers=self.workers,
+                name="engine.morsel.filter",
+            )
+            mask = np.concatenate(masks)
+        else:
+            mask = np.asarray(self.predicate.eval(batch), dtype=bool)
         return take(batch, mask)
 
     def _describe(self) -> str:

@@ -35,7 +35,7 @@ from repro.engine.expressions import (
     UnaryOp,
     batch_length,
 )
-from repro.engine.join import CrossJoin, HashJoin, NestedLoopJoin
+from repro.engine.join import BandJoin, CrossJoin, HashJoin, NestedLoopJoin
 from repro.engine.operators import (
     Distinct,
     Filter,
@@ -83,6 +83,36 @@ def _literal_value(expr: Expr):
         and isinstance(expr.operand.value, (int, float))
     ):
         return -expr.operand.value
+    return None
+
+
+def _base_and_offset(expr: Expr) -> tuple[Expr, float]:
+    """Decompose ``base + c`` / ``base - c`` structurally; plain
+    expressions are their own base with offset 0."""
+    if isinstance(expr, BinaryOp):
+        if expr.op == "+":
+            lit = _literal_value(expr.right)
+            if lit is not None:
+                return expr.left, float(lit)
+            lit = _literal_value(expr.left)
+            if lit is not None:
+                return expr.right, float(lit)
+        elif expr.op == "-":
+            lit = _literal_value(expr.right)
+            if lit is not None:
+                return expr.left, -float(lit)
+    return expr, 0.0
+
+
+def _band_width(low: Expr | None, high: Expr | None) -> float | None:
+    """Width of a ``[base - c1, base + c2]`` band, if both bounds offset
+    the *same* base expression (frozen dataclasses give structural ==)."""
+    if low is None or high is None:
+        return None
+    lo_base, lo_off = _base_and_offset(low)
+    hi_base, hi_off = _base_and_offset(high)
+    if lo_base == hi_base:
+        return hi_off - lo_off
     return None
 
 
@@ -250,6 +280,30 @@ class CardinalityEstimator:
             return 1.0 if inside else 0.0
         return DEFAULT_RANGE_SELECTIVITY
 
+    def band_selectivity(
+        self, key: Expr, low: Expr | None, high: Expr | None
+    ) -> float:
+        """Fraction of one side's rows a band ``low <= key <= high``
+        admits per probe.  Literal bounds go through the histogram
+        machinery; a structural ``base ± c`` band is priced as its width
+        over the key column's value range; otherwise 1/3."""
+        lo = _literal_value(low) if low is not None else None
+        hi = _literal_value(high) if high is not None else None
+        if (low is None or lo is not None) and (high is None or hi is not None):
+            return self._range(key, lo, hi)
+        width = _band_width(low, high)
+        if width is not None and isinstance(key, ColumnRef):
+            stats = self.column_stats(key)
+            if (
+                stats is not None
+                and isinstance(stats.min_value, (int, float))
+                and isinstance(stats.max_value, (int, float))
+                and stats.max_value > stats.min_value
+            ):
+                span = stats.max_value - stats.min_value
+                return float(min(max(width, 0.0) / span, 1.0))
+        return DEFAULT_RANGE_SELECTIVITY
+
     # ------------------------------------------------------------------
     # joins
     # ------------------------------------------------------------------
@@ -338,6 +392,14 @@ def _estimate(node: PlanNode) -> tuple[float, list[RelationProfile]]:
         if node.outer:
             est = max(est, left_est)
         return est, profiles
+    if isinstance(node, BandJoin):
+        left_est, left_profiles = _annotate(node.left)
+        right_est, right_profiles = _annotate(node.right)
+        profiles = left_profiles + right_profiles
+        estimator = CardinalityEstimator(profiles)
+        sel = estimator.band_selectivity(node.right_key, node.low, node.high)
+        sel *= estimator.selectivity(node.residual)
+        return left_est * right_est * sel, profiles
     if isinstance(node, (NestedLoopJoin, CrossJoin)):
         left_est, left_profiles = _annotate(node.left)
         right_est, right_profiles = _annotate(node.right)

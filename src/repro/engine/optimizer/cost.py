@@ -25,6 +25,8 @@ class CostModel:
     hash_build: float = 1.5   # insert one row into a hash table
     hash_probe: float = 1.0   # probe one row against it
     loop_pair: float = 0.5    # evaluate one nested-loop candidate pair
+    sort_row: float = 0.25    # one comparison inside an n·log n sort
+    band_probe: float = 2.0   # one binary-search probe into sorted keys
 
     # ------------------------------------------------------------------
     # access paths
@@ -55,10 +57,23 @@ class CostModel:
                          output_rows: float) -> float:
         return left_rows * right_rows * self.loop_pair + output_rows * self.cpu_row
 
+    def band_join(self, left_rows: float, right_rows: float,
+                  output_rows: float) -> float:
+        """Sort the right side once, binary-search it per left row, and
+        touch only the band survivors — n·log n + probes instead of the
+        nested loop's full cross product."""
+        import math
+
+        sort = right_rows * math.log2(max(right_rows, 2.0)) * self.sort_row
+        probe = left_rows * self.band_probe
+        return sort + probe + output_rows * self.cpu_row
+
     def join(self, left_rows: float, right_rows: float, output_rows: float,
-             has_equi: bool) -> float:
+             has_equi: bool, has_band: bool = False) -> float:
         if has_equi:
             return self.hash_join(left_rows, right_rows, output_rows)
+        if has_band:
+            return self.band_join(left_rows, right_rows, output_rows)
         return self.nested_loop_join(left_rows, right_rows, output_rows)
 
 

@@ -46,6 +46,7 @@ class JoinPred:
     aliases: frozenset[str]
     selectivity: float
     equi: bool = False
+    band: bool = False
 
 
 def _applicable(
@@ -69,11 +70,13 @@ def _step(
     """Price joining ``rel`` onto an intermediate of ``rows`` rows."""
     selectivity = 1.0
     has_equi = False
+    has_band = False
     for pred in preds:
         selectivity *= pred.selectivity
         has_equi = has_equi or pred.equi
+        has_band = has_band or pred.band
     out_rows = rows * rel.rows * selectivity
-    join_cost = model.join(rows, rel.rows, out_rows, has_equi)
+    join_cost = model.join(rows, rel.rows, out_rows, has_equi, has_band)
     return out_rows, cost + rel.cost + join_cost
 
 

@@ -44,7 +44,7 @@ from repro.engine.expressions import (
     Literal,
     UnaryOp,
 )
-from repro.engine.join import CrossJoin, HashJoin, NestedLoopJoin
+from repro.engine.join import BandJoin, CrossJoin, HashJoin, NestedLoopJoin
 from repro.engine.operators import (
     Distinct,
     Filter,
@@ -190,6 +190,9 @@ class Planner:
     def plan_select(self, stmt: SelectStatement) -> PlanNode:
         plan = self._plan_select(stmt)
         annotate_plan(plan)
+        workers = getattr(self.database, "intra_query_workers", 1)
+        if workers > 1:
+            _stamp_workers(plan, workers)
         return plan
 
     def _plan_select(self, stmt: SelectStatement) -> PlanNode:
@@ -493,6 +496,7 @@ class Planner:
                 aliases=owners,
                 selectivity=estimator.selectivity(conjunct),
                 equi=_is_equi_shape(conjunct, owners),
+                band=_is_band_shape(conjunct, owners),
             )
             for conjunct, owners in pool
         ]
@@ -523,7 +527,19 @@ class Planner:
                 plan = HashJoin(plan, rel.scan, left_key, right_key,
                                 and_all(residuals))
             elif residuals:
-                plan = NestedLoopJoin(plan, rel.scan, and_all(residuals))
+                band = None
+                if getattr(self.database, "band_join_enabled", True):
+                    band = _extract_band(residuals, bound, rel, relations)
+                if band is not None:
+                    key, low, high, low_strict, high_strict, leftover = band
+                    plan = BandJoin(
+                        plan, rel.scan, key,
+                        low=low, high=high,
+                        low_strict=low_strict, high_strict=high_strict,
+                        residual=and_all(leftover),
+                    )
+                else:
+                    plan = NestedLoopJoin(plan, rel.scan, and_all(residuals))
             else:
                 plan = CrossJoin(plan, rel.scan)
             bound.add(alias)
@@ -741,6 +757,195 @@ def _is_equi_shape(conjunct: Expr, owners: frozenset[str]) -> bool:
         and conjunct.op == "="
         and len(owners) >= 2
     )
+
+
+def _is_band_shape(conjunct: Expr, owners: frozenset[str]) -> bool:
+    """Does this conjunct look like a band bound (for cost purposes)?
+
+    A cross-relation BETWEEN on a column, a range comparison with a
+    bare column on one side, or ``abs(a-b) < c`` may extract into a
+    :class:`BandJoin`; the join-order search prices such steps with the
+    band cost instead of the nested loop.  Deliberately conservative:
+    a complex expression compared to a literal (the chi² filter) is
+    *not* band-shaped, so the DP never under-prices a step that will
+    execute as a nested loop.
+    """
+    if len(owners) < 2:
+        return False
+    if isinstance(conjunct, Between):
+        return isinstance(conjunct.value, ColumnRef)
+    if not (isinstance(conjunct, BinaryOp)
+            and conjunct.op in ("<", "<=", ">", ">=")):
+        return False
+
+    def abs_diff(expr: Expr) -> bool:
+        return (
+            isinstance(expr, FuncCall)
+            and expr.name.lower() == "abs"
+            and len(expr.args) == 1
+            and isinstance(expr.args[0], BinaryOp)
+            and expr.args[0].op == "-"
+        )
+
+    return (
+        isinstance(conjunct.left, ColumnRef)
+        or isinstance(conjunct.right, ColumnRef)
+        or abs_diff(conjunct.left)
+        or abs_diff(conjunct.right)
+    )
+
+
+def _stamp_workers(plan: PlanNode, workers: int) -> None:
+    """Push the database's ``intra_query_workers`` knob onto every
+    operator that supports morsel-parallel execution."""
+    if hasattr(plan, "workers"):
+        plan.workers = workers
+    for child in plan._children():
+        _stamp_workers(child, workers)
+
+
+def _band_bounds(
+    conjunct: Expr,
+    left_aliases: set[str],
+    right_rel: _Relation,
+    relations: list[_Relation],
+) -> tuple[ColumnRef, list[tuple[str, Expr, bool]]] | None:
+    """Match one conjunct as a band bound on a right-relation column.
+
+    Returns ``(key, [(side, bound_expr, strict), ...])`` — side is
+    ``"lo"``/``"hi"`` — when the conjunct constrains a *single* column
+    of the relation being joined by expressions over already-bound
+    relations (or literals).  Recognized shapes:
+
+    * ``key BETWEEN lo AND hi``        (inclusive both ends)
+    * ``key < e`` / ``e < key`` chains (any of ``<  <=  >  >=``)
+    * ``abs(a - b) < c``               (either operand the key) —
+      rewritten to ``key in (other - c, other + c)``
+    """
+    right_alias = right_rel.ref.alias.lower()
+
+    def side_of(expr: Expr) -> str | None:
+        aliases: set[str] = set()
+        for ref in expr.column_refs():
+            alias = Planner._resolve_alias(ref, relations)
+            if alias is None:
+                return None
+            aliases.add(alias)
+        if not aliases:
+            return "const"
+        if aliases == {right_alias}:
+            return "right"
+        if aliases <= left_aliases:
+            return "left"
+        return None
+
+    def is_key(expr: Expr) -> bool:
+        return isinstance(expr, ColumnRef) and side_of(expr) == "right"
+
+    def is_bound(expr: Expr) -> bool:
+        return side_of(expr) in ("left", "const")
+
+    if isinstance(conjunct, Between):
+        if (
+            is_key(conjunct.value)
+            and is_bound(conjunct.low)
+            and is_bound(conjunct.high)
+        ):
+            assert isinstance(conjunct.value, ColumnRef)
+            return conjunct.value, [
+                ("lo", conjunct.low, False),
+                ("hi", conjunct.high, False),
+            ]
+        return None
+
+    if not (isinstance(conjunct, BinaryOp) and conjunct.op in ("<", "<=", ">", ">=")):
+        return None
+
+    op, left, right = conjunct.op, conjunct.left, conjunct.right
+    if is_key(right) and is_bound(left):
+        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+        left, right = right, left
+    if is_key(left) and is_bound(right):
+        assert isinstance(left, ColumnRef)
+        strict = op in ("<", ">")
+        if op in ("<", "<="):
+            return left, [("hi", right, strict)]
+        return left, [("lo", right, strict)]
+
+    # abs(a - b) < c  (or c > abs(a - b)): a symmetric band around the
+    # non-key operand — the MaxBCG chi² color constraint's shape.
+    if op in (">", ">="):
+        op = {">": "<", ">=": "<="}[op]
+        left, right = right, left
+    if (
+        op in ("<", "<=")
+        and isinstance(left, FuncCall)
+        and left.name.lower() == "abs"
+        and len(left.args) == 1
+        and isinstance(left.args[0], BinaryOp)
+        and left.args[0].op == "-"
+        and is_bound(right)
+    ):
+        a, b = left.args[0].left, left.args[0].right
+        key = other = None
+        if is_key(a) and is_bound(b):
+            key, other = a, b
+        elif is_key(b) and is_bound(a):
+            key, other = b, a
+        if key is not None:
+            assert isinstance(key, ColumnRef)
+            strict = op == "<"
+            return key, [
+                ("lo", BinaryOp("-", other, right), strict),
+                ("hi", BinaryOp("+", other, right), strict),
+            ]
+    return None
+
+
+def _extract_band(
+    residuals: list[Expr],
+    left_aliases: set[str],
+    right_rel: _Relation,
+    relations: list[_Relation],
+) -> tuple[ColumnRef, Expr | None, Expr | None, bool, bool, list[Expr]] | None:
+    """Split join conjuncts into one band spec plus leftover residuals.
+
+    The first conjunct that yields a bound fixes the band key; further
+    conjuncts fill the *empty* side of the band (``lo > ... AND lo < ...``
+    chains), and everything else — including extra bounds on an
+    already-filled side, which would need runtime min/max to merge —
+    stays in the vectorized residual.
+    """
+    key: ColumnRef | None = None
+    low: Expr | None = None
+    high: Expr | None = None
+    low_strict = high_strict = False
+    leftover: list[Expr] = []
+    for conjunct in residuals:
+        match = _band_bounds(conjunct, left_aliases, right_rel, relations)
+        if match is None:
+            leftover.append(conjunct)
+            continue
+        ckey, entries = match
+        if key is not None and ckey != key:
+            leftover.append(conjunct)
+            continue
+        fillable = all(
+            (low is None) if side == "lo" else (high is None)
+            for side, _, _ in entries
+        )
+        if not fillable:
+            leftover.append(conjunct)
+            continue
+        key = ckey
+        for side, expr, strict in entries:
+            if side == "lo":
+                low, low_strict = expr, strict
+            else:
+                high, high_strict = expr, strict
+    if key is None:
+        return None
+    return key, low, high, low_strict, high_strict, leftover
 
 
 def _or_disables_index(conjuncts: list[Expr], leading: str) -> str | None:

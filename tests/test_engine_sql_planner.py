@@ -116,11 +116,26 @@ class TestAccessPathSelection:
         )
         assert "HashJoin" in plan and "NestedLoopJoin" not in plan
 
-    def test_non_equi_join_nested_loop(self, db):
+    def test_range_join_becomes_band_join(self, db):
         plan = plan_text(
             db, "SELECT g.objid FROM g JOIN k ON g.zoneid < k.zid"
         )
-        assert "NestedLoopJoin" in plan
+        assert "BandJoin" in plan and "NestedLoopJoin" not in plan
+
+    def test_non_extractable_theta_join_nested_loop(self, db):
+        # predicate over an expression of the right column, not the
+        # column itself — no band to extract
+        plan = plan_text(
+            db, "SELECT g.objid FROM g JOIN k ON g.zoneid < k.zid * k.zid"
+        )
+        assert "NestedLoopJoin" in plan and "BandJoin" not in plan
+
+    def test_band_join_disabled_falls_back(self, db):
+        db.band_join_enabled = False
+        plan = plan_text(
+            db, "SELECT g.objid FROM g JOIN k ON g.zoneid < k.zid"
+        )
+        assert "NestedLoopJoin" in plan and "BandJoin" not in plan
 
     def test_equi_plus_residual(self, db):
         plan = plan_text(
