@@ -1,0 +1,136 @@
+"""Extension: the semantic result cache under zipfian multi-user load.
+
+"Batch is back: CasJobs" exists because millions of SkyServer users
+re-run near-identical queries; the server-side answer is the shared
+result cache.  This bench fires the same zipfian workload — many users
+drawing from a fixed pool of distinct queries with popularity
+∝ 1/rank^s — at two otherwise identical CasJobs sites, one with the
+context's cache off and one with it on, and checks:
+
+* **correctness** — every job's answer is byte-identical across the two
+  runs (the cache must never change a result);
+* **throughput** — the cached site clears the burst at >= 2x the
+  uncached site's jobs/s;
+* **latency** — worst per-class p95 run latency drops with the cache on
+  (the popular queries stop paying the scan).
+
+Results are written to ``BENCH_cache.json`` at the repo root.  Run
+standalone (``python benchmarks/bench_cache.py``) or under
+pytest-benchmark (``pytest benchmarks/bench_cache.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.casjobs_load import (
+    CacheComparison,
+    LoadSpec,
+    run_zipf_cache_comparison,
+)
+from repro.bench.reporting import ShapeCheck, print_report
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_cache.json"
+
+#: The acceptance workload: 400 jobs from 8 users over 16 distinct
+#: queries, zipf-skewed so the head queries repeat often (hit rate
+#: ~95%), against a catalog big enough that a miss visibly costs.
+DEFAULT_SPEC = LoadSpec(
+    n_users=8,
+    n_jobs=400,
+    quick_fraction=0.25,
+    catalog_rows=100_000,
+    zipf_queries=16,
+    zipf_s=1.2,
+    workers=4,
+    pool="threads",
+    seed=2005,
+)
+
+#: The throughput floor the cached run must clear.
+MIN_SPEEDUP = 2.0
+
+
+def run_and_check(
+    spec: LoadSpec = DEFAULT_SPEC,
+) -> tuple[CacheComparison, list[ShapeCheck]]:
+    comparison = run_zipf_cache_comparison(spec)
+    summary = comparison.as_dict()
+    p95_off = summary["p95_run_off_ms"]
+    p95_on = summary["p95_run_on_ms"]
+    checks = [
+        ShapeCheck(
+            claim="caching never changes an answer",
+            paper="cache-on and cache-off results byte-identical",
+            measured=f"digests {'match' if comparison.identical else 'DIFFER'}",
+            holds=comparison.identical,
+        ),
+        ShapeCheck(
+            claim="repeated queries answered from cache",
+            paper=f"throughput >= {MIN_SPEEDUP}x with cache on",
+            measured=f"{comparison.speedup:.2f}x "
+            f"({summary['throughput_off_jobs_s']} -> "
+            f"{summary['throughput_on_jobs_s']} jobs/s)",
+            holds=comparison.speedup >= MIN_SPEEDUP,
+        ),
+        ShapeCheck(
+            claim="popular queries stop paying the scan",
+            paper="p95 run latency drops with cache on",
+            measured=f"{p95_off:.1f} ms -> {p95_on:.1f} ms",
+            holds=p95_on < p95_off,
+        ),
+        ShapeCheck(
+            claim="the cache is actually exercised",
+            paper="hit rate > 50% on the zipfian head",
+            measured=f"{comparison.on.cache.get('hit_rate', 0.0):.1%}",
+            holds=comparison.on.cache.get("hit_rate", 0.0) > 0.5,
+        ),
+    ]
+    payload = {**summary, "checks": [
+        {"claim": c.claim, "measured": c.measured, "holds": c.holds}
+        for c in checks
+    ]}
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return comparison, checks
+
+
+def _render(comparison: CacheComparison) -> list[str]:
+    return [
+        "cache OFF:",
+        comparison.off.render(),
+        "",
+        "cache ON:",
+        comparison.on.render(),
+    ]
+
+
+@pytest.mark.benchmark(group="result-cache")
+def test_cache_speedup(benchmark):
+    holder = {}
+
+    def once():
+        holder["out"] = run_and_check()
+        return holder["out"]
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    comparison, checks = holder["out"]
+    print_report("Semantic result cache under zipfian load",
+                 _render(comparison), checks)
+    assert all(c.holds for c in checks), [
+        c.claim for c in checks if not c.holds
+    ]
+
+
+def main() -> int:
+    comparison, checks = run_and_check()
+    print_report("Semantic result cache under zipfian load",
+                 _render(comparison), checks)
+    print(f"results written to {OUTPUT_PATH}")
+    return 0 if all(c.holds for c in checks) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,7 @@ TUTORIAL's measured table.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 
@@ -24,6 +25,7 @@ import numpy as np
 from repro.casjobs.queue import JobStatus, QueueClass
 from repro.casjobs.scheduler import SchedulerConfig, SchedulerStats
 from repro.casjobs.server import CasJobsService
+from repro.engine.config import EngineConfig
 from repro.engine.database import Database
 from repro.errors import CasJobsError, QueueFullError, QuotaExceededError
 
@@ -46,6 +48,15 @@ class LoadSpec:
     catalog_rows: int = 20_000
     seed: int = 2005
     spool_every: int = 5  # every Nth job spools INTO MyDB
+    #: Enable the shared semantic result cache on the catalog context
+    #: (every user's repeated query is answered from the first run).
+    result_cache: bool = False
+    #: >0 draws jobs zipfian from a fixed pool of this many distinct
+    #: queries (popularity ∝ 1/rank^``zipf_s``) — the "millions of
+    #: users re-run the same cone searches" traffic shape.  0 keeps the
+    #: original fresh-random-query behavior.
+    zipf_queries: int = 0
+    zipf_s: float = 1.1
 
     def scheduler_config(self) -> SchedulerConfig:
         return SchedulerConfig(
@@ -58,6 +69,10 @@ class LoadSpec:
             timeout_s=self.timeout_s,
             max_retries=self.max_retries,
         )
+
+    def engine_config(self) -> EngineConfig:
+        """Engine knobs for the shared catalog context."""
+        return EngineConfig(result_cache=self.result_cache)
 
 
 @dataclass
@@ -73,6 +88,8 @@ class LoadReport:
     per_user_finished: dict[str, int]
     per_class_submitted: dict[QueueClass, int] = field(default_factory=dict)
     quota_rejected: int = 0  # refused at admission: MyDB already at quota
+    #: Result-cache counters of the catalog context (empty = cache off).
+    cache: dict[str, float] = field(default_factory=dict)
 
     @property
     def accepted(self) -> int:
@@ -125,13 +142,27 @@ class LoadReport:
             f"dead-lettered {self.stats.dead_lettered}  "
             f"retries {self.stats.retries}",
         ]
+        if self.cache:
+            lines.append(
+                f"result cache: hits {self.cache.get('hits', 0):.0f}  "
+                f"misses {self.cache.get('misses', 0):.0f}  "
+                f"hit rate {self.cache.get('hit_rate', 0.0):.1%}  "
+                f"evictions {self.cache.get('evictions', 0):.0f}  "
+                f"invalidations {self.cache.get('invalidations', 0):.0f}"
+            )
         return "\n".join(lines)
 
 
-def build_demo_catalog(rows: int, seed: int) -> Database:
+def build_demo_catalog(
+    rows: int, seed: int, engine_config: EngineConfig | None = None
+) -> Database:
     """A seeded synthetic catalog database (the shared ``dr1`` context)."""
     rng = np.random.default_rng(seed)
-    catalog = Database("dr1")
+    catalog = (
+        Database("dr1")
+        if engine_config is None
+        else Database("dr1", config=engine_config)
+    )
     catalog.create_table(
         "galaxy",
         {
@@ -152,12 +183,61 @@ def build_demo_site(
 ) -> CasJobsService:
     """One site hosting a seeded synthetic catalog context ``dr1``."""
     service = CasJobsService(
-        "bench", scheduler_config or spec.scheduler_config()
+        "bench",
+        scheduler_config or spec.scheduler_config(),
+        engine_config=spec.engine_config(),
     )
-    service.add_context("dr1", build_demo_catalog(spec.catalog_rows, spec.seed))
+    service.add_context(
+        "dr1",
+        build_demo_catalog(spec.catalog_rows, spec.seed,
+                           engine_config=spec.engine_config()),
+    )
     for user in (f"user{u:02d}" for u in range(spec.n_users)):
         service.register_user(user)
     return service
+
+
+def _zipf_weights(n: int, s: float) -> np.ndarray:
+    """Popularity ∝ 1/rank^s, normalized."""
+    weights = 1.0 / np.arange(1, n + 1, dtype=float) ** s
+    return weights / weights.sum()
+
+
+def build_query_pool(spec: LoadSpec) -> list[tuple[str, QueueClass]]:
+    """The fixed query pool a zipfian run draws from (fully seeded)."""
+    rng = np.random.default_rng(spec.seed + 7)
+    pool: list[tuple[str, QueueClass]] = []
+    for _ in range(spec.zipf_queries):
+        quick = rng.random() < spec.quick_fraction
+        query = _quick_query(rng) if quick else _long_query(rng)
+        pool.append(
+            (query, QueueClass.QUICK if quick else QueueClass.LONG)
+        )
+    return pool
+
+
+def results_digest(service: CasJobsService) -> str:
+    """Order-independent digest of every finished job's (query, answer).
+
+    Byte-identical across cache-on and cache-off runs of the same spec:
+    the differential check that caching never changes an answer.
+    """
+    parts = []
+    for job in service.queue.jobs():
+        if job.status is not JobStatus.FINISHED or job.result is None:
+            continue
+        digest = hashlib.sha256(job.query.encode())
+        for name in job.result.column_names:
+            arr = np.asarray(job.result.columns[name])
+            digest.update(name.encode())
+            if arr.dtype == object:
+                digest.update(
+                    "\x00".join(str(v) for v in arr.tolist()).encode()
+                )
+            else:
+                digest.update(arr.tobytes())
+        parts.append(digest.hexdigest())
+    return hashlib.sha256("\n".join(sorted(parts)).encode()).hexdigest()
 
 
 def _quick_query(rng: np.random.Generator) -> str:
@@ -186,15 +266,26 @@ def run_load(
     per_class: dict[QueueClass, int] = {cls: 0 for cls in QueueClass}
     shed = 0
     quota_rejected = 0
+    pool_queries = build_query_pool(spec) if spec.zipf_queries else None
+    pool_weights = (
+        _zipf_weights(spec.zipf_queries, spec.zipf_s)
+        if pool_queries is not None
+        else None
+    )
 
     service.serve()
     began = time.perf_counter()
     try:
         for k in range(spec.n_jobs):
             user = users[int(rng.integers(0, len(users)))]
-            quick = rng.random() < spec.quick_fraction
-            cls = QueueClass.QUICK if quick else QueueClass.LONG
-            query = _quick_query(rng) if quick else _long_query(rng)
+            if pool_queries is not None:
+                query, cls = pool_queries[
+                    int(rng.choice(len(pool_queries), p=pool_weights))
+                ]
+            else:
+                quick = rng.random() < spec.quick_fraction
+                cls = QueueClass.QUICK if quick else QueueClass.LONG
+                query = _quick_query(rng) if quick else _long_query(rng)
             output = (
                 f"spool_{k}" if spec.spool_every and k % spec.spool_every == 0
                 else None
@@ -224,6 +315,13 @@ def run_load(
         for user in users
     }
     stats = service.scheduler.stats
+    cache_summary: dict[str, float] = {}
+    try:
+        context_db = service.context("dr1")
+        if context_db.result_cache is not None:
+            cache_summary = context_db.result_cache.summary()
+    except CasJobsError:
+        pass
     return LoadReport(
         spec=spec,
         stats=stats,
@@ -234,6 +332,82 @@ def run_load(
         per_user_finished=finished_per_user,
         per_class_submitted=per_class,
         quota_rejected=quota_rejected,
+        cache=cache_summary,
+    )
+
+
+@dataclass
+class CacheComparison:
+    """The same zipfian workload run twice: cache off, then cache on."""
+
+    off: LoadReport
+    on: LoadReport
+    digest_off: str
+    digest_on: str
+
+    @property
+    def identical(self) -> bool:
+        """Did caching change any answer byte?  (It must not.)"""
+        return self.digest_off == self.digest_on
+
+    @property
+    def speedup(self) -> float:
+        """Throughput ratio, cache on over cache off."""
+        if self.off.throughput_jobs_s == 0:
+            return float("inf")
+        return self.on.throughput_jobs_s / self.off.throughput_jobs_s
+
+    def p95_run_ms(self, report: LoadReport) -> float:
+        """Worst per-class p95 run latency of a report, in ms."""
+        return 1e3 * max(
+            report.stats.p95_run(cls) for cls in QueueClass
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (written to ``BENCH_cache.json`` by CI)."""
+        return {
+            "jobs": self.off.spec.n_jobs,
+            "users": self.off.spec.n_users,
+            "distinct_queries": self.off.spec.zipf_queries,
+            "zipf_s": self.off.spec.zipf_s,
+            "catalog_rows": self.off.spec.catalog_rows,
+            "identical_answers": self.identical,
+            "speedup": round(self.speedup, 3),
+            "throughput_off_jobs_s": round(self.off.throughput_jobs_s, 2),
+            "throughput_on_jobs_s": round(self.on.throughput_jobs_s, 2),
+            "p95_run_off_ms": round(self.p95_run_ms(self.off), 3),
+            "p95_run_on_ms": round(self.p95_run_ms(self.on), 3),
+            "cache": self.on.cache,
+        }
+
+
+def run_zipf_cache_comparison(spec: LoadSpec) -> CacheComparison:
+    """A/B the cache on one zipfian workload; checks answers byte-match.
+
+    Spooling is disabled for both runs so the workload is pure reads
+    and the two job ledgers are comparable query-for-query.
+    """
+    import dataclasses
+
+    if not spec.zipf_queries:
+        raise ValueError(
+            "run_zipf_cache_comparison needs spec.zipf_queries > 0"
+        )
+    base = dataclasses.replace(spec, spool_every=0)
+    service_off = build_demo_site(
+        dataclasses.replace(base, result_cache=False)
+    )
+    off = run_load(dataclasses.replace(base, result_cache=False),
+                   service=service_off)
+    digest_off = results_digest(service_off)
+    service_on = build_demo_site(
+        dataclasses.replace(base, result_cache=True)
+    )
+    on = run_load(dataclasses.replace(base, result_cache=True),
+                  service=service_on)
+    digest_on = results_digest(service_on)
+    return CacheComparison(
+        off=off, on=on, digest_off=digest_off, digest_on=digest_on
     )
 
 

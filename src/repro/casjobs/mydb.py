@@ -37,14 +37,23 @@ class MyDBInfo:
 class MyDB:
     """One user's personal database."""
 
-    def __init__(self, owner: str, quota_rows: int = DEFAULT_QUOTA_ROWS):
+    def __init__(
+        self,
+        owner: str,
+        quota_rows: int = DEFAULT_QUOTA_ROWS,
+        engine_config=None,
+    ):
         if not owner:
             raise CasJobsError("MyDB owner must be non-empty")
         if quota_rows <= 0:
             raise CasJobsError("quota must be positive")
         self.owner = owner
         self.quota_rows = quota_rows
-        self.database = Database(f"mydb_{owner}")
+        self.database = (
+            Database(f"mydb_{owner}")
+            if engine_config is None
+            else Database(f"mydb_{owner}", config=engine_config)
+        )
 
     # ------------------------------------------------------------------
     def rows_used(self) -> int:

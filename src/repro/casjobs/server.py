@@ -54,8 +54,13 @@ class CasJobsService:
         self,
         site_name: str,
         scheduler_config: SchedulerConfig | None = None,
+        engine_config=None,
     ):
         self.site_name = site_name
+        #: :class:`~repro.engine.config.EngineConfig` handed to every
+        #: user's MyDB (contexts are built by the caller and keep their
+        #: own config).  None = engine defaults.
+        self.engine_config = engine_config
         self._contexts: dict[str, Database] = {}
         self._users: dict[str, MyDB] = {}
         self._groups: dict[str, Group] = {}
@@ -87,7 +92,11 @@ class CasJobsService:
     def register_user(self, username: str, quota_rows: int | None = None) -> MyDB:
         if username in self._users:
             raise CasJobsError(f"user '{username}' already registered")
-        mydb = MyDB(username) if quota_rows is None else MyDB(username, quota_rows)
+        mydb = (
+            MyDB(username, engine_config=self.engine_config)
+            if quota_rows is None
+            else MyDB(username, quota_rows, engine_config=self.engine_config)
+        )
         self._users[username] = mydb
         return mydb
 

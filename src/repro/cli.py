@@ -53,6 +53,49 @@ def _region(text: str) -> RegionBox:
     return RegionBox(ra_min, ra_max, dec_min, dec_max)
 
 
+def _engine_flags() -> argparse.ArgumentParser:
+    """Shared engine flags (one parent parser, not N copies).
+
+    Used by ``sql``/``explain``/``analyze``/``partition``/``casjobs`` so
+    the flags spell and behave identically everywhere.  ``--workers``
+    keeps its per-command meaning: intra-query morsel workers for the
+    engine commands, scheduler pool workers for ``casjobs serve``
+    (defaults differ via ``set_defaults``).
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker count (engine commands: intra-query "
+                        "morsel workers, default 1; casjobs serve: "
+                        "scheduler pool workers, default 4)")
+    parent.add_argument("--optimizer", choices=("cost", "syntactic"),
+                        default="cost", help="planner mode")
+    parent.add_argument("--backend",
+                        choices=("sequential", "threads", "processes"),
+                        default=None,
+                        help="cluster execution backend (partition): "
+                        "sequential models the paper's separate machines "
+                        "(elapsed = max over servers); threads/processes "
+                        "really run concurrently and report measured "
+                        "wall-clock")
+    parent.add_argument("--cache", action="store_true",
+                        help="enable the shared semantic result cache "
+                        "(repeated identical queries answered without "
+                        "re-execution)")
+    return parent
+
+
+def _engine_config(args):
+    """Build the :class:`~repro.engine.config.EngineConfig` the shared
+    flags describe."""
+    from repro.engine.config import EngineConfig
+
+    return EngineConfig(
+        optimizer=getattr(args, "optimizer", "cost"),
+        intra_query_workers=getattr(args, "workers", None) or 1,
+        result_cache=bool(getattr(args, "cache", False)),
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -60,6 +103,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "(CIDR 2005): MaxBCG on a relational engine vs a file-based grid.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    engine_flags = _engine_flags()
 
     def add_common(p):
         p.add_argument("--target", type=_region,
@@ -81,55 +125,39 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also retrieve cluster members")
 
     part_p = sub.add_parser("partition",
-                            help="partitioned cluster run (Section 2.4)")
+                            help="partitioned cluster run (Section 2.4)",
+                            parents=[engine_flags])
     add_common(part_p)
     part_p.add_argument("--servers", type=int, default=3)
-    part_p.add_argument("--backend",
-                        choices=("sequential", "threads", "processes"),
-                        default=None,
-                        help="execution backend: sequential models the "
-                        "paper's separate machines (elapsed = max over "
-                        "servers); threads/processes really run "
-                        "concurrently and report measured wall-clock")
-    part_p.add_argument("--parallel", action="store_true",
-                        help="deprecated: same as --backend threads")
 
     cmp_p = sub.add_parser("compare", help="TAM (file-based) vs SQL pipeline")
     add_common(cmp_p)
 
-    def add_workers(p):
-        p.add_argument("--workers", type=int, default=1,
-                       dest="intra_query_workers", metavar="N",
-                       help="intra-query morsel workers (1 = sequential; "
-                       "results are identical at any value)")
-
-    sql_p = sub.add_parser("sql", help="run SQL against a demo database")
+    sql_p = sub.add_parser("sql", help="run SQL against a demo database",
+                           parents=[engine_flags])
     add_common(sql_p)
-    add_workers(sql_p)
     group = sql_p.add_mutually_exclusive_group(required=True)
     group.add_argument("-e", "--execute", help="one SQL statement")
     group.add_argument("--script", help="path to a ;-separated SQL script")
 
     analyze_p = sub.add_parser(
-        "analyze", help="EXPLAIN ANALYZE a SELECT against the demo database"
+        "analyze", help="EXPLAIN ANALYZE a SELECT against the demo database",
+        parents=[engine_flags],
     )
     add_common(analyze_p)
-    add_workers(analyze_p)
     analyze_p.add_argument("-e", "--execute", required=True,
                            help="SELECT statement to analyze")
 
     explain_p = sub.add_parser(
         "explain",
         help="show a SELECT's plan (with row estimates) on the demo database",
+        parents=[engine_flags],
     )
     add_common(explain_p)
-    add_workers(explain_p)
     explain_p.add_argument("sql", help="SELECT statement to plan")
     explain_p.add_argument("--analyze", action="store_true",
                            help="also execute and report est vs actual rows "
                            "with per-operator q-error")
-    explain_p.add_argument("--optimizer", choices=("cost", "syntactic"),
-                           default="cost", help="planner mode")
     explain_p.add_argument("--no-stats", action="store_true",
                            help="skip the ANALYZE pass (plan without "
                            "statistics)")
@@ -142,11 +170,12 @@ def _build_parser() -> argparse.ArgumentParser:
     cas_sub = cas_p.add_subparsers(dest="casjobs_command", required=True)
 
     serve_p = cas_sub.add_parser(
-        "serve", help="serve a heavy-traffic workload through the scheduler"
+        "serve", help="serve a heavy-traffic workload through the scheduler",
+        parents=[engine_flags],
     )
+    serve_p.set_defaults(workers=4)  # scheduler pool workers here
     serve_p.add_argument("--users", type=int, default=12)
     serve_p.add_argument("--jobs", type=int, default=150)
-    serve_p.add_argument("--workers", type=int, default=4)
     serve_p.add_argument("--quick-frac", type=float, default=0.4,
                          help="share of jobs on the quick queue")
     serve_p.add_argument("--pool", choices=("sequential", "threads"),
@@ -154,10 +183,14 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="worker pool the scheduler drains through")
     serve_p.add_argument("--high-water", type=int, default=None,
                          help="pending depth that sheds new submissions")
+    serve_p.add_argument("--zipf", type=int, default=0, metavar="Q",
+                         help="draw jobs zipfian from a pool of Q distinct "
+                         "queries (0 = fresh random queries, the default)")
     serve_p.add_argument("--seed", type=int, default=2005)
 
     submit_p = cas_sub.add_parser(
-        "submit", help="submit one query end-to-end on a demo site"
+        "submit", help="submit one query end-to-end on a demo site",
+        parents=[engine_flags],
     )
     submit_p.add_argument("-e", "--execute", required=True,
                           help="SQL to run against the demo 'dr1' context")
@@ -168,7 +201,8 @@ def _build_parser() -> argparse.ArgumentParser:
     submit_p.add_argument("--seed", type=int, default=2005)
 
     status_p = cas_sub.add_parser(
-        "status", help="run a mixed workload and print the job ledger"
+        "status", help="run a mixed workload and print the job ledger",
+        parents=[engine_flags],
     )
     status_p.add_argument("--jobs", type=int, default=12)
     status_p.add_argument("--seed", type=int, default=2005)
@@ -244,21 +278,15 @@ def cmd_partition(args) -> int:
     from repro.cluster.verify import assert_union_equals_sequential
     from repro.errors import PartitionError
 
-    backend = args.backend
-    if args.parallel:
-        print("note: --parallel is deprecated; use --backend threads")
-        if backend is None:
-            backend = "threads"
-        else:
-            print(f"note: explicit --backend {backend} wins over --parallel")
-    backend = backend or "sequential"
+    backend = args.backend or "sequential"
     config, kcorr, sky = _make_sky(args)
     sequential = run_maxbcg(sky.catalog, args.target, kcorr, config,
                             compute_members=False)
     partitioned = run_partitioned(sky.catalog, args.target, kcorr, config,
                                   n_servers=args.servers,
                                   compute_members=False,
-                                  backend=backend)
+                                  backend=backend,
+                                  engine_config=_engine_config(args))
     try:
         assert_union_equals_sequential(
             partitioned.candidates, partitioned.clusters,
@@ -313,8 +341,7 @@ def cmd_sql(args) -> int:
     from repro.engine.database import Database
 
     config, kcorr, sky = _make_sky(args)
-    db = Database("cli",
-                  intra_query_workers=getattr(args, "intra_query_workers", 1))
+    db = Database("cli", config=_engine_config(args))
     db.create_table("galaxy_source", sky.catalog.as_columns(),
                     primary_key="objid")
     install_maxbcg(db, kcorr, config)
@@ -341,8 +368,7 @@ def _demo_database(args):
     from repro.engine.database import Database
 
     config, kcorr, sky = _make_sky(args)
-    db = Database("cli",
-                  intra_query_workers=getattr(args, "intra_query_workers", 1))
+    db = Database("cli", config=_engine_config(args))
     db.create_table("galaxy_source", sky.catalog.as_columns(),
                     primary_key="objid")
     install_maxbcg(db, kcorr, config)
@@ -403,6 +429,7 @@ def cmd_casjobs(args) -> int:
             n_users=args.users, n_jobs=args.jobs, workers=args.workers,
             quick_fraction=args.quick_frac, pool=args.pool,
             high_water=args.high_water, seed=args.seed,
+            result_cache=args.cache, zipf_queries=args.zipf,
         )
         service = build_demo_site(spec)
         report = run_load(spec, service=service)
@@ -416,7 +443,8 @@ def cmd_casjobs(args) -> int:
         return 0 if report.failed == 0 else 1
 
     if args.casjobs_command == "submit":
-        spec = LoadSpec(n_users=0, seed=args.seed)
+        spec = LoadSpec(n_users=0, seed=args.seed,
+                        result_cache=args.cache)
         service = build_demo_site(spec)
         service.register_user(args.user)
         queue_class = (QueueClass.QUICK if args.queue == "quick"
@@ -445,7 +473,8 @@ def cmd_casjobs(args) -> int:
 
     # status: run a small mixed workload, then show the ledger
     spec = LoadSpec(n_users=3, n_jobs=args.jobs, workers=2,
-                    quick_fraction=0.5, seed=args.seed)
+                    quick_fraction=0.5, seed=args.seed,
+                    result_cache=args.cache)
     service = build_demo_site(spec)
     run_load(spec, service=service)
     print(f"{'id':>4s}  {'owner':8s}{'class':7s}{'status':10s}"

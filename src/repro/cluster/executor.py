@@ -25,7 +25,6 @@ checks that byte for byte.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -41,27 +40,13 @@ from repro.core.config import MaxBCGConfig
 from repro.core.kcorrection import KCorrectionTable
 from repro.core.pipeline import MaxBCGResult
 from repro.core.results import CandidateCatalog, MemberTable
+from repro.engine.config import DEFAULT_ENGINE_CONFIG, EngineConfig
 from repro.engine.stats import TaskStats
 from repro.obs.trace import current_context, enabled, get_tracer, span
 from repro.skyserver.catalog import GalaxyCatalog
 
 #: Task names aggregated into Table 1 totals.
 TABLE1_TASKS = ("spZone", "fBCGCandidate", "fIsCluster")
-
-
-def _resolve_deprecated_parallel(
-    backend: str | ExecutionBackend, parallel: bool | None
-) -> str | ExecutionBackend:
-    """Map the retired ``parallel=`` flag onto ``backend=`` (one release)."""
-    if parallel is None:
-        return backend
-    warnings.warn(
-        "parallel= is deprecated; pass backend='threads' (parallel=True) "
-        "or backend='sequential' (parallel=False) instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    return "threads" if parallel else "sequential"
 
 
 @dataclass
@@ -147,14 +132,17 @@ class SqlServerCluster:
     backend:
         ``"sequential"`` | ``"threads"`` | ``"processes"`` or any
         :class:`~repro.cluster.backends.ExecutionBackend` instance.
-    parallel:
-        Deprecated (one release): ``True`` maps to ``backend="threads"``,
-        ``False`` to ``backend="sequential"``.
+        (The retired boolean parallel flag is gone; pass
+        ``backend="threads"`` / ``"sequential"`` explicitly.)
     fault:
         Optional :class:`~repro.cluster.workunit.FaultSpec` injected
         into every work unit — used by the fault-tolerance tests.
+    engine_config:
+        :class:`~repro.engine.config.EngineConfig` for each partition's
+        database — one object carries every engine knob across the
+        process boundary.
     intra_query_workers:
-        Morsel-parallel workers inside each partition's database
+        Convenience override of ``engine_config.intra_query_workers``
         (orthogonal to the partition backend; results are identical
         at any value).
     """
@@ -168,25 +156,27 @@ class SqlServerCluster:
         compute_members: bool = True,
         backend: str | ExecutionBackend = "sequential",
         *,
-        parallel: bool | None = None,
         fault: FaultSpec | None = None,
-        intra_query_workers: int = 1,
+        engine_config: EngineConfig | None = None,
+        intra_query_workers: int | None = None,
     ):
         self.kcorr = kcorr
         self.config = config
         self.n_servers = n_servers
         self.method = method
         self.compute_members = compute_members
-        self.backend = resolve_backend(
-            _resolve_deprecated_parallel(backend, parallel)
-        )
+        self.backend = resolve_backend(backend)
         self.fault = fault
-        self.intra_query_workers = intra_query_workers
+        engine_config = engine_config or DEFAULT_ENGINE_CONFIG
+        if intra_query_workers is not None:
+            engine_config = engine_config.replace(
+                intra_query_workers=intra_query_workers
+            )
+        self.engine_config = engine_config
 
     @property
-    def parallel(self) -> bool:
-        """Deprecated mirror of the old flag: is the backend concurrent?"""
-        return self.backend.measured
+    def intra_query_workers(self) -> int:
+        return self.engine_config.intra_query_workers
 
     def make_workunits(
         self, catalog: GalaxyCatalog, layout: PartitionLayout
@@ -203,7 +193,7 @@ class SqlServerCluster:
                 method=self.method,
                 compute_members=self.compute_members,
                 fault=self.fault,
-                intra_query_workers=self.intra_query_workers,
+                engine_config=self.engine_config,
             )
             for partition in layout.partitions
         ]
@@ -279,9 +269,9 @@ def run_partitioned(
     compute_members: bool = True,
     backend: str | ExecutionBackend = "sequential",
     *,
-    parallel: bool | None = None,
     progress: Callable[[str], None] | None = None,
-    intra_query_workers: int = 1,
+    engine_config: EngineConfig | None = None,
+    intra_query_workers: int | None = None,
 ) -> ClusterRunResult:
     """Convenience wrapper: build a cluster and run one target region.
 
@@ -291,7 +281,7 @@ def run_partitioned(
     ``"processes"`` really run concurrently and record the measured
     ``wall_s``.  Per-task CPU stays honest in every mode: thread workers
     bill ``thread_time``, process workers their own ``process_time``.
-    ``parallel=`` is deprecated and maps onto ``backend=``.
+    ``engine_config`` carries every per-partition engine knob.
     """
     cluster = SqlServerCluster(
         kcorr,
@@ -299,7 +289,8 @@ def run_partitioned(
         n_servers,
         method=method,
         compute_members=compute_members,
-        backend=_resolve_deprecated_parallel(backend, parallel),
+        backend=backend,
+        engine_config=engine_config,
         intra_query_workers=intra_query_workers,
     )
     return cluster.run(catalog, target, progress=progress)

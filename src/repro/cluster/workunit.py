@@ -32,6 +32,7 @@ from pathlib import Path
 from repro.core.config import MaxBCGConfig
 from repro.core.kcorrection import KCorrectionTable
 from repro.core.pipeline import MaxBCGPipeline, MaxBCGResult
+from repro.engine.config import DEFAULT_ENGINE_CONFIG, EngineConfig
 from repro.engine.database import Database
 from repro.errors import ClusterExecutionError
 from repro.obs.trace import TraceContext
@@ -121,9 +122,11 @@ class PartitionWorkUnit:
     method: str = "vectorized"
     compute_members: bool = True
     fault: FaultSpec | None = None
-    #: Morsel-parallel workers inside this partition's database (see
-    #: :mod:`repro.engine.parallel`); output is identical at any value.
-    intra_query_workers: int = 1
+    #: Engine knobs for this partition's database — a frozen
+    #: :class:`~repro.engine.config.EngineConfig`, so the whole knob set
+    #: (morsel workers, optimizer mode, cache settings, ...) pickles
+    #: across the process boundary as one object.
+    engine_config: EngineConfig | None = None
     #: Trace context of the dispatching cluster run.  When set, the
     #: worker opens a ``cluster.partition`` span parented here, so the
     #: partition's engine-layer spans land in the caller's trace even
@@ -180,7 +183,7 @@ def execute_workunit(
         set_enabled(True)
     database = Database(
         f"server{unit.server}",
-        intra_query_workers=unit.intra_query_workers,
+        config=unit.engine_config or DEFAULT_ENGINE_CONFIG,
     )
     pipeline = MaxBCGPipeline(
         unit.kcorr,

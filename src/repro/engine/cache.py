@@ -1,0 +1,322 @@
+"""The semantic result cache: repeated statements skip the engine.
+
+"Batch is back: CasJobs" exists because millions of SkyServer users
+re-run near-identical cone searches and cutouts; the server-side answer
+is to cache.  A :class:`ResultCache` stores finished SELECT results
+keyed on ``(fingerprint, table versions)``:
+
+* the **fingerprint** hashes the *normalized* statement (re-rendered
+  through the one true printer, so formatting and alias spelling don't
+  fragment the cache) together with the planner mode;
+* the **versions** tuple snapshots the version counter of every base
+  table the statement touches (views and materialized views are
+  resolved down to their sources), so any DML or load since the entry
+  was stored makes the key miss — invalidation is structural, not
+  best-effort.
+
+Entries carry byte-size accounting, optional TTL, and are evicted LRU
+when the cache exceeds its byte or entry budget.  Hits return deep
+copies, so callers can mutate results without poisoning the cache.
+Hit/miss/eviction/invalidation counters feed the process-wide obs
+metrics registry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.sql.ast import SelectStatement, TableRef, UnionStatement
+from repro.engine.sql.printer import statement_to_sql
+from repro.obs.metrics import get_metrics
+
+#: Fully-qualified cache key: (statement fingerprint, table versions).
+CacheKey = tuple[str, tuple[tuple[str, int], ...]]
+
+
+def normalize_statement(stmt: SelectStatement | UnionStatement) -> str:
+    """Canonical SQL text of a statement (whitespace/case-insensitive)."""
+    return statement_to_sql(stmt)
+
+
+def statement_fingerprint(
+    stmt: SelectStatement | UnionStatement, optimizer_mode: str = "cost"
+) -> str:
+    """Hash of the normalized statement plus the planner mode.
+
+    The mode is part of the key because the cached entry carries the
+    plan text that produced it; two modes give identical rows but
+    different EXPLAIN output.
+    """
+    normalized = normalize_statement(stmt)
+    digest = hashlib.sha256(
+        f"{optimizer_mode}\x00{normalized}".encode()
+    ).hexdigest()
+    return digest[:32]
+
+
+def referenced_tables(
+    stmt: SelectStatement | UnionStatement, database
+) -> set[str] | None:
+    """Lowercased base tables a statement reads, views resolved.
+
+    Returns ``None`` when the statement is not safely cacheable: it
+    references a table-valued function (whose callable may close over
+    state the version counters can't see) or a name the catalog doesn't
+    know (the statement would error anyway — don't cache the attempt).
+    """
+    tables: set[str] = set()
+    if _collect_tables(stmt, database, tables, depth=0):
+        return tables
+    return None
+
+
+def _collect_tables(stmt, database, out: set[str], depth: int) -> bool:
+    if depth > 16:  # pathological view nesting: refuse to cache
+        return False
+    if isinstance(stmt, UnionStatement):
+        return all(
+            _collect_tables(s, database, out, depth) for s in stmt.selects
+        )
+    refs: list[TableRef] = []
+    if stmt.source is not None:
+        refs.append(stmt.source)
+    refs.extend(join.table for join in stmt.joins)
+    for ref in refs:
+        if ref.is_function:
+            return False
+        if ref.is_subquery:
+            if not _collect_tables(ref.subquery, database, out, depth + 1):
+                return False
+            continue
+        name = ref.table.lower()
+        if database.has_view(name):
+            if not _collect_tables(
+                database.view(name), database, out, depth + 1
+            ):
+                return False
+            continue
+        if database.has_matview(name):
+            # a matview reads like a base table; its data table version
+            # bumps on every REFRESH, which is exactly the dependency
+            out.add(name)
+            continue
+        if not database.has_table(name):
+            return False
+        out.add(name)
+    return True
+
+
+def batch_nbytes(columns: dict[str, np.ndarray]) -> int:
+    """Byte size of a result batch (object columns priced per element)."""
+    total = 0
+    for arr in columns.values():
+        arr = np.asarray(arr)
+        if arr.dtype == object:
+            total += sum(len(str(v)) for v in arr.tolist()) + 8 * arr.size
+        else:
+            total += int(arr.nbytes)
+    return total
+
+
+def _copy_batch(columns: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    return {k: np.asarray(v).copy() for k, v in columns.items()}
+
+
+@dataclass
+class CacheEntry:
+    """One stored result."""
+
+    key: CacheKey
+    columns: dict[str, np.ndarray]
+    plan: str
+    tables: frozenset[str]
+    nbytes: int
+    stored_at: float = field(default_factory=time.monotonic)
+    hits: int = 0
+
+
+@dataclass
+class CacheStats:
+    """Monotonic counters, mirrored into the obs metrics registry."""
+
+    hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    expirations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResultCache:
+    """Bounded, thread-safe LRU of query results shared across users.
+
+    One instance hangs off each cache-enabled
+    :class:`~repro.engine.database.Database`; CasJobs contexts are
+    shared Database objects, so every user querying a context shares
+    its cache — the multi-user win the paper's MyDB design is after.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = 64 << 20,
+        max_entries: int = 512,
+        ttl_s: float | None = None,
+        metrics_prefix: str = "engine.cache",
+    ):
+        self.max_bytes = int(max_bytes)
+        self.max_entries = int(max_entries)
+        self.ttl_s = ttl_s
+        self.stats = CacheStats()
+        self._entries: OrderedDict[CacheKey, CacheEntry] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        metrics = get_metrics()
+        self._m_hits = metrics.counter(f"{metrics_prefix}.hits")
+        self._m_misses = metrics.counter(f"{metrics_prefix}.misses")
+        self._m_evictions = metrics.counter(f"{metrics_prefix}.evictions")
+        self._m_inserts = metrics.counter(f"{metrics_prefix}.inserts")
+        self._m_invalidations = metrics.counter(
+            f"{metrics_prefix}.invalidations"
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def bytes_used(self) -> int:
+        return self._bytes
+
+    def get(self, key: CacheKey) -> CacheEntry | None:
+        """Look up a key; counts a hit or miss and refreshes LRU order."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and self._expired(entry):
+                self._drop(key)
+                self.stats.expirations += 1
+                self.stats.invalidations += 1
+                self._m_invalidations.inc()
+                entry = None
+            if entry is None:
+                self.stats.misses += 1
+                self._m_misses.inc()
+                return None
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            self.stats.hits += 1
+            self._m_hits.inc()
+            return CacheEntry(
+                key=entry.key,
+                columns=_copy_batch(entry.columns),
+                plan=entry.plan,
+                tables=entry.tables,
+                nbytes=entry.nbytes,
+                stored_at=entry.stored_at,
+                hits=entry.hits,
+            )
+
+    def peek(self, key: CacheKey) -> CacheEntry | None:
+        """Would this key hit?  No counters, no LRU touch, no copy."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or self._expired(entry):
+                return None
+            return entry
+
+    def put(
+        self,
+        key: CacheKey,
+        columns: dict[str, np.ndarray],
+        plan: str,
+        tables: set[str],
+    ) -> bool:
+        """Store a result; returns False when it can never fit."""
+        nbytes = batch_nbytes(columns)
+        if nbytes > self.max_bytes:
+            return False
+        entry = CacheEntry(
+            key=key,
+            columns=_copy_batch(columns),
+            plan=plan,
+            tables=frozenset(t.lower() for t in tables),
+            nbytes=nbytes,
+        )
+        with self._lock:
+            if key in self._entries:
+                self._drop(key)
+            self._entries[key] = entry
+            self._bytes += nbytes
+            self.stats.inserts += 1
+            self._m_inserts.inc()
+            while (
+                self._bytes > self.max_bytes
+                or len(self._entries) > self.max_entries
+            ):
+                oldest = next(iter(self._entries))
+                self._drop(oldest)
+                self.stats.evictions += 1
+                self._m_evictions.inc()
+        return True
+
+    def invalidate_table(self, table_name: str) -> int:
+        """Eagerly drop every entry that read the given table.
+
+        Version-keyed lookups would miss stale entries anyway; eager
+        invalidation reclaims their memory immediately and makes the
+        invalidation observable in the metrics.
+        """
+        lowered = table_name.lower()
+        with self._lock:
+            doomed = [
+                key for key, entry in self._entries.items()
+                if lowered in entry.tables
+            ]
+            for key in doomed:
+                self._drop(key)
+            self.stats.invalidations += len(doomed)
+            if doomed:
+                self._m_invalidations.inc(len(doomed))
+        return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    # ------------------------------------------------------------------
+    def _expired(self, entry: CacheEntry) -> bool:
+        return (
+            self.ttl_s is not None
+            and time.monotonic() - entry.stored_at > self.ttl_s
+        )
+
+    def _drop(self, key: CacheKey) -> None:
+        entry = self._entries.pop(key)
+        self._bytes -= entry.nbytes
+
+    def summary(self) -> dict[str, float]:
+        """Counters + occupancy, for reports and ``stats_summary``."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "hit_rate": self.stats.hit_rate,
+                "inserts": self.stats.inserts,
+                "evictions": self.stats.evictions,
+                "invalidations": self.stats.invalidations,
+                "expirations": self.stats.expirations,
+            }

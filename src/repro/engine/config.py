@@ -1,0 +1,94 @@
+"""EngineConfig: one object for every engine knob.
+
+The :class:`~repro.engine.database.Database` constructor accreted
+kwargs PR by PR — ``optimizer=``, ``band_joins=``,
+``intra_query_workers=``, and now the result-cache knobs.  This module
+consolidates them into a single frozen dataclass that the cluster,
+CasJobs and CLI layers pass through whole instead of re-plumbing each
+knob::
+
+    db = Database("dr1", config=EngineConfig(optimizer="cost",
+                                             result_cache=True))
+
+The old per-knob kwargs keep working for one release via a mapping shim
+in ``Database.__init__`` that emits ``DeprecationWarning``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.engine.pages import DEFAULT_POOL_PAGES
+from repro.errors import EngineError
+
+#: Recognized planner modes (mirrors the planner's OPTIMIZER_MODES;
+#: duplicated here to avoid importing the SQL layer at config time).
+_OPTIMIZER_MODES = ("cost", "syntactic")
+
+#: Default ceiling on cached result bytes per database (64 MiB — a
+#: fraction of the paper's 2 GB nodes, like a real plan/result cache).
+DEFAULT_CACHE_MAX_BYTES = 64 << 20
+
+#: Default ceiling on cached entries per database.
+DEFAULT_CACHE_MAX_ENTRIES = 512
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Every knob a :class:`~repro.engine.database.Database` takes.
+
+    Attributes
+    ----------
+    pool_pages:
+        Buffer-pool size in 8 KiB pages (default sized to the paper's
+        2 GB nodes).
+    optimizer:
+        Planner mode, ``"cost"`` (statistics-driven) or ``"syntactic"``.
+    intra_query_workers:
+        Morsel-parallel workers per operator (1 = sequential; output is
+        byte-identical at any setting).
+    band_joins:
+        Allow the cost planner to extract BandJoin operators from range
+        conjuncts.
+    result_cache:
+        Enable the shared semantic result cache: SELECTs are answered
+        from a prior identical statement's result when every referenced
+        table is unchanged since it was stored.  Off by default — the
+        CasJobs service and the CLI turn it on for shared catalogs.
+    cache_max_bytes / cache_max_entries:
+        LRU eviction thresholds for the result cache.
+    cache_ttl_s:
+        Optional time-to-live for cached results; ``None`` means
+        entries live until invalidated or evicted.
+    """
+
+    pool_pages: int = DEFAULT_POOL_PAGES
+    optimizer: str = "cost"
+    intra_query_workers: int = 1
+    band_joins: bool = True
+    result_cache: bool = False
+    cache_max_bytes: int = DEFAULT_CACHE_MAX_BYTES
+    cache_max_entries: int = DEFAULT_CACHE_MAX_ENTRIES
+    cache_ttl_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.optimizer not in _OPTIMIZER_MODES:
+            raise EngineError(
+                f"unknown optimizer mode '{self.optimizer}'; "
+                f"expected one of {_OPTIMIZER_MODES}"
+            )
+        if self.pool_pages <= 0:
+            raise EngineError("pool_pages must be positive")
+        if self.cache_max_bytes <= 0 or self.cache_max_entries <= 0:
+            raise EngineError("cache limits must be positive")
+        if self.cache_ttl_s is not None and self.cache_ttl_s <= 0:
+            raise EngineError("cache_ttl_s must be positive (or None)")
+
+    def replace(self, **changes) -> "EngineConfig":
+        """A copy with the given fields changed (validation re-runs)."""
+        return dataclasses.replace(self, **changes)
+
+
+#: The all-defaults configuration, shared where no knob is overridden.
+DEFAULT_ENGINE_CONFIG = EngineConfig()

@@ -11,12 +11,21 @@ yields the (elapsed, cpu, io) triples of Table 1.
 
 from __future__ import annotations
 
+import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
+from repro.engine.cache import (
+    ResultCache,
+    referenced_tables,
+    statement_fingerprint,
+)
+from repro.engine.config import DEFAULT_ENGINE_CONFIG, EngineConfig
 from repro.engine.index import ClusteredIndex, HashIndex
+from repro.engine.matview import MaterializedView
 from repro.engine.pages import BufferPool, DEFAULT_POOL_PAGES
 from repro.engine.schema import Column, TableSchema
 from repro.engine.sql.executor import Executor, QueryResult
@@ -25,6 +34,10 @@ from repro.engine.stats import IOCounters
 from repro.engine.table import Table
 from repro.engine.types import ColumnType, infer_type
 from repro.errors import EngineError, TableNotFoundError
+
+#: Marker distinguishing "kwarg not given" from an explicit value in the
+#: deprecated per-knob constructor shim.
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -46,31 +59,71 @@ class Database:
     def __init__(
         self,
         name: str = "db",
-        pool_pages: int = DEFAULT_POOL_PAGES,
-        optimizer: str = "cost",
-        intra_query_workers: int = 1,
-        band_joins: bool = True,
+        pool_pages=_UNSET,
+        optimizer=_UNSET,
+        intra_query_workers=_UNSET,
+        band_joins=_UNSET,
+        *,
+        config: EngineConfig | None = None,
     ):
-        if optimizer not in ("cost", "syntactic"):
-            raise EngineError(
-                f"unknown optimizer mode '{optimizer}'; "
-                "expected 'cost' or 'syntactic'"
-            )
         from repro.engine.parallel import resolve_workers
 
+        legacy = {
+            key: value
+            for key, value in (
+                ("pool_pages", pool_pages),
+                ("optimizer", optimizer),
+                ("intra_query_workers", intra_query_workers),
+                ("band_joins", band_joins),
+            )
+            if value is not _UNSET
+        }
+        if legacy:
+            if config is not None:
+                raise EngineError(
+                    "pass engine knobs via config=EngineConfig(...) only; "
+                    f"got both config= and legacy kwargs {sorted(legacy)}"
+                )
+            warnings.warn(
+                f"Database({', '.join(sorted(legacy))}=...) kwargs are "
+                "deprecated; pass config=EngineConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = EngineConfig(**legacy)
+        elif config is None:
+            config = DEFAULT_ENGINE_CONFIG
+
         self.name = name
-        self.optimizer_mode = optimizer
+        #: The full knob set this instance was built with (an
+        #: :class:`~repro.engine.config.EngineConfig`).
+        self.config = config
+        self.optimizer_mode = config.optimizer
         #: Morsel-parallel workers per operator (1 = sequential; output
         #: is byte-identical for any setting).
-        self.intra_query_workers = resolve_workers(intra_query_workers)
+        self.intra_query_workers = resolve_workers(config.intra_query_workers)
         #: Allow the cost planner to extract BandJoin operators from
         #: range conjuncts (off = nested-loop baseline, for benchmarks).
-        self.band_join_enabled = bool(band_joins)
-        self.pool = BufferPool(pool_pages)
+        self.band_join_enabled = bool(config.band_joins)
+        self.pool = BufferPool(config.pool_pages)
+        #: Shared semantic result cache, or None when disabled.
+        self.result_cache: ResultCache | None = (
+            ResultCache(
+                max_bytes=config.cache_max_bytes,
+                max_entries=config.cache_max_entries,
+                ttl_s=config.cache_ttl_s,
+            )
+            if config.result_cache
+            else None
+        )
         self._tables: dict[str, Table] = {}
         self._clustered: dict[str, ClusteredIndex] = {}
         self._hash: dict[tuple[str, str], HashIndex] = {}
         self._views: dict[str, object] = {}  # name -> SelectStatement
+        self._matviews: dict[str, MaterializedView] = {}
+        #: >0 while (re)materializing a view's defining SELECT, so the
+        #: planner does not answer the refresh from the view itself.
+        self._matview_plan_depth = 0
         self._table_functions: dict[str, TableFunction] = {}
         self._procedures: dict[str, Callable] = {}
         self._executor = Executor(self)
@@ -121,6 +174,14 @@ class Database:
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
         key = name.lower()
+        if key in self._matviews:
+            raise EngineError(
+                f"'{name}' is a materialized view; "
+                "use DROP MATERIALIZED VIEW"
+            )
+        self._drop_table_storage(key, name, if_exists)
+
+    def _drop_table_storage(self, key: str, name: str, if_exists: bool) -> None:
         if key not in self._tables:
             if if_exists:
                 return
@@ -130,6 +191,8 @@ class Database:
         self._clustered.pop(key, None)
         for hash_key in [k for k in self._hash if k[0] == key]:
             del self._hash[hash_key]
+        if self.result_cache is not None:
+            self.result_cache.invalidate_table(key)
 
     # ------------------------------------------------------------------
     # views, table functions, procedures
@@ -137,7 +200,7 @@ class Database:
     def create_view(self, name: str, select_statement) -> None:
         """Register a view over a SELECT (the paper's ``Zone`` view)."""
         key = name.lower()
-        if key in self._tables or key in self._views:
+        if key in self._tables or key in self._views or key in self._matviews:
             raise EngineError(f"name '{name}' already exists")
         # validate eagerly: the view must plan against the current catalog
         from repro.engine.sql.planner import Planner
@@ -163,6 +226,125 @@ class Database:
 
     def view_names(self) -> list[str]:
         return sorted(self._views)
+
+    # ------------------------------------------------------------------
+    # materialized views
+    # ------------------------------------------------------------------
+    def has_matview(self, name: str) -> bool:
+        return name.lower() in self._matviews
+
+    def matview(self, name: str) -> MaterializedView:
+        try:
+            return self._matviews[name.lower()]
+        except KeyError:
+            raise TableNotFoundError(
+                f"no materialized view '{name}'"
+            ) from None
+
+    def matview_names(self) -> list[str]:
+        return sorted(self._matviews)
+
+    @contextmanager
+    def _materializing(self):
+        """Suspend matview substitution while a defining SELECT runs."""
+        self._matview_plan_depth += 1
+        try:
+            yield
+        finally:
+            self._matview_plan_depth -= 1
+
+    def create_materialized_view(self, name: str, select_statement):
+        """``CREATE MATERIALIZED VIEW name AS SELECT ...``.
+
+        Runs the SELECT once, stores its rows in a regular catalog table
+        named after the view (so it counts against MyDB quotas and is
+        queryable with plain ``FROM name``), and records the version of
+        every source table for staleness tracking.
+        """
+        from repro.engine.cache import normalize_statement
+
+        key = name.lower()
+        if key in self._tables or key in self._views or key in self._matviews:
+            raise EngineError(f"name '{name}' already exists")
+        sources = referenced_tables(select_statement, self)
+        if sources is None:
+            raise EngineError(
+                f"materialized view '{name}' must read base tables or "
+                "views only (no table-valued functions)"
+            )
+        with self._materializing():
+            result = self._executor.execute(select_statement)
+        self.create_table(key, {k: np.asarray(v)
+                                for k, v in result.columns.items()})
+        view = MaterializedView(
+            name=key,
+            select=select_statement,
+            normalized_sql=normalize_statement(select_statement),
+            source_tables=frozenset(sources),
+            source_versions={
+                t: self._tables[t].version for t in sources
+            },
+        )
+        self._matviews[key] = view
+        return view
+
+    def refresh_materialized_view(self, name: str) -> int:
+        """Re-run a matview's SELECT; returns the new row count."""
+        view = self.matview(name)
+        with self._materializing():
+            result = self._executor.execute(view.select)
+        table = self.table(view.name)
+        table.truncate()
+        if result.row_count:
+            table.insert({k: np.asarray(v)
+                          for k, v in result.columns.items()})
+        self.invalidate_indexes(view.name)
+        view.source_versions = {
+            t: self._tables[t].version for t in view.source_tables
+        }
+        view.refresh_count += 1
+        return result.row_count
+
+    def drop_materialized_view(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._matviews:
+            if if_exists:
+                return
+            raise TableNotFoundError(
+                f"no materialized view '{name}' to drop"
+            )
+        del self._matviews[key]
+        self._drop_table_storage(key, name, if_exists=False)
+
+    def matview_stale(self, name: str) -> bool:
+        """Has any source table changed since the last (re)materialize?"""
+        view = self.matview(name)
+        return view.stale_against(self.table_versions(view.source_tables))
+
+    def matching_matview(self, stmt) -> MaterializedView | None:
+        """A *fresh* matview whose definition equals this SELECT, if any.
+
+        Returns None while a matview is being (re)materialized so a
+        REFRESH never answers itself from the rows it is rebuilding.
+        """
+        from repro.engine.cache import normalize_statement
+        from repro.engine.sql.ast import SelectStatement
+        from repro.obs.metrics import get_metrics
+
+        if not self._matviews or self._matview_plan_depth:
+            return None
+        if not isinstance(stmt, SelectStatement):
+            return None
+        normalized = normalize_statement(stmt)
+        for view in self._matviews.values():
+            if view.normalized_sql != normalized:
+                continue
+            if view.stale_against(self.table_versions(view.source_tables)):
+                get_metrics().counter("engine.matview.stale_skips").inc()
+                continue
+            get_metrics().counter("engine.matview.substitutions").inc()
+            return view
+        return None
 
     def create_table_function(
         self, name: str, columns: tuple[str, ...], fn: Callable
@@ -235,10 +417,53 @@ class Database:
 
     def invalidate_indexes(self, table_name: str) -> None:
         """Mark indexes stale after DML; clustered order survives appends
-        only logically — we rebuild lazily by dropping it."""
+        only logically — we rebuild lazily by dropping it.
+
+        Also eagerly drops result-cache entries that read the table.
+        (Version-keyed lookups would miss them regardless; dropping now
+        reclaims the memory and makes invalidation observable.)
+        """
         self._clustered.pop(table_name.lower(), None)
         for hash_key in [k for k in self._hash if k[0] == table_name.lower()]:
             self._hash[hash_key].invalidate()
+        if self.result_cache is not None:
+            self.result_cache.invalidate_table(table_name)
+
+    # ------------------------------------------------------------------
+    # versions and the result cache
+    # ------------------------------------------------------------------
+    def table_versions(self, names) -> dict[str, int | None]:
+        """Live version counters for the named tables (None = missing)."""
+        out: dict[str, int | None] = {}
+        for name in names:
+            key = name.lower()
+            table = self._tables.get(key)
+            out[key] = table.version if table is not None else None
+        return out
+
+    def _cache_key(self, stmt):
+        """``(key, tables)`` for a cacheable statement, else None.
+
+        The key pairs the normalized-statement fingerprint with a
+        sorted (table, version) tuple, so any DML or load on a
+        referenced table makes subsequent lookups miss structurally.
+        """
+        from repro.engine.sql.ast import SelectStatement, UnionStatement
+
+        if self.result_cache is None:
+            return None
+        if not isinstance(stmt, (SelectStatement, UnionStatement)):
+            return None
+        tables = referenced_tables(stmt, self)
+        if tables is None:
+            return None
+        versions = tuple(
+            sorted((t, self._tables[t].version) for t in tables)
+        )
+        return (
+            (statement_fingerprint(stmt, self.optimizer_mode), versions),
+            tables,
+        )
 
     # ------------------------------------------------------------------
     # SQL entry points
@@ -257,11 +482,25 @@ class Database:
         from repro.obs.trace import span
 
         stmt = parse(text)
+        keyed = self._cache_key(stmt)
+        if keyed is not None:
+            key, tables = keyed
+            entry = self.result_cache.get(key)  # type: ignore[union-attr]
+            if entry is not None:
+                return QueryResult(
+                    columns=entry.columns,
+                    plan="[answered from cache]\n" + entry.plan
+                    if entry.plan else "[answered from cache]",
+                )
         started = _time.perf_counter()
         with span("engine.sql", layer="engine", counters=self.pool.counters,
                   attrs={"db": self.name, "sql": text.strip()[:200]}):
             result = self._executor.execute(stmt)
         elapsed = _time.perf_counter() - started
+        if keyed is not None:
+            self.result_cache.put(  # type: ignore[union-attr]
+                key, result.columns, result.plan, tables
+            )
         slow_log = get_slow_log()
         if slow_log.is_slow(elapsed):
             from repro.engine.sql.ast import SelectStatement
@@ -303,7 +542,17 @@ class Database:
         stmt = parse(text)
         if not isinstance(stmt, SelectStatement):
             raise EngineError("EXPLAIN supports SELECT statements only")
-        return Planner(self, optimizer).plan_select(stmt).explain()
+        plan_text = Planner(self, optimizer).plan_select(stmt).explain()
+        keyed = (
+            self._cache_key(stmt)
+            if optimizer in (None, self.optimizer_mode)
+            else None
+        )
+        if keyed is not None:
+            key, _tables = keyed
+            if self.result_cache.peek(key) is not None:  # type: ignore[union-attr]
+                return "[answered from cache]\n" + plan_text
+        return plan_text
 
     # ------------------------------------------------------------------
     # statistics
@@ -334,11 +583,16 @@ class Database:
 
     def stats_summary(self) -> dict[str, int]:
         """Totals for reports: tables, rows, pages, I/O counters."""
-        return {
+        summary = {
             "tables": len(self._tables),
             "rows": sum(t.row_count for t in self._tables.values()),
             "pages": sum(t.page_count for t in self._tables.values()),
             "logical_reads": self.pool.counters.logical_reads,
             "physical_reads": self.pool.counters.physical_reads,
             "writes": self.pool.counters.writes,
+            "matviews": len(self._matviews),
         }
+        if self.result_cache is not None:
+            for key, value in self.result_cache.summary().items():
+                summary[f"cache_{key}"] = value
+        return summary

@@ -1,0 +1,57 @@
+"""Materialized views: precomputed SELECTs with staleness tracking.
+
+The paper's MyDB is a server-side cache the *user* controls: spool a
+query's answer into your personal database once, then correlate against
+it locally instead of rescanning terabytes.  ``CREATE MATERIALIZED VIEW``
+is that workflow as a first-class DDL object:
+
+* the defining SELECT runs once and its rows land in a regular catalog
+  table named after the view (so MyDB quotas, persistence, and ``FROM
+  <name>`` queries all just work);
+* the definition records the *version* of every source table it read;
+  any DML/load on a source flips the view stale (:meth:`is_stale`);
+* ``REFRESH MATERIALIZED VIEW`` re-runs the SELECT and re-snapshots the
+  versions;
+* the planner answers a query whose normalized SQL matches a **fresh**
+  view's definition straight from the materialized rows (EXPLAIN shows
+  ``[answered from matview <name>]``); stale views are never
+  substituted, but remain readable by name — the user asked for a
+  snapshot, and gets one until they refresh.
+
+Refresh/staleness counters feed the obs metrics registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.sql.ast import SelectStatement
+
+
+@dataclass
+class MaterializedView:
+    """Catalog record of one materialized view.
+
+    ``source_versions`` snapshots each base table's version counter at
+    the last (re)materialization; staleness is a pure comparison
+    against the live counters, no timestamps involved.
+    """
+
+    name: str
+    select: SelectStatement
+    normalized_sql: str
+    source_tables: frozenset[str]
+    source_versions: dict[str, int] = field(default_factory=dict)
+    refresh_count: int = 0
+
+    def stale_against(self, current_versions: dict[str, int | None]) -> bool:
+        """Is the view stale given the live source-table versions?
+
+        A missing source (dropped table) also counts as stale — the
+        snapshot can no longer be reproduced, let alone substituted.
+        """
+        for table in self.source_tables:
+            current = current_versions.get(table)
+            if current is None or current != self.source_versions.get(table):
+                return True
+        return False

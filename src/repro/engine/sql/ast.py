@@ -159,6 +159,30 @@ class DropViewStatement:
 
 
 @dataclass(frozen=True)
+class CreateMaterializedViewStatement:
+    """``CREATE MATERIALIZED VIEW name AS SELECT ...`` — the defining
+    SELECT runs once and its rows are stored; see
+    :mod:`repro.engine.matview`."""
+
+    name: str
+    select: "SelectStatement"
+
+
+@dataclass(frozen=True)
+class RefreshMaterializedViewStatement:
+    """``REFRESH MATERIALIZED VIEW name`` — re-run the stored SELECT
+    and re-snapshot the source-table versions."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class DropMaterializedViewStatement:
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
 class ExecStatement:
     """``EXEC procname arg, arg, ...`` — the paper's spMakeCandidates
     invocations.  Arguments must be constant expressions."""
@@ -187,6 +211,9 @@ Statement = (
     | DropTableStatement
     | CreateViewStatement
     | DropViewStatement
+    | CreateMaterializedViewStatement
+    | RefreshMaterializedViewStatement
+    | DropMaterializedViewStatement
     | ExecStatement
     | AnalyzeStatement
     | UnionStatement

@@ -9,13 +9,16 @@ import numpy as np
 from repro.engine.expressions import Batch, batch_length
 from repro.engine.sql.ast import (
     AnalyzeStatement,
+    CreateMaterializedViewStatement,
     CreateTableStatement,
     CreateViewStatement,
     DeleteStatement,
+    DropMaterializedViewStatement,
     DropTableStatement,
     DropViewStatement,
     ExecStatement,
     InsertStatement,
+    RefreshMaterializedViewStatement,
     SelectStatement,
     Statement,
     TruncateStatement,
@@ -99,6 +102,7 @@ class Executor:
         if isinstance(stmt, DeleteStatement):
             return self._delete(stmt)
         if isinstance(stmt, TruncateStatement):
+            self._guard_matview(stmt.table, "TRUNCATE")
             self.database.table(stmt.table).truncate()
             self.database.invalidate_indexes(stmt.table)
             return QueryResult()
@@ -110,6 +114,19 @@ class Executor:
             return QueryResult()
         if isinstance(stmt, DropViewStatement):
             self.database.drop_view(stmt.name, if_exists=stmt.if_exists)
+            return QueryResult()
+        if isinstance(stmt, CreateMaterializedViewStatement):
+            view = self.database.create_materialized_view(stmt.name, stmt.select)
+            return QueryResult(
+                rows_affected=self.database.table(view.name).row_count
+            )
+        if isinstance(stmt, RefreshMaterializedViewStatement):
+            rows = self.database.refresh_materialized_view(stmt.name)
+            return QueryResult(rows_affected=rows)
+        if isinstance(stmt, DropMaterializedViewStatement):
+            self.database.drop_materialized_view(
+                stmt.name, if_exists=stmt.if_exists
+            )
             return QueryResult()
         if isinstance(stmt, ExecStatement):
             return self._exec(stmt)
@@ -193,7 +210,16 @@ class Executor:
         self.database.create_table_from_schema(schema)
         return QueryResult()
 
+    def _guard_matview(self, name: str, verb: str) -> None:
+        """Matview rows are derived data: only REFRESH may rewrite them."""
+        if getattr(self.database, "has_matview", lambda _n: False)(name):
+            raise SqlPlanError(
+                f"cannot {verb} materialized view '{name}'; its rows are "
+                "maintained by REFRESH MATERIALIZED VIEW"
+            )
+
     def _insert(self, stmt: InsertStatement) -> QueryResult:
+        self._guard_matview(stmt.table, "INSERT into")
         table = self.database.table(stmt.table)
         target_columns = (
             [c.lower() for c in stmt.columns]
@@ -244,6 +270,7 @@ class Executor:
         return np.flatnonzero(mask)
 
     def _update(self, stmt: UpdateStatement) -> QueryResult:
+        self._guard_matview(stmt.table, "UPDATE")
         table = self.database.table(stmt.table)
         rows = self._matching_rows(table, stmt.where)
         if rows.size == 0:
@@ -261,6 +288,7 @@ class Executor:
         return QueryResult(rows_affected=affected)
 
     def _delete(self, stmt: DeleteStatement) -> QueryResult:
+        self._guard_matview(stmt.table, "DELETE from")
         table = self.database.table(stmt.table)
         rows = self._matching_rows(table, stmt.where)
         affected = table.delete_rows(rows)

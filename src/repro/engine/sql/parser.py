@@ -25,15 +25,18 @@ from repro.engine.expressions import (
 from repro.engine.sql.ast import (
     AnalyzeStatement,
     ColumnDef,
+    CreateMaterializedViewStatement,
     CreateTableStatement,
     CreateViewStatement,
     DeleteStatement,
+    DropMaterializedViewStatement,
     DropTableStatement,
     DropViewStatement,
     ExecStatement,
     InsertStatement,
     JoinClause,
     OrderItem,
+    RefreshMaterializedViewStatement,
     SelectItem,
     SelectStatement,
     Statement,
@@ -128,6 +131,8 @@ class Parser:
             stmt = self.parse_drop()
         elif token.is_keyword("analyze"):
             stmt = self.parse_analyze()
+        elif token.is_keyword("refresh"):
+            stmt = self.parse_refresh()
         else:
             raise self.error(f"unexpected token '{token.value}' at statement start")
         self.accept_punct(";")
@@ -312,7 +317,9 @@ class Parser:
         return TableRef(name, alias, function_args)
 
     def parse_create(self) -> Statement:
-        """Dispatch CREATE TABLE vs CREATE VIEW."""
+        """Dispatch CREATE TABLE vs CREATE [MATERIALIZED] VIEW."""
+        if self.peek(1).is_keyword("materialized"):
+            return self.parse_create_materialized_view()
         if self.peek(1).is_keyword("view"):
             return self.parse_create_view()
         return self.parse_create_table()
@@ -323,6 +330,20 @@ class Parser:
         name = self.expect_ident()
         self.expect_keyword("as")
         return CreateViewStatement(name, self.parse_select())
+
+    def parse_create_materialized_view(self) -> CreateMaterializedViewStatement:
+        self.expect_keyword("create")
+        self.expect_keyword("materialized")
+        self.expect_keyword("view")
+        name = self.expect_ident()
+        self.expect_keyword("as")
+        return CreateMaterializedViewStatement(name, self.parse_select())
+
+    def parse_refresh(self) -> RefreshMaterializedViewStatement:
+        self.expect_keyword("refresh")
+        self.expect_keyword("materialized")
+        self.expect_keyword("view")
+        return RefreshMaterializedViewStatement(self.expect_ident())
 
     def parse_exec(self) -> ExecStatement:
         self.advance()  # EXEC / EXECUTE
@@ -436,9 +457,12 @@ class Parser:
 
     def parse_drop(self) -> Statement:
         self.expect_keyword("drop")
-        is_view = False
-        if self.accept_keyword("view"):
-            is_view = True
+        kind = "table"
+        if self.accept_keyword("materialized"):
+            self.expect_keyword("view")
+            kind = "matview"
+        elif self.accept_keyword("view"):
+            kind = "view"
         else:
             self.expect_keyword("table")
         if_exists = False
@@ -446,7 +470,9 @@ class Parser:
             self.expect_keyword("exists")
             if_exists = True
         name = self.expect_ident()
-        if is_view:
+        if kind == "matview":
+            return DropMaterializedViewStatement(name, if_exists)
+        if kind == "view":
             return DropViewStatement(name, if_exists)
         return DropTableStatement(name, if_exists)
 

@@ -188,12 +188,43 @@ class Planner:
 
     # ------------------------------------------------------------------
     def plan_select(self, stmt: SelectStatement) -> PlanNode:
-        plan = self._plan_select(stmt)
+        substituted = self._substitute_matview(stmt)
+        if substituted is not None:
+            plan = substituted
+        else:
+            plan = self._plan_select(stmt)
         annotate_plan(plan)
         workers = getattr(self.database, "intra_query_workers", 1)
         if workers > 1:
             _stamp_workers(plan, workers)
         return plan
+
+    def _substitute_matview(self, stmt: SelectStatement) -> PlanNode | None:
+        """Answer the query from a fresh materialized view when its
+        definition matches the statement's normalized SQL.
+
+        The database decides matching and freshness
+        (:meth:`~repro.engine.database.Database.matching_matview`); the
+        substituted plan is a scan of the precomputed rows, flagged in
+        EXPLAIN as ``[answered from matview <name>]``.
+        """
+        matcher = getattr(self.database, "matching_matview", None)
+        if matcher is None:
+            return None
+        view = matcher(stmt)
+        if view is None:
+            return None
+        table = self.database.table(view.name)
+        scan = SeqScan(
+            table, view.name, reason=f"answered from matview {view.name}"
+        )
+        return Project(
+            scan,
+            [
+                (name.lower(), ColumnRef(name.lower()))
+                for name in table.schema.column_names
+            ],
+        )
 
     def _plan_select(self, stmt: SelectStatement) -> PlanNode:
         relations = self._bind_relations(stmt)

@@ -96,10 +96,15 @@ def load_database(
     directory: str | Path, name: str = "restored", pool_pages: int | None = None
 ) -> Database:
     """Restore a database from a directory of saved tables."""
+    from repro.engine.config import DEFAULT_ENGINE_CONFIG
+
     directory = Path(directory)
     if not directory.is_dir():
         raise EngineError(f"{directory} is not a directory")
-    database = Database(name) if pool_pages is None else Database(name, pool_pages)
+    config = DEFAULT_ENGINE_CONFIG
+    if pool_pages is not None:
+        config = config.replace(pool_pages=pool_pages)
+    database = Database(name, config=config)
     for schema_path in sorted(directory.glob("*.schema")):
         load_table(database, directory, schema_path.stem)
     return database

@@ -33,6 +33,11 @@ class Table:
         #: of their collection time until the next ANALYZE, like a real
         #: engine's.
         self.stats = None
+        #: Monotonic mutation counter: every insert/update/delete/
+        #: truncate/reorder bumps it.  The result cache and materialized
+        #: views key their freshness on this, so DML and loads
+        #: invalidate structurally.
+        self.version = 0
         self._pk_index: dict | None = None
         if schema.primary_key is not None:
             self._pk_index = {}
@@ -147,6 +152,8 @@ class Table:
         for name, arr in coerced.items():
             self._columns[name] = np.concatenate([self._columns[name], arr])
         self.file.write_range(start, start + n_new)
+        if n_new:
+            self.version += 1
         return n_new
 
     def truncate(self) -> None:
@@ -158,6 +165,7 @@ class Table:
         if self._pk_index is not None:
             self._pk_index = {}
         self.file.invalidate()
+        self.version += 1
 
     def delete_rows(self, rows: np.ndarray) -> int:
         """Delete rows by position; rewrites the table (counted as writes)."""
@@ -170,6 +178,7 @@ class Table:
             self._columns[name] = arr[keep]
         self._rebuild_pk()
         self.file.write_range(0, self.row_count)
+        self.version += 1
         return int(rows.size)
 
     def update_rows(self, rows: np.ndarray, values: dict[str, np.ndarray]) -> int:
@@ -186,6 +195,7 @@ class Table:
             self._rebuild_pk()
         for page_no in np.unique(rows // self.file.rows_per_page):
             self.file.pool.write(PageId(self.file.file_id, int(page_no)))
+        self.version += 1
         return int(rows.size)
 
     def reorder(self, order: np.ndarray) -> None:
@@ -199,6 +209,9 @@ class Table:
         self._rebuild_pk()
         self.file.read_range(0, self.row_count)
         self.file.write_range(0, self.row_count)
+        # physical order changed: uncorrelated cached results may rely
+        # on scan order, so a reorder is a version event too
+        self.version += 1
 
     def _rebuild_pk(self) -> None:
         if self._pk_index is None:

@@ -351,6 +351,42 @@ class TestStress:
                 assert job.error
 
 
+class TestZipfCacheWorkload:
+    """The zipfian many-user workload and the cache A/B comparison."""
+
+    SPEC = LoadSpec(
+        n_users=3, n_jobs=30, quick_fraction=0.3, catalog_rows=2_000,
+        zipf_queries=4, zipf_s=1.2, workers=2, pool="threads", seed=42,
+    )
+
+    def test_query_pool_deterministic(self):
+        from repro.bench.casjobs_load import build_query_pool
+
+        assert build_query_pool(self.SPEC) == build_query_pool(self.SPEC)
+        assert len(build_query_pool(self.SPEC)) == self.SPEC.zipf_queries
+
+    def test_comparison_requires_zipf_pool(self):
+        from repro.bench.casjobs_load import run_zipf_cache_comparison
+        import dataclasses
+
+        flat = dataclasses.replace(self.SPEC, zipf_queries=0)
+        with pytest.raises(ValueError):
+            run_zipf_cache_comparison(flat)
+
+    def test_cache_on_off_byte_identical(self):
+        from repro.bench.casjobs_load import run_zipf_cache_comparison
+
+        comparison = run_zipf_cache_comparison(self.SPEC)
+        assert comparison.identical
+        # the skewed pool repeats queries, so the cached site really hit
+        assert comparison.on.cache.get("hits", 0) > 0
+        assert comparison.off.cache == {}
+        assert comparison.digest_off == comparison.digest_on
+        summary = comparison.as_dict()
+        assert summary["identical_answers"] is True
+        assert summary["jobs"] == self.SPEC.n_jobs
+
+
 class TestSchedulerStatsPercentiles:
     """Edge cases of the latency percentile helpers, pinned exactly."""
 

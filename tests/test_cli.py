@@ -67,6 +67,43 @@ class TestSql:
             main(["run", "--target", "not-a-box"])
 
 
+class TestEngineFlags:
+    """The shared --workers/--optimizer/--backend/--cache parent parser."""
+
+    def test_sql_accepts_cache_flag(self, capsys):
+        code = main([
+            "sql", *small_args(), "--cache",
+            "-e", "SELECT COUNT(*) AS n FROM galaxy_source",
+        ])
+        assert code == 0
+        assert "n" in capsys.readouterr().out
+
+    def test_sql_script_materialized_view(self, tmp_path, capsys):
+        script = tmp_path / "matview.sql"
+        script.write_text(
+            "EXEC spImportGalaxy 179, 182, -1, 2;\n"
+            "EXEC spZone;\n"
+            "CREATE MATERIALIZED VIEW galaxy_total AS "
+            "SELECT COUNT(*) AS n FROM Galaxy;\n"
+            "SELECT n FROM galaxy_total;\n"
+        )
+        assert main(["sql", *small_args(), "--script", str(script)]) == 0
+        assert "n" in capsys.readouterr().out
+
+    def test_explain_accepts_shared_flags(self, capsys):
+        code = main([
+            "explain", *small_args(), "--workers", "2", "--cache",
+            "--optimizer", "cost",
+            "SELECT COUNT(*) AS c FROM Galaxy WHERE i < 18",
+        ])
+        assert code == 0
+        assert "est=" in capsys.readouterr().out
+
+    def test_partition_rejects_removed_parallel_flag(self):
+        with pytest.raises(SystemExit):
+            main(["partition", *small_args(), "--parallel"])
+
+
 class TestAnalyze:
     def test_explain_analyze_output(self, capsys):
         code = main([

@@ -89,33 +89,72 @@ class TestParallelExecution:
         assert [r.server for r in parallel.runs] == [0, 1, 2]
 
 
-class TestDeprecatedParallelFlag:
-    def test_parallel_true_maps_to_threads(self, kcorr, config):
-        with pytest.warns(DeprecationWarning, match="parallel= is deprecated"):
-            cluster = SqlServerCluster(
+class TestRemovedParallelFlag:
+    """The deprecated boolean flag finished its cycle and is gone."""
+
+    def test_cluster_rejects_removed_flag(self, kcorr, config):
+        with pytest.raises(TypeError, match="parallel"):
+            SqlServerCluster(
                 kcorr, config, n_servers=2, compute_members=False,
                 parallel=True,
             )
-        assert cluster.backend.name == "threads"
-        assert cluster.parallel is True
 
-    def test_parallel_false_maps_to_sequential(self, kcorr, config):
-        with pytest.warns(DeprecationWarning):
-            cluster = SqlServerCluster(
-                kcorr, config, n_servers=2, compute_members=False,
-                parallel=False,
-            )
-        assert cluster.backend.name == "sequential"
-        assert cluster.parallel is False
-
-    def test_run_partitioned_accepts_deprecated_flag(
-        self, sky, target_region, kcorr, config, partitioned
+    def test_run_partitioned_rejects_removed_flag(
+        self, sky, target_region, kcorr, config
     ):
-        with pytest.warns(DeprecationWarning):
-            result = run_partitioned(
+        with pytest.raises(TypeError, match="parallel"):
+            run_partitioned(
                 sky.catalog, target_region, kcorr, config, n_servers=2,
                 compute_members=False, parallel=False,
             )
+
+
+class TestEngineConfigPlumbing:
+    def test_cluster_carries_engine_config(self, kcorr, config):
+        from repro.engine.config import EngineConfig
+
+        cluster = SqlServerCluster(
+            kcorr, config, n_servers=2, compute_members=False,
+            engine_config=EngineConfig(intra_query_workers=2),
+        )
+        assert cluster.engine_config.intra_query_workers == 2
+        assert cluster.intra_query_workers == 2
+
+    def test_workers_override_replaces_config(self, kcorr, config):
+        from repro.engine.config import EngineConfig
+
+        cluster = SqlServerCluster(
+            kcorr, config, n_servers=2, compute_members=False,
+            engine_config=EngineConfig(intra_query_workers=1),
+            intra_query_workers=3,
+        )
+        assert cluster.engine_config.intra_query_workers == 3
+
+    def test_config_rides_into_workunits(self, kcorr, config, target_region,
+                                         sky):
+        from repro.cluster.partitioning import make_partitions
+        from repro.engine.config import EngineConfig
+
+        cluster = SqlServerCluster(
+            kcorr, config, n_servers=2, compute_members=False,
+            engine_config=EngineConfig(intra_query_workers=2),
+        )
+        layout = make_partitions(target_region, config.buffer_deg, 2)
+        units = cluster.make_workunits(sky.catalog, layout)
+        assert all(
+            u.engine_config.intra_query_workers == 2 for u in units
+        )
+
+    def test_run_partitioned_answers_identical_with_config(
+        self, sky, target_region, kcorr, config, partitioned
+    ):
+        from repro.engine.config import EngineConfig
+
+        result = run_partitioned(
+            sky.catalog, target_region, kcorr, config, n_servers=2,
+            compute_members=False,
+            engine_config=EngineConfig(intra_query_workers=2),
+        )
         assert np.array_equal(result.clusters.objid,
                               partitioned.clusters.objid)
 

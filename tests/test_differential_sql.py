@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.engine.config import EngineConfig
 from repro.engine.database import Database
 
 #: dataset seeds x queries-per-template: 4 * 50 = 200 queries total.
@@ -64,8 +65,10 @@ def make_tables(seed: int) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]
     return t1, t2
 
 
-def make_database(t1: dict, t2: dict, optimizer: str = "cost") -> Database:
-    db = Database("diff", optimizer=optimizer)
+def make_database(t1: dict, t2: dict, optimizer: str = "cost",
+                  result_cache: bool = False) -> Database:
+    config = EngineConfig(optimizer=optimizer, result_cache=result_cache)
+    db = Database("diff", config=config)
     db.create_table("t1", dict(t1), primary_key="id")
     db.create_table("t2", dict(t2))
     if optimizer == "cost":
@@ -295,6 +298,34 @@ def test_corpus_size():
     per_seed = len(TEMPLATES) * QUERIES_PER_TEMPLATE + 1
     assert per_seed == 50
     assert per_seed * len(DATASET_SEEDS) == 200
+
+
+@pytest.mark.parametrize("seed", DATASET_SEEDS[:2])
+def test_differential_queries_with_result_cache(seed):
+    """The semantic result cache must never change an answer.
+
+    Every query runs twice against a cache-enabled database — the
+    second execution is answered from the cache — and both answers are
+    checked against the numpy oracle.  A third run against a cache-off
+    database closes the loop: cached rows equal uncached rows.
+    """
+    t1, t2 = make_tables(seed)
+    cached_db = make_database(t1, t2, result_cache=True)
+    plain_db = make_database(t1, t2, result_cache=False)
+    rng = np.random.default_rng(seed * 1000 + 7)
+
+    cache_hits = 0
+    for template in TEMPLATES:
+        for _ in range(QUERIES_PER_TEMPLATE):
+            sql, oracle_rows, ordered = template(rng, t1, t2)
+            warm = cached_db.sql(sql)
+            hit = cached_db.sql(sql)
+            if hit.plan.startswith("[answered from cache]"):
+                cache_hits += 1
+            for rows in (warm.rows(), hit.rows(), plain_db.sql(sql).rows()):
+                assert_rows_equal(rows, oracle_rows, sql, ordered=ordered)
+    # the corpus avoids TVFs, so essentially everything is cacheable
+    assert cache_hits == len(TEMPLATES) * QUERIES_PER_TEMPLATE
 
 
 def test_engine_matches_oracle_on_empty_result():

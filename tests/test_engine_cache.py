@@ -1,0 +1,269 @@
+"""Semantic result cache, materialized views, and EngineConfig."""
+
+import numpy as np
+import pytest
+
+from repro.engine.cache import ResultCache, batch_nbytes
+from repro.engine.config import DEFAULT_ENGINE_CONFIG, EngineConfig
+from repro.engine.database import Database
+from repro.errors import EngineError, SqlPlanError
+
+
+def make_db(config: EngineConfig | None = None) -> Database:
+    d = Database("cachedb", config=config or EngineConfig(result_cache=True))
+    rng = np.random.default_rng(11)
+    n = 500
+    d.create_table(
+        "galaxy",
+        {
+            "objid": np.arange(n),
+            "zoneid": rng.integers(0, 20, n),
+            "mag": rng.uniform(14, 22, n),
+        },
+        primary_key="objid",
+    )
+    d.create_table(
+        "field",
+        {"fieldid": np.arange(10), "seeing": rng.uniform(0.8, 2.0, 10)},
+        primary_key="fieldid",
+    )
+    return d
+
+
+@pytest.fixture()
+def db() -> Database:
+    return make_db()
+
+
+class TestEngineConfig:
+    def test_defaults(self):
+        config = EngineConfig()
+        assert config.optimizer == "cost"
+        assert config.result_cache is False
+        assert config == DEFAULT_ENGINE_CONFIG
+
+    def test_validation(self):
+        with pytest.raises(EngineError):
+            EngineConfig(optimizer="bogus")
+        with pytest.raises(EngineError):
+            EngineConfig(pool_pages=0)
+        with pytest.raises(EngineError):
+            EngineConfig(cache_max_entries=0)
+        with pytest.raises(EngineError):
+            EngineConfig(cache_ttl_s=-1.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_ENGINE_CONFIG.optimizer = "syntactic"
+
+    def test_replace_revalidates(self):
+        tuned = DEFAULT_ENGINE_CONFIG.replace(intra_query_workers=4)
+        assert tuned.intra_query_workers == 4
+        assert DEFAULT_ENGINE_CONFIG.intra_query_workers == 1
+        with pytest.raises(EngineError):
+            DEFAULT_ENGINE_CONFIG.replace(optimizer="bogus")
+
+    def test_database_takes_config(self):
+        d = Database("c", config=EngineConfig(optimizer="syntactic"))
+        assert d.optimizer_mode == "syntactic"
+        assert d.result_cache is None  # off by default
+
+    def test_legacy_kwargs_warn_and_map(self):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            d = Database("legacy", optimizer="syntactic",
+                         intra_query_workers=2)
+        assert d.config.optimizer == "syntactic"
+        assert d.config.intra_query_workers == 2
+
+    def test_legacy_kwargs_and_config_conflict(self):
+        with pytest.raises(EngineError):
+            Database("both", optimizer="cost",
+                     config=EngineConfig())
+
+
+class TestResultCacheUnit:
+    KEY_A = ("a" * 32, (("galaxy", 0),))
+    KEY_B = ("b" * 32, (("galaxy", 0),))
+
+    def batch(self, n=4):
+        return {"x": np.arange(n, dtype=np.int64)}
+
+    def test_get_returns_copies(self):
+        cache = ResultCache()
+        cache.put(self.KEY_A, self.batch(), "plan", {"galaxy"})
+        hit = cache.get(self.KEY_A)
+        hit.columns["x"][:] = -1
+        again = cache.get(self.KEY_A)
+        assert again.columns["x"][0] == 0  # mutation didn't poison
+
+    def test_lru_eviction_by_entries(self):
+        cache = ResultCache(max_entries=2)
+        cache.put(self.KEY_A, self.batch(), "", {"galaxy"})
+        cache.put(self.KEY_B, self.batch(), "", {"galaxy"})
+        cache.get(self.KEY_A)  # A is now most recent
+        cache.put(("c" * 32, ()), self.batch(), "", set())
+        assert cache.get(self.KEY_B) is None  # B was LRU, evicted
+        assert cache.get(self.KEY_A) is not None
+        assert cache.stats.evictions == 1
+
+    def test_eviction_by_bytes(self):
+        one = batch_nbytes(self.batch())
+        cache = ResultCache(max_bytes=2 * one)
+        cache.put(self.KEY_A, self.batch(), "", {"galaxy"})
+        cache.put(self.KEY_B, self.batch(), "", {"galaxy"})
+        cache.put(("c" * 32, ()), self.batch(), "", set())
+        assert len(cache) == 2
+        assert cache.bytes_used <= 2 * one
+
+    def test_oversized_result_refused(self):
+        cache = ResultCache(max_bytes=8)
+        assert cache.put(self.KEY_A, self.batch(1000), "", set()) is False
+        assert len(cache) == 0
+
+    def test_ttl_expiry(self):
+        import time
+
+        cache = ResultCache(ttl_s=0.05)
+        cache.put(self.KEY_A, self.batch(), "", {"galaxy"})
+        assert cache.get(self.KEY_A) is not None
+        time.sleep(0.06)
+        assert cache.get(self.KEY_A) is None
+        assert cache.stats.expirations == 1
+
+    def test_invalidate_table(self):
+        cache = ResultCache()
+        cache.put(self.KEY_A, self.batch(), "", {"galaxy"})
+        cache.put(self.KEY_B, self.batch(), "", {"field"})
+        assert cache.invalidate_table("GALAXY") == 1
+        assert cache.get(self.KEY_A) is None
+        assert cache.get(self.KEY_B) is not None
+
+
+class TestDatabaseCache:
+    Q = "SELECT zoneid, COUNT(*) AS n FROM galaxy GROUP BY zoneid"
+
+    def test_second_run_answered_from_cache(self, db):
+        first = db.sql(self.Q)
+        second = db.sql(self.Q)
+        assert second.plan.startswith("[answered from cache]")
+        assert list(second.columns) == list(first.columns)
+        for name in first.columns:
+            assert np.array_equal(second.columns[name], first.columns[name])
+
+    def test_formatting_variants_share_an_entry(self, db):
+        db.sql(self.Q)
+        variant = db.sql(
+            "select   ZONEID, count( * ) as N from GALAXY group by zoneid"
+        )
+        assert variant.plan.startswith("[answered from cache]")
+
+    def test_explain_marks_cached_statements(self, db):
+        assert "[answered from cache]" not in db.explain(self.Q)
+        db.sql(self.Q)
+        assert db.explain(self.Q).startswith("[answered from cache]")
+        # an optimizer override keys differently: no cache claim
+        assert not db.explain(self.Q, optimizer="syntactic").startswith(
+            "[answered from cache]"
+        )
+
+    def test_dml_invalidates(self, db):
+        before = db.sql(self.Q)
+        db.sql("INSERT INTO galaxy VALUES (9001, 3, 15.5)")
+        after = db.sql(self.Q)
+        assert not after.plan.startswith("[answered from cache]")
+        n_before = int(np.sum(before.columns["n"]))
+        assert int(np.sum(after.columns["n"])) == n_before + 1
+
+    def test_view_queries_track_base_tables(self, db):
+        db.sql("CREATE VIEW bright AS SELECT objid FROM galaxy WHERE mag < 18")
+        q = "SELECT COUNT(*) AS c FROM bright"
+        db.sql(q)
+        assert db.sql(q).plan.startswith("[answered from cache]")
+        db.sql("DELETE FROM galaxy WHERE objid = 0")
+        assert not db.sql(q).plan.startswith("[answered from cache]")
+
+    def test_cache_off_database_never_claims_cache(self):
+        d = make_db(EngineConfig(result_cache=False))
+        assert d.result_cache is None
+        d.sql(self.Q)
+        assert not d.sql(self.Q).plan.startswith("[answered from cache]")
+
+    def test_cache_on_off_answers_identical(self, db):
+        off = make_db(EngineConfig(result_cache=False))
+        db.sql(self.Q)  # warm
+        cached = db.sql(self.Q)
+        direct = off.sql(self.Q)
+        for name in direct.columns:
+            assert np.array_equal(cached.columns[name], direct.columns[name])
+
+    def test_stats_summary_reports_cache(self, db):
+        db.sql(self.Q)
+        db.sql(self.Q)
+        summary = db.stats_summary()
+        assert summary["cache_hits"] == 1
+        assert summary["cache_entries"] == 1
+
+
+class TestMaterializedViews:
+    DEF = ("CREATE MATERIALIZED VIEW zone_counts AS "
+           "SELECT zoneid, COUNT(*) AS n FROM galaxy GROUP BY zoneid")
+    Q = "SELECT zoneid, COUNT(*) AS n FROM galaxy GROUP BY zoneid"
+
+    def test_create_populates_a_real_table(self, db):
+        result = db.sql(self.DEF)
+        assert result.rows_affected == 20
+        assert db.has_table("zone_counts")
+        assert db.has_matview("zone_counts")
+        direct = db.sql("SELECT COUNT(*) AS c FROM zone_counts").scalar()
+        assert direct == 20
+
+    def test_matching_select_substitutes(self, db):
+        db.sql(self.DEF)
+        plan = db.explain(self.Q)
+        assert "answered from matview zone_counts" in plan
+        by_matview = db.sql(self.Q)
+        fresh = make_db().sql(self.Q)
+        order = np.argsort(by_matview.columns["zoneid"])
+        assert np.array_equal(
+            by_matview.columns["n"][order], fresh.columns["n"]
+        )
+
+    def test_stale_matview_not_substituted(self, db):
+        db.sql(self.DEF)
+        assert not db.matview_stale("zone_counts")
+        db.sql("INSERT INTO galaxy VALUES (9001, 3, 15.5)")
+        assert db.matview_stale("zone_counts")
+        assert "answered from matview" not in db.explain(self.Q)
+
+    def test_refresh_restores_substitution(self, db):
+        db.sql(self.DEF)
+        db.sql("INSERT INTO galaxy VALUES (9001, 3, 15.5)")
+        refreshed = db.sql("REFRESH MATERIALIZED VIEW zone_counts")
+        assert refreshed.rows_affected == 20
+        assert not db.matview_stale("zone_counts")
+        result = db.sql(self.Q)
+        assert int(np.sum(result.columns["n"])) == 501
+
+    def test_dml_into_matview_rejected(self, db):
+        db.sql(self.DEF)
+        for statement in (
+            "INSERT INTO zone_counts VALUES (99, 1)",
+            "UPDATE zone_counts SET n = 0 WHERE zoneid = 1",
+            "DELETE FROM zone_counts WHERE zoneid = 1",
+            "TRUNCATE TABLE zone_counts",
+        ):
+            with pytest.raises(SqlPlanError, match="materialized view"):
+                db.sql(statement)
+
+    def test_drop_table_refuses_matviews(self, db):
+        db.sql(self.DEF)
+        with pytest.raises(EngineError):
+            db.drop_table("zone_counts")
+        db.sql("DROP MATERIALIZED VIEW zone_counts")
+        assert not db.has_table("zone_counts")
+        db.sql("DROP MATERIALIZED VIEW IF EXISTS zone_counts")  # no raise
+
+    def test_matview_works_without_result_cache(self):
+        d = make_db(EngineConfig(result_cache=False))
+        d.sql(self.DEF)
+        assert "answered from matview" in d.explain(self.Q)
