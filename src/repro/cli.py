@@ -81,6 +81,11 @@ def _engine_flags() -> argparse.ArgumentParser:
                         help="enable the shared semantic result cache "
                         "(repeated identical queries answered without "
                         "re-execution)")
+    parent.add_argument("--rewrites", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="logical query-rewrite pass between parse and "
+                        "plan (--no-rewrites restores the unrewritten "
+                        "plans; EXPLAIN lists fired rules)")
     return parent
 
 
@@ -93,6 +98,7 @@ def _engine_config(args):
         optimizer=getattr(args, "optimizer", "cost"),
         intra_query_workers=getattr(args, "workers", None) or 1,
         result_cache=bool(getattr(args, "cache", False)),
+        rewrites=bool(getattr(args, "rewrites", True)),
     )
 
 

@@ -27,11 +27,18 @@ import hashlib
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, is_dataclass
 
 import numpy as np
 
-from repro.engine.sql.ast import SelectStatement, TableRef, UnionStatement
+from repro.engine.expressions import Expr
+from repro.engine.sql.ast import (
+    Exists,
+    InSubquery,
+    SelectStatement,
+    TableRef,
+    UnionStatement,
+)
 from repro.engine.sql.printer import statement_to_sql
 from repro.obs.metrics import get_metrics
 
@@ -76,13 +83,71 @@ def referenced_tables(
     return None
 
 
-def _collect_tables(stmt, database, out: set[str], depth: int) -> bool:
+def _expr_subselects(expr):
+    """Yield SELECT bodies of subquery predicates nested in an expression.
+
+    ``EXISTS (SELECT ...)`` and ``x IN (SELECT ...)`` read tables that
+    never appear in the outer FROM/JOIN clauses; invalidation must still
+    cover them or a cached result would survive DML on the inner table.
+    """
+    if not isinstance(expr, Expr):
+        return
+    if isinstance(expr, Exists):
+        yield expr.select
+        return
+    if isinstance(expr, InSubquery):
+        yield expr.select
+        yield from _expr_subselects(expr.value)
+        return
+    if not is_dataclass(expr):
+        return
+    for f in fields(expr):
+        value = getattr(expr, f.name)
+        if isinstance(value, Expr):
+            yield from _expr_subselects(value)
+        elif isinstance(value, tuple):
+            for item in value:
+                if isinstance(item, Expr):
+                    yield from _expr_subselects(item)
+                elif isinstance(item, tuple):  # Case whens pairs
+                    for leaf in item:
+                        yield from _expr_subselects(leaf)
+
+
+def _statement_exprs(stmt: SelectStatement):
+    for item in stmt.items:
+        if item.expr is not None:
+            yield item.expr
+    for join in stmt.joins:
+        if join.condition is not None:
+            yield join.condition
+    if stmt.where is not None:
+        yield stmt.where
+    yield from stmt.group_by
+    if stmt.having is not None:
+        yield stmt.having
+    for order in stmt.order_by:
+        yield order.expr
+
+
+def _collect_tables(
+    stmt, database, out: set[str], depth: int, ctes: frozenset = frozenset()
+) -> bool:
     if depth > 16:  # pathological view nesting: refuse to cache
         return False
     if isinstance(stmt, UnionStatement):
         return all(
-            _collect_tables(s, database, out, depth) for s in stmt.selects
+            _collect_tables(s, database, out, depth, ctes)
+            for s in stmt.selects
         )
+    local = set(ctes)
+    for cte_name, body in stmt.ctes:
+        if not _collect_tables(
+            body, database, out, depth + 1, frozenset(local)
+        ):
+            return False
+        local.add(cte_name.lower())
+    scope = frozenset(local)
     refs: list[TableRef] = []
     if stmt.source is not None:
         refs.append(stmt.source)
@@ -91,10 +156,14 @@ def _collect_tables(stmt, database, out: set[str], depth: int) -> bool:
         if ref.is_function:
             return False
         if ref.is_subquery:
-            if not _collect_tables(ref.subquery, database, out, depth + 1):
+            if not _collect_tables(
+                ref.subquery, database, out, depth + 1, scope
+            ):
                 return False
             continue
         name = ref.table.lower()
+        if name in scope:
+            continue  # CTE body tables were collected above
         if database.has_view(name):
             if not _collect_tables(
                 database.view(name), database, out, depth + 1
@@ -109,6 +178,10 @@ def _collect_tables(stmt, database, out: set[str], depth: int) -> bool:
         if not database.has_table(name):
             return False
         out.add(name)
+    for expr in _statement_exprs(stmt):
+        for sub in _expr_subselects(expr):
+            if not _collect_tables(sub, database, out, depth + 1, scope):
+                return False
     return True
 
 

@@ -51,6 +51,12 @@ class EngineConfig:
     band_joins:
         Allow the cost planner to extract BandJoin operators from range
         conjuncts.
+    rewrites:
+        Run the rule-driven logical rewrite pass between parse and
+        plan (predicate pushdown into derived tables/views/CTEs,
+        constant folding, IN/EXISTS decorrelation, redundant-join
+        elimination, ...).  On by default; ``rewrites=False`` restores
+        the exact pre-rewrite plans.
     result_cache:
         Enable the shared semantic result cache: SELECTs are answered
         from a prior identical statement's result when every referenced
@@ -67,6 +73,7 @@ class EngineConfig:
     optimizer: str = "cost"
     intra_query_workers: int = 1
     band_joins: bool = True
+    rewrites: bool = True
     result_cache: bool = False
     cache_max_bytes: int = DEFAULT_CACHE_MAX_BYTES
     cache_max_entries: int = DEFAULT_CACHE_MAX_ENTRIES

@@ -105,6 +105,9 @@ class Database:
         #: Allow the cost planner to extract BandJoin operators from
         #: range conjuncts (off = nested-loop baseline, for benchmarks).
         self.band_join_enabled = bool(config.band_joins)
+        #: Run the logical rewrite pass between parse and plan (the
+        #: planner reads this attribute; off restores pre-rewrite plans).
+        self.rewrites_enabled = bool(config.rewrites)
         self.pool = BufferPool(config.pool_pages)
         #: Shared semantic result cache, or None when disabled.
         self.result_cache: ResultCache | None = (
@@ -447,6 +450,14 @@ class Database:
         The key pairs the normalized-statement fingerprint with a
         sorted (table, version) tuple, so any DML or load on a
         referenced table makes subsequent lookups miss structurally.
+
+        With rewrites enabled the fingerprint hashes the *rewritten*
+        statement under a ``+rewrite``-tagged mode: a query and its
+        rewrite-equivalent forms (tautologies, no-op view wraps, CTE
+        spellings) share one cache entry, while a rewrites-off instance
+        can never cross-serve a rewrites-on entry or vice versa.
+        Invalidation tables come from the original statement — rewrites
+        only ever drop relations, never add them.
         """
         from repro.engine.sql.ast import SelectStatement, UnionStatement
 
@@ -457,11 +468,23 @@ class Database:
         tables = referenced_tables(stmt, self)
         if tables is None:
             return None
+        mode = self.optimizer_mode
+        fingerprint_stmt = stmt
+        if self.rewrites_enabled:
+            from repro.engine.optimizer.rewrite import rewrite_statement
+
+            try:
+                fingerprint_stmt, _ = rewrite_statement(
+                    stmt, self, price=False
+                )
+            except Exception:
+                return None  # unpriceable shape: skip caching, run it
+            mode = f"{mode}+rewrite"
         versions = tuple(
             sorted((t, self._tables[t].version) for t in tables)
         )
         return (
-            (statement_fingerprint(stmt, self.optimizer_mode), versions),
+            (statement_fingerprint(fingerprint_stmt, mode), versions),
             tables,
         )
 

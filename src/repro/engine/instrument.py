@@ -83,13 +83,17 @@ class AnalyzeReport:
     nodes: list[NodeStats]
     result: Batch
     total_s: float
+    #: Rewrite-rule audit lines from the logical pass (empty when the
+    #: pass is off or fired nothing); rendered ahead of the node tree.
+    rewrite_trace: tuple[str, ...] = ()
 
     @property
     def row_count(self) -> int:
         return batch_length(self.result)
 
     def render(self) -> str:
-        lines = [node.line for node in self.nodes]
+        lines = list(self.rewrite_trace)
+        lines.extend(node.line for node in self.nodes)
         lines.append(f"total: {self.total_s * 1e3:.2f} ms, "
                      f"{self.row_count:,} rows")
         return "\n".join(lines)
@@ -205,13 +209,17 @@ def explain_analyze(
     if not isinstance(stmt, SelectStatement):
         raise EngineError("explain_analyze supports SELECT statements only")
     plan = Planner(database, optimizer).plan_select(stmt)
+    # instance attr on the plan root; the _Instrumented wrapper would
+    # otherwise shadow it with the PlanNode class default
+    rewrite_trace = tuple(getattr(plan, "rewrite_trace", ()))
     wrapped, records = instrument_plan(plan, database.pool.counters)
     with span("engine.query", layer="engine", counters=database.pool.counters,
               attrs={"sql": sql_text.strip()[:200]}):
         started = time.perf_counter()
         result = wrapped.execute()
         total = time.perf_counter() - started
-    report = AnalyzeReport(nodes=records, result=result, total_s=total)
+    report = AnalyzeReport(nodes=records, result=result, total_s=total,
+                           rewrite_trace=rewrite_trace)
 
     metrics = get_metrics()
     metrics.counter("engine.queries.analyzed").inc()

@@ -49,6 +49,11 @@ class PlanNode:
     #: their positional constructors; instances overwrite it in place.
     est_rows: float | None = None
 
+    #: Logical-rewrite audit trail: one line per fired rule, stamped on
+    #: the plan *root* by the planner when the rewrite pass changed the
+    #: statement.  Rendered ahead of the operator tree by EXPLAIN.
+    rewrite_trace: tuple[str, ...] = ()
+
     def execute(self) -> Batch:
         raise NotImplementedError
 
@@ -60,7 +65,10 @@ class PlanNode:
         lines = [line]
         for child in self._children():
             lines.append(child.explain(depth + 1))
-        return "\n".join(lines)
+        text = "\n".join(lines)
+        if depth == 0 and self.rewrite_trace:
+            text = "\n".join(self.rewrite_trace) + "\n" + text
+        return text
 
     def _describe(self) -> str:
         return type(self).__name__

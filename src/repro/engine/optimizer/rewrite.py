@@ -1,0 +1,1423 @@
+"""Rule-driven logical query rewrites, applied between parse and plan.
+
+The pass transforms the *statement* (the frozen AST), never the physical
+plan: each rule is a pure function ``stmt -> stmt | None`` that fires
+when a structural precondition holds.  The driver applies rules to a
+fixpoint (one firing per iteration, bounded by :data:`MAX_PASSES`) and
+records a :class:`RuleFiring` per applied rule — EXPLAIN renders the
+firings ahead of the operator tree, and the ``engine.rewrite.*``
+counters aggregate them process-wide.
+
+Two properties are load-bearing:
+
+* **Determinism.**  ``rewrite_statement`` is a pure function of the
+  statement and the catalog.  The result cache fingerprints the
+  *rewritten* statement, so the cheap fingerprint path
+  (``price=False``) must produce the byte-identical AST the planner
+  path produces.  Rules therefore fire purely on structural
+  applicability; the cost model is consulted only to *report* the
+  estimated effect of a firing, never to gate it.
+
+* **Semantics preservation.**  Every rule keeps the result multiset
+  identical under the engine's NaN-as-NULL arithmetic (``NaN == NaN``
+  is false, aggregates skip NaN).  The differential suite in
+  ``tests/test_differential_sql.py`` checks row identity with rewrites
+  on and off across hundreds of generated queries; the metamorphic
+  tests in ``tests/test_engine_rewrite.py`` pin each rule's firing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+
+from repro.engine.expressions import (
+    Between,
+    BinaryOp,
+    Case,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    Literal,
+    UnaryOp,
+)
+from repro.engine.join import BandJoin, CrossJoin, HashJoin, NestedLoopJoin
+from repro.engine.operators import (
+    Filter,
+    IndexRangeScan,
+    PlanNode,
+    SeqScan,
+    Sort,
+)
+from repro.engine.optimizer.cost import DEFAULT_COST_MODEL, CostModel
+from repro.engine.sql.ast import (
+    Exists,
+    InSubquery,
+    JoinClause,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+    UnionStatement,
+)
+from repro.engine.sql.planner import (
+    Planner,
+    _Relation,
+    and_all,
+    find_aggregates,
+    find_subquery_exprs,
+    rewrite as substitute_exprs,
+    split_conjuncts,
+)
+from repro.errors import SqlPlanError
+from repro.obs.metrics import get_metrics
+
+#: Upper bound on rule firings per statement scope.  Purely a runaway
+#: backstop — real statements reach their fixpoint in a handful of
+#: firings, and hitting the cap is deterministic (both the planner and
+#: the cache-fingerprint path stop at the same prefix).
+MAX_PASSES = 32
+
+
+# ----------------------------------------------------------------------
+# firing records and pricing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RuleFiring:
+    """One applied rewrite rule, with its cost-model-estimated effect.
+
+    The estimates compare the *unrewritten* plans of the statement
+    before and after the firing: ``est_rows`` sums the optimizer's row
+    estimate over every plan node (a proxy for rows the plan touches),
+    ``cost`` is the cost model's total work number.  ``None`` when the
+    intermediate statement was not priceable.
+    """
+
+    rule: str
+    detail: str
+    est_rows_before: float | None = None
+    est_rows_after: float | None = None
+    cost_before: float | None = None
+    cost_after: float | None = None
+
+    def describe(self) -> str:
+        text = f"Rewrite {self.rule}: {self.detail}"
+        if self.est_rows_before is not None and self.est_rows_after is not None:
+            text += (
+                f"  [est_rows {self.est_rows_before:.0f}"
+                f"->{self.est_rows_after:.0f}"
+            )
+            if self.cost_before is not None and self.cost_after is not None:
+                text += f", cost {self.cost_before:.0f}->{self.cost_after:.0f}"
+            text += "]"
+        return text
+
+
+def plan_cost(plan: PlanNode, model: CostModel = DEFAULT_COST_MODEL) -> float:
+    """Total cost-model work for an annotated plan tree."""
+    total = sum(plan_cost(child, model) for child in plan._children())
+    est = plan.est_rows or 0.0
+    if isinstance(plan, SeqScan):
+        table = plan.table
+        return model.seq_scan(float(table.row_count), float(table.page_count))
+    if isinstance(plan, IndexRangeScan):
+        table = plan.index.table
+        return total + model.index_range_scan(
+            est, float(table.row_count), float(table.page_count)
+        )
+    if isinstance(plan, Filter):
+        return total + model.filter(plan.child.est_rows or 0.0)
+    if isinstance(plan, HashJoin):
+        return total + model.hash_join(
+            plan.left.est_rows or 0.0, plan.right.est_rows or 0.0, est
+        )
+    if isinstance(plan, BandJoin):
+        return total + model.band_join(
+            plan.left.est_rows or 0.0, plan.right.est_rows or 0.0, est
+        )
+    if isinstance(plan, (NestedLoopJoin, CrossJoin)):
+        return total + model.nested_loop_join(
+            plan.left.est_rows or 0.0, plan.right.est_rows or 0.0, est
+        )
+    if isinstance(plan, Sort):
+        rows = plan.child.est_rows or 0.0
+        return total + rows * math.log2(max(rows, 2.0)) * model.sort_row
+    return total + model.cpu_row * est
+
+
+def _total_est_rows(plan: PlanNode) -> float:
+    total = plan.est_rows or 0.0
+    for child in plan._children():
+        total += _total_est_rows(child)
+    return total
+
+
+def _plan_metrics(
+    stmt: SelectStatement, database, optimizer: str | None
+) -> tuple[float | None, float | None]:
+    """Price a statement by planning it with rewrites off."""
+    try:
+        plan = Planner(database, optimizer=optimizer, rewrites=False) \
+            .plan_select(stmt)
+    except Exception:
+        return None, None
+    return _total_est_rows(plan), plan_cost(plan)
+
+
+# ----------------------------------------------------------------------
+# expression utilities
+# ----------------------------------------------------------------------
+def _transform_expr(expr: Expr, fn) -> Expr:
+    """Bottom-up structural map: rebuild children, then apply ``fn``.
+
+    Subquery bodies (``Exists``/``InSubquery.select``) are separate
+    scopes and are never descended into.
+    """
+    if isinstance(expr, BinaryOp):
+        node: Expr = BinaryOp(
+            expr.op,
+            _transform_expr(expr.left, fn),
+            _transform_expr(expr.right, fn),
+        )
+    elif isinstance(expr, UnaryOp):
+        node = UnaryOp(expr.op, _transform_expr(expr.operand, fn))
+    elif isinstance(expr, Between):
+        node = Between(
+            _transform_expr(expr.value, fn),
+            _transform_expr(expr.low, fn),
+            _transform_expr(expr.high, fn),
+        )
+    elif isinstance(expr, InList):
+        node = InList(
+            _transform_expr(expr.value, fn),
+            tuple(_transform_expr(o, fn) for o in expr.options),
+        )
+    elif isinstance(expr, FuncCall):
+        node = FuncCall(
+            expr.name, tuple(_transform_expr(a, fn) for a in expr.args)
+        )
+    elif isinstance(expr, Case):
+        node = Case(
+            tuple(
+                (_transform_expr(c, fn), _transform_expr(v, fn))
+                for c, v in expr.whens
+            ),
+            None if expr.default is None
+            else _transform_expr(expr.default, fn),
+        )
+    elif isinstance(expr, InSubquery):
+        node = InSubquery(_transform_expr(expr.value, fn), expr.select)
+    else:
+        node = expr
+    return fn(node)
+
+
+def _map_statement_exprs(stmt: SelectStatement, map_expr) -> SelectStatement:
+    """Apply an expression transform to every clause of a statement."""
+    items = tuple(
+        item if item.star
+        else dataclasses.replace(item, expr=map_expr(item.expr))
+        for item in stmt.items
+    )
+    joins = tuple(
+        join if join.condition is None
+        else dataclasses.replace(join, condition=map_expr(join.condition))
+        for join in stmt.joins
+    )
+    return dataclasses.replace(
+        stmt,
+        items=items,
+        joins=joins,
+        where=None if stmt.where is None else map_expr(stmt.where),
+        group_by=tuple(map_expr(e) for e in stmt.group_by),
+        having=None if stmt.having is None else map_expr(stmt.having),
+        order_by=tuple(
+            dataclasses.replace(o, expr=map_expr(o.expr))
+            for o in stmt.order_by
+        ),
+    )
+
+
+def _statement_exprs(stmt: SelectStatement) -> list[Expr]:
+    """Every top-scope expression of a statement (no subquery bodies)."""
+    exprs: list[Expr] = [
+        item.expr for item in stmt.items if item.expr is not None
+    ]
+    if stmt.where is not None:
+        exprs.append(stmt.where)
+    exprs.extend(stmt.group_by)
+    if stmt.having is not None:
+        exprs.append(stmt.having)
+    exprs.extend(o.expr for o in stmt.order_by)
+    exprs.extend(
+        j.condition for j in stmt.joins if j.condition is not None
+    )
+    return exprs
+
+
+def _select_mentions(
+    select: SelectStatement, alias: str, bare_names=None
+) -> bool:
+    """Does a subquery body reference ``alias`` (or, when ``bare_names``
+    is given, an unqualified name from that set)?  Used to detect
+    correlation into a relation a rule is about to restructure."""
+    for expr in _statement_exprs(select):
+        for ref in expr.column_refs():
+            qualifier = ref.qualifier.lower() if ref.qualifier else None
+            if qualifier == alias:
+                return True
+            if (bare_names is not None and qualifier is None
+                    and ref.name.lower() in bare_names):
+                return True
+        for node in find_subquery_exprs(expr):
+            if _select_mentions(node.select, alias, bare_names):
+                return True
+    return False
+
+
+def _is_bool_literal(expr: Expr, value: bool) -> bool:
+    return isinstance(expr, Literal) and expr.value is value
+
+
+def _numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+_BOOL_OPS = frozenset({"AND", "OR", "=", "!=", "<>", "<", "<=", ">", ">="})
+
+
+def _boolish(expr: Expr) -> bool:
+    """Is the expression already boolean-valued under engine eval?
+
+    AND/OR absorption (``TRUE AND x -> x``) may only keep the raw
+    operand when it evaluates to booleans; for a numeric ``x`` the
+    conjunction coerces (``bool(x)``) while the bare operand does not,
+    which would change dtype/values in a SELECT-item position.
+    """
+    if isinstance(expr, Literal):
+        return isinstance(expr.value, bool)
+    if isinstance(expr, BinaryOp):
+        op = expr.op.upper() if expr.op.isalpha() else expr.op
+        return op in _BOOL_OPS
+    if isinstance(expr, UnaryOp):
+        return expr.op.upper() == "NOT"
+    if isinstance(expr, (Between, InList, Exists, InSubquery)):
+        return True
+    if isinstance(expr, FuncCall):
+        return expr.name.lower() == "isnull"
+    return False
+
+
+# ----------------------------------------------------------------------
+# rule: constant folding
+# ----------------------------------------------------------------------
+_COMPARES = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+#: numpy int64 wraps on overflow where Python ints don't; only fold
+#: integer arithmetic whose result stays comfortably inside int64.
+_INT_FOLD_LIMIT = 2 ** 62
+
+
+def _fold_arith(op: str, lv, rv):
+    """Fold a binary arithmetic op the way the engine's numpy ops would,
+    or return None when folding can't be proven equivalent."""
+    if op == "/":
+        if rv == 0:
+            return None  # numpy yields inf/nan; Python raises — keep it
+        return float(lv) / float(rv)
+    if op == "%":
+        if rv == 0:
+            return None
+        result = lv % rv
+    elif op == "+":
+        result = lv + rv
+    elif op == "-":
+        result = lv - rv
+    elif op == "*":
+        result = lv * rv
+    else:
+        return None
+    if isinstance(result, int) and abs(result) >= _INT_FOLD_LIMIT:
+        return None
+    return result
+
+
+def _fold_node(expr: Expr) -> Expr:
+    if isinstance(expr, BinaryOp):
+        op = expr.op.upper() if expr.op.isalpha() else expr.op
+        left, right = expr.left, expr.right
+        if op == "AND":
+            if _is_bool_literal(left, False) or _is_bool_literal(right, False):
+                return Literal(False)
+            if _is_bool_literal(left, True) and _boolish(right):
+                return right
+            if _is_bool_literal(right, True) and _boolish(left):
+                return left
+            return expr
+        if op == "OR":
+            if _is_bool_literal(left, True) or _is_bool_literal(right, True):
+                return Literal(True)
+            if _is_bool_literal(left, False) and _boolish(right):
+                return right
+            if _is_bool_literal(right, False) and _boolish(left):
+                return left
+            return expr
+        if not (isinstance(left, Literal) and isinstance(right, Literal)):
+            return expr
+        lv, rv = left.value, right.value
+        if op in _COMPARES:
+            both_str = isinstance(lv, str) and isinstance(rv, str)
+            both_num = isinstance(lv, (int, float, bool)) \
+                and isinstance(rv, (int, float, bool))
+            if both_str or both_num:
+                # Python scalar comparisons match numpy elementwise
+                # semantics here, including NaN (always false).
+                return Literal(bool(_COMPARES[op](lv, rv)))
+            return expr
+        if _numeric(lv) and _numeric(rv):
+            folded = _fold_arith(op, lv, rv)
+            if folded is not None:
+                return Literal(folded)
+        return expr
+    if isinstance(expr, UnaryOp):
+        operand = expr.operand
+        if expr.op == "-" and isinstance(operand, Literal) \
+                and _numeric(operand.value):
+            return Literal(-operand.value)
+        if expr.op.upper() == "NOT" and isinstance(operand, Literal) \
+                and isinstance(operand.value, bool):
+            return Literal(not operand.value)
+        return expr
+    if isinstance(expr, Between):
+        parts = (expr.value, expr.low, expr.high)
+        if all(isinstance(p, Literal) and _numeric(p.value) for p in parts):
+            v, lo, hi = (p.value for p in parts)  # type: ignore[union-attr]
+            return Literal(bool(lo <= v) and bool(v <= hi))
+        return expr
+    if isinstance(expr, InList):
+        if isinstance(expr.value, Literal) and all(
+            isinstance(o, Literal) for o in expr.options
+        ):
+            v = expr.value.value
+            mixable = (int, float, bool)
+            for option in expr.options:
+                o = option.value  # type: ignore[union-attr]
+                same_kind = (
+                    isinstance(v, str) and isinstance(o, str)
+                ) or (
+                    isinstance(v, mixable) and isinstance(o, mixable)
+                )
+                if not same_kind:
+                    return expr  # numpy mixed-type equality is murky
+            return Literal(
+                any(v == o.value for o in expr.options)  # type: ignore
+            )
+        return expr
+    return expr
+
+
+def _rule_constant_folding(stmt: SelectStatement, database):
+    folded = _map_statement_exprs(
+        stmt, lambda e: _transform_expr(e, _fold_node)
+    )
+    if folded == stmt:
+        return None
+    return folded, "folded constant subexpressions"
+
+
+# ----------------------------------------------------------------------
+# rule: tautology elimination
+# ----------------------------------------------------------------------
+def _rule_tautology(stmt: SelectStatement, database):
+    changes: dict = {}
+    details: list[str] = []
+    for attr in ("where", "having"):
+        predicate = getattr(stmt, attr)
+        if predicate is None:
+            continue
+        conjuncts = split_conjuncts(predicate)
+        if any(_is_bool_literal(c, False) for c in conjuncts):
+            if predicate != Literal(False):
+                changes[attr] = Literal(False)
+                details.append(f"{attr.upper()} is contradictory")
+            continue
+        kept = [c for c in conjuncts if not _is_bool_literal(c, True)]
+        if len(kept) != len(conjuncts):
+            changes[attr] = and_all(kept)
+            dropped = len(conjuncts) - len(kept)
+            details.append(
+                f"dropped {dropped} tautological conjunct(s) "
+                f"from {attr.upper()}"
+            )
+    if not changes:
+        return None
+    return dataclasses.replace(stmt, **changes), "; ".join(details)
+
+
+# ----------------------------------------------------------------------
+# rule: double negation elimination
+# ----------------------------------------------------------------------
+def _denot_node(expr: Expr) -> Expr:
+    if (
+        isinstance(expr, UnaryOp) and expr.op.upper() == "NOT"
+        and isinstance(expr.operand, UnaryOp)
+        and expr.operand.op.upper() == "NOT"
+    ):
+        return expr.operand.operand
+    return expr
+
+
+def _rule_double_negation(stmt: SelectStatement, database):
+    # Only predicate positions: there the result feeds a boolean
+    # coercion, so NOT NOT x == x even for non-boolean x.
+    def strip(expr: Expr) -> Expr:
+        return _transform_expr(expr, _denot_node)
+
+    changes: dict = {}
+    if stmt.where is not None:
+        changes["where"] = strip(stmt.where)
+    if stmt.having is not None:
+        changes["having"] = strip(stmt.having)
+    joins = tuple(
+        join if join.condition is None
+        else dataclasses.replace(join, condition=strip(join.condition))
+        for join in stmt.joins
+    )
+    changes["joins"] = joins
+    stripped = dataclasses.replace(stmt, **changes)
+    if stripped == stmt:
+        return None
+    return stripped, "collapsed double negation"
+
+
+# ----------------------------------------------------------------------
+# rules: CTE and view inlining
+# ----------------------------------------------------------------------
+def _convert_refs(stmt: SelectStatement, convert):
+    """Rebuild FROM/JOIN refs through ``convert``; returns (stmt, hits)."""
+    hits: list[str] = []
+
+    def step(ref: TableRef) -> TableRef:
+        converted = convert(ref)
+        if converted is not ref:
+            hits.append(ref.table.lower())
+        return converted
+
+    source = None if stmt.source is None else step(stmt.source)
+    joins = tuple(
+        dataclasses.replace(join, table=step(join.table))
+        for join in stmt.joins
+    )
+    return dataclasses.replace(stmt, source=source, joins=joins), hits
+
+
+def _rule_cte_inline(stmt: SelectStatement, database):
+    if not stmt.ctes:
+        return None
+    bodies = {name.lower(): body for name, body in stmt.ctes}
+
+    def convert(ref: TableRef) -> TableRef:
+        if (not ref.is_subquery and not ref.is_function
+                and ref.table.lower() in bodies):
+            return TableRef("", ref.alias,
+                            subquery=bodies[ref.table.lower()])
+        return ref
+
+    converted, hits = _convert_refs(stmt, convert)
+    converted = dataclasses.replace(converted, ctes=())
+    if hits:
+        names = ", ".join(f"'{n}'" for n in dict.fromkeys(hits))
+        detail = f"inlined CTE(s) {names} as derived tables"
+    else:
+        detail = "dropped unreferenced CTE(s)"
+    return converted, detail
+
+
+def _rule_view_inline(stmt: SelectStatement, database):
+    if stmt.ctes:
+        return None  # CTE names shadow views; wait for cte_inline
+    has_view = getattr(database, "has_view", None)
+    view_of = getattr(database, "view", None)
+    if has_view is None or view_of is None:
+        return None
+
+    def convert(ref: TableRef) -> TableRef:
+        if (not ref.is_subquery and not ref.is_function
+                and has_view(ref.table)):
+            return TableRef("", ref.alias, subquery=view_of(ref.table))
+        return ref
+
+    converted, hits = _convert_refs(stmt, convert)
+    if not hits:
+        return None
+    names = ", ".join(f"'{n}'" for n in dict.fromkeys(hits))
+    return converted, f"inlined view(s) {names} as derived tables"
+
+
+# ----------------------------------------------------------------------
+# rule: HAVING -> WHERE (filter before aggregate)
+# ----------------------------------------------------------------------
+def _rule_having_pushdown(stmt: SelectStatement, database):
+    if stmt.having is None or not stmt.group_by:
+        return None
+    group_exprs = set(stmt.group_by)
+    movable: list[Expr] = []
+    kept: list[Expr] = []
+    for conjunct in split_conjuncts(stmt.having):
+        if find_aggregates(conjunct) or find_subquery_exprs(conjunct):
+            kept.append(conjunct)
+            continue
+        refs = list(conjunct.column_refs())
+        # Sound when the conjunct only touches grouping expressions:
+        # those are constant within each group, so filtering rows before
+        # aggregation removes exactly the groups HAVING would.
+        if all(ref in group_exprs for ref in refs):
+            movable.append(conjunct)
+        else:
+            kept.append(conjunct)
+    if not movable:
+        return None
+    new_where = and_all(split_conjuncts(stmt.where) + movable)
+    new_stmt = dataclasses.replace(
+        stmt, where=new_where, having=and_all(kept)
+    )
+    return new_stmt, (
+        f"moved {len(movable)} HAVING conjunct(s) on group keys into WHERE"
+    )
+
+
+# ----------------------------------------------------------------------
+# rule: redundant LEFT JOIN elimination
+# ----------------------------------------------------------------------
+def _rule_join_elimination(stmt: SelectStatement, database):
+    if stmt.source is None or not stmt.joins:
+        return None
+    if any(item.star and item.star_qualifier is None for item in stmt.items):
+        return None
+    for idx, join in enumerate(stmt.joins):
+        if join.kind != "left" or join.condition is None:
+            continue
+        ref = join.table
+        if ref.is_subquery or ref.is_function:
+            continue
+        has_view = getattr(database, "has_view", None)
+        if has_view is not None and has_view(ref.table):
+            continue
+        if any(name.lower() == ref.table.lower() for name, _ in stmt.ctes):
+            continue
+        try:
+            table = database.table(ref.table)
+        except Exception:
+            continue
+        primary_key = getattr(table.schema, "primary_key", None)
+        if primary_key is None:
+            continue
+        conditions = split_conjuncts(join.condition)
+        if len(conditions) != 1:
+            continue
+        condition = conditions[0]
+        if not (isinstance(condition, BinaryOp) and condition.op == "="):
+            continue
+        alias = ref.alias.lower()
+        columns = {c.lower() for c in table.schema.column_names}
+
+        def is_right_pk(expr: Expr) -> bool:
+            return (
+                isinstance(expr, ColumnRef)
+                and expr.qualifier is not None
+                and expr.qualifier.lower() == alias
+                and expr.name.lower() == primary_key.lower()
+            )
+
+        def mentions(expr: Expr) -> bool:
+            for column in expr.column_refs():
+                qualifier = (
+                    column.qualifier.lower() if column.qualifier else None
+                )
+                if qualifier == alias:
+                    return True
+                if qualifier is None and column.name.lower() in columns:
+                    return True  # could resolve here: be conservative
+            for node in find_subquery_exprs(expr):
+                if _select_mentions(node.select, alias, columns):
+                    return True
+            return False
+
+        if is_right_pk(condition.left):
+            other = condition.right
+        elif is_right_pk(condition.right):
+            other = condition.left
+        else:
+            continue
+        if mentions(other):
+            continue
+        used = False
+        for item in stmt.items:
+            if item.star:
+                if (item.star_qualifier is not None
+                        and item.star_qualifier.lower() == alias):
+                    used = True
+                continue
+            if item.expr is not None and mentions(item.expr):
+                used = True
+        for pos, other_join in enumerate(stmt.joins):
+            if pos != idx and other_join.condition is not None \
+                    and mentions(other_join.condition):
+                used = True
+        for expr in (
+            [stmt.where, stmt.having]
+            + list(stmt.group_by)
+            + [o.expr for o in stmt.order_by]
+        ):
+            if expr is not None and mentions(expr):
+                used = True
+        if used:
+            continue
+        new_joins = stmt.joins[:idx] + stmt.joins[idx + 1:]
+        new_stmt = dataclasses.replace(stmt, joins=new_joins)
+        return new_stmt, (
+            f"eliminated LEFT JOIN '{ref.alias}' "
+            "(keyed on its primary key, never referenced)"
+        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# rule: derived table merge (subquery flattening)
+# ----------------------------------------------------------------------
+def _mergeable_inner(inner: SelectStatement) -> bool:
+    return (
+        inner.source is not None
+        and not inner.joins
+        and not inner.group_by
+        and inner.having is None
+        and not inner.distinct
+        and inner.limit is None
+        and inner.offset is None
+        and not inner.order_by
+        and not inner.ctes
+    )
+
+
+def _rule_derived_merge(stmt: SelectStatement, database):
+    if stmt.ctes or stmt.source is None:
+        return None
+    planner = Planner(database, rewrites=False)
+    slots: list[tuple[int | None, TableRef]] = [(None, stmt.source)]
+    slots += [(i, join.table) for i, join in enumerate(stmt.joins)]
+    single_outer = len(slots) == 1
+    for slot, ref in slots:
+        if not ref.is_subquery:
+            continue
+        if slot is not None and stmt.joins[slot].kind == "left":
+            continue  # inner WHERE must not leak past NULL padding
+        inner = ref.subquery
+        assert inner is not None
+        if not _mergeable_inner(inner):
+            continue
+        inner_where = split_conjuncts(inner.where)
+        if any(find_subquery_exprs(c) for c in inner_where):
+            continue  # requalification can't reach into subquery bodies
+        star_items = [item for item in inner.items if item.star]
+        identity = bool(star_items)
+        if identity and not (
+            len(inner.items) == 1 and star_items[0].star_qualifier is None
+        ):
+            continue
+        if not identity:
+            exprs = [item.expr for item in inner.items
+                     if item.expr is not None]
+            try:
+                if any(find_aggregates(e) for e in exprs):
+                    continue
+            except SqlPlanError:
+                continue
+            if any(find_subquery_exprs(e) for e in exprs):
+                continue
+            try:
+                names = planner.select_output_names(inner)
+            except Exception:
+                continue
+            if len(set(names)) != len(names):
+                continue
+        alias = ref.alias.lower()
+        assert inner.source is not None
+        inner_alias = inner.source.alias.lower()
+
+        def requal(expr: Expr) -> Expr:
+            def fix(node: Expr) -> Expr:
+                if isinstance(node, ColumnRef):
+                    qualifier = (
+                        node.qualifier.lower() if node.qualifier else None
+                    )
+                    if qualifier is None or qualifier == inner_alias:
+                        return ColumnRef(node.name, ref.alias)
+                return node
+            return _transform_expr(expr, fix)
+
+        if identity:
+            mapping: dict[Expr, Expr] = {}
+        else:
+            mapping = {}
+            for name, item in zip(names, inner.items):
+                assert item.expr is not None
+                target = requal(item.expr)
+                mapping[ColumnRef(name, ref.alias)] = target
+                if single_outer:
+                    mapping[ColumnRef(name)] = target
+            # Star items expanding the derived table would change from
+            # the derived output list to the inner table's columns.
+            bad = False
+            for item in stmt.items:
+                if item.star and (
+                    item.star_qualifier is None
+                    or item.star_qualifier.lower() == alias
+                ):
+                    bad = True
+            # Bare outer refs that match a derived output are ambiguous
+            # to re-map when other relations are in scope.
+            if not single_outer:
+                output_names = set(names)
+                for expr in _statement_exprs(stmt):
+                    for column in expr.column_refs():
+                        if (column.qualifier is None
+                                and column.name.lower() in output_names):
+                            bad = True
+            # Correlated subquery expressions referencing the derived
+            # table can't be requalified (their bodies are not walked).
+            for expr in _statement_exprs(stmt):
+                for node in find_subquery_exprs(expr):
+                    if _select_mentions(node.select, alias, set(names)):
+                        bad = True
+            if bad:
+                continue
+
+        merged_ref = dataclasses.replace(inner.source, alias=ref.alias)
+        if mapping:
+            def map_expr(expr: Expr) -> Expr:
+                return substitute_exprs(expr, mapping)
+        else:
+            def map_expr(expr: Expr) -> Expr:
+                return expr
+
+        new_items = []
+        for pos, item in enumerate(stmt.items):
+            if item.star:
+                new_items.append(item)
+                continue
+            assert item.expr is not None
+            new_expr = map_expr(item.expr)
+            item_alias = item.alias
+            if item_alias is None and new_expr != item.expr:
+                # keep the output column name the derived table gave it
+                item_alias = Planner._output_name(item, pos)
+            new_items.append(
+                SelectItem(new_expr, item_alias, item.star,
+                           item.star_qualifier)
+            )
+        outer_where = [map_expr(c) for c in split_conjuncts(stmt.where)]
+        merged_where = and_all(outer_where + [requal(c) for c in inner_where])
+        joins = tuple(
+            dataclasses.replace(
+                join,
+                table=merged_ref if slot == pos else join.table,
+                condition=(
+                    None if join.condition is None
+                    else map_expr(join.condition)
+                ),
+            )
+            for pos, join in enumerate(stmt.joins)
+        )
+        new_stmt = dataclasses.replace(
+            stmt,
+            items=tuple(new_items),
+            source=merged_ref if slot is None else stmt.source,
+            joins=joins,
+            where=merged_where,
+            group_by=tuple(map_expr(e) for e in stmt.group_by),
+            having=None if stmt.having is None else map_expr(stmt.having),
+            order_by=tuple(
+                dataclasses.replace(o, expr=map_expr(o.expr))
+                for o in stmt.order_by
+            ),
+        )
+        return new_stmt, (
+            f"merged derived table '{ref.alias}' into the outer query"
+        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# rule: predicate pushdown into derived tables
+# ----------------------------------------------------------------------
+def _rule_predicate_pushdown(stmt: SelectStatement, database):
+    if stmt.source is None or stmt.where is None:
+        return None
+    planner = Planner(database, rewrites=False)
+    refs = [stmt.source] + [j.table for j in stmt.joins]
+    single_outer = len(refs) == 1
+    nullable = {
+        join.table.alias.lower()
+        for join in stmt.joins
+        if join.kind == "left"
+    }
+    derived = {
+        ref.alias.lower(): ref
+        for ref in refs
+        if ref.is_subquery and ref.alias.lower() not in nullable
+    }
+    if not derived:
+        return None
+
+    moved: dict[str, list[Expr]] = {}
+    kept: list[Expr] = []
+    for conjunct in split_conjuncts(stmt.where):
+        try:
+            has_aggs = bool(find_aggregates(conjunct))
+        except SqlPlanError:
+            has_aggs = True
+        if has_aggs or find_subquery_exprs(conjunct):
+            kept.append(conjunct)
+            continue
+        columns = list(conjunct.column_refs())
+        if not columns:
+            kept.append(conjunct)
+            continue
+        aliases: set[str] = set()
+        resolvable = True
+        for column in columns:
+            if column.qualifier is not None:
+                aliases.add(column.qualifier.lower())
+            elif single_outer:
+                aliases.add(refs[0].alias.lower())
+            else:
+                resolvable = False
+                break
+        if not resolvable or len(aliases) != 1:
+            kept.append(conjunct)
+            continue
+        alias = aliases.pop()
+        if alias not in derived:
+            kept.append(conjunct)
+            continue
+        sub = derived[alias].subquery
+        assert sub is not None
+        if sub.limit is not None or sub.offset is not None:
+            kept.append(conjunct)
+            continue
+        stars = [item for item in sub.items if item.star]
+        if stars:
+            # only the plain pass-through star is translatable
+            if not (
+                len(sub.items) == 1 and stars[0].star_qualifier is None
+                and not sub.joins and sub.source is not None
+                and not sub.group_by
+            ):
+                kept.append(conjunct)
+                continue
+            inner_alias = sub.source.alias
+            mapping: dict[Expr, Expr] = {}
+            for column in columns:
+                mapping[column] = ColumnRef(column.name, inner_alias)
+        else:
+            try:
+                names = planner.select_output_names(sub)
+            except Exception:
+                kept.append(conjunct)
+                continue
+            if len(set(names)) != len(names):
+                kept.append(conjunct)
+                continue
+            by_name = {
+                name: item.expr for name, item in zip(names, sub.items)
+            }
+            targets = []
+            ok = True
+            for column in columns:
+                target = by_name.get(column.name.lower())
+                if target is None:
+                    ok = False
+                    break
+                targets.append(target)
+            if ok:
+                for target in targets:
+                    try:
+                        if find_aggregates(target):
+                            ok = False
+                    except SqlPlanError:
+                        ok = False
+                    if find_subquery_exprs(target):
+                        ok = False
+            if ok and sub.group_by:
+                # below a GROUP BY the filter must bind to group keys:
+                # those are constant per group, so pre-filtering rows
+                # removes exactly the groups the outer filter would.
+                group_exprs = set(sub.group_by)
+                if any(target not in group_exprs for target in targets):
+                    ok = False
+            if not ok:
+                kept.append(conjunct)
+                continue
+            mapping = {
+                column: target
+                for column, target in zip(columns, targets)
+            }
+        moved.setdefault(alias, []).append(
+            substitute_exprs(conjunct, mapping)
+        )
+    if not moved:
+        return None
+
+    def convert(ref: TableRef) -> TableRef:
+        pushed = moved.get(ref.alias.lower())
+        if pushed is None or not ref.is_subquery:
+            return ref
+        sub = ref.subquery
+        assert sub is not None
+        new_where = and_all(split_conjuncts(sub.where) + pushed)
+        return dataclasses.replace(
+            ref, subquery=dataclasses.replace(sub, where=new_where)
+        )
+
+    converted, _ = _convert_refs(stmt, convert)
+    converted = dataclasses.replace(converted, where=and_all(kept))
+    total = sum(len(v) for v in moved.values())
+    aliases_text = ", ".join(f"'{a}'" for a in sorted(moved))
+    return converted, (
+        f"pushed {total} predicate(s) into derived table(s) {aliases_text}"
+    )
+
+
+# ----------------------------------------------------------------------
+# rule: IN/EXISTS decorrelation into semi-joins
+# ----------------------------------------------------------------------
+def _rule_decorrelate(stmt: SelectStatement, database):
+    if stmt.source is None or stmt.where is None:
+        return None
+    if stmt.limit is not None:
+        # without a total order LIMIT picks rows by plan order, which
+        # the added join may change — keep the naive path
+        return None
+    if any(item.star and item.star_qualifier is None for item in stmt.items):
+        return None  # a new join would widen the * expansion
+    planner = Planner(database, rewrites=False)
+    ctes = {name.lower(): body for name, body in stmt.ctes}
+    outer_refs = [stmt.source] + [j.table for j in stmt.joins]
+    try:
+        relations = [
+            _Relation(
+                ref=ref,
+                scan=None,  # type: ignore[arg-type] — name scope only
+                columns={
+                    c.lower()
+                    for c in planner._relation_columns(ref, ctes)
+                },
+                derived=ref.is_subquery,
+            )
+            for ref in outer_refs
+        ]
+    except Exception:
+        return None
+    taken = {ref.alias.lower() for ref in outer_refs}
+    where_conjuncts = split_conjuncts(stmt.where)
+    for index, conjunct in enumerate(where_conjuncts):
+        if not isinstance(conjunct, (Exists, InSubquery)):
+            continue
+        sub = conjunct.select
+        try:
+            inner_conjuncts, pairs = planner.split_correlation(
+                sub, relations
+            )
+        except SqlPlanError:
+            continue  # unsupported shape: the naive path reports it
+        value = (
+            conjunct.value if isinstance(conjunct, InSubquery) else None
+        )
+        if value is not None:
+            if len(sub.items) != 1 or sub.items[0].star \
+                    or sub.items[0].expr is None:
+                continue
+            if find_subquery_exprs(value):
+                continue
+            item_expr = sub.items[0].expr
+            if not pairs:
+                # an uncorrelated IN may still carry aggregation or
+                # LIMIT — the DISTINCT-key extraction would drop them
+                try:
+                    item_aggs = bool(find_aggregates(item_expr))
+                except SqlPlanError:
+                    continue
+                if (sub.group_by or sub.having is not None
+                        or sub.limit is not None
+                        or sub.offset is not None or item_aggs):
+                    continue
+            if find_subquery_exprs(item_expr):
+                continue
+            pairs = pairs + [(value, item_expr)]
+        if not pairs:
+            continue  # uncorrelated EXISTS: a cheap scalar check already
+        # NaN keys can never match under NULL semantics; `key = key` is
+        # false exactly for NaN and keeps the hash build NaN-free.
+        guards: list[Expr] = [
+            BinaryOp("=", inner, inner) for _, inner in pairs
+        ]
+        counter = 0
+        while f"__semi{counter}" in taken:
+            counter += 1
+        alias = f"__semi{counter}"
+        body = SelectStatement(
+            items=tuple(
+                SelectItem(inner, f"__ck{pos}")
+                for pos, (_, inner) in enumerate(pairs)
+            ),
+            source=sub.source,
+            joins=sub.joins,
+            where=and_all(inner_conjuncts + guards),
+            distinct=True,
+            ctes=sub.ctes,
+        )
+        condition = and_all([
+            BinaryOp("=", outer, ColumnRef(f"__ck{pos}", alias))
+            for pos, (outer, _) in enumerate(pairs)
+        ])
+        semi = JoinClause(
+            "inner", TableRef("", alias, subquery=body), condition
+        )
+        new_stmt = dataclasses.replace(
+            stmt,
+            where=and_all(
+                where_conjuncts[:index] + where_conjuncts[index + 1:]
+            ),
+            joins=stmt.joins + (semi,),
+        )
+        label = "IN" if value is not None else "EXISTS"
+        return new_stmt, (
+            f"decorrelated {label} subquery into semi-join "
+            f"derived table '{alias}'"
+        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# rule: eager aggregation below a PK-keyed join
+# ----------------------------------------------------------------------
+def _refs_outside_aggregates(expr: Expr) -> list[ColumnRef]:
+    found: list[ColumnRef] = []
+
+    def visit(node: Expr) -> None:
+        if isinstance(node, FuncCall) and node.name.lower() in (
+            "count", "count_distinct", "sum", "min", "max", "avg"
+        ):
+            return
+        if isinstance(node, ColumnRef):
+            found.append(node)
+        for child in node.children():
+            visit(child)
+
+    visit(expr)
+    return found
+
+
+def _rule_aggregate_pushdown(stmt: SelectStatement, database):
+    if (
+        stmt.source is None or len(stmt.joins) != 1 or stmt.ctes
+        or stmt.distinct or stmt.having is not None
+        or len(stmt.group_by) != 1
+    ):
+        return None
+    join = stmt.joins[0]
+    if join.kind != "inner" or join.condition is None:
+        return None
+    conditions = split_conjuncts(join.condition)
+    if len(conditions) != 1:
+        return None
+    condition = conditions[0]
+    if not (
+        isinstance(condition, BinaryOp) and condition.op == "="
+        and isinstance(condition.left, ColumnRef)
+        and isinstance(condition.right, ColumnRef)
+    ):
+        return None
+    keep_ref, agg_ref = stmt.source, join.table
+    has_view = getattr(database, "has_view", None)
+    for ref in (keep_ref, agg_ref):
+        if ref.is_subquery or ref.is_function:
+            return None
+        if has_view is not None and has_view(ref.table):
+            return None
+    try:
+        keep_table = database.table(keep_ref.table)
+        agg_table = database.table(agg_ref.table)
+    except Exception:
+        return None
+    keep_alias = keep_ref.alias.lower()
+    agg_alias = agg_ref.alias.lower()
+    keep_cols = {c.lower() for c in keep_table.schema.column_names}
+    agg_cols = {c.lower() for c in agg_table.schema.column_names}
+
+    def side_of(column: ColumnRef) -> str | None:
+        qualifier = column.qualifier.lower() if column.qualifier else None
+        if qualifier == keep_alias:
+            return "keep"
+        if qualifier == agg_alias:
+            return "agg"
+        if qualifier is None:
+            in_keep = column.name.lower() in keep_cols
+            in_agg = column.name.lower() in agg_cols
+            if in_keep and not in_agg:
+                return "keep"
+            if in_agg and not in_keep:
+                return "agg"
+        return None
+
+    sides = (side_of(condition.left), side_of(condition.right))
+    if sides == ("keep", "agg"):
+        keep_key, agg_key = condition.left, condition.right
+    elif sides == ("agg", "keep"):
+        keep_key, agg_key = condition.right, condition.left
+    else:
+        return None
+    # grouping on the preserved side's join key, which must be its
+    # primary key: then each group holds exactly one preserved row and
+    # the outer re-aggregation over partials is exact
+    if stmt.group_by[0] != keep_key:
+        return None
+    primary_key = getattr(keep_table.schema, "primary_key", None)
+    if primary_key is None or primary_key.lower() != keep_key.name.lower():
+        return None
+    if agg_key.name.lower() not in agg_cols:
+        return None
+
+    aggregate_calls: list[FuncCall] = []
+    try:
+        for item in stmt.items:
+            if item.star:
+                return None
+            assert item.expr is not None
+            aggregate_calls += find_aggregates(item.expr)
+        for order in stmt.order_by:
+            aggregate_calls += find_aggregates(order.expr)
+    except SqlPlanError:
+        return None
+    deduped: list[FuncCall] = []
+    for call in aggregate_calls:
+        if call not in deduped:
+            deduped.append(call)
+    if not deduped:
+        return None
+    for call in deduped:
+        func = call.name.lower()
+        # COUNT is excluded on purpose: grouped COUNT yields int64 while
+        # the re-aggregating SUM over partial counts would yield float64,
+        # changing the observable output dtype.  SUM/MIN/MAX are float64
+        # either way, so the rewrite is invisible.
+        if func not in ("sum", "min", "max") or len(call.args) != 1:
+            return None
+        if find_subquery_exprs(call.args[0]):
+            return None
+        for column in call.args[0].column_refs():
+            if side_of(column) != "agg":
+                return None
+    # no naked references to the aggregated side may survive the merge
+    for expr in (
+        [item.expr for item in stmt.items if item.expr is not None]
+        + [o.expr for o in stmt.order_by]
+        + list(stmt.group_by)
+    ):
+        if find_subquery_exprs(expr):
+            return None
+        for column in _refs_outside_aggregates(expr):
+            if side_of(column) != "keep":
+                return None
+    keep_where: list[Expr] = []
+    agg_where: list[Expr] = []
+    for conjunct in split_conjuncts(stmt.where):
+        if find_subquery_exprs(conjunct):
+            return None
+        conjunct_sides = {
+            side_of(column) for column in conjunct.column_refs()
+        }
+        if None in conjunct_sides:
+            return None
+        if conjunct_sides <= {"keep"}:
+            keep_where.append(conjunct)
+        elif conjunct_sides == {"agg"}:
+            agg_where.append(conjunct)
+        else:
+            return None
+
+    alias = "__pre0"
+    while alias in (keep_alias, agg_alias):
+        alias += "_"
+    partial_items = [SelectItem(agg_key, "__pk")]
+    mapping: dict[Expr, Expr] = {}
+    for pos, call in enumerate(deduped):
+        partial_items.append(SelectItem(call, f"__pa{pos}"))
+        # each outer group joins exactly one partial row (keep-side PK),
+        # so re-applying the same function reproduces the value exactly
+        mapping[call] = FuncCall(
+            call.name.lower(), (ColumnRef(f"__pa{pos}", alias),)
+        )
+    body = SelectStatement(
+        items=tuple(partial_items),
+        source=agg_ref,
+        where=and_all(agg_where),
+        group_by=(agg_key,),
+    )
+    new_join = JoinClause(
+        "inner",
+        TableRef("", alias, subquery=body),
+        BinaryOp("=", keep_key, ColumnRef("__pk", alias)),
+    )
+
+    def map_expr(expr: Expr) -> Expr:
+        return substitute_exprs(expr, mapping)
+
+    new_stmt = dataclasses.replace(
+        stmt,
+        items=tuple(
+            item if item.star
+            else dataclasses.replace(item, expr=map_expr(item.expr))
+            for item in stmt.items
+        ),
+        joins=(new_join,),
+        where=and_all(keep_where),
+        order_by=tuple(
+            dataclasses.replace(o, expr=map_expr(o.expr))
+            for o in stmt.order_by
+        ),
+    )
+    return new_stmt, (
+        f"pushed {len(deduped)} aggregate(s) below the join, "
+        f"pre-grouped '{agg_ref.alias}' by {agg_key.name} as '{alias}'"
+    )
+
+
+# ----------------------------------------------------------------------
+# the rule table and the driver
+# ----------------------------------------------------------------------
+#: (name, rule) in priority order; the driver applies the first rule
+#: that fires, re-prices, and iterates to a fixpoint.
+REWRITE_RULES: tuple[tuple[str, object], ...] = (
+    ("constant_folding", _rule_constant_folding),
+    ("tautology_elimination", _rule_tautology),
+    ("double_negation_elimination", _rule_double_negation),
+    ("cte_inline", _rule_cte_inline),
+    ("view_inline", _rule_view_inline),
+    ("filter_before_aggregate", _rule_having_pushdown),
+    ("redundant_join_elimination", _rule_join_elimination),
+    ("derived_table_merge", _rule_derived_merge),
+    ("predicate_pushdown", _rule_predicate_pushdown),
+    ("decorrelate_subquery", _rule_decorrelate),
+    ("aggregate_pushdown", _rule_aggregate_pushdown),
+)
+
+
+def _fire_once(stmt: SelectStatement, database):
+    """First applicable rule anywhere in the statement, or None.
+
+    Top-level rules take priority; afterwards the driver recurses into
+    derived-table bodies (their own scopes) so e.g. a view inlined into
+    a derived table is itself flattened.
+    """
+    for rule, apply in REWRITE_RULES:
+        outcome = apply(stmt, database)  # type: ignore[operator]
+        if outcome is None:
+            continue
+        new_stmt, detail = outcome
+        if new_stmt != stmt:
+            return new_stmt, rule, detail
+    source = stmt.source
+    if source is not None and source.is_subquery:
+        assert source.subquery is not None
+        nested = _fire_once(source.subquery, database)
+        if nested is not None:
+            body, rule, detail = nested
+            new_source = dataclasses.replace(source, subquery=body)
+            return (
+                dataclasses.replace(stmt, source=new_source),
+                rule,
+                f"[in derived '{source.alias}'] {detail}",
+            )
+    for index, join in enumerate(stmt.joins):
+        if not join.table.is_subquery:
+            continue
+        assert join.table.subquery is not None
+        nested = _fire_once(join.table.subquery, database)
+        if nested is None:
+            continue
+        body, rule, detail = nested
+        new_ref = dataclasses.replace(join.table, subquery=body)
+        joins = (
+            stmt.joins[:index]
+            + (dataclasses.replace(join, table=new_ref),)
+            + stmt.joins[index + 1:]
+        )
+        return (
+            dataclasses.replace(stmt, joins=joins),
+            rule,
+            f"[in derived '{join.table.alias}'] {detail}",
+        )
+    return None
+
+
+def rewrite_statement(
+    stmt,
+    database,
+    price: bool = True,
+    optimizer: str | None = None,
+):
+    """Rewrite a SELECT (or UNION) statement to its fixpoint.
+
+    Returns ``(statement, firings)``.  The rewritten AST depends only
+    on the statement and the catalog — ``price`` controls whether each
+    firing is priced through the cost model and counted in the metrics
+    registry, never which rules fire, so the result cache's cheap
+    fingerprint path (``price=False``) agrees byte-for-byte with the
+    planner's priced pass.
+    """
+    if isinstance(stmt, UnionStatement):
+        members = []
+        firings: list[RuleFiring] = []
+        for member in stmt.selects:
+            rewritten, fired = rewrite_statement(
+                member, database, price=price, optimizer=optimizer
+            )
+            members.append(rewritten)
+            firings.extend(fired)
+        if firings:
+            stmt = UnionStatement(tuple(members))
+        return stmt, tuple(firings)
+
+    firings = []
+    current: tuple[float | None, float | None] | None = None
+    for _ in range(MAX_PASSES):
+        fired = _fire_once(stmt, database)
+        if fired is None:
+            break
+        new_stmt, rule, detail = fired
+        est_before = est_after = cost_before = cost_after = None
+        if price:
+            if current is None:
+                current = _plan_metrics(stmt, database, optimizer)
+            est_before, cost_before = current
+            current = _plan_metrics(new_stmt, database, optimizer)
+            est_after, cost_after = current
+            get_metrics().counter(f"engine.rewrite.{rule}").inc()
+        firings.append(
+            RuleFiring(
+                rule, detail,
+                est_before, est_after, cost_before, cost_after,
+            )
+        )
+        stmt = new_stmt
+    return stmt, tuple(firings)

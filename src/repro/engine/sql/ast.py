@@ -79,6 +79,10 @@ class OrderItem:
 
 @dataclass(frozen=True)
 class SelectStatement:
+    """One SELECT.  ``ctes`` holds ``WITH name AS (SELECT ...)`` bodies
+    in declaration order; CTE names are resolvable only in this
+    statement's own FROM/JOIN clauses (no nested or recursive CTEs)."""
+
     items: tuple[SelectItem, ...]
     source: TableRef | None
     joins: tuple[JoinClause, ...] = ()
@@ -89,6 +93,41 @@ class SelectStatement:
     limit: int | None = None
     offset: int | None = None
     distinct: bool = False
+    ctes: tuple[tuple[str, "SelectStatement"], ...] = ()
+
+
+@dataclass(frozen=True)
+class Exists(Expr):
+    """``EXISTS (SELECT ...)`` predicate.
+
+    Not directly evaluatable: the planner replaces it with a
+    :class:`~repro.engine.sql.planner.SubqueryPredicate` (naive path)
+    or the rewrite pass decorrelates it into a semi-join.
+    """
+
+    select: "SelectStatement"
+
+    def eval(self, batch):  # pragma: no cover - always planned away
+        raise NotImplementedError(
+            "EXISTS must be planned by the SQL planner before evaluation"
+        )
+
+
+@dataclass(frozen=True)
+class InSubquery(Expr):
+    """``expr IN (SELECT ...)`` predicate (see :class:`Exists`)."""
+
+    value: Expr
+    select: "SelectStatement"
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.value,)
+
+    def eval(self, batch):  # pragma: no cover - always planned away
+        raise NotImplementedError(
+            "IN (SELECT ...) must be planned by the SQL planner "
+            "before evaluation"
+        )
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,7 @@ KEYWORDS = {
     "key", "insert", "into", "values", "update", "set", "delete",
     "truncate", "drop", "view", "exists", "if", "union", "all", "true",
     "false", "exec", "execute", "top", "offset", "left", "outer",
-    "analyze", "materialized", "refresh",
+    "analyze", "materialized", "refresh", "with",
 }
 
 

@@ -22,9 +22,13 @@ from repro.engine.expressions import (
     Literal,
     UnaryOp,
 )
+import dataclasses
+
 from repro.engine.sql.ast import (
     AnalyzeStatement,
     ColumnDef,
+    Exists,
+    InSubquery,
     CreateMaterializedViewStatement,
     CreateTableStatement,
     CreateViewStatement,
@@ -115,6 +119,8 @@ class Parser:
         token = self.peek()
         if token.is_keyword("select"):
             stmt = self.parse_select_chain()
+        elif token.is_keyword("with"):
+            stmt = self.parse_with()
         elif token.is_keyword("create"):
             stmt = self.parse_create()
         elif token.is_keyword("exec", "execute"):
@@ -150,6 +156,32 @@ class Parser:
             self.expect_keyword("all")  # bag semantics only
             selects.append(self.parse_select())
         return UnionStatement(tuple(selects))
+
+    def parse_with(self) -> SelectStatement:
+        """``WITH name AS (SELECT ...) [, ...] SELECT ...``.
+
+        CTEs attach to the following SELECT; nested WITH, recursive
+        CTEs and WITH over UNION are not supported.
+        """
+        self.expect_keyword("with")
+        ctes: list[tuple[str, SelectStatement]] = []
+        seen: set[str] = set()
+        while True:
+            name = self.expect_ident()
+            if name in seen:
+                raise self.error(f"duplicate CTE name '{name}'")
+            seen.add(name)
+            self.expect_keyword("as")
+            self.expect_punct("(")
+            body = self.parse_select()
+            self.expect_punct(")")
+            ctes.append((name, body))
+            if not self.accept_punct(","):
+                break
+        select = self.parse_select()
+        if self.peek().is_keyword("union"):
+            raise self.error("UNION under WITH is not supported")
+        return dataclasses.replace(select, ctes=tuple(ctes))
 
     def parse_select(self) -> SelectStatement:
         self.expect_keyword("select")
@@ -522,6 +554,11 @@ class Parser:
         if token.is_keyword("in"):
             self.advance()
             self.expect_punct("(")
+            if self.peek().is_keyword("select"):
+                sub = self.parse_select()
+                self.expect_punct(")")
+                expr = InSubquery(left, sub)
+                return UnaryOp("NOT", expr) if negate else expr
             options = [self.parse_expr()]
             while self.accept_punct(","):
                 options.append(self.parse_expr())
@@ -602,6 +639,12 @@ class Parser:
             return Literal(float("nan"))
         if token.is_keyword("case"):
             return self.parse_case()
+        if token.is_keyword("exists"):
+            self.advance()
+            self.expect_punct("(")
+            sub = self.parse_select()
+            self.expect_punct(")")
+            return Exists(sub)
         if self.accept_punct("("):
             expr = self.parse_expr()
             self.expect_punct(")")

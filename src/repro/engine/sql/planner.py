@@ -32,6 +32,8 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.engine.aggregate import Aggregate, AggregateSpec
 from repro.engine.expressions import (
     Between,
@@ -66,7 +68,13 @@ from repro.engine.optimizer.cardinality import (
 )
 from repro.engine.optimizer.cost import DEFAULT_COST_MODEL
 from repro.engine.optimizer.joinorder import JoinPred, JoinRel, order_relations
-from repro.engine.sql.ast import SelectItem, SelectStatement, TableRef
+from repro.engine.sql.ast import (
+    Exists,
+    InSubquery,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+)
 from repro.engine.sql.parser import AGGREGATE_FUNCS
 from repro.errors import SqlPlanError
 
@@ -127,6 +135,10 @@ def rewrite(expr: Expr, mapping: dict[Expr, Expr]) -> Expr:
             ),
             None if expr.default is None else rewrite(expr.default, mapping),
         )
+    if isinstance(expr, InSubquery):
+        # only the outer-scope value participates; the subquery body is
+        # its own scope and never rewritten through an outer mapping
+        return InSubquery(rewrite(expr.value, mapping), expr.select)
     return expr
 
 
@@ -149,6 +161,97 @@ def find_aggregates(expr: Expr) -> list[FuncCall]:
     return found
 
 
+def find_subquery_exprs(expr: Expr) -> list[Expr]:
+    """All Exists/InSubquery nodes in a tree (outermost only)."""
+    found: list[Expr] = []
+
+    def visit(node: Expr) -> None:
+        if isinstance(node, (Exists, InSubquery)):
+            found.append(node)
+            return
+        for child in node.children():
+            visit(child)
+
+    visit(expr)
+    return found
+
+
+@dataclass(frozen=True, eq=False)
+class SubqueryPredicate(Expr):
+    """Evaluatable form of ``EXISTS`` / ``IN (SELECT ...)``.
+
+    The planned subquery executes once (memoized); each outer row then
+    tests membership of its ``outer_exprs`` tuple against the
+    subquery's ``inner_names`` output columns.  With no outer
+    expressions this is an uncorrelated EXISTS — a non-empty check.
+    NULL (NaN) follows the engine's comparison semantics: a NaN key
+    never matches anything, on either side.
+    """
+
+    subplan: PlanNode
+    outer_exprs: tuple[Expr, ...]
+    inner_names: tuple[str, ...]
+    label: str = "exists"
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.outer_exprs
+
+    def _materialize(self):
+        cached = getattr(self, "_rows", None)
+        if cached is None:
+            cached = self.subplan.execute()
+            object.__setattr__(self, "_rows", cached)
+        return cached
+
+    def eval(self, batch):
+        from repro.engine.expressions import batch_length
+
+        rows = self._materialize()
+        n = batch_length(batch)
+        inner_n = batch_length(rows)
+        if not self.outer_exprs:
+            return np.full(n, inner_n > 0)
+        if len(self.outer_exprs) == 1:
+            value = np.asarray(self.outer_exprs[0].eval(batch))
+            value = np.broadcast_to(value, (n,))
+            result = np.zeros(n, dtype=bool)
+            inner = np.unique(np.asarray(rows[self.inner_names[0]]))
+            for option in inner:
+                # NaN == NaN is False, so NULL keys never match
+                result |= value == option
+            return result
+        inner_cols = [np.asarray(rows[name]) for name in self.inner_names]
+        keys = set()
+        for row in range(inner_n):
+            tup = tuple(col[row] for col in inner_cols)
+            if any(
+                isinstance(v, (float, np.floating)) and np.isnan(v)
+                for v in tup
+            ):
+                continue
+            keys.add(tup)
+        outer_cols = [
+            np.broadcast_to(np.asarray(e.eval(batch)), (n,))
+            for e in self.outer_exprs
+        ]
+        result = np.zeros(n, dtype=bool)
+        for row in range(n):
+            tup = tuple(col[row] for col in outer_cols)
+            if any(
+                isinstance(v, (float, np.floating)) and np.isnan(v)
+                for v in tup
+            ):
+                continue
+            result[row] = tup in keys
+        return result
+
+    def __str__(self) -> str:
+        if not self.outer_exprs:
+            return f"{self.label}(subquery)"
+        outer = ", ".join(str(e) for e in self.outer_exprs)
+        return f"{self.label}({outer} IN subquery)"
+
+
 # ----------------------------------------------------------------------
 # planning context
 # ----------------------------------------------------------------------
@@ -159,6 +262,7 @@ class _Relation:
     ref: TableRef
     scan: PlanNode
     columns: set[str]  # lowercased column names of the underlying table
+    derived: bool = False  # subquery / view / CTE binding (no base table)
 
 
 class Planner:
@@ -170,7 +274,12 @@ class Planner:
     :class:`~repro.engine.index.ClusteredIndex` or None.
     """
 
-    def __init__(self, database, optimizer: str | None = None):
+    def __init__(
+        self,
+        database,
+        optimizer: str | None = None,
+        rewrites: bool | None = None,
+    ):
         self.database = database
         if optimizer is not None and optimizer not in OPTIMIZER_MODES:
             raise SqlPlanError(
@@ -178,6 +287,9 @@ class Planner:
                 f"expected one of {OPTIMIZER_MODES}"
             )
         self.optimizer = optimizer
+        if rewrites is None:
+            rewrites = bool(getattr(database, "rewrites_enabled", False))
+        self.rewrites = rewrites
 
     @property
     def mode(self) -> str:
@@ -187,16 +299,28 @@ class Planner:
         return getattr(self.database, "optimizer_mode", "cost")
 
     # ------------------------------------------------------------------
-    def plan_select(self, stmt: SelectStatement) -> PlanNode:
+    def plan_select(
+        self, stmt: SelectStatement, *, _nested: bool = False
+    ) -> PlanNode:
+        trace: tuple[str, ...] = ()
         substituted = self._substitute_matview(stmt)
         if substituted is not None:
             plan = substituted
         else:
+            if not _nested and self.rewrites:
+                from repro.engine.optimizer.rewrite import rewrite_statement
+
+                stmt, firings = rewrite_statement(
+                    stmt, self.database, optimizer=self.optimizer
+                )
+                trace = tuple(f.describe() for f in firings)
             plan = self._plan_select(stmt)
         annotate_plan(plan)
         workers = getattr(self.database, "intra_query_workers", 1)
         if workers > 1:
             _stamp_workers(plan, workers)
+        if trace:
+            plan.rewrite_trace = trace
         return plan
 
     def _substitute_matview(self, stmt: SelectStatement) -> PlanNode | None:
@@ -228,6 +352,7 @@ class Planner:
 
     def _plan_select(self, stmt: SelectStatement) -> PlanNode:
         relations = self._bind_relations(stmt)
+        stmt = self._plan_subquery_predicates(stmt, relations)
         where_parts = split_conjuncts(stmt.where)
 
         # Aliases bound as the nullable side of a LEFT JOIN: their WHERE
@@ -285,15 +410,20 @@ class Planner:
         aliases = [r.alias.lower() for r in refs]
         if len(set(aliases)) != len(aliases):
             raise SqlPlanError(f"duplicate table alias in FROM: {aliases}")
+        ctes = {name.lower(): body for name, body in stmt.ctes}
         relations = []
         for ref in refs:
-            relations.append(self._bind_one(ref))
+            relations.append(self._bind_one(ref, ctes))
         return relations
 
-    def _bind_one(self, ref: TableRef) -> _Relation:
+    def _bind_one(
+        self,
+        ref: TableRef,
+        ctes: dict[str, SelectStatement] | None = None,
+    ) -> _Relation:
         if ref.is_subquery:
             assert ref.subquery is not None
-            subplan = self.plan_select(ref.subquery)
+            subplan = self.plan_select(ref.subquery, _nested=True)
             return _Relation(
                 ref=ref,
                 scan=SubqueryScan(subplan, ref.alias),
@@ -301,6 +431,7 @@ class Planner:
                     name.lower()
                     for name in self.select_output_names(ref.subquery)
                 },
+                derived=True,
             )
         if ref.is_function:
             tvf = self.database.table_function(ref.table)
@@ -311,9 +442,22 @@ class Planner:
                 ),
                 columns={c.lower() for c in tvf.columns},
             )
+        # CTEs shadow views and base tables of the same name
+        if ctes and ref.table.lower() in ctes:
+            body = ctes[ref.table.lower()]
+            subplan = self.plan_select(body, _nested=True)
+            return _Relation(
+                ref=ref,
+                scan=SubqueryScan(subplan, ref.alias),
+                columns={
+                    name.lower()
+                    for name in self.select_output_names(body)
+                },
+                derived=True,
+            )
         if self.database.has_view(ref.table):
             view_stmt = self.database.view(ref.table)
-            subplan = self.plan_select(view_stmt)
+            subplan = self.plan_select(view_stmt, _nested=True)
             return _Relation(
                 ref=ref,
                 scan=SubqueryScan(subplan, ref.alias),
@@ -321,6 +465,7 @@ class Planner:
                     name.lower()
                     for name in self.select_output_names(view_stmt)
                 },
+                derived=True,
             )
         table = self.database.table(ref.table)
         return _Relation(
@@ -329,8 +474,174 @@ class Planner:
             columns={c.lower() for c in table.schema.column_names},
         )
 
+    # ------------------------------------------------------------------
+    # EXISTS / IN (SELECT ...) — the naive (non-decorrelated) path
+    # ------------------------------------------------------------------
+    def _plan_subquery_predicates(
+        self, stmt: SelectStatement, relations: list[_Relation]
+    ) -> SelectStatement:
+        """Replace Exists/InSubquery nodes in WHERE/HAVING with
+        evaluatable :class:`SubqueryPredicate` expressions."""
+        targets: list[Expr] = []
+        for predicate in (stmt.where, stmt.having):
+            if predicate is not None:
+                targets.extend(find_subquery_exprs(predicate))
+        if not targets:
+            return stmt
+        mapping: dict[Expr, Expr] = {}
+        for node in targets:
+            if node not in mapping:
+                mapping[node] = self._plan_one_subquery(node, relations)
+        changes: dict = {}
+        if stmt.where is not None:
+            changes["where"] = rewrite(stmt.where, mapping)
+        if stmt.having is not None:
+            changes["having"] = rewrite(stmt.having, mapping)
+        return dataclasses.replace(stmt, **changes)
+
+    def _plan_one_subquery(
+        self, node: Expr, relations: list[_Relation]
+    ) -> SubqueryPredicate:
+        sub = node.select  # type: ignore[union-attr]
+        value = node.value if isinstance(node, InSubquery) else None
+        label = "in_subquery" if value is not None else "exists"
+        if value is not None and (len(sub.items) != 1 or sub.items[0].star):
+            raise SqlPlanError(
+                "IN (SELECT ...) requires exactly one output column"
+            )
+        inner_conjuncts, pairs = self.split_correlation(sub, relations)
+        if not pairs:
+            # uncorrelated: plan the subquery exactly as written
+            subplan = self.plan_select(sub, _nested=True)
+            if value is not None:
+                name = self.select_output_names(sub)[0]
+                return SubqueryPredicate(subplan, (value,), (name,), label)
+            return SubqueryPredicate(subplan, (), (), label)
+        if value is not None:
+            assert sub.items[0].expr is not None
+            pairs = pairs + [(value, sub.items[0].expr)]
+        keys = SelectStatement(
+            items=tuple(
+                SelectItem(inner, f"__ck{pos}")
+                for pos, (_, inner) in enumerate(pairs)
+            ),
+            source=sub.source,
+            joins=sub.joins,
+            where=and_all(inner_conjuncts),
+            distinct=True,
+            ctes=sub.ctes,
+        )
+        subplan = self.plan_select(keys, _nested=True)
+        return SubqueryPredicate(
+            subplan,
+            tuple(outer for outer, _ in pairs),
+            tuple(f"__ck{pos}" for pos in range(len(pairs))),
+            label,
+        )
+
+    def split_correlation(
+        self, sub: SelectStatement, outer_relations: list[_Relation]
+    ) -> tuple[list[Expr], list[tuple[Expr, Expr]]]:
+        """Split a subquery's WHERE into inner-only conjuncts and
+        ``outer = inner`` correlation pairs.
+
+        Returns ``(inner_conjuncts, pairs)``; empty pairs means the
+        subquery is uncorrelated.  Raises :class:`SqlPlanError` when
+        the subquery correlates in any unsupported way (non-equality
+        correlation, correlation outside WHERE, aggregates/GROUP BY in
+        a correlated subquery).
+        """
+        if sub.source is None:
+            return [], []
+        sub_ctes = {name.lower(): body for name, body in sub.ctes}
+        inner_rels = [
+            (ref.alias.lower(),
+             {c.lower() for c in self._relation_columns(ref, sub_ctes)})
+            for ref in [sub.source] + [j.table for j in sub.joins]
+        ]
+        inner_aliases = {alias for alias, _ in inner_rels}
+
+        def scope_of(expr: Expr) -> str:
+            scopes: set[str] = set()
+            for ref in expr.column_refs():
+                if ref.qualifier is not None:
+                    if ref.qualifier.lower() in inner_aliases:
+                        scopes.add("inner")
+                        continue
+                    if self._resolve_alias(ref, outer_relations) is not None:
+                        scopes.add("outer")
+                        continue
+                    raise SqlPlanError(
+                        f"unknown column '{ref.qualifier}.{ref.name}' "
+                        "in subquery"
+                    )
+                # bare names: the inner scope shadows the outer
+                if any(ref.name.lower() in cols for _, cols in inner_rels):
+                    scopes.add("inner")
+                elif self._resolve_alias(ref, outer_relations) is not None:
+                    scopes.add("outer")
+                else:
+                    raise SqlPlanError(
+                        f"unknown column '{ref.name}' in subquery"
+                    )
+            if not scopes:
+                return "const"
+            if scopes == {"inner"}:
+                return "inner"
+            if scopes == {"outer"}:
+                return "outer"
+            return "mixed"
+
+        inner_conjuncts: list[Expr] = []
+        pairs: list[tuple[Expr, Expr]] = []
+        for conjunct in split_conjuncts(sub.where):
+            scope = scope_of(conjunct)
+            if scope in ("inner", "const"):
+                inner_conjuncts.append(conjunct)
+                continue
+            if isinstance(conjunct, BinaryOp) and conjunct.op == "=":
+                left_scope = scope_of(conjunct.left)
+                right_scope = scope_of(conjunct.right)
+                if left_scope == "outer" and right_scope in ("inner", "const"):
+                    pairs.append((conjunct.left, conjunct.right))
+                    continue
+                if right_scope == "outer" and left_scope in ("inner", "const"):
+                    pairs.append((conjunct.right, conjunct.left))
+                    continue
+            raise SqlPlanError(
+                "correlated subquery too complex: only AND-ed "
+                "outer = inner equality correlation is supported"
+            )
+        if pairs:
+            # correlated subqueries must stay a simple SPJ block — the
+            # key extraction re-shapes the statement around them
+            item_exprs = [i.expr for i in sub.items if i.expr is not None]
+            has_aggs = any(find_aggregates(e) for e in item_exprs)
+            if (sub.group_by or sub.having is not None or has_aggs
+                    or sub.limit is not None or sub.offset is not None):
+                raise SqlPlanError(
+                    "correlated subquery too complex: aggregation and "
+                    "LIMIT are not supported with correlation"
+                )
+        # correlation hiding anywhere but WHERE is unsupported
+        outer_forbidden: list[Expr | None] = [
+            *[i.expr for i in sub.items], sub.having,
+            *[o.expr for o in sub.order_by], *sub.group_by,
+            *[j.condition for j in sub.joins],
+        ]
+        for expr in outer_forbidden:
+            if expr is None:
+                continue
+            if scope_of(expr) not in ("inner", "const"):
+                raise SqlPlanError(
+                    "correlated subquery too complex: correlation is "
+                    "only supported in the WHERE clause"
+                )
+        return inner_conjuncts, pairs
+
     def select_output_names(self, stmt: SelectStatement) -> list[str]:
         """Output column names of a SELECT, without executing it."""
+        ctes = {name.lower(): body for name, body in stmt.ctes}
         names: list[str] = []
         for pos, item in enumerate(stmt.items):
             if item.star:
@@ -345,7 +656,7 @@ class Planner:
                     if ref is None:
                         continue
                     names.extend(
-                        c.lower() for c in self._relation_columns(ref)
+                        c.lower() for c in self._relation_columns(ref, ctes)
                     )
                 continue
             names.append(self._output_name(item, pos))
@@ -361,12 +672,18 @@ class Planner:
             deduped.append(name)
         return deduped
 
-    def _relation_columns(self, ref: TableRef) -> list[str]:
+    def _relation_columns(
+        self,
+        ref: TableRef,
+        ctes: dict[str, SelectStatement] | None = None,
+    ) -> list[str]:
         if ref.is_subquery:
             assert ref.subquery is not None
             return self.select_output_names(ref.subquery)
         if ref.is_function:
             return list(self.database.table_function(ref.table).columns)
+        if ctes and ref.table.lower() in ctes:
+            return self.select_output_names(ctes[ref.table.lower()])
         if self.database.has_view(ref.table):
             return self.select_output_names(self.database.view(ref.table))
         return list(self.database.table(ref.table).schema.column_names)
@@ -405,7 +722,12 @@ class Planner:
     # ------------------------------------------------------------------
     def _access_path(self, rel: _Relation, conjuncts: list[Expr]) -> PlanNode:
         """Choose index range scan vs filtered seq scan for one relation."""
-        index = self.database.clustered_index(rel.ref.table)
+        # derived relations (subqueries/views/CTEs) never have their own
+        # index; a CTE may even shadow an indexed base table's name
+        index = (
+            None if rel.derived
+            else self.database.clustered_index(rel.ref.table)
+        )
         scan: PlanNode = rel.scan
         if index is not None and conjuncts:
             leading = index.leading_key
@@ -471,7 +793,8 @@ class Planner:
     def _relation_profile(self, rel: _Relation) -> RelationProfile:
         alias = rel.ref.alias.lower()
         if (
-            not rel.ref.is_subquery
+            not rel.derived
+            and not rel.ref.is_subquery
             and not rel.ref.is_function
             and not self.database.has_view(rel.ref.table)
         ):
@@ -705,6 +1028,7 @@ class Planner:
     ) -> list[tuple[str, Expr]]:
         outputs: list[tuple[str, Expr]] = []
         relations = [stmt.source] + [j.table for j in stmt.joins]
+        ctes = {name.lower(): body for name, body in stmt.ctes}
         for pos, item in enumerate(stmt.items):
             if item.star:
                 refs = relations
@@ -719,7 +1043,7 @@ class Planner:
                         )
                 for ref in refs:
                     assert ref is not None
-                    for column in self._relation_columns(ref):
+                    for column in self._relation_columns(ref, ctes):
                         outputs.append(
                             (column.lower(), ColumnRef(column, ref.alias))
                         )

@@ -21,6 +21,8 @@ from repro.engine.expressions import (
     UnaryOp,
 )
 from repro.engine.sql.ast import (
+    Exists,
+    InSubquery,
     JoinClause,
     SelectItem,
     SelectStatement,
@@ -80,6 +82,11 @@ def expr_to_sql(expr: Expr) -> str:
             return f"COUNT(DISTINCT {expr_to_sql(expr.args[0])})"
         args = ", ".join(expr_to_sql(a) for a in expr.args)
         return f"{expr.name.upper()}({args})"
+    if isinstance(expr, Exists):
+        return f"(EXISTS ({select_to_sql(expr.select)}))"
+    if isinstance(expr, InSubquery):
+        return (f"({expr_to_sql(expr.value)} IN "
+                f"({select_to_sql(expr.select)}))")
     raise SqlPlanError(f"cannot render {type(expr).__name__} as SQL")
 
 
@@ -116,7 +123,13 @@ def _join_to_sql(join: JoinClause) -> str:
 
 def select_to_sql(stmt: SelectStatement) -> str:
     """Render a SELECT statement (one line, normalized spacing)."""
-    parts = ["SELECT"]
+    parts = []
+    if stmt.ctes:
+        bodies = ", ".join(
+            f"{name} AS ({select_to_sql(body)})" for name, body in stmt.ctes
+        )
+        parts.append(f"WITH {bodies}")
+    parts.append("SELECT")
     if stmt.distinct:
         parts.append("DISTINCT")
     parts.append(", ".join(_item_to_sql(item) for item in stmt.items))

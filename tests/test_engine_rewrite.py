@@ -1,0 +1,307 @@
+"""Metamorphic and integration tests for the logical rewrite pass.
+
+The metamorphic idea: wrap a query in a transformation that *provably*
+changes nothing — a tautological conjunct, a no-op view or CTE shell, a
+double negation — and demand the answer stays **byte-identical** (same
+dtypes, same values, same order) while EXPLAIN names the rule that
+unwrapped it.  Unlike the differential suite (engine vs numpy oracle),
+these tests compare the engine against itself, so they catch rewrite
+bugs that an approximate row comparison would forgive.
+
+Also covered here: the result-cache interaction (a statement and its
+rewrite-equivalent share one entry; rewrites-off never cross-serves a
+rewrites-on entry), the ``engine.rewrite.*`` metrics, fixpoint
+idempotence (the property the cache fingerprint relies on), and the
+``--rewrites`` CLI plumbing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.config import EngineConfig
+from repro.engine.database import Database
+from repro.engine.instrument import explain_analyze
+from repro.engine.optimizer.rewrite import REWRITE_RULES, rewrite_statement
+from repro.engine.sql.parser import parse
+from repro.obs.metrics import get_metrics
+
+
+def build_db(rewrites: bool = True, result_cache: bool = False) -> Database:
+    db = Database(
+        "rw" if rewrites else "rw_off",
+        config=EngineConfig(rewrites=rewrites, result_cache=result_cache),
+    )
+    rng = np.random.default_rng(404)
+    n = 300
+    db.create_table("t1", {
+        "id": np.arange(n, dtype=np.int64),
+        "k": rng.integers(0, 12, n).astype(np.int64),
+        "a": rng.integers(-50, 50, n).astype(np.int64),
+        "b": rng.uniform(-10.0, 10.0, n),
+    }, primary_key="id")
+    db.create_table("t2", {
+        "k": rng.integers(0, 12, 80).astype(np.int64),
+        "c": rng.uniform(0.0, 100.0, 80),
+    })
+    db.create_table("t3", {
+        "k": np.arange(12, dtype=np.int64),
+        "w": rng.uniform(1.0, 5.0, 12),
+    }, primary_key="k")
+    db.sql("CREATE VIEW v1 AS SELECT id, k, a, b FROM t1")
+    db.sql("ANALYZE")
+    return db
+
+
+def assert_byte_identical(left, right, context: str) -> None:
+    """Same column names, dtypes, values and row order — no tolerance."""
+    assert list(left.columns) == list(right.columns), context
+    for name in left.columns:
+        lhs, rhs = np.asarray(left.columns[name]), np.asarray(right.columns[name])
+        assert lhs.dtype == rhs.dtype, f"{context}: dtype of '{name}'"
+        assert np.array_equal(lhs, rhs), f"{context}: values of '{name}'"
+
+
+def fired_rules(plan_text: str) -> list[str]:
+    return [
+        line.split(":", 1)[0].removeprefix("Rewrite ").strip()
+        for line in plan_text.splitlines()
+        if line.startswith("Rewrite ")
+    ]
+
+
+# ---------------------------------------------------------------------------
+# metamorphic: no-op transformations must not change a byte
+# ---------------------------------------------------------------------------
+
+BASE = "SELECT id, a, b FROM t1 WHERE a > 5 ORDER BY id"
+
+#: (no-op variant, rule expected to unwrap it)
+METAMORPHS = (
+    ("SELECT id, a, b FROM t1 WHERE a > 5 AND 1 = 1 ORDER BY id",
+     "constant_folding"),
+    ("SELECT id, a, b FROM t1 WHERE NOT (NOT (a > 5)) ORDER BY id",
+     "double_negation_elimination"),
+    ("WITH w AS (SELECT id, a, b FROM t1) "
+     "SELECT id, a, b FROM w WHERE a > 5 ORDER BY id",
+     "cte_inline"),
+    ("SELECT * FROM (SELECT id, a, b FROM t1) d WHERE d.a > 5 ORDER BY id",
+     "predicate_pushdown"),
+)
+
+
+@pytest.mark.parametrize("variant,rule", METAMORPHS,
+                         ids=[r for _, r in METAMORPHS])
+def test_metamorphic_noop_wrap_is_byte_identical(variant, rule):
+    db = build_db()
+    base, wrapped = db.sql(BASE), db.sql(variant)
+    assert_byte_identical(wrapped, base, variant)
+    assert rule in fired_rules(wrapped.plan), (
+        f"expected {rule} in\n{wrapped.plan}"
+    )
+
+
+def test_metamorphic_noop_view_wrap():
+    """A view that just re-selects the table is planned away."""
+    db = build_db()  # v1 is the no-op re-select view from build_db
+    base = db.sql(BASE)
+    wrapped = db.sql("SELECT id, a, b FROM v1 WHERE a > 5 ORDER BY id")
+    assert_byte_identical(wrapped, base, "view wrap")
+    assert "view_inline" in fired_rules(wrapped.plan)
+
+
+def test_metamorphic_rewritten_results_match_rewrites_off():
+    """Every metamorphic variant, both engines: identical bytes."""
+    db_on, db_off = build_db(True), build_db(False)
+    for variant, _ in METAMORPHS:
+        assert_byte_identical(db_on.sql(variant), db_off.sql(variant),
+                              variant)
+        assert not fired_rules(db_off.sql(variant).plan)
+
+
+# ---------------------------------------------------------------------------
+# every rule observable through EXPLAIN, results checked against off-mode
+# ---------------------------------------------------------------------------
+
+#: A query that makes each rule fire (keys are the registered names).
+RULE_QUERIES = {
+    "constant_folding":
+        "SELECT id FROM t1 WHERE 2 + 2 = 4 AND a > 0 ORDER BY id",
+    "tautology_elimination":
+        "SELECT id FROM t1 WHERE 1 = 1 ORDER BY id",
+    "double_negation_elimination":
+        "SELECT id FROM t1 WHERE NOT (NOT (a > 0)) ORDER BY id",
+    "cte_inline":
+        "WITH f AS (SELECT id, a FROM t1 WHERE a > 0) "
+        "SELECT id FROM f ORDER BY id",
+    "view_inline":
+        "SELECT id, a FROM v1 WHERE a > 0 ORDER BY id",
+    "filter_before_aggregate":
+        "SELECT k, COUNT(*) AS n FROM t1 GROUP BY k "
+        "HAVING k > 3 AND COUNT(*) > 1 ORDER BY k",
+    "redundant_join_elimination":
+        "SELECT t1.id FROM t1 LEFT JOIN t3 ON t3.k = t1.k ORDER BY t1.id",
+    "derived_table_merge":
+        "SELECT d.id, d.s FROM (SELECT id, a + k AS s FROM t1 "
+        "WHERE a > 0) d WHERE d.s > 3 ORDER BY d.id",
+    "predicate_pushdown":
+        "SELECT * FROM (SELECT id, a FROM t1) d WHERE d.a > 7 ORDER BY id",
+    "decorrelate_subquery":
+        "SELECT id FROM t1 WHERE k IN (SELECT k FROM t2 WHERE c > 50) "
+        "ORDER BY id",
+    "aggregate_pushdown":
+        "SELECT t3.k, SUM(t1.a) AS sa, MAX(t1.b) AS hi FROM t3 "
+        "INNER JOIN t1 ON t1.k = t3.k GROUP BY t3.k ORDER BY t3.k",
+}
+
+
+def test_rule_query_map_is_exhaustive():
+    """Every registered rule has a query pinning it (and vice versa)."""
+    registered = {name for name, _ in REWRITE_RULES}
+    assert registered == set(RULE_QUERIES)
+
+
+@pytest.mark.parametrize("rule", sorted(RULE_QUERIES))
+def test_each_rule_fires_and_preserves_results(rule):
+    db_on, db_off = build_db(True), build_db(False)
+    sql = RULE_QUERIES[rule]
+    on, off = db_on.sql(sql), db_off.sql(sql)
+    assert rule in fired_rules(on.plan), f"{rule} absent from\n{on.plan}"
+    assert not fired_rules(off.plan)
+    assert_byte_identical(on, off, sql)
+
+
+def test_explain_lists_every_fired_rule_with_estimates():
+    """EXPLAIN leads with one 'Rewrite <rule>: ...' line per firing."""
+    db = build_db()
+    sql = ("WITH f AS (SELECT id, a, b FROM t1 WHERE a > 0) "
+           "SELECT id FROM f WHERE b > 1 AND 1 = 1 ORDER BY id")
+    plan = db.explain(sql)
+    rules = fired_rules(plan)
+    assert "cte_inline" in rules and "constant_folding" in rules
+    # trace lines come first, carry the cost-model estimates, and the
+    # physical plan follows
+    lines = plan.splitlines()
+    assert lines[0].startswith("Rewrite ")
+    assert any("est_rows" in line and "cost" in line for line in lines
+               if line.startswith("Rewrite "))
+    assert any(not line.startswith("Rewrite ") for line in lines)
+
+
+def test_explain_analyze_reports_rewrite_trace():
+    db = build_db()
+    report = explain_analyze(
+        db, "SELECT id FROM t1 WHERE 1 = 1 AND a > 0 ORDER BY id")
+    assert any(line.startswith("Rewrite constant_folding")
+               for line in report.render().splitlines())
+    assert report.rewrite_trace
+
+
+def test_rewrites_off_plans_carry_no_trace():
+    db = build_db(False)
+    for sql in RULE_QUERIES.values():
+        assert not fired_rules(db.explain(sql))
+
+
+# ---------------------------------------------------------------------------
+# fixpoint idempotence: the property the cache fingerprint stands on
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("rule", sorted(RULE_QUERIES))
+def test_rewrite_is_idempotent(rule):
+    """Rewriting a rewritten statement fires nothing further."""
+    db = build_db()
+    stmt = parse(RULE_QUERIES[rule])
+    once, firings = rewrite_statement(stmt, db, price=False)
+    assert firings, f"{rule} query should fire at least one rule"
+    twice, again = rewrite_statement(once, db, price=False)
+    assert not again, f"not a fixpoint: {[f.rule for f in again]}"
+    assert twice == once
+
+
+def test_priced_and_unpriced_paths_agree():
+    """price=True (planner) and price=False (cache key) must produce the
+    byte-identical statement, or the cache would fragment."""
+    db = build_db()
+    for sql in RULE_QUERIES.values():
+        stmt = parse(sql)
+        priced, _ = rewrite_statement(stmt, db, price=True)
+        unpriced, _ = rewrite_statement(stmt, db, price=False)
+        assert priced == unpriced, sql
+
+
+# ---------------------------------------------------------------------------
+# result-cache interaction
+# ---------------------------------------------------------------------------
+
+
+def test_statement_and_rewritten_form_share_cache_entry():
+    """A query and its rewrite-equivalent spelling hit the same entry."""
+    db = build_db(result_cache=True)
+    plain = "SELECT id, a FROM t1 WHERE a > 5 ORDER BY id"
+    spelled = "SELECT id, a FROM t1 WHERE a > 5 AND 1 = 1 ORDER BY id"
+    first = db.sql(plain)
+    assert len(db.result_cache) == 1
+    second = db.sql(spelled)
+    assert second.plan.startswith("[answered from cache]"), second.plan
+    assert len(db.result_cache) == 1  # no second entry
+    assert_byte_identical(second, first, spelled)
+
+
+def test_rewrites_off_never_cross_serves_cached_entry():
+    """The +rewrite mode tag keeps on/off cache populations disjoint."""
+    db = build_db(result_cache=True)
+    sql = "SELECT id, a FROM t1 WHERE a > 5 ORDER BY id"
+    db.sql(sql)
+    assert len(db.result_cache) == 1
+    db.rewrites_enabled = False
+    miss = db.sql(sql)
+    assert not miss.plan.startswith("[answered from cache]")
+    assert len(db.result_cache) == 2  # distinct entry per mode
+    db.rewrites_enabled = True
+    hit = db.sql(sql)
+    assert hit.plan.startswith("[answered from cache]")
+
+
+def test_cache_invalidation_covers_subquery_tables():
+    """DML on a table read only inside IN (SELECT ...) must invalidate."""
+    db = build_db(result_cache=True)
+    sql = ("SELECT id FROM t1 WHERE k IN (SELECT k FROM t2 WHERE c > 101) "
+           "ORDER BY id")
+    assert db.sql(sql).row_count == 0
+    db.sql("INSERT INTO t2 (k, c) VALUES (3, 102.0)")
+    after = db.sql(sql)
+    assert not after.plan.startswith("[answered from cache]")
+    assert after.row_count > 0
+
+
+# ---------------------------------------------------------------------------
+# metrics and config plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_rewrite_metrics_count_firings():
+    db = build_db()
+    counter = get_metrics().counter("engine.rewrite.decorrelate_subquery")
+    before = counter.value
+    db.sql(RULE_QUERIES["decorrelate_subquery"])
+    assert counter.value == before + 1
+
+
+def test_engine_config_controls_rewrites():
+    assert EngineConfig().rewrites is True
+    assert Database("a", config=EngineConfig()).rewrites_enabled
+    assert not Database(
+        "b", config=EngineConfig(rewrites=False)).rewrites_enabled
+
+
+def test_cli_rewrites_flag():
+    from repro.cli import _build_parser, _engine_config
+
+    parser = _build_parser()
+    on = parser.parse_args(["sql", "-e", "SELECT 1"])
+    off = parser.parse_args(["sql", "-e", "SELECT 1", "--no-rewrites"])
+    assert _engine_config(on).rewrites is True
+    assert _engine_config(off).rewrites is False
