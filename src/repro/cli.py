@@ -21,7 +21,10 @@ writing Python:
   export the spans as a Chrome ``trace_event`` file (Perfetto), JSONL,
   or a text tree;
 * ``repro metrics``    — run the same demo pipeline and dump the
-  process-wide metrics registry.
+  process-wide metrics registry;
+* ``repro memo``       — repeat a SELECT against the demo database with
+  the adaptive feedback optimizer on and show the plan-memo decisions,
+  learned overrides and q-error trajectory.
 
 Every subcommand prints a compact text report; exit code 0 on success,
 1 when an invariant or shape check fails.
@@ -86,19 +89,32 @@ def _engine_flags() -> argparse.ArgumentParser:
                         help="logical query-rewrite pass between parse and "
                         "plan (--no-rewrites restores the unrewritten "
                         "plans; EXPLAIN lists fired rules)")
+    parent.add_argument("--feedback", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="adaptive feedback optimizer: memoize chosen "
+                        "plans per statement fingerprint and fold executed "
+                        "actuals back into the cardinality estimates "
+                        "(re-plan when max q-error exceeds the ceiling)")
+    parent.add_argument("--qerror-ceiling", type=float, default=None,
+                        metavar="Q",
+                        help="max q-error tolerated before the feedback "
+                        "loop re-analyzes and re-plans (default 8)")
     return parent
 
 
 def _engine_config(args):
     """Build the :class:`~repro.engine.config.EngineConfig` the shared
     flags describe."""
-    from repro.engine.config import EngineConfig
+    from repro.engine.config import DEFAULT_QERROR_CEILING, EngineConfig
 
     return EngineConfig(
         optimizer=getattr(args, "optimizer", "cost"),
         intra_query_workers=getattr(args, "workers", None) or 1,
         result_cache=bool(getattr(args, "cache", False)),
         rewrites=bool(getattr(args, "rewrites", True)),
+        feedback=bool(getattr(args, "feedback", False)),
+        qerror_ceiling=(getattr(args, "qerror_ceiling", None)
+                        or DEFAULT_QERROR_CEILING),
     )
 
 
@@ -244,6 +260,22 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics_p.add_argument("--backend",
                            choices=("sequential", "threads", "processes"),
                            default="sequential")
+
+    memo_p = sub.add_parser(
+        "memo",
+        help="exercise the plan memo + feedback loop on the demo database",
+        parents=[engine_flags],
+    )
+    add_common(memo_p)
+    memo_p.add_argument("-e", "--execute", default=None,
+                        help="SELECT to repeat (default: a zoned "
+                        "neighbour-count join)")
+    memo_p.add_argument("--repeat", type=int, default=4,
+                        help="how many times to execute the statement")
+    memo_p.add_argument("--shift", action="store_true",
+                        help="mutate the data between executions so "
+                        "statistics go stale and the feedback loop has "
+                        "something to correct")
     return parser
 
 
@@ -578,6 +610,33 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_memo(args) -> int:
+    args.feedback = True  # the command exists to show the feedback loop
+    db = _demo_database(args)
+    db.sql("ANALYZE")
+    sql = args.execute or (
+        "SELECT COUNT(*) AS pairs FROM zone z1 JOIN zone z2 "
+        "ON z1.zoneid = z2.zoneid WHERE z1.objid < z2.objid"
+    )
+    for cycle in range(max(args.repeat, 1)):
+        if args.shift and cycle == 1:
+            # stale the statistics mid-run: duplicate the low zones so
+            # the analyzed histograms no longer match the data
+            low = int(db.sql("SELECT MIN(zoneid) AS z FROM zone").scalar())
+            db.sql(f"INSERT INTO zone SELECT objid + 1000000, zoneid, "
+                   f"ra, dec FROM zone WHERE zoneid <= {low + 2}")
+            print("-- shifted: low zones duplicated, stats now stale")
+        result = db.sql(sql)
+        entry = db.feedback.store.get(result.fingerprint)
+        max_q = entry.last_max_q if entry is not None else None
+        print(f"cycle {cycle}: memo={result.memo_decision:16s} "
+              f"rows={result.row_count:,}"
+              + (f"  max_q={max_q:.2f}" if max_q is not None else ""))
+    print()
+    print(db.feedback.render())
+    return 0
+
+
 COMMANDS = {
     "run": cmd_run,
     "partition": cmd_partition,
@@ -589,6 +648,7 @@ COMMANDS = {
     "casjobs": cmd_casjobs,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
+    "memo": cmd_memo,
 }
 
 

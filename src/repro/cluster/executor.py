@@ -58,6 +58,10 @@ class PartitionRun:
     n_galaxies: int  # galaxies imported on this server (skirt included)
     worker: str = ""  # who executed it ("pid:.." / "pid:../thread:..")
     attempts: int = 1  # worker attempts consumed (retries included)
+    #: This worker's feedback-optimizer summary (plan-memo hit rates,
+    #: replans, learned overrides) when its EngineConfig enables
+    #: feedback; empty otherwise.
+    feedback: dict = field(default_factory=dict)
 
     @property
     def total_stats(self) -> TaskStats:
@@ -235,6 +239,7 @@ class SqlServerCluster:
                 n_galaxies=outcome.n_galaxies,
                 worker=outcome.worker,
                 attempts=report.attempts,
+                feedback=outcome.feedback,
             )
             for outcome, report in zip(executed.outcomes, executed.workers)
         ]

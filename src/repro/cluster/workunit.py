@@ -148,6 +148,11 @@ class WorkUnitOutcome:
     #: for in-process execution — those spans land in the shared tracer
     #: directly.
     spans: list = field(default_factory=list)
+    #: Feedback-loop counters from this worker's database (plan-memo
+    #: hits/misses, replans, learned overrides) when the unit's
+    #: EngineConfig enables feedback; empty otherwise.  Memo state is
+    #: per worker — only the observable summary crosses the boundary.
+    feedback: dict = field(default_factory=dict)
 
 
 def worker_label() -> str:
@@ -215,4 +220,8 @@ def execute_workunit(
         worker=worker_label(),
         cpu_clock=cpu_clock,
         spans=spans,
+        feedback=(
+            database.feedback.summary()
+            if database.feedback is not None else {}
+        ),
     )

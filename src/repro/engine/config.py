@@ -33,6 +33,14 @@ DEFAULT_CACHE_MAX_BYTES = 64 << 20
 #: Default ceiling on cached entries per database.
 DEFAULT_CACHE_MAX_ENTRIES = 512
 
+#: Default q-error ceiling before the feedback loop reacts: one node
+#: more than 8x off (in either direction) triggers targeted re-ANALYZE
+#: plus learned selectivity overrides and a re-plan.
+DEFAULT_QERROR_CEILING = 8.0
+
+#: Default ceiling on memoized plans per database.
+DEFAULT_PLAN_MEMO_ENTRIES = 256
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -67,6 +75,19 @@ class EngineConfig:
     cache_ttl_s:
         Optional time-to-live for cached results; ``None`` means
         entries live until invalidated or evicted.
+    feedback:
+        Enable the adaptive feedback optimizer: chosen plans are
+        memoized per statement fingerprint (repeat executions skip
+        planning), per-operator actuals are folded back after every
+        execution, and a fingerprint whose max q-error exceeds
+        ``qerror_ceiling`` triggers targeted re-ANALYZE, learned
+        selectivity overrides and a re-plan.  Off by default.
+    qerror_ceiling:
+        Max per-operator q-error tolerated before the feedback loop
+        reacts.  Must be > 1 (a ceiling of 1 would re-plan every
+        imperfect estimate forever).
+    plan_memo_entries:
+        LRU bound on memoized plans per database.
     """
 
     pool_pages: int = DEFAULT_POOL_PAGES
@@ -78,6 +99,9 @@ class EngineConfig:
     cache_max_bytes: int = DEFAULT_CACHE_MAX_BYTES
     cache_max_entries: int = DEFAULT_CACHE_MAX_ENTRIES
     cache_ttl_s: float | None = None
+    feedback: bool = False
+    qerror_ceiling: float = DEFAULT_QERROR_CEILING
+    plan_memo_entries: int = DEFAULT_PLAN_MEMO_ENTRIES
 
     def __post_init__(self) -> None:
         if self.optimizer not in _OPTIMIZER_MODES:
@@ -91,10 +115,28 @@ class EngineConfig:
             raise EngineError("cache limits must be positive")
         if self.cache_ttl_s is not None and self.cache_ttl_s <= 0:
             raise EngineError("cache_ttl_s must be positive (or None)")
+        if self.qerror_ceiling <= 1.0:
+            raise EngineError("qerror_ceiling must be > 1")
+        if self.plan_memo_entries <= 0:
+            raise EngineError("plan_memo_entries must be positive")
 
     def replace(self, **changes) -> "EngineConfig":
         """A copy with the given fields changed (validation re-runs)."""
         return dataclasses.replace(self, **changes)
+
+    def plan_signature(self) -> str:
+        """The planning-relevant knob set, as a stable string.
+
+        Part of every plan-memo key: two databases whose configs differ
+        in any knob that changes what the planner produces must never
+        cross-serve each other's memoized plans.
+        """
+        return (
+            f"optimizer={self.optimizer}"
+            f",band_joins={int(self.band_joins)}"
+            f",rewrites={int(self.rewrites)}"
+            f",workers={self.intra_query_workers}"
+        )
 
 
 #: The all-defaults configuration, shared where no knob is overridden.

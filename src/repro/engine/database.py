@@ -119,6 +119,14 @@ class Database:
             if config.result_cache
             else None
         )
+        #: Adaptive feedback optimizer (plan memo + q-error loop), or
+        #: None when disabled.  Built before the Executor so the
+        #: execution path can route SELECTs through it.
+        self.feedback = None
+        if config.feedback:
+            from repro.engine.optimizer.feedback import FeedbackController
+
+            self.feedback = FeedbackController(self, config)
         self._tables: dict[str, Table] = {}
         self._clustered: dict[str, ClusteredIndex] = {}
         self._hash: dict[tuple[str, str], HashIndex] = {}
@@ -196,6 +204,8 @@ class Database:
             del self._hash[hash_key]
         if self.result_cache is not None:
             self.result_cache.invalidate_table(key)
+        if self.feedback is not None:
+            self.feedback.memo.invalidate_table(key)
 
     # ------------------------------------------------------------------
     # views, table functions, procedures
@@ -431,6 +441,10 @@ class Database:
             self._hash[hash_key].invalidate()
         if self.result_cache is not None:
             self.result_cache.invalidate_table(table_name)
+        if self.feedback is not None:
+            # version-keyed memo lookups would miss anyway; eager drop
+            # reclaims the plans and makes the invalidation observable
+            self.feedback.memo.invalidate_table(table_name)
 
     # ------------------------------------------------------------------
     # versions and the result cache
@@ -538,7 +552,9 @@ class Database:
                 except Exception:  # logging must never fail the query
                     pass
             slow_log.record(statement_text, elapsed, plan=plan,
-                            database=self.name)
+                            database=self.name,
+                            fingerprint=result.fingerprint,
+                            memo=result.memo_decision)
         return result
 
     def run_script(self, text: str) -> list[QueryResult]:
@@ -597,6 +613,12 @@ class Database:
         for name in names:
             table = self.table(name)
             table.stats = build_table_stats(table)
+            # statistics generation moved: any plan chosen under the old
+            # stats must miss the memo and re-plan, even though the data
+            # (table.version) has not changed
+            table.stats_version += 1
+            if self.feedback is not None:
+                self.feedback.memo.invalidate_table(name)
         return [n.lower() for n in names]
 
     # ------------------------------------------------------------------

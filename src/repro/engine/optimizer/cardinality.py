@@ -70,6 +70,10 @@ class RelationProfile:
     columns: set[str] = field(default_factory=set)
     primary_key: str | None = None
     pages: float = 0.0
+    #: Lowercased base-table name, when the relation is one (None for
+    #: derived relations).  Learned selectivity overrides key on
+    #: ``table.column`` so every alias of the same join shares them.
+    table: str | None = None
 
 
 def _literal_value(expr: Expr):
@@ -117,10 +121,21 @@ def _band_width(low: Expr | None, high: Expr | None) -> float | None:
 
 
 class CardinalityEstimator:
-    """Estimates selectivities and cardinalities from relation profiles."""
+    """Estimates selectivities and cardinalities from relation profiles.
 
-    def __init__(self, profiles: list[RelationProfile] | None = None):
+    ``overrides`` (duck-typed: ``equi_ratio(col_a, col_b)`` and
+    ``band_ratio(col, shape)`` returning a float or None) carries the
+    feedback loop's learned actual/estimate ratios; when present they
+    multiply the corresponding base join selectivity.
+    """
+
+    def __init__(
+        self,
+        profiles: list[RelationProfile] | None = None,
+        overrides=None,
+    ):
         self.profiles = list(profiles or [])
+        self.overrides = overrides
 
     # ------------------------------------------------------------------
     # name resolution
@@ -138,6 +153,20 @@ class CardinalityEstimator:
         if len(matches) == 1:
             return matches[0]
         return None
+
+    def column_key(self, ref: Expr) -> str | None:
+        """``"table.column"`` for a base-table column ref, else None.
+
+        The stable identity learned overrides key on: alias-independent,
+        so ``g.zoneid = z.zoneid`` and ``gal.zoneid = zn.zoneid`` hit
+        the same correction.
+        """
+        if not isinstance(ref, ColumnRef):
+            return None
+        profile = self._profile_of(ref)
+        if profile is None or profile.table is None:
+            return None
+        return f"{profile.table}.{ref.name.lower()}"
 
     def column_stats(self, ref: ColumnRef) -> ColumnStats | None:
         profile = self._profile_of(ref)
@@ -286,12 +315,15 @@ class CardinalityEstimator:
         """Fraction of one side's rows a band ``low <= key <= high``
         admits per probe.  Literal bounds go through the histogram
         machinery; a structural ``base ± c`` band is priced as its width
-        over the key column's value range; otherwise 1/3."""
+        over the key column's value range; otherwise 1/3.  A learned
+        override for this key + bound shape scales the base estimate."""
         lo = _literal_value(low) if low is not None else None
         hi = _literal_value(high) if high is not None else None
         if (low is None or lo is not None) and (high is None or hi is not None):
-            return self._range(key, lo, hi)
+            return self._apply_band_override(key, low, high,
+                                             self._range(key, lo, hi))
         width = _band_width(low, high)
+        base = DEFAULT_RANGE_SELECTIVITY
         if width is not None and isinstance(key, ColumnRef):
             stats = self.column_stats(key)
             if (
@@ -301,14 +333,30 @@ class CardinalityEstimator:
                 and stats.max_value > stats.min_value
             ):
                 span = stats.max_value - stats.min_value
-                return float(min(max(width, 0.0) / span, 1.0))
-        return DEFAULT_RANGE_SELECTIVITY
+                base = float(min(max(width, 0.0) / span, 1.0))
+        return self._apply_band_override(key, low, high, base)
+
+    def _apply_band_override(
+        self, key: Expr, low: Expr | None, high: Expr | None, base: float
+    ) -> float:
+        if self.overrides is None:
+            return base
+        shape = (repr(low) if low is not None else "",
+                 repr(high) if high is not None else "")
+        ratio = self.overrides.band_ratio(self.column_key(key), shape)
+        if ratio is None:
+            return base
+        return float(min(max(base * ratio, 1e-12), 1.0))
 
     # ------------------------------------------------------------------
     # joins
     # ------------------------------------------------------------------
     def equi_selectivity(self, left: Expr, right: Expr) -> float:
-        """Containment assumption: |join| ~= |L||R| / max(NDV_l, NDV_r)."""
+        """Containment assumption: |join| ~= |L||R| / max(NDV_l, NDV_r).
+
+        A learned override for this column pair (either order) scales
+        the containment estimate by the observed actual/estimate ratio.
+        """
         ndvs = []
         for side in (left, right):
             if isinstance(side, ColumnRef):
@@ -316,8 +364,16 @@ class CardinalityEstimator:
                 if ndv:
                     ndvs.append(ndv)
         if not ndvs:
-            return 1.0 / DEFAULT_JOIN_NDV
-        return 1.0 / max(max(ndvs), 1.0)
+            base = 1.0 / DEFAULT_JOIN_NDV
+        else:
+            base = 1.0 / max(max(ndvs), 1.0)
+        if self.overrides is not None:
+            ratio = self.overrides.equi_ratio(
+                self.column_key(left), self.column_key(right)
+            )
+            if ratio is not None:
+                base = float(min(max(base * ratio, 1e-12), 1.0))
+        return base
 
 
 # ----------------------------------------------------------------------
@@ -331,6 +387,7 @@ def profile_for_table(table, alias: str) -> RelationProfile:
         columns={c.lower() for c in table.schema.column_names},
         primary_key=table.schema.primary_key,
         pages=float(table.page_count),
+        table=table.name.lower(),
     )
 
 
@@ -344,30 +401,36 @@ def _index_range_rows(node: IndexRangeScan,
     return float(table.row_count) * fraction
 
 
-def annotate_plan(plan: PlanNode) -> float:
+def annotate_plan(plan: PlanNode, overrides=None) -> float:
     """Stamp ``est_rows`` on every node of a physical plan; returns the
     root estimate.  Works on any plan — cost-based or syntactic — so
-    q-error reporting is available under both optimizers."""
-    est, _ = _annotate(plan)
+    q-error reporting is available under both optimizers.  ``overrides``
+    carries the feedback loop's learned selectivity ratios (None when
+    feedback is off)."""
+    est, _ = _annotate(plan, overrides)
     return est
 
 
-def _annotate(node: PlanNode) -> tuple[float, list[RelationProfile]]:
-    est, profiles = _estimate(node)
+def _annotate(
+    node: PlanNode, overrides=None
+) -> tuple[float, list[RelationProfile]]:
+    est, profiles = _estimate(node, overrides)
     node.est_rows = float(max(est, 0.0))
     return node.est_rows, profiles
 
 
-def _estimate(node: PlanNode) -> tuple[float, list[RelationProfile]]:
+def _estimate(
+    node: PlanNode, overrides=None
+) -> tuple[float, list[RelationProfile]]:
     if isinstance(node, SeqScan):
         profile = profile_for_table(node.table, node.alias)
         return profile.table_rows, [profile]
     if isinstance(node, IndexRangeScan):
         profile = profile_for_table(node.index.table, node.alias)
-        estimator = CardinalityEstimator([profile])
+        estimator = CardinalityEstimator([profile], overrides)
         return _index_range_rows(node, estimator), [profile]
     if isinstance(node, SubqueryScan):
-        child_est, _ = _annotate(node.child)
+        child_est, _ = _annotate(node.child, overrides)
         profile = RelationProfile(alias=node.alias.lower(),
                                   table_rows=child_est)
         return child_est, [profile]
@@ -378,14 +441,16 @@ def _estimate(node: PlanNode) -> tuple[float, list[RelationProfile]]:
     if isinstance(node, Materialized):
         return float(batch_length(node.batch)), []
     if isinstance(node, Filter):
-        child_est, profiles = _annotate(node.child)
-        sel = CardinalityEstimator(profiles).selectivity(node.predicate)
+        child_est, profiles = _annotate(node.child, overrides)
+        sel = CardinalityEstimator(profiles, overrides).selectivity(
+            node.predicate
+        )
         return child_est * sel, profiles
     if isinstance(node, HashJoin):
-        left_est, left_profiles = _annotate(node.left)
-        right_est, right_profiles = _annotate(node.right)
+        left_est, left_profiles = _annotate(node.left, overrides)
+        right_est, right_profiles = _annotate(node.right, overrides)
         profiles = left_profiles + right_profiles
-        estimator = CardinalityEstimator(profiles)
+        estimator = CardinalityEstimator(profiles, overrides)
         sel = estimator.equi_selectivity(node.left_key, node.right_key)
         sel *= estimator.selectivity(node.residual)
         est = left_est * right_est * sel
@@ -393,25 +458,25 @@ def _estimate(node: PlanNode) -> tuple[float, list[RelationProfile]]:
             est = max(est, left_est)
         return est, profiles
     if isinstance(node, BandJoin):
-        left_est, left_profiles = _annotate(node.left)
-        right_est, right_profiles = _annotate(node.right)
+        left_est, left_profiles = _annotate(node.left, overrides)
+        right_est, right_profiles = _annotate(node.right, overrides)
         profiles = left_profiles + right_profiles
-        estimator = CardinalityEstimator(profiles)
+        estimator = CardinalityEstimator(profiles, overrides)
         sel = estimator.band_selectivity(node.right_key, node.low, node.high)
         sel *= estimator.selectivity(node.residual)
         return left_est * right_est * sel, profiles
     if isinstance(node, (NestedLoopJoin, CrossJoin)):
-        left_est, left_profiles = _annotate(node.left)
-        right_est, right_profiles = _annotate(node.right)
+        left_est, left_profiles = _annotate(node.left, overrides)
+        right_est, right_profiles = _annotate(node.right, overrides)
         profiles = left_profiles + right_profiles
         predicate = getattr(node, "predicate", None)
-        sel = CardinalityEstimator(profiles).selectivity(predicate)
+        sel = CardinalityEstimator(profiles, overrides).selectivity(predicate)
         return left_est * right_est * sel, profiles
     if isinstance(node, Aggregate):
-        child_est, profiles = _annotate(node.child)
+        child_est, profiles = _annotate(node.child, overrides)
         if not node.group_by:
             return 1.0, profiles
-        estimator = CardinalityEstimator(profiles)
+        estimator = CardinalityEstimator(profiles, overrides)
         groups = 1.0
         for _, key in node.group_by:
             if isinstance(key, ColumnRef):
@@ -421,17 +486,17 @@ def _estimate(node: PlanNode) -> tuple[float, list[RelationProfile]]:
                 groups *= DEFAULT_JOIN_NDV
         return min(child_est, groups), profiles
     if isinstance(node, Limit):
-        child_est, profiles = _annotate(node.child)
+        child_est, profiles = _annotate(node.child, overrides)
         return min(child_est, float(node.limit)), profiles
     if isinstance(node, (Project, ProjectPassthrough, Sort, Distinct)):
-        child_est, profiles = _annotate(node.child)
+        child_est, profiles = _annotate(node.child, overrides)
         return child_est, profiles
     # unknown node type: annotate children generically, passthrough est
     children = node._children()
     est = 1.0
     profiles: list[RelationProfile] = []
     for child in children:
-        child_est, child_profiles = _annotate(child)
+        child_est, child_profiles = _annotate(child, overrides)
         est = child_est
         profiles.extend(child_profiles)
     return est, profiles

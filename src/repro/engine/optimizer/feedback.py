@@ -1,0 +1,637 @@
+"""Adaptive feedback optimization: the loop that closes on q-error.
+
+EXPLAIN ANALYZE and the slow-query log have recorded per-operator
+est-vs-actual q-error since the optimizer landed — this module finally
+*consumes* it.  A :class:`FeedbackController` hangs off each
+feedback-enabled :class:`~repro.engine.database.Database` and owns
+three pieces of state:
+
+* a :class:`~repro.engine.memo.PlanMemo` — repeat executions of a
+  fingerprint skip rewrite + DP planning entirely;
+* a :class:`FeedbackStore` — per-fingerprint execution history (max
+  q-error, planning time, memo decisions);
+* :class:`SelectivityOverrides` — learned actual/estimate ratios keyed
+  by join column pair (equi joins) and by band key + predicate shape
+  (band joins), applied multiplicatively by the cardinality estimator.
+
+Every SELECT executes instrumented.  After execution the controller
+folds the observed per-operator actuals back; when a fingerprint's max
+q-error exceeds the configured ceiling it reacts: targeted re-ANALYZE
+of the tables under the offending operators, override ratios computed
+against the *fresh* statistics (so the corrected estimate lands on the
+observed cardinality, not on a stale baseline), and the memo entry
+dropped so the next execution re-plans.  Plans thereby stop being a
+pure function of stale statistics and become a converging function of
+observed execution.
+
+Obs: counters under ``engine.feedback.*`` and spans
+(``engine.plan`` / ``engine.feedback.observe`` /
+``engine.feedback.react``) cover every decision.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.engine.instrument import NodeStats, instrument_plan
+from repro.engine.join import BandJoin, HashJoin
+from repro.engine.memo import MemoEntry, PlanMemo
+from repro.engine.operators import IndexRangeScan, PlanNode, SeqScan
+from repro.engine.optimizer.cardinality import (
+    CardinalityEstimator,
+    profile_for_table,
+)
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import span
+
+#: Learned ratios are clamped here: a single wild observation (an empty
+#: intermediate, say) must not install a correction the estimator can
+#: never recover from.
+MIN_OVERRIDE_RATIO = 1e-6
+MAX_OVERRIDE_RATIO = 1e6
+
+
+# ----------------------------------------------------------------------
+# learned selectivity overrides
+# ----------------------------------------------------------------------
+@dataclass
+class OverrideEntry:
+    """One learned correction: estimate *= ratio."""
+
+    kind: str  # "equi" | "band"
+    key: tuple
+    ratio: float
+    installs: int = 1
+    fingerprint: str | None = None  # who learned it (for reports)
+
+
+class SelectivityOverrides:
+    """Actual/estimate ratios the cardinality estimator multiplies in.
+
+    Keys are table-qualified column names (``"galaxy.zoneid"``), not
+    aliases, so every query shape touching the same join shares one
+    learned correction.  ``version`` bumps on every install; the plan
+    memo snapshots it, so new knowledge forces a re-plan structurally.
+    """
+
+    def __init__(self):
+        self._entries: dict[tuple, OverrideEntry] = {}
+        self._lock = threading.Lock()
+        self.version = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @staticmethod
+    def equi_key(column_a: str, column_b: str) -> tuple:
+        return ("equi", tuple(sorted((column_a, column_b))))
+
+    @staticmethod
+    def band_key(column: str, shape: tuple[str, str]) -> tuple:
+        return ("band", column, shape)
+
+    def install(
+        self, kind: str, key: tuple, ratio: float,
+        fingerprint: str | None = None,
+    ) -> OverrideEntry:
+        ratio = float(min(max(ratio, MIN_OVERRIDE_RATIO), MAX_OVERRIDE_RATIO))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = OverrideEntry(kind=kind, key=key, ratio=ratio,
+                                      fingerprint=fingerprint)
+                self._entries[key] = entry
+            else:
+                entry.ratio = ratio
+                entry.installs += 1
+                entry.fingerprint = fingerprint
+            self.version += 1
+            return entry
+
+    def equi_ratio(self, column_a: str | None, column_b: str | None) -> float | None:
+        if column_a is None or column_b is None:
+            return None
+        return self._ratio(self.equi_key(column_a, column_b))
+
+    def band_ratio(self, column: str | None, shape: tuple[str, str]) -> float | None:
+        if column is None:
+            return None
+        return self._ratio(self.band_key(column, shape))
+
+    def _ratio(self, key: tuple) -> float | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry.ratio if entry is not None else None
+
+    def entries(self) -> list[OverrideEntry]:
+        with self._lock:
+            return list(self._entries.values())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.version += 1
+
+    def render(self) -> str:
+        entries = self.entries()
+        if not entries:
+            return "learned overrides: none"
+        lines = [f"learned overrides ({len(entries)}, generation {self.version}):"]
+        for entry in entries:
+            if entry.kind == "equi":
+                what = " ~ ".join(entry.key[1])
+            else:
+                # band shapes are expression reprs; keep the line readable
+                low, high = (s if len(s) <= 24 else s[:21] + "..."
+                             for s in entry.key[2])
+                what = f"{entry.key[1]} in [{low}, {high}]"
+            lines.append(
+                f"  {entry.kind}({what}): x{entry.ratio:.4g} "
+                f"(installs={entry.installs})"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# per-fingerprint execution history
+# ----------------------------------------------------------------------
+@dataclass
+class FingerprintFeedback:
+    """Everything observed about one statement fingerprint so far."""
+
+    fingerprint: str
+    sql: str = ""
+    executions: int = 0
+    replans: int = 0
+    last_max_q: float = 1.0
+    worst_max_q: float = 1.0
+    last_decision: str | None = None
+    last_planning_s: float = 0.0
+    planning_total_s: float = 0.0
+    #: Set when a ceiling breach demands a re-plan; consumed (and
+    #: reported as the memo decision) by the next planning of this
+    #: fingerprint.
+    pending: str | None = None
+    #: max q-error per execution, oldest first (bounded ring).
+    q_trajectory: list[float] = field(default_factory=list)
+
+
+class FeedbackStore:
+    """Thread-safe map fingerprint -> :class:`FingerprintFeedback`."""
+
+    _TRAJECTORY_CAP = 64
+
+    def __init__(self):
+        self._entries: dict[str, FingerprintFeedback] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def entry(self, fingerprint: str) -> FingerprintFeedback:
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                entry = FingerprintFeedback(fingerprint=fingerprint)
+                self._entries[fingerprint] = entry
+            return entry
+
+    def get(self, fingerprint: str) -> FingerprintFeedback | None:
+        with self._lock:
+            return self._entries.get(fingerprint)
+
+    def record(
+        self,
+        fingerprint: str,
+        sql: str,
+        max_q: float,
+        planning_s: float,
+        decision: str | None,
+    ) -> FingerprintFeedback:
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                entry = FingerprintFeedback(fingerprint=fingerprint)
+                self._entries[fingerprint] = entry
+            if sql:
+                entry.sql = sql
+            entry.executions += 1
+            entry.last_max_q = max_q
+            entry.worst_max_q = max(entry.worst_max_q, max_q)
+            entry.last_decision = decision
+            entry.last_planning_s = planning_s
+            entry.planning_total_s += planning_s
+            if decision in ("replan", "learned-override"):
+                entry.replans += 1
+            entry.q_trajectory.append(max_q)
+            if len(entry.q_trajectory) > self._TRAJECTORY_CAP:
+                del entry.q_trajectory[0]
+            return entry
+
+    def set_pending(self, fingerprint: str, reason: str) -> None:
+        self.entry(fingerprint).pending = reason
+
+    def take_pending(self, fingerprint: str) -> str | None:
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None or entry.pending is None:
+                return None
+            reason, entry.pending = entry.pending, None
+            return reason
+
+    def entries(self) -> list[FingerprintFeedback]:
+        with self._lock:
+            return list(self._entries.values())
+
+    def render(self) -> str:
+        entries = self.entries()
+        if not entries:
+            return "feedback store: empty"
+        lines = [f"feedback store ({len(entries)} fingerprints):"]
+        for entry in sorted(entries, key=lambda e: -e.worst_max_q):
+            sql = entry.sql if len(entry.sql) <= 72 else entry.sql[:69] + "..."
+            lines.append(
+                f"  {entry.fingerprint[:12]}  execs={entry.executions}  "
+                f"q_last={entry.last_max_q:.2f}  q_worst={entry.worst_max_q:.2f}  "
+                f"replans={entry.replans}  last={entry.last_decision or '-'}  "
+                f"{sql}"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# plan walking helpers (must mirror instrument_plan's traversal)
+# ----------------------------------------------------------------------
+def _walk_preorder(node: PlanNode) -> list[PlanNode]:
+    """Nodes in the exact order :func:`instrument_plan` records them:
+    preorder, children in dataclass field order."""
+    order = [node]
+    if dataclasses.is_dataclass(node):
+        for f in dataclasses.fields(node):
+            value = getattr(node, f.name)
+            if isinstance(value, PlanNode):
+                order.extend(_walk_preorder(value))
+    return order
+
+
+def _scan_leaves(node: PlanNode):
+    """Base-table scans under a node (SeqScan / IndexRangeScan)."""
+    if isinstance(node, SeqScan):
+        yield node.alias.lower(), node.table
+        return
+    if isinstance(node, IndexRangeScan):
+        yield node.alias.lower(), node.index.table
+        return
+    if dataclasses.is_dataclass(node):
+        for f in dataclasses.fields(node):
+            value = getattr(node, f.name)
+            if isinstance(value, PlanNode):
+                yield from _scan_leaves(value)
+
+
+def _subtree_profiles(node: PlanNode) -> list:
+    """Fresh relation profiles for every scan leaf under a node."""
+    return [
+        profile_for_table(table, alias)
+        for alias, table in _scan_leaves(node)
+    ]
+
+
+def _band_shape(low, high) -> tuple[str, str]:
+    """A stable structural key for a band's bound expressions.
+
+    Bound expressions are frozen dataclasses, so ``repr`` is
+    deterministic; two band joins with the same key column and the same
+    bound shapes share one learned ratio.
+    """
+    return (repr(low) if low is not None else "",
+            repr(high) if high is not None else "")
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Everything needed to memoize / track one statement."""
+
+    memo_key: tuple[str, str]
+    fingerprint: str
+    tables: frozenset[str]
+    sql: str
+
+
+class FeedbackController:
+    """The per-database feedback loop: memo + store + overrides."""
+
+    def __init__(self, database, config):
+        self.database = database
+        self.ceiling = float(config.qerror_ceiling)
+        self.signature = config.plan_signature()
+        self.memo = PlanMemo(config.plan_memo_entries)
+        self.store = FeedbackStore()
+        self.overrides = SelectivityOverrides()
+        metrics = get_metrics()
+        self._m_executions = metrics.counter("engine.feedback.executions")
+        self._m_breaches = metrics.counter("engine.feedback.breaches")
+        self._m_reanalyzed = metrics.counter(
+            "engine.feedback.reanalyzed_tables"
+        )
+        self._m_overrides = metrics.counter(
+            "engine.feedback.overrides_installed"
+        )
+        self._m_replans = metrics.counter("engine.feedback.replans")
+        self._h_max_q = metrics.histogram(
+            "engine.feedback.max_q_error",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 64.0),
+        )
+
+    # ------------------------------------------------------------------
+    # keying
+    # ------------------------------------------------------------------
+    def plan_key(self, stmt) -> PlanKey | None:
+        """Memo key for a statement, or None when it must not memoize.
+
+        Mirrors the result cache's keying: the fingerprint hashes the
+        printer-normalized, *post-rewrite* statement under a mode tag,
+        so rewrite-equivalent spellings share one plan.  Statements
+        reading TVFs or unknown names — and anything planned while a
+        matview is (re)materializing — are not memoizable.
+        """
+        from repro.engine.cache import (
+            normalize_statement,
+            referenced_tables,
+            statement_fingerprint,
+        )
+        from repro.engine.sql.ast import SelectStatement
+
+        if not isinstance(stmt, SelectStatement):
+            return None
+        if getattr(self.database, "_matview_plan_depth", 0):
+            return None
+        tables = referenced_tables(stmt, self.database)
+        if tables is None:
+            return None
+        mode = self.database.optimizer_mode
+        fingerprint_stmt = stmt
+        if self.database.rewrites_enabled:
+            from repro.engine.optimizer.rewrite import rewrite_statement
+
+            try:
+                fingerprint_stmt, _ = rewrite_statement(
+                    stmt, self.database, price=False
+                )
+            except Exception:
+                return None  # unrewritable shape: plan it fresh every time
+            mode = f"{mode}+rewrite"
+        fingerprint = statement_fingerprint(fingerprint_stmt, mode)
+        return PlanKey(
+            memo_key=(fingerprint, self.signature),
+            fingerprint=fingerprint,
+            tables=frozenset(t.lower() for t in tables),
+            sql=normalize_statement(fingerprint_stmt),
+        )
+
+    def stats_versions(self, tables) -> dict[str, int]:
+        """Live statistics generations for the named tables."""
+        out: dict[str, int] = {}
+        for name in tables:
+            key = name.lower()
+            table = self.database._tables.get(key)
+            out[key] = (
+                getattr(table, "stats_version", 0) if table is not None else -1
+            )
+        return out
+
+    @staticmethod
+    def memoizable(plan: PlanNode) -> bool:
+        """Matview-substituted plans must not memoize: substitution is
+        re-decided per statement from the view's freshness, and a
+        memoized substitution would outlive it."""
+        for node in _walk_preorder(plan):
+            reason = getattr(node, "reason", None)
+            if reason and "answered from matview" in reason:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # the execution path (called by Executor._select)
+    # ------------------------------------------------------------------
+    def execute_select(self, stmt, planner):
+        """Plan (or recall) a SELECT, execute instrumented, observe."""
+        from repro.engine.sql.executor import QueryResult
+
+        keyed = self.plan_key(stmt)
+        plan: PlanNode | None = None
+        decision: str | None = None
+        planning_s = 0.0
+        table_versions: dict[str, int | None] = {}
+        stats_versions: dict[str, int] = {}
+        if keyed is not None:
+            table_versions = self.database.table_versions(keyed.tables)
+            stats_versions = self.stats_versions(keyed.tables)
+            entry = self.memo.get(
+                keyed.memo_key, table_versions, stats_versions,
+                self.overrides.version,
+            )
+            if entry is not None:
+                plan = entry.plan
+                decision = "hit"
+        if plan is None:
+            pending = (
+                self.store.take_pending(keyed.fingerprint)
+                if keyed is not None else None
+            )
+            decision = pending or "miss"
+            started = time.perf_counter()
+            with span(
+                "engine.plan", layer="engine",
+                attrs={
+                    "decision": decision,
+                    "fingerprint": keyed.fingerprint if keyed else "",
+                },
+            ):
+                plan = planner.plan_select(stmt)
+            planning_s = time.perf_counter() - started
+            if pending is not None:
+                self._m_replans.inc()
+            if keyed is not None and self.memoizable(plan):
+                self.memo.put(
+                    keyed.memo_key, plan, keyed.tables,
+                    table_versions, stats_versions,
+                    self.overrides.version, planning_s,
+                )
+        wrapped, records = instrument_plan(plan, self.database.pool.counters)
+        batch = wrapped.execute()
+        self.observe(keyed, plan, records, planning_s, decision)
+        return QueryResult(
+            columns=batch,
+            plan=plan.explain(),
+            fingerprint=keyed.fingerprint if keyed is not None else None,
+            memo_decision=decision,
+        )
+
+    # ------------------------------------------------------------------
+    # folding actuals back
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        keyed: PlanKey | None,
+        plan: PlanNode,
+        records: list[NodeStats],
+        planning_s: float,
+        decision: str | None,
+    ) -> float:
+        """Fold one execution's actuals into the store; maybe react."""
+        with span("engine.feedback.observe", layer="engine",
+                  attrs={"decision": decision or ""}):
+            max_q = 1.0
+            for rec in records:
+                q = rec.q_error
+                if q is not None and q > max_q:
+                    max_q = q
+            self._m_executions.inc()
+            self._h_max_q.observe(max_q)
+            if keyed is None:
+                return max_q
+            entry = self.store.record(
+                keyed.fingerprint, keyed.sql, max_q, planning_s, decision
+            )
+            if max_q > self.ceiling and entry.pending is None:
+                self._m_breaches.inc()
+                with span(
+                    "engine.feedback.react", layer="engine",
+                    attrs={
+                        "fingerprint": keyed.fingerprint,
+                        "max_q": round(max_q, 2),
+                    },
+                ):
+                    self._react(keyed, plan, records)
+            return max_q
+
+    def _react(
+        self, keyed: PlanKey, plan: PlanNode, records: list[NodeStats]
+    ) -> None:
+        """Ceiling breached: re-ANALYZE offenders, learn ratios, re-plan.
+
+        Overrides are computed against the estimator's *fresh* (post
+        re-ANALYZE) base selectivities, so the corrected estimate lands
+        on the observed cardinality in one step instead of chasing a
+        moving baseline.
+        """
+        nodes = _walk_preorder(plan)
+        if len(nodes) != len(records):  # defensive: never corrupt state
+            self.store.set_pending(keyed.fingerprint, "replan")
+            self.memo.invalidate_fingerprint(keyed.fingerprint)
+            return
+        stats_by_node = {id(node): rec for node, rec in zip(nodes, records)}
+        offenders = [
+            (node, rec)
+            for node, rec in zip(nodes, records)
+            if rec.q_error is not None and rec.q_error > self.ceiling
+        ]
+
+        # 1. targeted re-ANALYZE of every table under an offending node
+        doomed_tables: dict[str, object] = {}
+        for node, _rec in offenders:
+            for alias, table in _scan_leaves(node):
+                doomed_tables[table.name.lower()] = table
+        for name in sorted(doomed_tables):
+            self.database.analyze(name)
+            self._m_reanalyzed.inc()
+
+        # 2. learn selectivity ratios for the offending joins, against
+        #    the now-fresh statistics
+        installed = 0
+        for node, rec in offenders:
+            if not isinstance(node, (HashJoin, BandJoin)):
+                continue
+            installed += self._learn_join_ratio(
+                keyed.fingerprint, node, rec, stats_by_node
+            )
+        if installed:
+            self._m_overrides.inc(installed)
+
+        # 3. force the re-plan: drop this fingerprint's memo entries and
+        #    flag the store so the next planning reports its decision
+        self.memo.invalidate_fingerprint(keyed.fingerprint)
+        self.store.set_pending(
+            keyed.fingerprint,
+            "learned-override" if installed else "replan",
+        )
+
+    def _learn_join_ratio(
+        self,
+        fingerprint: str,
+        node: HashJoin | BandJoin,
+        rec: NodeStats,
+        stats_by_node: dict[int, NodeStats],
+    ) -> int:
+        """Install one observed/estimated ratio for a join node.
+
+        Returns the number of overrides installed (0 or 1).  The
+        observed join selectivity is ``out / (left * right)`` per call;
+        zero-row inputs are skipped — there is nothing to learn from an
+        empty side, and the ratio would be undefined.
+        """
+        left_rec = stats_by_node.get(id(node.left))
+        right_rec = stats_by_node.get(id(node.right))
+        if left_rec is None or right_rec is None:
+            return 0
+        left_rows = left_rec.rows_per_call
+        right_rows = right_rec.rows_per_call
+        if left_rows <= 0 or right_rows <= 0:
+            return 0
+        observed = max(rec.rows_per_call, 1.0) / (left_rows * right_rows)
+
+        estimator = CardinalityEstimator(_subtree_profiles(node))
+        if isinstance(node, HashJoin):
+            key_a = estimator.column_key(node.left_key)
+            key_b = estimator.column_key(node.right_key)
+            if key_a is None or key_b is None:
+                return 0
+            base = estimator.equi_selectivity(node.left_key, node.right_key)
+            base *= estimator.selectivity(node.residual)
+            if base <= 0.0:
+                return 0
+            self.overrides.install(
+                "equi", SelectivityOverrides.equi_key(key_a, key_b),
+                observed / base, fingerprint,
+            )
+            return 1
+        key = estimator.column_key(node.right_key)
+        if key is None:
+            return 0
+        base = estimator.band_selectivity(node.right_key, node.low, node.high)
+        base *= estimator.selectivity(node.residual)
+        if base <= 0.0:
+            return 0
+        shape = _band_shape(node.low, node.high)
+        self.overrides.install(
+            "band", SelectivityOverrides.band_key(key, shape),
+            observed / base, fingerprint,
+        )
+        return 1
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, float]:
+        """Memo counters + feedback totals, for reports and workers."""
+        out = {f"memo_{k}": v for k, v in self.memo.summary().items()}
+        entries = self.store.entries()
+        out["fingerprints"] = len(entries)
+        out["executions"] = sum(e.executions for e in entries)
+        out["replans"] = sum(e.replans for e in entries)
+        out["overrides"] = len(self.overrides)
+        return out
+
+    def render(self) -> str:
+        """Full textual state: memo, store, overrides."""
+        return "\n".join([
+            self.memo.render(),
+            self.store.render(),
+            self.overrides.render(),
+        ])

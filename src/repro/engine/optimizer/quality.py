@@ -10,16 +10,35 @@ run can pin "no node is more than X× off" in CI.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+
+#: Sentinel ceiling for degenerate q-errors.  An infinite estimate (an
+#: annotation-pass overflow) or a NaN one (0 * inf during estimation)
+#: cannot be ranked, and a single inf/NaN poisons ``max()`` aggregation
+#: for the whole report — so both clamp to this documented, finite,
+#: comparable value: "maximally wrong".  Zero estimated or actual rows
+#: floor at one row (the classic q-error convention), so empty results
+#: never divide by zero.
+Q_ERROR_CAP = 1e12
 
 
 def q_error(est: float | None, actual: float) -> float | None:
-    """Symmetric estimation error; ``None`` when no estimate exists."""
+    """Symmetric estimation error; ``None`` when no estimate exists.
+
+    Both sides are floored at one row and capped at
+    :data:`Q_ERROR_CAP`; NaN on either side yields the cap.  The result
+    is therefore always a finite float in ``[1.0, Q_ERROR_CAP]``.
+    """
     if est is None:
         return None
-    e = max(float(est), 1.0)
-    a = max(float(actual), 1.0)
-    return max(e / a, a / e)
+    e = float(est)
+    a = float(actual)
+    if math.isnan(e) or math.isnan(a):
+        return Q_ERROR_CAP
+    e = min(max(e, 1.0), Q_ERROR_CAP)
+    a = min(max(a, 1.0), Q_ERROR_CAP)
+    return min(max(e / a, a / e), Q_ERROR_CAP)
 
 
 @dataclass(frozen=True)

@@ -40,12 +40,18 @@ class QueryResult:
 
     ``columns`` is the output batch for SELECTs (empty for DDL/DML);
     ``rows_affected`` counts DML effects; ``plan`` is the EXPLAIN text
-    for SELECTs.
+    for SELECTs.  With the feedback optimizer on, ``fingerprint``
+    carries the normalized-statement hash and ``memo_decision`` records
+    how the plan was obtained (``hit`` / ``miss`` / ``replan`` /
+    ``learned-override``) so results join cleanly against the
+    FeedbackStore and the slow-query log.
     """
 
     columns: Batch = field(default_factory=dict)
     rows_affected: int = 0
     plan: str = ""
+    fingerprint: str | None = None
+    memo_decision: str | None = None
 
     @property
     def row_count(self) -> int:
@@ -192,6 +198,11 @@ class Executor:
                 value = np.asarray(item.expr.eval(_SCALAR_BATCH))
                 out[name.lower()] = np.broadcast_to(value, (1,)).copy()
             return QueryResult(columns=out)
+        feedback = getattr(self.database, "feedback", None)
+        if feedback is not None:
+            # the adaptive path: memo lookup, instrumented execution,
+            # actuals folded back into the feedback store
+            return feedback.execute_select(stmt, self.planner)
         plan = self.planner.plan_select(stmt)
         batch = plan.execute()
         return QueryResult(columns=batch, plan=plan.explain())

@@ -298,6 +298,14 @@ class Planner:
             return self.optimizer
         return getattr(self.database, "optimizer_mode", "cost")
 
+    def _overrides(self):
+        """The database's learned selectivity overrides, when feedback
+        is on (None otherwise) — threaded into every estimator so the
+        DP ordering, est_rows and q-error all reflect what the loop has
+        learned."""
+        feedback = getattr(self.database, "feedback", None)
+        return feedback.overrides if feedback is not None else None
+
     # ------------------------------------------------------------------
     def plan_select(
         self, stmt: SelectStatement, *, _nested: bool = False
@@ -315,7 +323,7 @@ class Planner:
                 )
                 trace = tuple(f.describe() for f in firings)
             plan = self._plan_select(stmt)
-        annotate_plan(plan)
+        annotate_plan(plan, self._overrides())
         workers = getattr(self.database, "intra_query_workers", 1)
         if workers > 1:
             _stamp_workers(plan, workers)
@@ -815,8 +823,9 @@ class Planner:
         sees every predicate that could constrain an intermediate.
         """
         model = DEFAULT_COST_MODEL
+        overrides = self._overrides()
         profiles = [self._relation_profile(rel) for rel in relations]
-        estimator = CardinalityEstimator(profiles)
+        estimator = CardinalityEstimator(profiles, overrides)
 
         pool: list[tuple[Expr, frozenset[str]]] = []
         post: list[Expr] = []
@@ -839,7 +848,7 @@ class Planner:
 
         join_rels = []
         for rel, profile in zip(relations, profiles):
-            est = annotate_plan(rel.scan)
+            est = annotate_plan(rel.scan, overrides)
             join_rels.append(JoinRel(
                 alias=rel.ref.alias.lower(),
                 rows=max(est, 1.0),

@@ -38,6 +38,11 @@ class Table:
         #: views key their freshness on this, so DML and loads
         #: invalidate structurally.
         self.version = 0
+        #: Monotonic statistics generation: bumped each time ANALYZE
+        #: rebuilds ``stats``.  The plan memo snapshots it so a plan
+        #: chosen under old statistics is replanned after re-ANALYZE
+        #: even when the data itself (``version``) has not moved.
+        self.stats_version = 0
         self._pk_index: dict | None = None
         if schema.primary_key is not None:
             self._pk_index = {}

@@ -31,6 +31,11 @@ class SlowQuery:
     plan: str | None = None
     max_q_error: float | None = None
     database: str | None = None
+    #: Normalized-statement fingerprint (feedback optimizer on): the
+    #: join key against the FeedbackStore and the plan memo.
+    fingerprint: str | None = None
+    #: How the plan was obtained: hit / miss / replan / learned-override.
+    memo: str | None = None
     recorded_at: float = field(default_factory=time.time)
 
     @property
@@ -40,6 +45,10 @@ class SlowQuery:
             parts.append(f"q={self.max_q_error:.2f}")
         if self.database:
             parts.append(f"db={self.database}")
+        if self.fingerprint:
+            parts.append(f"fp={self.fingerprint[:12]}")
+        if self.memo:
+            parts.append(f"memo={self.memo}")
         parts.append(self.sql if len(self.sql) <= 120 else self.sql[:117] + "...")
         return "  ".join(parts)
 
@@ -69,6 +78,8 @@ class SlowQueryLog:
         plan: str | None = None,
         max_q_error: float | None = None,
         database: str | None = None,
+        fingerprint: str | None = None,
+        memo: str | None = None,
     ) -> SlowQuery | None:
         """Log the statement if it is over threshold; returns the entry."""
         if not self.is_slow(elapsed_s):
@@ -79,6 +90,8 @@ class SlowQueryLog:
             plan=plan,
             max_q_error=max_q_error,
             database=database,
+            fingerprint=fingerprint,
+            memo=memo,
         )
         with self._lock:
             self._entries.append(entry)

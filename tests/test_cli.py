@@ -103,6 +103,35 @@ class TestEngineFlags:
         with pytest.raises(SystemExit):
             main(["partition", *small_args(), "--parallel"])
 
+    def test_sql_accepts_feedback_flag(self, capsys):
+        code = main([
+            "sql", *small_args(), "--feedback",
+            "-e", "SELECT COUNT(*) AS n FROM galaxy_source",
+        ])
+        assert code == 0
+        assert "n" in capsys.readouterr().out
+
+
+class TestMemo:
+    def test_memo_reports_decisions(self, capsys):
+        assert main(["memo", *small_args(), "--repeat", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "memo=miss" in out
+        assert "memo=hit" in out
+        assert "plan memo" in out
+        assert "feedback store" in out
+
+    def test_memo_shift_invalidates(self, capsys):
+        code = main([
+            "memo", *small_args(), "--shift", "--repeat", "3",
+            "-e", "SELECT COUNT(*) AS n FROM zone",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shifted" in out
+        # the shift's DML bumps the table version: no stale hit on cycle 1
+        assert out.count("memo=miss") >= 2 or "memo=replan" in out
+
 
 class TestAnalyze:
     def test_explain_analyze_output(self, capsys):
