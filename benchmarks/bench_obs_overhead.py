@@ -9,7 +9,11 @@ arms interleaved and min-of-k per arm so OS noise cancels, and pins:
   tracing off costs well under a microsecond, and the pipeline only
   crosses it a handful of times per run;
 * even *enabled*, full tracing stays within the 5% observer budget on
-  the Table 1 workload (which bounds the disabled path from above).
+  the Table 1 workload (which bounds the disabled path from above);
+* the Query Store arm: recording every fingerprinted SELECT into the
+  workload history (``EngineConfig(query_store=True)``) stays within
+  the same 5% budget on a SQL batch, measured against an identical
+  feedback-only engine.
 
 Run standalone (``python benchmarks/bench_obs_overhead.py``) or under
 pytest-benchmark (``pytest benchmarks/bench_obs_overhead.py``).
@@ -56,6 +60,63 @@ def measure_observer_effect(workload, sky, kcorr, rounds: int = ROUNDS):
     return min(disabled), min(enabled), n_spans
 
 
+#: SQL batch for the Query Store arm — varied enough that the store
+#: tracks several fingerprints, repeated so cache/memo hits dominate
+#: (the worst case for recording overhead, relatively speaking)
+QS_BATCH = (
+    "SELECT COUNT(*) AS n FROM t JOIN u ON t.grp = u.grp",
+    "SELECT grp, COUNT(*) AS n FROM t GROUP BY grp ORDER BY grp",
+    "SELECT COUNT(*) AS n FROM t WHERE grp = 2",
+    "SELECT COUNT(*) AS n FROM u WHERE grp < 3",
+)
+
+
+def _build_sql_db(query_store: bool):
+    import numpy as np
+
+    from repro.engine.config import EngineConfig
+    from repro.engine.database import Database
+
+    db = Database(
+        "qs_overhead_on" if query_store else "qs_overhead_off",
+        config=EngineConfig(feedback=True, query_store=query_store),
+    )
+    db.create_table(
+        "t",
+        {"id": np.arange(3000, dtype=np.int64),
+         "grp": (np.arange(3000) % 7).astype(np.int64)},
+        primary_key="id",
+    )
+    db.create_table(
+        "u",
+        {"id": np.arange(800, dtype=np.int64),
+         "grp": (np.arange(800) % 7).astype(np.int64)},
+    )
+    db.sql("ANALYZE")
+    return db
+
+
+def measure_query_store_overhead(rounds: int = ROUNDS):
+    """Interleaved min-of-k batch wall: (off_s, on_s, queries_recorded)."""
+    db_off = _build_sql_db(query_store=False)
+    db_on = _build_sql_db(query_store=True)
+
+    def batch(db) -> float:
+        t0 = time.perf_counter()
+        for sql in QS_BATCH:
+            db.sql(sql)
+        return time.perf_counter() - t0
+
+    for db in (db_off, db_on):  # plans memoized before timing starts
+        batch(db)
+    off, on = [], []
+    for _ in range(rounds):
+        off.append(batch(db_off))
+        on.append(batch(db_on))
+    recorded = len(db_on.query_store.queries())
+    return min(off), min(on), recorded
+
+
 def measure_noop_span_cost(calls: int = 200_000) -> float:
     """Seconds per span() entry/exit with tracing disabled."""
     set_enabled(False)
@@ -71,7 +132,9 @@ def run_and_check(workload, sky, kcorr):
         workload, sky, kcorr
     )
     noop_s = measure_noop_span_cost()
+    qs_off_s, qs_on_s, qs_recorded = measure_query_store_overhead()
     overhead = enabled_s / disabled_s - 1.0
+    qs_overhead = qs_on_s / qs_off_s - 1.0
 
     table = format_table(
         "Observer effect on the Table 1 workload (min of "
@@ -81,6 +144,9 @@ def run_and_check(workload, sky, kcorr):
             ["tracing disabled", round(disabled_s, 4), 0],
             ["tracing enabled", round(enabled_s, 4), n_spans],
             ["overhead", f"{overhead * 100:+.2f}%", ""],
+            ["query store off", round(qs_off_s, 4), ""],
+            ["query store on", round(qs_on_s, 4), ""],
+            ["store overhead", f"{qs_overhead * 100:+.2f}%", ""],
         ],
     )
     checks = [
@@ -102,6 +168,15 @@ def run_and_check(workload, sky, kcorr):
             paper="one span per pipeline task",
             measured=f"{n_spans} spans",
             holds=n_spans >= 3,
+        ),
+        ShapeCheck(
+            claim="query store recording stays within the 5% budget",
+            paper="store on <= 1.05 x store off on an SQL batch",
+            measured=f"{qs_on_s * 1e3:.2f} ms vs {qs_off_s * 1e3:.2f} ms "
+                     f"({qs_overhead * 100:+.2f}%), "
+                     f"{qs_recorded} fingerprints tracked",
+            holds=(qs_on_s <= qs_off_s * BUDGET_RATIO + BUDGET_SLACK_S
+                   and qs_recorded == len(QS_BATCH)),
         ),
     ]
     return table, checks

@@ -1,0 +1,292 @@
+"""Extension: the Query Store on the shifted-data feedback grid.
+
+``bench_feedback`` established that the adaptive optimizer re-plans the
+skewed 3-table chain and wins its latency back.  This bench runs the
+same shifted workload with ``EngineConfig(query_store=True)`` and pins
+the observability story on top of it:
+
+* **history** — the store records the feedback re-plan as a plan-change
+  event, with both plan structures in the fingerprint's history;
+* **direction** — the re-plan is classified an *improvement*; forcing
+  the pre-feedback plan back is classified a *regression*, and
+  ``repro querystore regressions`` would report both directions
+  correctly;
+* **forcing** — the forced pre-feedback plan actually runs (decision
+  ``forced``) and reproduces its original latency class: its mean wall
+  is well above the converged plan's (generous 2x band — the original
+  gap is ~10x);
+* **dogfood** — SELECTs over ``sys_query_store_queries`` /
+  ``sys_query_store_plans`` / ``sys_query_store_runtime_stats`` return
+  the same facts as the store's Python API;
+* **correctness** — every answer is byte-identical across all cycles,
+  forced or not, and matches a store-off control arm;
+* **attribution** — executions wrapped in :func:`attribution` land in
+  per-user runtime-stat rows.
+
+Results go to ``BENCH_querystore.json`` at the repo root.  Run
+standalone (``python benchmarks/bench_querystore.py``) or under
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_feedback import (  # noqa: E402
+    QERROR_CEILING,
+    build_shifted_database,
+    result_digest,
+)
+from repro.bench.reporting import ShapeCheck, print_report  # noqa: E402
+from repro.engine.config import EngineConfig  # noqa: E402
+from repro.obs.querystore import (  # noqa: E402
+    VIEW_PLANS,
+    VIEW_QUERIES,
+    VIEW_RUNTIME,
+    attribution,
+)
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_querystore.json"
+
+CYCLES = 5
+FORCED_CYCLES = 3
+#: forced-vs-converged latency band: the pre-feedback plan must be at
+#: least this much slower than the converged plan (original gap ~10x)
+FORCED_SLOWDOWN_MIN = 2.0
+
+SKEW_SQL = (
+    "SELECT COUNT(*) AS n FROM a JOIN b ON a.k1 = b.k1 "
+    "JOIN c ON b.k2 = c.k2 WHERE a.grp = 0"
+)
+
+STORE_CONFIG = EngineConfig(
+    optimizer="cost", feedback=True, qerror_ceiling=QERROR_CEILING,
+    query_store=True,
+)
+CONTROL_CONFIG = EngineConfig(
+    optimizer="cost", feedback=True, qerror_ceiling=QERROR_CEILING,
+)
+
+
+def _timed(db, sql: str, user: str | None = None):
+    start = time.perf_counter()
+    if user is None:
+        result = db.sql(sql)
+    else:
+        with attribution(user):
+            result = db.sql(sql)
+    return result, 1e3 * (time.perf_counter() - start)
+
+
+def run_grid() -> dict:
+    """The shifted workload with the store on, plus a store-off control."""
+    control = build_shifted_database(CONTROL_CONFIG)
+    db = build_shifted_database(STORE_CONFIG)
+    store = db.query_store
+
+    grid: dict = {"cycles": [], "forced_cycles": [], "digests": set()}
+    users = ("alice", "bob")
+    for cycle in range(CYCLES):
+        result, elapsed_ms = _timed(db, SKEW_SQL,
+                                    user=users[cycle % len(users)])
+        ref, _ = _timed(control, SKEW_SQL)
+        grid["digests"].update((result_digest(result), result_digest(ref)))
+        grid["cycles"].append({
+            "cycle": cycle,
+            "elapsed_ms": round(elapsed_ms, 3),
+            "decision": result.memo_decision,
+            "plan_origin": result.plan_origin,
+        })
+
+    fingerprint = db.statement_key(SKEW_SQL)
+    replans = [c for c in store.plan_changes()
+               if c.decision in ("replan", "learned-override")]
+    grid["fingerprint"] = fingerprint
+    grid["replan_changes"] = len(replans)
+    grid["replan_verdict"] = replans[0].verdict if replans else None
+    grid["replan_ratio"] = replans[0].ratio if replans else None
+
+    # force the pre-feedback plan back and measure it
+    forced_plan_id = replans[0].old_plan_id if replans else -1
+    if forced_plan_id >= 0:
+        db.force_plan(fingerprint, forced_plan_id)
+        for cycle in range(FORCED_CYCLES):
+            result, elapsed_ms = _timed(db, SKEW_SQL)
+            grid["digests"].add(result_digest(result))
+            grid["forced_cycles"].append({
+                "cycle": cycle,
+                "elapsed_ms": round(elapsed_ms, 3),
+                "decision": result.memo_decision,
+            })
+        db.unforce_plan(fingerprint)
+
+    grid["forced_plan_id"] = forced_plan_id
+    grid["regressions"] = [
+        {"old": c.old_plan_id, "new": c.new_plan_id,
+         "decision": c.decision, "ratio": c.ratio}
+        for c in store.regressions()
+    ]
+    grid["summary"] = store.summary()
+
+    # dogfood: the system views must answer the same facts as the API
+    q_rows = db.sql(
+        f"SELECT fingerprint, executions, plan_count FROM {VIEW_QUERIES}"
+    ).rows()
+    p_rows = db.sql(
+        f"SELECT plan_id, fingerprint, executions FROM {VIEW_PLANS}"
+    ).rows()
+    s_rows = db.sql(
+        f"SELECT fingerprint, user_name, executions FROM {VIEW_RUNTIME}"
+    ).rows()
+    stored = store.query(fingerprint)
+    view_row = next(
+        (r for r in q_rows if r["fingerprint"] == fingerprint), None
+    )
+    grid["views_match"] = (
+        view_row is not None
+        and view_row["executions"] == stored.executions
+        and view_row["plan_count"] == len(store.plans(fingerprint))
+        and sorted(
+            (r["plan_id"], r["executions"]) for r in p_rows
+            if r["fingerprint"] == fingerprint
+        ) == sorted(
+            (p.plan_id, p.executions) for p in store.plans(fingerprint)
+        )
+    )
+    grid["users_attributed"] = sorted({
+        r["user_name"] for r in s_rows
+        if r["fingerprint"] == fingerprint and r["user_name"]
+    })
+    return grid
+
+
+def run_and_check() -> tuple[dict, list[ShapeCheck]]:
+    grid = run_grid()
+
+    converged_ms = grid["cycles"][-1]["elapsed_ms"]
+    forced = grid["forced_cycles"]
+    forced_ms = (min(c["elapsed_ms"] for c in forced)
+                 if forced else float("nan"))
+    first_ms = grid["cycles"][0]["elapsed_ms"]
+    forced_regressed = any(
+        r["new"] == grid["forced_plan_id"] and r["decision"] == "forced"
+        for r in grid["regressions"]
+    )
+
+    checks = [
+        ShapeCheck(
+            claim="the feedback re-plan is recorded as a plan change",
+            paper="one plan-change event with the re-plan decision",
+            measured=f"{grid['replan_changes']} re-plan change(s), "
+            f"{grid['summary']['plans']} plans in history",
+            holds=grid["replan_changes"] == 1,
+        ),
+        ShapeCheck(
+            claim="regression detection reports the direction correctly",
+            paper="re-plan classified improvement; forced old plan "
+            "classified regression",
+            measured=f"re-plan verdict={grid['replan_verdict']} "
+            f"(ratio {grid['replan_ratio']:.2f}x), forced regression "
+            f"recorded={forced_regressed}",
+            holds=(grid["replan_verdict"] == "improvement"
+                   and forced_regressed),
+        ),
+        ShapeCheck(
+            claim="forcing the pre-feedback plan reproduces its latency",
+            paper=f"forced wall >= {FORCED_SLOWDOWN_MIN:g}x converged "
+            "(original gap ~10x)",
+            measured=f"first {first_ms:.1f} ms, converged "
+            f"{converged_ms:.1f} ms, forced {forced_ms:.1f} ms",
+            holds=(bool(forced)
+                   and all(c["decision"] == "forced" for c in forced)
+                   and forced_ms >= converged_ms * FORCED_SLOWDOWN_MIN),
+        ),
+        ShapeCheck(
+            claim="system views answer the same facts as the store API",
+            paper="SELECTs over sys_query_store_* match the CLI report",
+            measured=f"views_match={grid['views_match']}",
+            holds=bool(grid["views_match"]),
+        ),
+        ShapeCheck(
+            claim="per-user attribution lands in runtime stats",
+            paper="one stats row per (user, interval)",
+            measured=f"users={grid['users_attributed']}",
+            holds=grid["users_attributed"] == ["alice", "bob"],
+        ),
+        ShapeCheck(
+            claim="recording and forcing never change an answer",
+            paper="byte-identical results: store on, store off, forced",
+            measured=f"{len(grid['digests'])} distinct digest(s) over "
+            f"{2 * CYCLES + len(forced)} executions",
+            holds=len(grid["digests"]) == 1,
+        ),
+    ]
+    payload = {
+        "cycles": CYCLES,
+        "forced_cycles": FORCED_CYCLES,
+        "grid": {k: (sorted(v) if isinstance(v, set) else v)
+                 for k, v in grid.items()},
+        "checks": [
+            {"claim": c.claim, "measured": c.measured, "holds": c.holds}
+            for c in checks
+        ],
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return grid, checks
+
+
+def _render(grid: dict) -> list[str]:
+    lines = [f"fingerprint {grid['fingerprint'][:12]}:"]
+    for point in grid["cycles"]:
+        lines.append(
+            f"  cycle {point['cycle']}: {point['elapsed_ms']:8.1f} ms  "
+            f"[{point['decision']}]"
+        )
+    for point in grid["forced_cycles"]:
+        lines.append(
+            f"  forced {point['cycle']}: {point['elapsed_ms']:8.1f} ms  "
+            f"[{point['decision']}]"
+        )
+    summary = grid["summary"]
+    lines.append(
+        f"store: {summary['plans']} plans, {summary['plan_changes']} "
+        f"changes, {summary['improvements']} improved, "
+        f"{summary['regressions']} regressed"
+    )
+    return lines
+
+
+@pytest.mark.benchmark(group="querystore")
+def test_querystore_regression_detection(benchmark):
+    holder = {}
+
+    def once():
+        holder["out"] = run_and_check()
+        return holder["out"]
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    grid, checks = holder["out"]
+    print_report("Query Store on the shifted-data grid", _render(grid),
+                 checks)
+    assert all(c.holds for c in checks), [
+        c.claim for c in checks if not c.holds
+    ]
+
+
+def main() -> int:
+    grid, checks = run_and_check()
+    print_report("Query Store on the shifted-data grid", _render(grid),
+                 checks)
+    print(f"results written to {OUTPUT_PATH}")
+    return 0 if all(c.holds for c in checks) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

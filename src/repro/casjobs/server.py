@@ -160,13 +160,21 @@ class CasJobsService:
             self.scheduler.run_until_idle(timeout_s=timeout_s)
 
     def _run_query(self, job: BatchJob) -> QueryResult:
-        """Execute the query (pool worker thread; no shared-state writes)."""
+        """Execute the query (pool worker thread; no shared-state writes).
+
+        The execution is attributed to the job's owner so Query Store
+        runtime intervals break down per user (context-local, so
+        concurrent workers attribute correctly).
+        """
+        from repro.obs.querystore import attribution
+
         database = (
             self.mydb(job.owner).database
             if job.target == "mydb"
             else self.context(job.target)
         )
-        return database.sql(job.query)
+        with attribution(job.owner):
+            return database.sql(job.query)
 
     def _spool(self, job: BatchJob, result: QueryResult) -> QueryResult:
         """Finalize a successful job (dispatcher thread): INTO MyDB."""

@@ -24,7 +24,10 @@ writing Python:
   process-wide metrics registry;
 * ``repro memo``       — repeat a SELECT against the demo database with
   the adaptive feedback optimizer on and show the plan-memo decisions,
-  learned overrides and q-error trajectory.
+  learned overrides and q-error trajectory;
+* ``repro querystore`` — run a shifted workload with the Query Store
+  on, report the recorded plan history and regression verdicts, and
+  (``--demo``) walk plan forcing end-to-end with invariant checks.
 
 Every subcommand prints a compact text report; exit code 0 on success,
 1 when an invariant or shape check fails.
@@ -99,6 +102,10 @@ def _engine_flags() -> argparse.ArgumentParser:
                         metavar="Q",
                         help="max q-error tolerated before the feedback "
                         "loop re-analyzes and re-plans (default 8)")
+    parent.add_argument("--query-store", action="store_true",
+                        help="record per-statement workload history, plan "
+                        "changes and runtime stats in the Query Store "
+                        "(queryable as sys_query_store_* tables)")
     return parent
 
 
@@ -115,6 +122,7 @@ def _engine_config(args):
         feedback=bool(getattr(args, "feedback", False)),
         qerror_ceiling=(getattr(args, "qerror_ceiling", None)
                         or DEFAULT_QERROR_CEILING),
+        query_store=bool(getattr(args, "query_store", False)),
     )
 
 
@@ -276,6 +284,23 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="mutate the data between executions so "
                         "statistics go stale and the feedback loop has "
                         "something to correct")
+
+    qs_p = sub.add_parser(
+        "querystore",
+        help="Query Store: workload history, plan regressions, forcing",
+        parents=[engine_flags],
+    )
+    qs_p.add_argument("action", nargs="?", default="report",
+                      choices=("report", "regressions"),
+                      help="report: full store dump; regressions: "
+                      "classified plan-change verdicts only")
+    qs_p.add_argument("--repeat", type=int, default=6,
+                      help="executions of the workload statement")
+    qs_p.add_argument("--demo", action="store_true",
+                      help="full walkthrough with invariant checks: "
+                      "feedback re-plan -> improvement verdict -> force "
+                      "the old plan -> regression verdict -> unforce "
+                      "(exit 1 if any check fails)")
     return parser
 
 
@@ -587,8 +612,13 @@ def cmd_trace(args) -> int:
           f"layers: {', '.join(layers)}")
     print(render_tree(spans))
     if args.fmt == "chrome":
+        from repro.obs import get_metrics
+
         try:
-            path = write_chrome_trace(spans, args.out)
+            path = write_chrome_trace(
+                spans, args.out,
+                counter_samples=get_metrics().scalars("engine."),
+            )
         except ObsError as exc:
             print(f"INVALID TRACE: {exc}")
             return 1
@@ -637,6 +667,162 @@ def cmd_memo(args) -> int:
     return 0
 
 
+def _querystore_database(config):
+    """A small shifted 3-table chain (bench_feedback at smoke scale).
+
+    Seeded and ANALYZEd, then the join key ``b.k2`` is skewed onto the
+    single value ``c`` holds — the planner's containment estimate is
+    badly stale, the first execution breaches the q-error ceiling, and
+    the feedback loop re-plans: exactly the plan-change event the Query
+    Store exists to record."""
+    from repro.engine.database import Database
+
+    db = Database("querystore_demo", config=config)
+    rng = np.random.default_rng(7)
+    n_a = 1200
+    db.create_table(
+        "a",
+        {"k1": np.arange(n_a, dtype=np.int64),
+         "grp": (np.arange(n_a) % 4).astype(np.int64)},
+        primary_key="k1",
+    )
+    n_b = 1200
+    db.create_table(
+        "b",
+        {"k1": rng.integers(0, n_a, n_b).astype(np.int64),
+         "k2": (np.arange(n_b) % 300 + 1).astype(np.int64)},
+    )
+    db.create_table(
+        "c", {"k2": np.zeros(40, dtype=np.int64), "w": rng.normal(size=40)}
+    )
+    db.sql("ANALYZE")
+    n_hot = 10_000
+    db.table("b").insert({
+        "k1": rng.integers(0, n_a, n_hot).astype(np.int64),
+        "k2": np.zeros(n_hot, dtype=np.int64),
+    })
+    db.invalidate_indexes("b")
+    return db
+
+
+def cmd_querystore(args) -> int:
+    import hashlib
+
+    from repro.obs.querystore import VIEW_PLANS, VIEW_QUERIES
+
+    args.feedback = True     # the regression story needs the re-plan
+    args.query_store = True  # the command exists to show the store
+    db = _querystore_database(_engine_config(args))
+    store, forcer = db.query_store, db.plan_forcer
+    sql = ("SELECT COUNT(*) AS n FROM a JOIN b ON a.k1 = b.k1 "
+           "JOIN c ON b.k2 = c.k2 WHERE a.grp = 0")
+    digests: set[str] = set()
+
+    def run_cycles(n: int, label: str) -> None:
+        for cycle in range(n):
+            result = db.sql(sql)
+            digest = hashlib.sha256(
+                np.ascontiguousarray(result.columns["n"]).tobytes()
+            ).hexdigest()
+            digests.add(digest)
+            print(f"  {label} cycle {cycle}: "
+                  f"plan={result.plan_origin or '?':16s}  "
+                  f"memo={result.memo_decision or '-':16s}  "
+                  f"n={int(result.scalar()):,}")
+
+    print(f"-- {max(args.repeat, 4)} executions on shifted data "
+          "(stats stale; feedback re-plans on q-error breach)")
+    run_cycles(max(args.repeat, 4), "warm")
+    fingerprint = db.statement_key(sql)
+
+    if args.action == "regressions" and not args.demo:
+        changes = store.plan_changes()
+        if not changes:
+            print("no plan changes recorded")
+            return 0
+        for change in changes:
+            ratio = change.ratio
+            print(f"{change.fingerprint[:12]}  plan {change.old_plan_id} "
+                  f"-> {change.new_plan_id} ({change.decision})  "
+                  f"verdict={change.verdict or 'pending'}"
+                  + (f"  new/old={ratio:.2f}x" if ratio is not None else ""))
+        return 0
+
+    if not args.demo:
+        print()
+        print(store.render(forcer))
+        return 0
+
+    # --demo: force the pre-feedback plan back, watch the regression
+    checks: list[tuple[str, bool]] = []
+    replans = [c for c in store.plan_changes()
+               if c.decision in ("replan", "learned-override")]
+    checks.append(("feedback re-plan recorded as a plan change",
+                   len(replans) == 1))
+    improvement = replans[0] if replans else None
+    checks.append((
+        "re-plan classified as an improvement",
+        improvement is not None and improvement.verdict == "improvement",
+    ))
+
+    if improvement is not None and fingerprint is not None:
+        old_id = improvement.old_plan_id
+        print(f"\n-- forcing plan {old_id} (the pre-feedback plan) back")
+        db.force_plan(fingerprint, old_id)
+        run_cycles(3, "forced")
+        forced_changes = [c for c in store.plan_changes()
+                          if c.new_plan_id == old_id
+                          and c.decision.startswith("forced")]
+        checks.append(("forcing recorded as a plan change",
+                       len(forced_changes) == 1))
+        checks.append((
+            "forced old plan classified as a regression",
+            any(c.new_plan_id == old_id for c in store.regressions()),
+        ))
+        view = db.sql(
+            f"SELECT fingerprint, executions, forced_plan_id "
+            f"FROM {VIEW_QUERIES}"
+        )
+        row = next((r for r in view.rows()
+                    if r["fingerprint"] == fingerprint), None)
+        stored = store.query(fingerprint)
+        checks.append((
+            "SELECT over sys_query_store_queries matches the store",
+            row is not None and stored is not None
+            and int(row["executions"]) == stored.executions
+            and int(row["forced_plan_id"]) == old_id,
+        ))
+        forced_rows = db.sql(
+            f"SELECT plan_id, is_forced FROM {VIEW_PLANS}"
+        ).rows()
+        checks.append((
+            "sys_query_store_plans flags exactly the forced plan",
+            [r["plan_id"] for r in forced_rows if r["is_forced"]] == [old_id],
+        ))
+        print(f"\n-- unforcing {fingerprint[:12]}")
+        checks.append(("unforce removes the pin",
+                       db.unforce_plan(fingerprint)))
+        run_cycles(1, "unforced")
+        checks.append((
+            "post-unforce execution is not forced",
+            not (store.query(fingerprint).current_plan_id == old_id
+                 and forcer.get(fingerprint) is not None),
+        ))
+    checks.append(("every answer byte-identical", len(digests) == 1))
+
+    print()
+    print(store.render(forcer))
+    print()
+    failed = [claim for claim, ok in checks if not ok]
+    for claim, ok in checks:
+        print(f"  [{'ok' if ok else 'FAIL'}] {claim}")
+    if failed:
+        print(f"{len(failed)} check(s) failed")
+        return 1
+    print("all checks passed")
+    return 0
+
+
 COMMANDS = {
     "run": cmd_run,
     "partition": cmd_partition,
@@ -649,6 +835,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "metrics": cmd_metrics,
     "memo": cmd_memo,
+    "querystore": cmd_querystore,
 }
 
 

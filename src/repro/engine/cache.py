@@ -67,6 +67,43 @@ def statement_fingerprint(
     return digest[:32]
 
 
+def plan_fingerprint(stmt, database) -> tuple[str, str, set[str]] | None:
+    """``(fingerprint, normalized_sql, tables)`` for a trackable SELECT.
+
+    The one keying rule shared by the result cache, the plan memo and
+    the Query Store: the fingerprint hashes the printer-normalized,
+    *post-rewrite* statement under a mode tag (``cost+rewrite`` etc.),
+    so rewrite-equivalent spellings share one identity while
+    rewrites-on and rewrites-off instances never cross-match.  Returns
+    None for statements that must not be tracked: non-SELECTs, TVF or
+    unknown-name readers, anything planned while a matview is
+    (re)materializing, and unrewritable shapes.
+    """
+    if not isinstance(stmt, SelectStatement):
+        return None
+    if getattr(database, "_matview_plan_depth", 0):
+        return None
+    tables = referenced_tables(stmt, database)
+    if tables is None:
+        return None
+    mode = database.optimizer_mode
+    fingerprint_stmt = stmt
+    if database.rewrites_enabled:
+        from repro.engine.optimizer.rewrite import rewrite_statement
+
+        try:
+            fingerprint_stmt, _ = rewrite_statement(stmt, database,
+                                                    price=False)
+        except Exception:
+            return None  # unrewritable shape: plan it fresh every time
+        mode = f"{mode}+rewrite"
+    return (
+        statement_fingerprint(fingerprint_stmt, mode),
+        normalize_statement(fingerprint_stmt),
+        tables,
+    )
+
+
 def referenced_tables(
     stmt: SelectStatement | UnionStatement, database
 ) -> set[str] | None:

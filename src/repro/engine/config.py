@@ -41,6 +41,12 @@ DEFAULT_QERROR_CEILING = 8.0
 #: Default ceiling on memoized plans per database.
 DEFAULT_PLAN_MEMO_ENTRIES = 256
 
+#: Default Query Store runtime-stat aggregation interval, seconds.
+DEFAULT_QUERY_STORE_INTERVAL_S = 60.0
+
+#: Default ceiling on fingerprints the Query Store tracks.
+DEFAULT_QUERY_STORE_MAX_QUERIES = 256
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -88,6 +94,15 @@ class EngineConfig:
         imperfect estimate forever).
     plan_memo_entries:
         LRU bound on memoized plans per database.
+    query_store:
+        Enable the Query Store: per-fingerprint runtime-stat intervals,
+        full plan history, plan-regression detection and plan forcing,
+        exposed as ``sys_query_store_*`` catalog tables and persisted
+        by ``save_database``.  Off by default.
+    query_store_interval_s:
+        Length of one runtime-stat aggregation interval, seconds.
+    query_store_max_queries:
+        Ceiling on tracked fingerprints (least-recently-seen evicted).
     """
 
     pool_pages: int = DEFAULT_POOL_PAGES
@@ -102,6 +117,9 @@ class EngineConfig:
     feedback: bool = False
     qerror_ceiling: float = DEFAULT_QERROR_CEILING
     plan_memo_entries: int = DEFAULT_PLAN_MEMO_ENTRIES
+    query_store: bool = False
+    query_store_interval_s: float = DEFAULT_QUERY_STORE_INTERVAL_S
+    query_store_max_queries: int = DEFAULT_QUERY_STORE_MAX_QUERIES
 
     def __post_init__(self) -> None:
         if self.optimizer not in _OPTIMIZER_MODES:
@@ -119,6 +137,10 @@ class EngineConfig:
             raise EngineError("qerror_ceiling must be > 1")
         if self.plan_memo_entries <= 0:
             raise EngineError("plan_memo_entries must be positive")
+        if self.query_store_interval_s <= 0:
+            raise EngineError("query_store_interval_s must be positive")
+        if self.query_store_max_queries <= 0:
+            raise EngineError("query_store_max_queries must be positive")
 
     def replace(self, **changes) -> "EngineConfig":
         """A copy with the given fields changed (validation re-runs)."""

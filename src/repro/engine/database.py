@@ -24,6 +24,7 @@ from repro.engine.cache import (
     statement_fingerprint,
 )
 from repro.engine.config import DEFAULT_ENGINE_CONFIG, EngineConfig
+from repro.engine.expressions import batch_length
 from repro.engine.index import ClusteredIndex, HashIndex
 from repro.engine.matview import MaterializedView
 from repro.engine.pages import BufferPool, DEFAULT_POOL_PAGES
@@ -127,6 +128,19 @@ class Database:
             from repro.engine.optimizer.feedback import FeedbackController
 
             self.feedback = FeedbackController(self, config)
+        #: Query Store (workload history + plan forcing), or None when
+        #: disabled.  The forcer exists iff the store does.
+        self.query_store = None
+        self.plan_forcer = None
+        if config.query_store:
+            from repro.engine.optimizer.planforce import PlanForcer
+            from repro.obs.querystore import QueryStore
+
+            self.query_store = QueryStore(
+                interval_s=config.query_store_interval_s,
+                max_queries=config.query_store_max_queries,
+            )
+            self.plan_forcer = PlanForcer()
         self._tables: dict[str, Table] = {}
         self._clustered: dict[str, ClusteredIndex] = {}
         self._hash: dict[tuple[str, str], HashIndex] = {}
@@ -142,12 +156,38 @@ class Database:
     # ------------------------------------------------------------------
     # catalog
     # ------------------------------------------------------------------
+    def _maybe_sync_system_views(self, key: str) -> None:
+        """Lazily (re)materialize a Query Store system view on lookup.
+
+        The single ``query_store is None`` check keeps the disabled
+        path inside the observer-effect budget.
+        """
+        if self.query_store is None:
+            return
+        from repro.obs.querystore import QUERY_STORE_VIEWS
+
+        if key in QUERY_STORE_VIEWS:
+            self.query_store.sync_views(self)
+
+    def is_system_table(self, name: str) -> bool:
+        """Is this a store-maintained catalog table (DML-guarded)?"""
+        if self.query_store is None:
+            return False
+        from repro.obs.querystore import QUERY_STORE_VIEWS
+
+        return name.lower() in QUERY_STORE_VIEWS
+
     def has_table(self, name: str) -> bool:
-        return name.lower() in self._tables
+        key = name.lower()
+        if key not in self._tables:
+            self._maybe_sync_system_views(key)
+        return key in self._tables
 
     def table(self, name: str) -> Table:
+        key = name.lower()
+        self._maybe_sync_system_views(key)
         try:
-            return self._tables[name.lower()]
+            return self._tables[key]
         except KeyError:
             raise TableNotFoundError(
                 f"no table '{name}' in database '{self.name}'"
@@ -519,21 +559,55 @@ class Database:
         from repro.obs.trace import span
 
         stmt = parse(text)
+        store = self.query_store
         keyed = self._cache_key(stmt)
         if keyed is not None:
             key, tables = keyed
+            cache_started = _time.perf_counter()
             entry = self.result_cache.get(key)  # type: ignore[union-attr]
             if entry is not None:
+                if store is not None:
+                    # a cache hit ran no plan: attach it to the
+                    # fingerprint's current plan in the store
+                    store.record(
+                        fingerprint=key[0],
+                        sql="",
+                        elapsed_s=_time.perf_counter() - cache_started,
+                        rows=batch_length(entry.columns),
+                        decision="cache-hit",
+                        cache_hit=True,
+                    )
                 return QueryResult(
                     columns=entry.columns,
                     plan="[answered from cache]\n" + entry.plan
                     if entry.plan else "[answered from cache]",
                 )
         started = _time.perf_counter()
+        cpu_started = _time.thread_time() if store is not None else 0.0
+        reads_before = (
+            self.pool.counters.logical_reads if store is not None else 0
+        )
         with span("engine.sql", layer="engine", counters=self.pool.counters,
                   attrs={"db": self.name, "sql": text.strip()[:200]}):
             result = self._executor.execute(stmt)
         elapsed = _time.perf_counter() - started
+        if store is not None and result.fingerprint is not None:
+            store.record(
+                fingerprint=result.fingerprint,
+                sql=text.strip(),
+                elapsed_s=elapsed,
+                cpu_s=_time.thread_time() - cpu_started,
+                rows=result.row_count,
+                logical_reads=(
+                    self.pool.counters.logical_reads - reads_before
+                ),
+                plan_text=result.plan,
+                plan_signature=self.config.plan_signature(),
+                decision=result.memo_decision,
+                plan_origin=result.plan_origin,
+                plan_node=result.plan_node,
+                memo_hit=result.memo_decision == "hit",
+            )
         if keyed is not None:
             self.result_cache.put(  # type: ignore[union-attr]
                 key, result.columns, result.plan, tables
@@ -554,7 +628,12 @@ class Database:
             slow_log.record(statement_text, elapsed, plan=plan,
                             database=self.name,
                             fingerprint=result.fingerprint,
-                            memo=result.memo_decision)
+                            memo=result.memo_decision,
+                            plan_signature=(
+                                self.config.plan_signature()
+                                if result.fingerprint is not None else None
+                            ),
+                            decision=result.plan_origin)
         return result
 
     def run_script(self, text: str) -> list[QueryResult]:
@@ -592,6 +671,65 @@ class Database:
             if self.result_cache.peek(key) is not None:  # type: ignore[union-attr]
                 return "[answered from cache]\n" + plan_text
         return plan_text
+
+    # ------------------------------------------------------------------
+    # query store and plan forcing
+    # ------------------------------------------------------------------
+    def statement_key(self, text: str) -> str | None:
+        """The fingerprint one SELECT text is tracked under, or None.
+
+        The join key across the Query Store, the plan memo, the
+        feedback store and the slow-query log.
+        """
+        from repro.engine.cache import plan_fingerprint
+
+        keyed = plan_fingerprint(parse(text), self)
+        return keyed[0] if keyed is not None else None
+
+    def force_plan(self, fingerprint: str, plan_id: int):
+        """Pin a fingerprint to a plan from its Query Store history.
+
+        Every execution of the fingerprint runs the pinned plan,
+        bypassing the plan memo and the feedback loop, until
+        :meth:`unforce_plan`.  Survives restarts via ``save_database``:
+        a restored pin is re-established by structural signature on the
+        fingerprint's next execution.
+        """
+        if self.query_store is None:
+            raise EngineError(
+                "plan forcing requires EngineConfig(query_store=True)"
+            )
+        plan = self.query_store.plan(plan_id)
+        if plan is None:
+            raise EngineError(f"query store has no plan {plan_id}")
+        if plan.fingerprint != fingerprint:
+            raise EngineError(
+                f"plan {plan_id} belongs to fingerprint "
+                f"'{plan.fingerprint[:12]}', not '{fingerprint[:12]}'"
+            )
+        entry = self.plan_forcer.force(
+            fingerprint=fingerprint,
+            plan_id=plan_id,
+            structure=plan.structure,
+            plan_text=plan.plan_text,
+            plan_signature=plan.plan_signature,
+            node=plan.node,
+        )
+        if self.feedback is not None:
+            self.feedback.memo.invalidate_fingerprint(fingerprint)
+        return entry
+
+    def unforce_plan(self, fingerprint: str) -> bool:
+        """Remove a pin; returns whether one existed."""
+        if self.plan_forcer is None:
+            raise EngineError(
+                "plan forcing requires EngineConfig(query_store=True)"
+            )
+        removed = self.plan_forcer.unforce(fingerprint)
+        if removed is not None and self.feedback is not None:
+            # the pinned plan may be memoized stale; force a re-plan
+            self.feedback.memo.invalidate_fingerprint(fingerprint)
+        return removed is not None
 
     # ------------------------------------------------------------------
     # statistics
@@ -640,4 +778,7 @@ class Database:
         if self.result_cache is not None:
             for key, value in self.result_cache.summary().items():
                 summary[f"cache_{key}"] = value
+        if self.query_store is not None:
+            for key, value in self.query_store.summary().items():
+                summary[f"querystore_{key}"] = value
         return summary

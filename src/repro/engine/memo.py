@@ -54,6 +54,10 @@ class MemoEntry:
     overrides_version: int
     #: Seconds the planner spent producing this plan (what a hit saves).
     planning_s: float = 0.0
+    #: The planning decision that produced the plan (miss / replan /
+    #: learned-override / ...), so memo hits can report their plan's
+    #: origin to the Query Store.
+    decision: str = "miss"
     stored_at: float = field(default_factory=time.monotonic)
     hits: int = 0
 
@@ -149,6 +153,7 @@ class PlanMemo:
         stats_versions: dict[str, int],
         overrides_version: int,
         planning_s: float = 0.0,
+        decision: str = "miss",
     ) -> MemoEntry:
         """Memoize a freshly chosen plan under the current state."""
         entry = MemoEntry(
@@ -159,6 +164,7 @@ class PlanMemo:
             stats_versions=dict(stats_versions),
             overrides_version=overrides_version,
             planning_s=planning_s,
+            decision=decision,
         )
         with self._lock:
             self._entries[key] = entry

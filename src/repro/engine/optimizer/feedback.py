@@ -354,44 +354,24 @@ class FeedbackController:
     def plan_key(self, stmt) -> PlanKey | None:
         """Memo key for a statement, or None when it must not memoize.
 
-        Mirrors the result cache's keying: the fingerprint hashes the
-        printer-normalized, *post-rewrite* statement under a mode tag,
-        so rewrite-equivalent spellings share one plan.  Statements
-        reading TVFs or unknown names — and anything planned while a
-        matview is (re)materializing — are not memoizable.
+        Uses the same keying as the result cache and the Query Store
+        (:func:`repro.engine.cache.plan_fingerprint`): the fingerprint
+        hashes the printer-normalized, *post-rewrite* statement under a
+        mode tag, so rewrite-equivalent spellings share one plan.
+        Statements reading TVFs or unknown names — and anything planned
+        while a matview is (re)materializing — are not memoizable.
         """
-        from repro.engine.cache import (
-            normalize_statement,
-            referenced_tables,
-            statement_fingerprint,
-        )
-        from repro.engine.sql.ast import SelectStatement
+        from repro.engine.cache import plan_fingerprint
 
-        if not isinstance(stmt, SelectStatement):
+        keyed = plan_fingerprint(stmt, self.database)
+        if keyed is None:
             return None
-        if getattr(self.database, "_matview_plan_depth", 0):
-            return None
-        tables = referenced_tables(stmt, self.database)
-        if tables is None:
-            return None
-        mode = self.database.optimizer_mode
-        fingerprint_stmt = stmt
-        if self.database.rewrites_enabled:
-            from repro.engine.optimizer.rewrite import rewrite_statement
-
-            try:
-                fingerprint_stmt, _ = rewrite_statement(
-                    stmt, self.database, price=False
-                )
-            except Exception:
-                return None  # unrewritable shape: plan it fresh every time
-            mode = f"{mode}+rewrite"
-        fingerprint = statement_fingerprint(fingerprint_stmt, mode)
+        fingerprint, sql, tables = keyed
         return PlanKey(
             memo_key=(fingerprint, self.signature),
             fingerprint=fingerprint,
             tables=frozenset(t.lower() for t in tables),
-            sql=normalize_statement(fingerprint_stmt),
+            sql=sql,
         )
 
     def stats_versions(self, tables) -> dict[str, int]:
@@ -426,10 +406,23 @@ class FeedbackController:
         keyed = self.plan_key(stmt)
         plan: PlanNode | None = None
         decision: str | None = None
+        plan_origin: str | None = None
         planning_s = 0.0
         table_versions: dict[str, int | None] = {}
         stats_versions: dict[str, int] = {}
-        if keyed is not None:
+        forcer = getattr(self.database, "plan_forcer", None)
+        if keyed is not None and forcer is not None:
+            # a forced fingerprint bypasses memo and feedback: the
+            # operator pinned the plan, the loop must not fight it
+            started = time.perf_counter()
+            resolved = forcer.resolve(
+                keyed.fingerprint, lambda: planner.plan_select(stmt)
+            )
+            if resolved is not None:
+                plan, decision = resolved
+                plan_origin = decision
+                planning_s = time.perf_counter() - started
+        if plan is None and keyed is not None:
             table_versions = self.database.table_versions(keyed.tables)
             stats_versions = self.stats_versions(keyed.tables)
             entry = self.memo.get(
@@ -439,12 +432,14 @@ class FeedbackController:
             if entry is not None:
                 plan = entry.plan
                 decision = "hit"
+                plan_origin = entry.decision
         if plan is None:
             pending = (
                 self.store.take_pending(keyed.fingerprint)
                 if keyed is not None else None
             )
             decision = pending or "miss"
+            plan_origin = decision
             started = time.perf_counter()
             with span(
                 "engine.plan", layer="engine",
@@ -462,6 +457,7 @@ class FeedbackController:
                     keyed.memo_key, plan, keyed.tables,
                     table_versions, stats_versions,
                     self.overrides.version, planning_s,
+                    decision=decision,
                 )
         wrapped, records = instrument_plan(plan, self.database.pool.counters)
         batch = wrapped.execute()
@@ -471,6 +467,8 @@ class FeedbackController:
             plan=plan.explain(),
             fingerprint=keyed.fingerprint if keyed is not None else None,
             memo_decision=decision,
+            plan_origin=plan_origin,
+            plan_node=plan,
         )
 
     # ------------------------------------------------------------------
@@ -499,6 +497,14 @@ class FeedbackController:
             entry = self.store.record(
                 keyed.fingerprint, keyed.sql, max_q, planning_s, decision
             )
+            forcer = getattr(self.database, "plan_forcer", None)
+            if (
+                forcer is not None
+                and forcer.get(keyed.fingerprint) is not None
+            ):
+                # the operator pinned this plan; reacting would install
+                # overrides and demand a re-plan the pin must ignore
+                return max_q
             if max_q > self.ceiling and entry.pending is None:
                 self._m_breaches.inc()
                 with span(

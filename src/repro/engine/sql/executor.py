@@ -40,11 +40,15 @@ class QueryResult:
 
     ``columns`` is the output batch for SELECTs (empty for DDL/DML);
     ``rows_affected`` counts DML effects; ``plan`` is the EXPLAIN text
-    for SELECTs.  With the feedback optimizer on, ``fingerprint``
-    carries the normalized-statement hash and ``memo_decision`` records
-    how the plan was obtained (``hit`` / ``miss`` / ``replan`` /
-    ``learned-override``) so results join cleanly against the
-    FeedbackStore and the slow-query log.
+    for SELECTs.  With the feedback optimizer or the Query Store on,
+    ``fingerprint`` carries the normalized-statement hash and
+    ``memo_decision`` records how the plan was obtained (``hit`` /
+    ``miss`` / ``replan`` / ``learned-override`` / ``forced`` / ...)
+    so results join cleanly against the FeedbackStore, the Query Store
+    and the slow-query log.  ``plan_origin`` is the decision that first
+    *produced* the plan (differs from ``memo_decision`` on memo hits);
+    ``plan_node`` is the live operator tree for SELECTs, which the
+    Query Store hashes into a structural plan identity.
     """
 
     columns: Batch = field(default_factory=dict)
@@ -52,6 +56,8 @@ class QueryResult:
     plan: str = ""
     fingerprint: str | None = None
     memo_decision: str | None = None
+    plan_origin: str | None = None
+    plan_node: object | None = None
 
     @property
     def row_count(self) -> int:
@@ -203,9 +209,43 @@ class Executor:
             # the adaptive path: memo lookup, instrumented execution,
             # actuals folded back into the feedback store
             return feedback.execute_select(stmt, self.planner)
+        store = getattr(self.database, "query_store", None)
+        if store is not None:
+            return self._select_with_store(stmt)
         plan = self.planner.plan_select(stmt)
         batch = plan.execute()
-        return QueryResult(columns=batch, plan=plan.explain())
+        return QueryResult(columns=batch, plan=plan.explain(),
+                           plan_node=plan)
+
+    def _select_with_store(self, stmt: SelectStatement) -> QueryResult:
+        """Query Store on without feedback: fingerprint, honor forced
+        plans, report the optimizer mode as the plan's decision."""
+        from repro.engine.cache import plan_fingerprint
+
+        database = self.database
+        keyed = plan_fingerprint(stmt, database)
+        fingerprint = keyed[0] if keyed is not None else None
+        plan = None
+        decision = None
+        forcer = getattr(database, "plan_forcer", None)
+        if fingerprint is not None and forcer is not None:
+            resolved = forcer.resolve(
+                fingerprint, lambda: self.planner.plan_select(stmt)
+            )
+            if resolved is not None:
+                plan, decision = resolved
+        if plan is None:
+            plan = self.planner.plan_select(stmt)
+            decision = database.optimizer_mode
+        batch = plan.execute()
+        return QueryResult(
+            columns=batch,
+            plan=plan.explain(),
+            fingerprint=fingerprint,
+            memo_decision=decision,
+            plan_origin=decision,
+            plan_node=plan,
+        )
 
     def _create_table(self, stmt: CreateTableStatement) -> QueryResult:
         if stmt.if_not_exists and self.database.has_table(stmt.table):
@@ -227,6 +267,11 @@ class Executor:
             raise SqlPlanError(
                 f"cannot {verb} materialized view '{name}'; its rows are "
                 "maintained by REFRESH MATERIALIZED VIEW"
+            )
+        if getattr(self.database, "is_system_table", lambda _n: False)(name):
+            raise SqlPlanError(
+                f"cannot {verb} system table '{name}'; sys_query_store_* "
+                "tables are maintained by the Query Store"
             )
 
     def _insert(self, stmt: InsertStatement) -> QueryResult:

@@ -84,27 +84,63 @@ def load_table(database: Database, directory: str | Path, name: str) -> Table:
     return table
 
 
+#: Filename of the persisted Query Store document.
+QUERY_STORE_FILE = "querystore.json"
+
+
 def save_database(database: Database, directory: str | Path) -> list[Path]:
-    """Persist every table of a database; returns the written paths."""
-    return [
+    """Persist every table of a database; returns the written paths.
+
+    System tables (the ``sys_query_store_*`` views) are derived data
+    and are skipped; the Query Store itself — runtime stats, plan
+    history and forced-plan pins — is written as one
+    ``querystore.json`` beside the table files.
+    """
+    directory = Path(directory)
+    paths = [
         save_table(database.table(name), directory)
         for name in database.table_names()
+        if not database.is_system_table(name)
     ]
+    store = getattr(database, "query_store", None)
+    if store is not None:
+        directory.mkdir(parents=True, exist_ok=True)
+        store_path = directory / QUERY_STORE_FILE
+        store_path.write_text(
+            json.dumps(store.to_json(database.plan_forcer))
+        )
+        paths.append(store_path)
+    return paths
 
 
 def load_database(
-    directory: str | Path, name: str = "restored", pool_pages: int | None = None
+    directory: str | Path,
+    name: str = "restored",
+    pool_pages: int | None = None,
+    config=None,
 ) -> Database:
-    """Restore a database from a directory of saved tables."""
+    """Restore a database from a directory of saved tables.
+
+    With ``config=EngineConfig(query_store=True)`` a saved
+    ``querystore.json`` is loaded back: workload history, plan history
+    and forced-plan pins all survive the restart (pinned plans are
+    re-established structurally on their next execution).
+    """
     from repro.engine.config import DEFAULT_ENGINE_CONFIG
 
     directory = Path(directory)
     if not directory.is_dir():
         raise EngineError(f"{directory} is not a directory")
-    config = DEFAULT_ENGINE_CONFIG
+    if config is None:
+        config = DEFAULT_ENGINE_CONFIG
     if pool_pages is not None:
         config = config.replace(pool_pages=pool_pages)
     database = Database(name, config=config)
     for schema_path in sorted(directory.glob("*.schema")):
         load_table(database, directory, schema_path.stem)
+    store_path = directory / QUERY_STORE_FILE
+    if database.query_store is not None and store_path.exists():
+        database.query_store.load_json(
+            json.loads(store_path.read_text()), database.plan_forcer
+        )
     return database

@@ -14,7 +14,10 @@ reports, and the grid simulator — into a single diagnostic surface:
 * :mod:`repro.obs.export` — JSONL, Chrome ``trace_event`` JSON (loads
   in ``about:tracing`` / Perfetto) and a plain-text tree;
 * :func:`get_slow_log` — statements over their latency budget, with
-  SQL text, chosen plan and worst q-error.
+  SQL text, chosen plan and worst q-error;
+* :class:`QueryStore` — persisted per-fingerprint workload history,
+  plan-regression detection and plan forcing, materialized as
+  ``sys_query_store_*`` catalog tables.
 
 Tracing is **off by default** and the disabled path is near-free (one
 module-global check per ``span()``); metrics are always on but only
@@ -36,6 +39,16 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     get_metrics,
+)
+from repro.obs.querystore import (
+    QUERY_STORE_VIEWS,
+    IntervalStats,
+    PlanChange,
+    QueryStore,
+    StoredPlan,
+    StoredQuery,
+    attribution,
+    current_user,
 )
 from repro.obs.slowlog import SlowQuery, SlowQueryLog, get_slow_log
 from repro.obs.trace import (
@@ -59,14 +72,22 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "IntervalStats",
     "MetricsRegistry",
+    "PlanChange",
+    "QUERY_STORE_VIEWS",
+    "QueryStore",
     "SlowQuery",
     "SlowQueryLog",
     "Span",
+    "StoredPlan",
+    "StoredQuery",
     "TraceContext",
     "Tracer",
     "activate",
+    "attribution",
     "current_context",
+    "current_user",
     "disable",
     "enable",
     "enabled",

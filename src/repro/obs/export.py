@@ -40,12 +40,24 @@ def write_jsonl(spans: Iterable[Span], path: str | Path) -> Path:
 # ----------------------------------------------------------------------
 # Chrome trace_event
 # ----------------------------------------------------------------------
-def to_chrome_trace(spans: Iterable[Span]) -> dict:
+def to_chrome_trace(
+    spans: Iterable[Span],
+    counter_samples: Iterable[tuple[float, dict[str, float]]]
+    | dict[str, float]
+    | None = None,
+) -> dict:
     """Spans as a Chrome ``trace_event`` document (complete "X" events).
 
     Thread names are mapped to small integer ``tid``s per process (the
     format wants integers) and surfaced via ``thread_name`` metadata
     events, so Perfetto labels the tracks readably.
+
+    ``counter_samples`` adds counter ("C") events so Perfetto plots
+    metric rates (engine.cache / engine.memo / engine.rewrite / ...)
+    as tracks alongside the spans: either ``(wall_seconds, {name:
+    value})`` samples, or a bare ``{name: value}`` dict, which is
+    stamped at the end of the trace as a single closing sample (the
+    shape :meth:`~repro.obs.metrics.MetricsRegistry.scalars` returns).
     """
     spans = list(spans)
     tids: dict[tuple[int, str], int] = {}
@@ -78,6 +90,25 @@ def to_chrome_trace(spans: Iterable[Span]) -> dict:
                 **{k: str(v) for k, v in span.attrs.items()},
             },
         })
+    if counter_samples is not None:
+        if isinstance(counter_samples, dict):
+            trace_end = max(
+                (s.start_wall + max(s.wall_s, 0.0) for s in spans),
+                default=0.0,
+            )
+            counter_samples = [(trace_end, counter_samples)]
+        pid = spans[0].pid if spans else 0
+        for wall_s, values in counter_samples:
+            for name, value in sorted(values.items()):
+                events.append({
+                    "name": name,
+                    "cat": "metrics",
+                    "ph": "C",
+                    "ts": max(wall_s, 0.0) * 1e6,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"value": float(value)},
+                })
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
@@ -112,14 +143,31 @@ def validate_chrome_trace(document: object) -> int:
                         f"event {position} ('{event['name']}'): complete "
                         f"events need a non-negative '{key}'"
                     )
+        elif event["ph"] == "C":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ObsError(
+                    f"event {position} ('{event['name']}'): counter "
+                    "events need a non-negative 'ts'"
+                )
+            args = event.get("args")
+            if not isinstance(args, dict) or not args or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                raise ObsError(
+                    f"event {position} ('{event['name']}'): counter "
+                    "events need numeric series in 'args'"
+                )
     if not any(e.get("ph") == "X" for e in events):
         raise ObsError("trace contains no complete ('X') span events")
     return len(events)
 
 
-def write_chrome_trace(spans: Iterable[Span], path: str | Path) -> Path:
+def write_chrome_trace(
+    spans: Iterable[Span], path: str | Path, counter_samples=None
+) -> Path:
     """Export, validate, and write a Chrome trace file."""
-    document = to_chrome_trace(spans)
+    document = to_chrome_trace(spans, counter_samples=counter_samples)
     validate_chrome_trace(document)
     path = Path(path)
     path.write_text(json.dumps(document, indent=1))

@@ -83,7 +83,8 @@ class Gauge:
 class Histogram:
     """Fixed-bucket histogram (cumulative-style buckets + sum + count)."""
 
-    __slots__ = ("name", "uppers", "_counts", "_sum", "_count", "_lock")
+    __slots__ = ("name", "uppers", "_counts", "_sum", "_count", "_max",
+                 "_lock")
 
     def __init__(self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS):
         uppers = tuple(sorted(float(b) for b in buckets))
@@ -94,6 +95,9 @@ class Histogram:
         self._counts = [0] * (len(uppers) + 1)
         self._sum = 0.0
         self._count = 0
+        #: Largest value observed — bounds the +inf overflow bucket so
+        #: quantiles landing there interpolate instead of reporting inf.
+        self._max: float | None = None
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -102,6 +106,8 @@ class Histogram:
             self._counts[slot] += 1
             self._sum += value
             self._count += 1
+            if self._max is None or value > self._max:
+                self._max = value
 
     @property
     def count(self) -> int:
@@ -122,7 +128,14 @@ class Histogram:
             return dict(zip(labels, list(self._counts)))
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile from the bucket boundaries (upper bound)."""
+        """Approximate quantile from the bucket boundaries.
+
+        Finite buckets report their upper bound.  A rank landing in the
+        terminal +inf overflow bucket interpolates linearly between the
+        last finite bound and the largest observed value — a bucket
+        sized badly for its workload degrades to a coarse estimate
+        instead of an unusable ``inf``.
+        """
         if not 0.0 <= q <= 1.0:
             raise ObsError(f"quantile must be in [0, 1], got {q}")
         with self._lock:
@@ -134,13 +147,22 @@ class Histogram:
                 seen += n
                 if seen >= rank and n:
                     return upper
-            return math.inf
+            overflow = self._counts[-1]
+            if overflow == 0 or self._max is None:
+                return math.inf  # defensive: nothing actually overflowed
+            lower = self.uppers[-1]
+            fraction = (rank - (self._count - overflow)) / overflow
+            fraction = min(max(fraction, 0.0), 1.0)
+            if self._max <= lower:
+                return self._max
+            return lower + (self._max - lower) * fraction
 
     def reset(self) -> None:
         with self._lock:
             self._counts = [0] * (len(self.uppers) + 1)
             self._sum = 0.0
             self._count = 0
+            self._max = None
 
 
 #: A collector returns {metric name: value} when the registry snapshots.
@@ -220,6 +242,19 @@ class MetricsRegistry:
         for collector in collectors:
             out.update(collector())
         return out
+
+    def scalars(self, prefix: str = "") -> dict[str, float]:
+        """Counter/gauge values as floats (histograms excluded).
+
+        The shape the Chrome-trace exporter wants for counter ("C")
+        events; ``prefix`` filters by metric-name prefix.
+        """
+        return {
+            name: float(value)
+            for name, value in self.snapshot().items()
+            if not isinstance(value, dict)
+            and (not prefix or name.startswith(prefix))
+        }
 
     def render(self) -> str:
         """Plain-text dump, one metric per line, sorted by name."""

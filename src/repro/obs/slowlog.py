@@ -36,6 +36,13 @@ class SlowQuery:
     fingerprint: str | None = None
     #: How the plan was obtained: hit / miss / replan / learned-override.
     memo: str | None = None
+    #: The EngineConfig plan signature the statement ran under — with
+    #: ``fingerprint`` this joins a slow entry against the Query Store
+    #: plan history (``sys_query_store_plans``).
+    plan_signature: str | None = None
+    #: The decision that produced the plan that ran (plan origin:
+    #: miss / replan / learned-override / forced / cost / ...).
+    decision: str | None = None
     recorded_at: float = field(default_factory=time.time)
 
     @property
@@ -49,6 +56,10 @@ class SlowQuery:
             parts.append(f"fp={self.fingerprint[:12]}")
         if self.memo:
             parts.append(f"memo={self.memo}")
+        if self.decision and self.decision != self.memo:
+            parts.append(f"plan={self.decision}")
+        if self.plan_signature:
+            parts.append(f"sig=[{self.plan_signature}]")
         parts.append(self.sql if len(self.sql) <= 120 else self.sql[:117] + "...")
         return "  ".join(parts)
 
@@ -80,6 +91,8 @@ class SlowQueryLog:
         database: str | None = None,
         fingerprint: str | None = None,
         memo: str | None = None,
+        plan_signature: str | None = None,
+        decision: str | None = None,
     ) -> SlowQuery | None:
         """Log the statement if it is over threshold; returns the entry."""
         if not self.is_slow(elapsed_s):
@@ -92,6 +105,8 @@ class SlowQueryLog:
             database=database,
             fingerprint=fingerprint,
             memo=memo,
+            plan_signature=plan_signature,
+            decision=decision,
         )
         with self._lock:
             self._entries.append(entry)

@@ -88,6 +88,45 @@ class TestChromeTrace:
         assert validate_chrome_trace(json.loads(path.read_text())) >= 1
 
 
+class TestCounterEvents:
+    def test_timestamped_samples_become_counter_events(self):
+        doc = to_chrome_trace(
+            [make_span(start=1.0, wall=0.5)],
+            counter_samples=[(1.2, {"engine.cache.hits": 3.0,
+                                    "engine.memo.hits": 1.0})],
+        )
+        cs = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert len(cs) == 2
+        assert [e["name"] for e in cs] == sorted(e["name"] for e in cs)
+        assert all(e["cat"] == "metrics" for e in cs)
+        assert all(e["ts"] == pytest.approx(1.2e6) for e in cs)
+        assert cs[0]["args"] == {"value": 3.0}
+        assert all(e["pid"] == 100 for e in cs)  # the spans' pid
+
+    def test_bare_dict_stamped_at_trace_end(self):
+        doc = to_chrome_trace(
+            [make_span(start=1.0, wall=0.5),
+             make_span("b", span_id="s2", start=2.0, wall=1.0)],
+            counter_samples={"engine.slow_queries": 2.0},
+        )
+        (event,) = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert event["ts"] == pytest.approx(3e6)  # max span end
+        assert event["args"]["value"] == 2.0
+
+    def test_counter_documents_validate_and_round_trip(self, tmp_path):
+        path = write_chrome_trace(
+            [make_span()], tmp_path / "trace.json",
+            counter_samples={"engine.pool.hits": 7},
+        )
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == len(doc["traceEvents"])
+        assert any(e["ph"] == "C" for e in doc["traceEvents"])
+
+    def test_no_samples_emits_no_counter_events(self):
+        doc = to_chrome_trace([make_span()])
+        assert not any(e["ph"] == "C" for e in doc["traceEvents"])
+
+
 class TestValidation:
     def test_rejects_non_object(self):
         with pytest.raises(ObsError, match="object"):
@@ -114,6 +153,22 @@ class TestValidation:
                 "args": {"name": "t"}}
         with pytest.raises(ObsError, match="complete"):
             validate_chrome_trace({"traceEvents": [meta]})
+
+    def test_rejects_counter_without_numeric_args(self):
+        x = {"name": "s", "ph": "X", "pid": 1, "tid": 1,
+             "ts": 0.0, "dur": 1.0}
+        bad = {"name": "m", "ph": "C", "pid": 1, "tid": 0,
+               "ts": 0.0, "args": {"value": "three"}}
+        with pytest.raises(ObsError, match="numeric"):
+            validate_chrome_trace({"traceEvents": [x, bad]})
+
+    def test_rejects_counter_with_negative_ts(self):
+        x = {"name": "s", "ph": "X", "pid": 1, "tid": 1,
+             "ts": 0.0, "dur": 1.0}
+        bad = {"name": "m", "ph": "C", "pid": 1, "tid": 0,
+               "ts": -5.0, "args": {"value": 1.0}}
+        with pytest.raises(ObsError, match="ts"):
+            validate_chrome_trace({"traceEvents": [x, bad]})
 
 
 class TestRenderTree:

@@ -84,8 +84,32 @@ class TestHistogram:
     def test_quantile_empty_and_overflow(self):
         h = Histogram("q2", buckets=(1.0,))
         assert h.quantile(0.5) == 0.0
+        # a single overflow observation: the quantile interpolates
+        # between the last finite bound and the observed max, never inf
         h.observe(99.0)
-        assert h.quantile(0.9) == math.inf
+        assert h.quantile(0.9) == pytest.approx(1.0 + (99.0 - 1.0) * 0.9)
+        assert h.quantile(1.0) == 99.0
+
+    def test_quantile_overflow_known_distribution(self):
+        # 11..20 land in the +inf bucket of (10.0,): every rank is in
+        # the overflow, interpolated over [10, max=20].
+        h = Histogram("q3", buckets=(10.0,))
+        for v in range(11, 21):
+            h.observe(float(v))
+        assert h.quantile(0.5) == pytest.approx(15.0)
+        assert h.quantile(0.95) == pytest.approx(19.5)
+        assert h.quantile(1.0) == 20.0
+        assert math.isfinite(h.quantile(0.99))
+
+    def test_quantile_overflow_mixed_with_finite(self):
+        # half the mass is finite; only ranks past it interpolate
+        h = Histogram("q4", buckets=(1.0, 2.0))
+        for v in (0.5, 1.5, 3.0, 5.0):
+            h.observe(v)
+        assert h.quantile(0.25) == 1.0
+        assert h.quantile(0.5) == 2.0
+        assert h.quantile(1.0) == 5.0
+        assert 2.0 < h.quantile(0.9) <= 5.0
 
     def test_quantile_rejects_out_of_range(self):
         with pytest.raises(ObsError):

@@ -56,6 +56,23 @@ class TestSlowQueryLog:
         log.record("SELECT pg_sleep(1)", 5.0)
         assert get_metrics().counter("engine.slow_queries").value == before + 1
 
+    def test_plan_signature_and_decision_fields(self, log):
+        entry = log.record(
+            "SELECT 1", 0.5, fingerprint="abc123", memo="hit",
+            plan_signature="optimizer=cost,workers=1",
+            decision="learned-override",
+        )
+        assert entry.plan_signature == "optimizer=cost,workers=1"
+        assert entry.decision == "learned-override"
+        # the line joins the entry against the Query Store plan history
+        assert "sig=[optimizer=cost,workers=1]" in entry.line
+        assert "plan=learned-override" in entry.line
+        assert "memo=hit" in entry.line
+
+    def test_decision_suppressed_when_same_as_memo(self, log):
+        entry = log.record("SELECT 1", 0.5, memo="miss", decision="miss")
+        assert "plan=" not in entry.line
+
 
 class TestEngineWiring:
     def test_global_log_singleton(self):
@@ -85,6 +102,32 @@ class TestEngineWiring:
         assert "SELECT" in latest.sql.upper()
         assert latest.database == "slowtest"
         assert latest.plan  # SELECTs capture the chosen plan
+        log.clear()
+
+    def test_fingerprinted_select_logs_signature_and_decision(self):
+        import numpy as np
+
+        from repro.engine.config import EngineConfig
+        from repro.engine.database import Database
+
+        db = Database(
+            "sigtest", config=EngineConfig(query_store=True)
+        )
+        db.create_table(
+            "t", {"a": np.arange(50, dtype=np.int64)}, primary_key="a"
+        )
+        log = get_slow_log()
+        old_threshold = log.threshold_s
+        log.clear()
+        log.set_threshold(0.0)
+        try:
+            db.sql("SELECT COUNT(*) AS n FROM t WHERE a > 10")
+        finally:
+            log.set_threshold(old_threshold)
+        latest = log.entries()[-1]
+        assert latest.fingerprint is not None
+        assert latest.plan_signature == db.config.plan_signature()
+        assert latest.decision == "cost"
         log.clear()
 
     def test_explain_analyze_logs_q_error(self):
