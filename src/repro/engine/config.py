@@ -71,6 +71,18 @@ class EngineConfig:
         constant folding, IN/EXISTS decorrelation, redundant-join
         elimination, ...).  On by default; ``rewrites=False`` restores
         the exact pre-rewrite plans.
+    compiled_expressions:
+        Lower Filter/Project/join-residual expressions into fused
+        single-pass kernels (common-subexpression elimination,
+        NaN-aware short-circuit conjunction over selection vectors,
+        late materialization of payload columns).  On by default;
+        results are byte-identical to the interpreted walk either way.
+    page_compression:
+        Choose a per-column page codec (dictionary encoding for
+        low-NDV columns, run-length encoding for sorted/clustered
+        ones) from ANALYZE statistics, packing more rows per 8 KiB
+        page so hot working sets cost fewer logical reads.  On by
+        default; takes effect at ANALYZE time.
     result_cache:
         Enable the shared semantic result cache: SELECTs are answered
         from a prior identical statement's result when every referenced
@@ -110,6 +122,8 @@ class EngineConfig:
     intra_query_workers: int = 1
     band_joins: bool = True
     rewrites: bool = True
+    compiled_expressions: bool = True
+    page_compression: bool = True
     result_cache: bool = False
     cache_max_bytes: int = DEFAULT_CACHE_MAX_BYTES
     cache_max_entries: int = DEFAULT_CACHE_MAX_ENTRIES
@@ -158,6 +172,8 @@ class EngineConfig:
             f",band_joins={int(self.band_joins)}"
             f",rewrites={int(self.rewrites)}"
             f",workers={self.intra_query_workers}"
+            f",compiled={int(self.compiled_expressions)}"
+            f",pages={int(self.page_compression)}"
         )
 
 

@@ -109,6 +109,12 @@ class Database:
         #: Run the logical rewrite pass between parse and plan (the
         #: planner reads this attribute; off restores pre-rewrite plans).
         self.rewrites_enabled = bool(config.rewrites)
+        #: Lower plan expressions into fused kernels (CSE + selection
+        #: vectors); the planner stamps ``compiled`` on every operator.
+        self.compiled_expressions = bool(config.compiled_expressions)
+        #: Pick per-column page codecs from ANALYZE statistics so rows
+        #: pack denser and scans cost fewer logical reads.
+        self.page_compression = bool(config.page_compression)
         self.pool = BufferPool(config.pool_pages)
         #: Shared semantic result cache, or None when disabled.
         self.result_cache: ResultCache | None = (
@@ -534,6 +540,8 @@ class Database:
             except Exception:
                 return None  # unpriceable shape: skip caching, run it
             mode = f"{mode}+rewrite"
+        if self.compiled_expressions:
+            mode = f"{mode}+compiled"
         versions = tuple(
             sorted((t, self._tables[t].version) for t in tables)
         )
@@ -755,6 +763,12 @@ class Database:
             # stats must miss the memo and re-plan, even though the data
             # (table.version) has not changed
             table.stats_version += 1
+            if self.page_compression:
+                from repro.engine.pages import choose_codecs
+
+                table.apply_compression(
+                    choose_codecs(table.stats, table.schema)
+                )
             if self.feedback is not None:
                 self.feedback.memo.invalidate_table(name)
         return [n.lower() for n in names]

@@ -59,6 +59,36 @@ def resolve_column(batch: Batch, name: str, qualifier: str | None) -> np.ndarray
     return batch[resolve_key(batch, name, qualifier)]
 
 
+def eval_over_rows(expr: "Expr", batch: Batch, rows: np.ndarray) -> np.ndarray:
+    """Evaluate ``expr`` over only the given row positions of ``batch``.
+
+    Name resolution (including ambiguity errors) matches a full-batch
+    evaluation: every reference is resolved against the *full* batch
+    first, then only the resolved columns are gathered for the selected
+    rows.  Returns exactly ``rows.size`` values, broadcast when the
+    expression is row-independent.  Because every expression evaluates
+    elementwise, the result is byte-identical to evaluating over the
+    full batch and gathering afterwards — without ever materializing
+    the full-length temporaries.
+    """
+    keys = {
+        resolve_key(batch, ref.name, ref.qualifier)
+        for ref in expr.column_refs()
+    }
+    sub: Batch = {
+        key: (batch[key] if isinstance(batch[key], np.ndarray)
+              else np.asarray(batch[key]))[rows]
+        for key in sorted(keys)
+    }
+    if not sub:
+        # row-independent expression: carry the selection length only
+        sub = {"__rows": np.zeros(rows.size)}
+    values = np.asarray(expr.eval(sub))
+    if values.shape != (rows.size,):
+        values = np.broadcast_to(values, (rows.size,)).copy()
+    return values
+
+
 class Expr:
     """Base expression node."""
 
@@ -203,6 +233,38 @@ class Between(Expr):
         return f"({self.value} BETWEEN {self.low} AND {self.high})"
 
 
+def isin_fast(values: np.ndarray, options: tuple["Expr", ...]) -> np.ndarray | None:
+    """Single-pass IN-list membership when every option is a numeric literal.
+
+    Returns ``None`` when the fast path does not apply (non-literal or
+    non-numeric options, or a non-numeric probe array) — callers fall
+    back to the per-option equality loop.  Semantics match the loop
+    exactly: NaN probe rows match nothing (SQL comparison semantics)
+    and NaN options are dropped because ``NaN == NaN`` is false, while
+    ``np.isin``'s sort-based matching would wrongly pair them.
+    """
+    if values.dtype.kind not in "iuf":
+        return None
+    literals: list[object] = []
+    for option in options:
+        if not isinstance(option, Literal):
+            return None
+        value = option.value
+        if isinstance(value, bool) or not isinstance(
+            value, (int, float, np.integer, np.floating)
+        ):
+            return None
+        literals.append(value)
+    finite = [v for v in literals if not (isinstance(v, (float, np.floating))
+                                          and np.isnan(v))]
+    if not finite:
+        return np.zeros(values.shape, dtype=bool)
+    needles = np.asarray(finite)
+    if needles.dtype.kind not in "iuf":
+        return None
+    return np.isin(values, needles)
+
+
 @dataclass(frozen=True)
 class InList(Expr):
     value: Expr
@@ -212,8 +274,11 @@ class InList(Expr):
         return (self.value, *self.options)
 
     def eval(self, batch: Batch) -> np.ndarray:
-        v = self.value.eval(batch)
-        result = np.zeros(np.asarray(v).shape, dtype=bool)
+        v = np.asarray(self.value.eval(batch))
+        fast = isin_fast(v, self.options)
+        if fast is not None:
+            return fast
+        result = np.zeros(v.shape, dtype=bool)
         for option in self.options:
             result |= v == option.eval(batch)
         return result
@@ -236,19 +301,27 @@ class Case(Expr):
 
     def eval(self, batch: Batch) -> np.ndarray:
         n = batch_length(batch)
-        result = (
-            np.asarray(self.default.eval(batch))
-            if self.default is not None
-            else np.full(n, np.nan)
-        )
-        result = np.array(np.broadcast_to(result, (n,)), copy=True)
         decided = np.zeros(n, dtype=bool)
+        writes: list[tuple[np.ndarray, np.ndarray]] = []
         for cond, value in self.whens:
             hit = np.asarray(cond.eval(batch), dtype=bool) & ~decided
             if hit.any():
-                vals = np.broadcast_to(np.asarray(value.eval(batch)), (n,))
-                result[hit] = vals[hit]
+                rows = np.flatnonzero(hit)
+                writes.append((rows, eval_over_rows(value, batch, rows)))
                 decided |= hit
+        if self.default is None:
+            result = np.full(n, np.nan)
+        else:
+            # Evaluate the default only over still-undecided rows; when
+            # every row is decided this degenerates to an empty-batch
+            # probe that establishes the result dtype (dtype depends on
+            # the expression's inputs, never on which rows it sees).
+            undecided = np.flatnonzero(~decided)
+            defaults = eval_over_rows(self.default, batch, undecided)
+            result = np.empty(n, dtype=defaults.dtype)
+            result[undecided] = defaults
+        for rows, vals in writes:
+            result[rows] = vals
         return result
 
 
@@ -273,8 +346,11 @@ SCALAR_FUNCTIONS: dict[str, tuple[int, Callable]] = {
     "radians": (1, lambda a: np.deg2rad(np.asarray(a, dtype=np.float64))),
     "degrees": (1, lambda a: np.rad2deg(np.asarray(a, dtype=np.float64))),
     "sign": (1, np.sign),
-    "round": (2, lambda a, d: np.round(np.asarray(a, dtype=np.float64),
-                                       int(np.asarray(d).flat[0]))),
+    "round": (2, lambda a, d: np.round(
+        np.asarray(a, dtype=np.float64),
+        # the digits argument is irrelevant over an empty batch
+        int(np.asarray(d).flat[0]) if np.asarray(d).size else 0,
+    )),
     "cast": (1, lambda a: a),  # type widths are uniform here
     "isnull": (1, lambda a: np.isnan(np.asarray(a, dtype=np.float64))),
 }

@@ -49,6 +49,14 @@ class PlanNode:
     #: their positional constructors; instances overwrite it in place.
     est_rows: float | None = None
 
+    #: Fused-kernel execution, stamped by the planner when
+    #: ``EngineConfig(compiled_expressions=True)`` (the default).
+    #: Operators with expressions lower them into
+    #: :class:`~repro.engine.compile.CompiledKernel` programs (CSE +
+    #: selection vectors) instead of interpreting ``Expr.eval`` node by
+    #: node; results are byte-identical either way.
+    compiled: bool = False
+
     #: Logical-rewrite audit trail: one line per fired rule, stamped on
     #: the plan *root* by the planner when the rewrite pass changed the
     #: statement.  Rendered ahead of the operator tree by EXPLAIN.
@@ -196,11 +204,23 @@ class Filter(PlanNode):
     predicate: Expr
     workers: int = 1
 
+    def kernel(self):
+        """The lazily compiled predicate kernel (one per plan node,
+        shared across batches and morsel workers)."""
+        kernel = getattr(self, "_kernel", None)
+        if kernel is None:
+            from repro.engine.compile import CompiledKernel
+
+            kernel = self._kernel = CompiledKernel(predicate=self.predicate)
+        return kernel
+
     def execute(self) -> Batch:
         batch = self.child.execute()
         n = batch_length(batch)
         if n == 0:
             return batch
+        if self.compiled:
+            return take(batch, self._select(batch, n))
         if self.workers > 1 and n > self.MORSEL_ROWS:
             from repro.engine.parallel import run_morsels
 
@@ -222,8 +242,34 @@ class Filter(PlanNode):
             mask = np.asarray(self.predicate.eval(batch), dtype=bool)
         return take(batch, mask)
 
+    def _select(self, batch: Batch, n: int) -> np.ndarray:
+        """Surviving row ids via the fused kernel (late materialization:
+        payload columns are gathered once, by the caller's ``take``)."""
+        kernel = self.kernel()
+        if self.workers > 1 and n > self.MORSEL_ROWS:
+            from repro.engine.parallel import run_morsels
+
+            def block_task(start: int, stop: int) -> np.ndarray:
+                piece = take(batch, slice(start, stop))
+                return kernel.select(piece, stop - start) + start
+
+            bounds = range(0, n, self.MORSEL_ROWS)
+            parts = run_morsels(
+                [
+                    (lambda s=start: block_task(s, min(s + self.MORSEL_ROWS, n)))
+                    for start in bounds
+                ],
+                workers=self.workers,
+                name="engine.morsel.filter",
+            )
+            return np.concatenate(parts)
+        return kernel.select(batch, n)
+
     def _describe(self) -> str:
-        return f"Filter({self.predicate})"
+        base = f"Filter({self.predicate})"
+        if self.compiled:
+            base += f"  {self.kernel().describe()}"
+        return base
 
     def _children(self) -> tuple[PlanNode, ...]:
         return (self.child,)
@@ -231,14 +277,69 @@ class Filter(PlanNode):
 
 @dataclass
 class Project(PlanNode):
-    """Compute output columns ``name <- expr``."""
+    """Compute output columns ``name <- expr``.
+
+    When ``compiled`` is stamped, outputs evaluate through one fused
+    kernel with CSE shared across the whole select list; a compiled
+    single-worker :class:`Filter` child is additionally *fused into*
+    the projection — the filter's selection vector flows straight into
+    the output expressions, so payload columns are touched only for
+    surviving rows and subexpressions shared between the predicate and
+    the select list are evaluated once.
+    """
 
     child: PlanNode
     outputs: list[tuple[str, Expr]]
 
+    def _fusable_child(self):
+        """The compiled Filter this projection can absorb, if any."""
+        child = self.child
+        if (
+            self.compiled
+            and isinstance(child, Filter)
+            and child.compiled
+            and child.workers <= 1
+        ):
+            return child
+        return None
+
+    def kernel(self):
+        """The lazily compiled projection kernel.  When a compiled
+        single-worker Filter child is fusable, its predicate joins the
+        program so selection and CSE span the whole chain."""
+        kernel = getattr(self, "_kernel", None)
+        if kernel is None:
+            from repro.engine.compile import CompiledKernel
+
+            fused = self._fusable_child()
+            kernel = self._kernel = CompiledKernel(
+                predicate=fused.predicate if fused is not None else None,
+                outputs=self.outputs,
+            )
+        return kernel
+
     def execute(self) -> Batch:
-        batch = self.child.execute()
-        n = batch_length(batch)
+        fused = self._fusable_child()
+        if fused is not None:
+            batch = fused.child.execute()
+            n = batch_length(batch)
+            if n:
+                values = self.kernel().fused(batch, n)
+                return {
+                    name.lower(): value
+                    for (name, _), value in zip(self.outputs, values)
+                }
+            # empty input: the filter is a no-op; fall through and
+            # project the empty batch (matching the interpreted chain)
+        else:
+            batch = self.child.execute()
+            n = batch_length(batch)
+        if self.compiled and fused is None:
+            values = self.kernel().project_values(batch, n)
+            return {
+                name.lower(): value
+                for (name, _), value in zip(self.outputs, values)
+            }
         out: Batch = {}
         for name, expr in self.outputs:
             value = np.asarray(expr.eval(batch))
@@ -248,7 +349,10 @@ class Project(PlanNode):
 
     def _describe(self) -> str:
         cols = ", ".join(name for name, _ in self.outputs)
-        return f"Project({cols})"
+        base = f"Project({cols})"
+        if self.compiled:
+            base += f"  {self.kernel().describe()}"
+        return base
 
     def _children(self) -> tuple[PlanNode, ...]:
         return (self.child,)
@@ -266,15 +370,30 @@ class ProjectPassthrough(PlanNode):
     child: PlanNode
     outputs: list[tuple[str, Expr]]
 
+    def kernel(self):
+        kernel = getattr(self, "_kernel", None)
+        if kernel is None:
+            from repro.engine.compile import CompiledKernel
+
+            kernel = self._kernel = CompiledKernel(outputs=self.outputs)
+        return kernel
+
     def execute(self) -> Batch:
         batch = self.child.execute()
         n = batch_length(batch)
         out: Batch = dict(batch)
-        for name, expr in self.outputs:
+        if self.compiled:
+            values = self.kernel().project_values(batch, n)
+        else:
+            values = None
+        for index, (name, expr) in enumerate(self.outputs):
             key = name.lower()
-            value = np.asarray(expr.eval(batch))
-            if value.shape != (n,):
-                value = np.broadcast_to(value, (n,)).copy()
+            if values is not None:
+                value = values[index]
+            else:
+                value = np.asarray(expr.eval(batch))
+                if value.shape != (n,):
+                    value = np.broadcast_to(value, (n,)).copy()
             if key in out and not np.array_equal(out[key], value):
                 raise SqlPlanError(
                     f"select alias '{name}' collides with an input column"
@@ -284,7 +403,10 @@ class ProjectPassthrough(PlanNode):
 
     def _describe(self) -> str:
         cols = ", ".join(name for name, _ in self.outputs)
-        return f"ProjectPassthrough({cols})"
+        base = f"ProjectPassthrough({cols})"
+        if self.compiled:
+            base += f"  {self.kernel().describe()}"
+        return base
 
     def _children(self) -> tuple[PlanNode, ...]:
         return (self.child,)

@@ -74,6 +74,13 @@ class ColumnStats:
     min_value: object | None
     max_value: object | None
     histogram: Histogram | None = None
+    #: Number of equal-value runs in *physical* row order (NaNs compare
+    #: equal to each other here, matching the RLE codec).  A column
+    #: clustered by the table's sort order — the zone table's
+    #: ``(zoneid, ra)`` — has few runs, which is what makes run-length
+    #: page encoding pay off.  ``None`` on stats loaded from files
+    #: written before this field existed.
+    n_runs: int | None = None
 
     @property
     def null_fraction(self) -> float:
@@ -97,11 +104,32 @@ class TableStats:
 # ----------------------------------------------------------------------
 # building
 # ----------------------------------------------------------------------
+def count_runs(values: np.ndarray) -> int:
+    """Equal-value runs in physical order (NaN == NaN for this purpose)."""
+    values = np.asarray(values)
+    if values.size == 0:
+        return 0
+    if values.dtype.kind == "f":
+        a, b = values[1:], values[:-1]
+        same = (a == b) | (np.isnan(a) & np.isnan(b))
+    elif values.dtype.kind == "O":
+        items = values.tolist()
+        same = np.fromiter(
+            (x == y for x, y in zip(items[1:], items[:-1])),
+            dtype=bool,
+            count=max(0, len(items) - 1),
+        )
+    else:
+        same = np.asarray(values[1:] == values[:-1], dtype=bool)
+    return 1 + int((~same).sum())
+
+
 def _column_stats(
     name: str, values: np.ndarray, buckets: int
 ) -> ColumnStats:
     values = np.asarray(values)
     n_rows = int(values.size)
+    n_runs = count_runs(values)
     numeric = values.dtype.kind in ("i", "u", "f", "b")
     if numeric:
         as_float = values.astype(np.float64, copy=False)
@@ -113,7 +141,7 @@ def _column_stats(
     n_null = int(null_mask.sum())
 
     if present.size == 0:
-        return ColumnStats(name, n_rows, n_null, 0, None, None, None)
+        return ColumnStats(name, n_rows, n_null, 0, None, None, None, n_runs)
 
     distinct = np.unique(present)
     ndv = int(distinct.size)
@@ -139,7 +167,7 @@ def _column_stats(
             bounds=tuple(float(b) for b in bounds),
             depths=tuple(int(d) for d in depths),
         )
-    return ColumnStats(name, n_rows, n_null, ndv, lo, hi, histogram)
+    return ColumnStats(name, n_rows, n_null, ndv, lo, hi, histogram, n_runs)
 
 
 def build_table_stats(table, buckets: int = DEFAULT_BUCKETS) -> TableStats:
@@ -170,6 +198,7 @@ def stats_to_json(stats: TableStats) -> dict:
                 "ndv": c.ndv,
                 "min": c.min_value,
                 "max": c.max_value,
+                "n_runs": c.n_runs,
                 "histogram": (
                     None if c.histogram is None else {
                         "bounds": list(c.histogram.bounds),
@@ -199,6 +228,7 @@ def stats_from_json(payload: dict) -> TableStats:
             min_value=c["min"],
             max_value=c["max"],
             histogram=histogram,
+            n_runs=c.get("n_runs"),
         )
     return TableStats(
         table=payload["table"],

@@ -43,6 +43,15 @@ def save_table(table: Table, directory: str | Path) -> Path:
         ],
         "primary_key": table.schema.primary_key,
     }
+    if table.compression is not None:
+        meta["compression"] = [
+            {
+                "column": c.column,
+                "kind": c.kind,
+                "bytes_per_row": c.bytes_per_row,
+            }
+            for c in table.compression.codecs
+        ]
     (directory / f"{table.name.lower()}.schema").write_text(json.dumps(meta))
     stats_path = directory / f"{table.name.lower()}.stats"
     if table.stats is not None:
@@ -81,6 +90,17 @@ def load_table(database: Database, directory: str | Path, name: str) -> Table:
     stats_path = directory / f"{name.lower()}.stats"
     if stats_path.exists():
         table.stats = stats_from_json(json.loads(stats_path.read_text()))
+    if meta.get("compression"):
+        from repro.engine.pages import ColumnCodec, CompressionPlan
+
+        table.apply_compression(CompressionPlan(codecs=tuple(
+            ColumnCodec(
+                column=c["column"],
+                kind=c["kind"],
+                bytes_per_row=c["bytes_per_row"],
+            )
+            for c in meta["compression"]
+        )))
     return table
 
 

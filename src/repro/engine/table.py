@@ -43,6 +43,11 @@ class Table:
         #: chosen under old statistics is replanned after re-ANALYZE
         #: even when the data itself (``version``) has not moved.
         self.stats_version = 0
+        #: Active page-compression plan (a
+        #: :class:`~repro.engine.pages.CompressionPlan`), set by ANALYZE
+        #: when ``EngineConfig.page_compression`` is on and at least one
+        #: column beats raw storage; None means raw pages.
+        self.compression = None
         self._pk_index: dict | None = None
         if schema.primary_key is not None:
             self._pk_index = {}
@@ -65,6 +70,20 @@ class Table:
 
     def __len__(self) -> int:
         return self.row_count
+
+    def apply_compression(self, plan) -> None:
+        """Adopt (or drop, with ``None``) a page-compression plan.
+
+        Rows pack denser on compressed pages, so the paged file is
+        repacked at the plan's effective row width; subsequent scans
+        touch proportionally fewer pages, which is where the
+        logical-read drop in ``engine.pool.*`` comes from.
+        """
+        self.compression = plan
+        if plan is None:
+            self.file.set_row_bytes(float(self.schema.row_byte_width))
+        else:
+            self.file.set_row_bytes(plan.row_bytes)
 
     # ------------------------------------------------------------------
     # raw column access (no I/O accounting; engine-internal)
